@@ -1,0 +1,126 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* removal/insertion heuristic on vs off (pure Adam from uniform init);
+* curvature init + quasi-Newton polish vs the paper-faithful SGD recipe;
+* asymptote boundary pinning vs free edges: error *outside* the fitted
+  interval (the pinning's whole purpose);
+* BST address decoding (non-uniform) vs MSB indexing (uniform grid) at
+  equal breakpoint budget;
+* coefficient-table precision: fp32 vs fp16 vs int16 vs int8 tables.
+"""
+
+import numpy as np
+from dataclasses import replace
+
+from repro.core import build_tables, evaluate, msb_indexed_pwl, quadrature_mse
+from repro.core.fit import FitConfig, FlexSfuFitter
+from repro.eval import fmt_ratio, fmt_sci, format_table
+from repro.functions import GELU, SIGMOID, SILU, TANH
+from repro.hw.dtypes import FP16_T, FP32_T, HwDataType
+
+_CFG = FitConfig(n_breakpoints=16, max_steps=600, refine_steps=200,
+                 max_refine_rounds=6, polish_maxiter=800, grid_points=2048)
+
+
+def test_ablation_heuristics_and_polish(benchmark, report_writer):
+    def run():
+        out = {}
+        for name, cfg in [
+            ("adam only (uniform init)",
+             replace(_CFG, init="uniform", polish=False, max_refine_rounds=0)),
+            ("+ remove/insert (paper)",
+             replace(_CFG, init="uniform", polish=False)),
+            ("+ curvature init + polish (this repro)",
+             replace(_CFG, init="auto", polish=True)),
+        ]:
+            out[name] = evaluate(FlexSfuFitter(cfg).fit(GELU).pwl, GELU).mse
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    base = results["adam only (uniform init)"]
+    table = format_table(
+        ["configuration", "GELU MSE (16 BP)", "vs adam-only"],
+        [[k, fmt_sci(v), fmt_ratio(base / v)] for k, v in results.items()],
+        title="Ablation: optimizer components",
+    )
+    report_writer("ablation_optimizer", table)
+    # Each stage must help (or at least not hurt).
+    assert results["+ remove/insert (paper)"] <= base * 1.05
+    assert results["+ curvature init + polish (this repro)"] < base
+
+
+def test_ablation_boundary_pinning(benchmark, report_writer):
+    def run():
+        out = {}
+        for name, (bl, br) in [("asymptote-pinned", ("asymptote", "asymptote")),
+                               ("free edges", ("free", "free"))]:
+            cfg = replace(_CFG, n_breakpoints=8, boundary_left=bl,
+                          boundary_right=br)
+            pwl = FlexSfuFitter(cfg).fit(SIGMOID).pwl
+            inside = quadrature_mse(pwl, SIGMOID, -8, 8)
+            outside = quadrature_mse(pwl, SIGMOID, 8, 64)
+            out[name] = (inside, outside)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["boundary", "MSE inside [-8,8]", "MSE outside [8,64]"],
+        [[k, fmt_sci(i), fmt_sci(o)] for k, (i, o) in results.items()],
+        title="Ablation: asymptote pinning (sigmoid, 8 BP)",
+    )
+    report_writer("ablation_boundary", table)
+    # Pinning trades a little in-interval error for bounded tails.
+    pin_in, pin_out = results["asymptote-pinned"]
+    free_in, free_out = results["free edges"]
+    assert pin_out < 1e-6
+    assert pin_out <= free_out
+
+
+def test_ablation_bst_vs_msb_addressing(benchmark, report_writer):
+    def run():
+        rows = []
+        for fn in (TANH, GELU, SILU):
+            msb = msb_indexed_pwl(fn, address_bits=4)  # 17 BP, uniform grid
+            cfg = replace(_CFG, n_breakpoints=17)
+            bst = FlexSfuFitter(cfg).fit(fn).pwl
+            rows.append((fn.name,
+                         quadrature_mse(msb, fn, -8, 8),
+                         quadrature_mse(bst, fn, -8, 8)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["function", "MSB-indexed MSE", "BST non-uniform MSE", "gain"],
+        [[n, fmt_sci(a), fmt_sci(b), fmt_ratio(a / b)] for n, a, b in rows],
+        title="Ablation: addressing scheme at equal breakpoint budget (17 BP)",
+    )
+    report_writer("ablation_addressing", table)
+    for _, msb_mse, bst_mse in rows:
+        assert bst_mse < msb_mse / 3.0
+
+
+def test_ablation_table_precision(benchmark, report_writer):
+    cfg = replace(_CFG, n_breakpoints=15)
+    pwl = FlexSfuFitter(cfg).fit(SILU).pwl
+    xs = np.linspace(-8, 8, 20001)
+    exact = SILU(xs)
+
+    def run():
+        out = {}
+        for dtype in (FP32_T, FP16_T, HwDataType.fixed(16, 11),
+                      HwDataType.fixed(8, 3)):
+            tables = build_tables(pwl, dtype.fmt)
+            approx = tables.reference_eval(xs)
+            out[dtype.name] = float(np.mean((approx - exact) ** 2))
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["table format", "end-to-end MSE (SiLU, 15 BP)"],
+        [[k, fmt_sci(v)] for k, v in results.items()],
+        title="Ablation: coefficient/table precision",
+    )
+    report_writer("ablation_precision", table)
+    # Wider formats never hurt; int8 visibly degrades.
+    assert results["fp32"] <= results["fp16"] * 1.01
+    assert results["q4.3"] > results["fp16"]

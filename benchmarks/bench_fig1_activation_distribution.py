@@ -1,0 +1,35 @@
+"""Figure 1 — activation-function distribution by model publication year.
+
+Regenerates the stacked-share series from the synthetic 778-model catalog
+and checks the paper's anchors: ReLU dominant in 2015 and fading to ~21 %
+by 2021 while SiLU + GELU grow to ~44 % (32 % in 2020).
+"""
+
+from repro.eval import fmt_pct, format_table, run_figure1
+
+
+def test_fig1_activation_distribution(benchmark, report_writer):
+    res = benchmark(run_figure1)
+
+    functions = sorted({fn for dist in res.shares.values() for fn in dist})
+    rows = []
+    for year in sorted(res.shares):
+        dist = res.shares[year]
+        rows.append([year] + [fmt_pct(dist.get(fn, 0.0)) for fn in functions])
+    table = format_table(["year"] + functions, rows,
+                         title="Figure 1: activation share by year")
+    summary = (
+        f"\n2021 ReLU share:      {fmt_pct(res.relu_2021)} "
+        f"(paper {fmt_pct(res.paper_relu_2021)})\n"
+        f"2021 SiLU+GELU share: {fmt_pct(res.silu_gelu_2021)} "
+        f"(paper {fmt_pct(res.paper_silu_gelu_2021)})\n"
+        f"2020 SiLU+GELU share: {fmt_pct(res.silu_gelu_2020)} "
+        f"(paper {fmt_pct(res.paper_silu_gelu_2020)})"
+    )
+    report_writer("fig1_activation_distribution", table + summary)
+
+    # Shape assertions.
+    assert res.shares[2015].get("relu", 0.0) > 0.9
+    assert res.relu_2021 < 0.35
+    assert 0.3 < res.silu_gelu_2021 < 0.7
+    assert res.silu_gelu_2020 < res.silu_gelu_2021

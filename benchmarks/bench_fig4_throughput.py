@@ -1,0 +1,64 @@
+"""Figure 4 — Flex-SFU throughput vs input tensor size.
+
+Sweeps tensor sizes 2..8192 32-bit words for all bit-widths and LTC
+depths, including the ld.bp/ld.cf/exe.af accounting, and checks the
+saturation levels (0.6 / 1.2 / 2.4 GAct/s at 600 MHz) plus the cycle
+model's agreement with the bit-level unit.
+"""
+
+import numpy as np
+
+from repro.core import PiecewiseLinear, build_tables
+from repro.eval import format_series, run_figure4
+from repro.hw import FP32_T, FlexSfuUnit, load_cycles, total_cycles
+from repro.hw.perfmodel import throughput_gact_s
+
+
+def test_fig4_throughput_sweep(benchmark, report_writer):
+    res = benchmark(run_figure4)
+
+    sizes = sorted({p.n_words_32b for p in res.points})
+    lines = ["Figure 4: throughput [GAct/s] vs tensor size [32-bit words]",
+             "=" * 60]
+    for bits in (8, 16, 32):
+        for depth in (4, 8, 16, 32, 64):
+            ys = [p.gact_s for p in res.points
+                  if p.bits == bits and p.depth == depth]
+            lines.append(format_series(f"{bits}b-{depth}d", sizes, ys,
+                                       y_fmt=lambda y: f"{y:.3f}"))
+    lines.append("")
+    for bits, steady in sorted(res.steady_gact_s.items()):
+        lines.append(f"steady-state {bits}-bit: {steady:.1f} GAct/s "
+                     f"(paper {res.paper_steady[bits]:.1f})")
+    worst = max(res.saturation_words.values())
+    lines.append(f"90% saturation reached by all configs at <= {worst} words "
+                 f"(paper: steady state beyond 256 words)")
+    report_writer("fig4_throughput", "\n".join(lines))
+
+    for bits, want in res.paper_steady.items():
+        assert res.steady_gact_s[bits] == want
+    assert worst <= 2048
+
+
+def test_fig4_cycle_model_matches_bit_level_unit(benchmark, report_writer):
+    """The closed-form model and the functional simulator must agree."""
+    pwl = PiecewiseLinear.create(np.linspace(-4, 4, 15),
+                                 np.tanh(np.linspace(-4, 4, 15)), 0.0, 0.0)
+    tables = build_tables(pwl, FP32_T.fmt)
+
+    def run():
+        mismatches = []
+        for n_words in (2, 16, 256, 1024):
+            unit = FlexSfuUnit(FP32_T, tables.depth)
+            rep = unit.run(tables, np.zeros(n_words))
+            model = total_cycles(n_words, 32, tables.depth)
+            if rep.cycles != model:
+                mismatches.append((n_words, rep.cycles, model))
+        return mismatches
+
+    mismatches = benchmark(run)
+    assert not mismatches, f"cycle model drift: {mismatches}"
+    report_writer("fig4_cycle_model_check",
+                  "bit-level unit and closed-form Fig. 4 model agree on "
+                  "ld.bp + ld.cf + exe.af cycles for depths 16 and sizes "
+                  "2..1024 words")

@@ -1,0 +1,46 @@
+"""Figure 5 — MSE and MAE vs breakpoint budget for six activations.
+
+Interpolation intervals: [-10, 0.1] for Exp, [-8, 8] otherwise; boundary
+breakpoints pinned to the asymptotes.  Paper claims ~15.9x MSE and ~3.8x
+MAE improvement per budget doubling, and MSE below the squared float16
+1-ULP-at-1 line from 16 breakpoints on.
+"""
+
+from repro.eval import fmt_sci, format_table, run_figure5
+from repro.eval.reference import FIG5_BUDGETS, FIG5_FUNCTIONS
+
+
+def test_fig5_error_analysis(benchmark, report_writer):
+    res = benchmark.pedantic(run_figure5, rounds=1, iterations=1)
+
+    rows = []
+    for fn in FIG5_FUNCTIONS:
+        series = res.series(fn)
+        rows.append([fn, "MSE"] + [fmt_sci(p.mse) for p in series])
+        rows.append([fn, "MAE"] + [fmt_sci(p.mae) for p in series])
+    table = format_table(
+        ["function", "metric"] + [f"{n} BP" for n in FIG5_BUDGETS],
+        rows,
+        title="Figure 5: approximation error vs breakpoints",
+    )
+    summary = (
+        f"\nMSE improvement per doubling: {res.mse_improvement_per_doubling:.1f}x "
+        f"(paper {res.paper_mse_per_doubling}x)\n"
+        f"MAE improvement per doubling: {res.mae_improvement_per_doubling:.1f}x "
+        f"(paper {res.paper_mae_per_doubling}x)\n"
+        f"fp16 1-ULP lines: MSE {fmt_sci(res.ulp_mse_line)}, "
+        f"MAE {fmt_sci(res.ulp_mae_line)}\n"
+        f"all MSE below ULP line for budgets > 16 BP: "
+        f"{res.all_below_ulp_above_16bp} (paper: yes)"
+    )
+    report_writer("fig5_error_analysis", table + summary)
+
+    # Shape claims: strong per-doubling gains in the paper's ballpark.
+    assert res.mse_improvement_per_doubling > 8.0
+    assert res.mae_improvement_per_doubling > 2.5
+    assert res.all_below_ulp_above_16bp
+    # Error decreases monotonically with budget for every function.
+    for fn in FIG5_FUNCTIONS:
+        series = res.series(fn)
+        mses = [p.mse for p in series]
+        assert all(b < a for a, b in zip(mses, mses[1:])), fn

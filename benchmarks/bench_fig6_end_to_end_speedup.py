@@ -1,0 +1,51 @@
+"""Figure 6 — end-to-end model-zoo speedup on the accelerator model.
+
+Evaluates all 778 catalog records (workload statistics profiled from real
+forward passes) under the Ascend-310P-like cost model with and without
+Flex-SFU, reproducing the per-family speedup distribution and the
+headline statistics: +22.8 % zoo-wide, +35.7 % on complex-activation
+models, 3.3x peak.
+"""
+
+from repro.eval import format_table
+from repro.eval.experiments import run_figure6
+from repro.zoo.families import PAPER_FAMILY_GAINS
+
+
+def test_fig6_end_to_end_speedup(benchmark, report_writer):
+    res = benchmark(run_figure6)
+    ev = res.evaluation
+
+    rows = []
+    for fam in ev.families:
+        paper = PAPER_FAMILY_GAINS.get(fam.family)
+        rows.append([
+            fam.family, fam.n_models,
+            f"{fam.mean_speedup:.3f}", f"{fam.median_speedup:.3f}",
+            f"{fam.min_speedup:.2f}", f"{fam.max_speedup:.2f}",
+            f"{paper:.3f}" if paper else "-",
+        ])
+    table = format_table(
+        ["family", "n", "mean", "median", "min", "max", "paper mean"],
+        rows,
+        title="Figure 6: end-to-end speedup by family",
+    )
+    summary = (
+        f"\nzoo-wide mean speedup:        {ev.mean_speedup_all:.3f} "
+        f"(paper {res.paper_mean_all:.3f})\n"
+        f"complex-activation mean:      {ev.mean_speedup_complex:.3f} "
+        f"(paper {res.paper_mean_complex:.3f})\n"
+        f"peak speedup:                 {ev.peak_speedup:.2f}x on "
+        f"{ev.peak_model} (paper {res.paper_peak}x on resnext26ts)"
+    )
+    report_writer("fig6_end_to_end_speedup", table + summary)
+
+    fam = {f.family: f.mean_speedup for f in ev.families}
+    # ReLU-dominated families sit at parity; complex families gain.
+    assert abs(fam["vgg"] - 1.0) < 0.01
+    assert fam["darknet"] > fam["efficientnet"] > fam["resnet"]
+    assert fam["nlp_transformer"] > 1.1
+    # Headlines within a tight band of the paper.
+    assert abs(ev.mean_speedup_all - res.paper_mean_all) < 0.08
+    assert abs(ev.mean_speedup_complex - res.paper_mean_complex) < 0.12
+    assert 2.5 < ev.peak_speedup < 5.0

@@ -1,0 +1,54 @@
+"""Table I — Flex-SFU characterization (latency, power, area, splits).
+
+Latency comes from the pipeline model (exact); power/area from the
+physically-structured model calibrated on the published numbers; the Ara
+VPU integration shares (Section V-A) from the back-derived constants.
+"""
+
+import pytest
+
+from repro.eval import fmt_pct, format_table, run_table1
+from repro.hw import AREA_MODEL, energy_efficiency_gact_s_w
+
+
+def test_tab1_characterization(benchmark, report_writer):
+    res = benchmark(run_table1)
+
+    rows = []
+    for r in res.rows:
+        rows.append([
+            r.depth,
+            f"{r.latency_model} / {r.latency_paper}",
+            f"{r.power_model_mw:.2f} / {r.power_paper_mw:.1f}",
+            f"{r.area_model_um2:.0f} / {r.area_paper_um2:.0f}",
+            f"{r.adu_pct_model:.1f} / {r.adu_pct_paper:.1f}",
+            f"{r.ltc_pct_model:.1f} / {r.ltc_pct_paper:.1f}",
+        ])
+    table = format_table(
+        ["depth", "latency [cyc]", "power [mW]", "area [um2]",
+         "ADU [%]", "LTC [%]"],
+        rows,
+        title="Table I: characterization, model / paper (Nc=1, 600 MHz, 28 nm)",
+    )
+
+    ara = ["", "Ara VPU integration (4 lanes, Nc=2):"]
+    for depth in (8, 16, 32):
+        model = res.ara_area_shares_model[depth]
+        paper = res.ara_area_shares_paper[depth]
+        power = res.ara_power_shares_model[depth]
+        ara.append(f"  depth {depth:2d}: area {fmt_pct(model)} "
+                   f"(paper {fmt_pct(paper)}), power {fmt_pct(power)} "
+                   f"(paper 0.5%..0.8%)")
+    effs = [energy_efficiency_gact_s_w(bits, d, AREA_MODEL.power_mw(d))
+            for bits in (8, 16, 32) for d in (4, 8, 16, 32, 64)]
+    ara.append(f"  energy efficiency: {min(effs):.0f}..{max(effs):.0f} "
+               f"GAct/s/W (paper 158..1722)")
+    report_writer("tab1_characterization", table + "\n" + "\n".join(ara))
+
+    for r in res.rows:
+        assert r.latency_model == r.latency_paper
+        assert r.power_model_mw == pytest.approx(r.power_paper_mw, rel=0.05)
+        assert r.area_model_um2 == pytest.approx(r.area_paper_um2, rel=0.15)
+    for depth, paper in res.ara_area_shares_paper.items():
+        assert res.ara_area_shares_model[depth] == pytest.approx(paper, rel=0.2)
+    assert min(effs) > 100 and max(effs) < 2200

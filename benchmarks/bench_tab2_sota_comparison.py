@@ -1,0 +1,58 @@
+"""Table II — comparison with prior PWL interpolation methods.
+
+Re-runs the Flex-SFU fit at every published (function, range, breakpoint)
+configuration and compares against the errors the paper quotes from refs
+[12], [16]-[20].  Dagger rows (prior work exploits symmetry) are measured
+at the listed budget *and* at the symmetric-equivalent double budget —
+the paper's own "this work" values for those rows are only reachable at
+the doubled budget.
+"""
+
+import numpy as np
+
+from repro.eval import fmt_ratio, fmt_sci, format_table, run_table2
+
+
+def test_tab2_sota_comparison(benchmark, report_writer):
+    res = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+
+    rows = []
+    for r in res.rows:
+        spec = r.row
+        dag = "+" if spec.symmetric else " "
+        eq = (fmt_ratio(r.measured_improvement_equiv)
+              if r.measured_improvement_equiv is not None else "-")
+        rows.append([
+            spec.ref, spec.function,
+            f"[{spec.interval[0]:g},{spec.interval[1]:g}]",
+            f"{spec.n_breakpoints}{dag}", spec.metric,
+            fmt_sci(spec.ref_error), fmt_sci(r.measured_error),
+            fmt_ratio(r.measured_improvement),
+            fmt_ratio(spec.paper_improvement), eq,
+        ])
+    table = format_table(
+        ["ref", "funct", "range", "#BP", "metric", "prior work",
+         "this repro", "impr", "paper impr", "impr@2xBP"],
+        rows,
+        title="Table II: comparison with prior PWL methods",
+    )
+    summary = (
+        f"\nmean improvement (listed budgets):   "
+        f"{fmt_ratio(res.mean_improvement)}\n"
+        f"mean improvement (dagger rows at 2x): "
+        f"{fmt_ratio(res.mean_improvement_equiv)}\n"
+        f"paper mean improvement:               "
+        f"{fmt_ratio(res.paper_mean_improvement)}"
+    )
+    report_writer("tab2_sota_comparison", table + summary)
+
+    # Every row must beat its prior work at the listed budget...
+    assert all(r.measured_improvement > 1.0 for r in res.rows)
+    # ...and the average improvement must be of the paper's order.
+    assert res.mean_improvement > res.paper_mean_improvement * 0.66
+    # Rows the paper matches exactly: tanh [17] 16 BP and [16]/[18] 16 BP.
+    by_key = {(r.row.ref, r.row.function, r.row.n_breakpoints): r
+              for r in res.rows}
+    exact = by_key[("[17]", "tanh", 16)]
+    assert np.isclose(exact.measured_error, exact.row.paper_this_work,
+                      rtol=0.1)

@@ -1,0 +1,71 @@
+"""Table III — end-to-end accuracy drop across the zoo.
+
+Trains the executable mini-zoo (exact activations), then swaps every
+activation for its fitted PWL at 4..64 breakpoints and re-measures top-1
+accuracy without retraining, exactly like the paper.  The substrate is a
+synthetic 32-class task on shallow trunks, so absolute drops are milder
+than the ImageNet numbers; the reproduced *shape* is: drops shrink
+monotonically with budget, 32+ breakpoints are near-lossless, ReLU-class
+models are exactly lossless, and smooth gated activations (SiLU/Mish)
+are the most sensitive.
+"""
+
+import os
+
+import numpy as np
+
+from repro.eval import format_table
+from repro.eval.experiments import run_table3
+
+_FAST = bool(int(os.environ.get("REPRO_TAB3_FAST", "0")))
+_BUDGETS = (4, 8, 16, 32, 64) if not _FAST else (4, 16, 64)
+_SEEDS = (0,)
+
+
+def test_tab3_accuracy_drop(benchmark, report_writer):
+    res = benchmark.pedantic(run_table3, args=(_BUDGETS, _SEEDS),
+                             rounds=1, iterations=1)
+
+    rows = []
+    paper_by_bp = {r.n_breakpoints: r for r in res.paper_rows}
+    for row in res.rows:
+        paper = paper_by_bp.get(row.n_breakpoints)
+        rows.append([
+            row.n_breakpoints,
+            f"{row.frac_below_0_1:.2f}", f"{row.frac_below_0_5:.2f}",
+            f"{row.frac_below_2:.2f}", f"{row.frac_above_2:.2f}",
+            f"{row.mean_drop:.2f}", f"{row.max_drop:.2f}",
+            f"{paper.mean_drop:.2f}" if paper else "-",
+            f"{paper.max_drop:.2f}" if paper else "-",
+        ])
+    table = format_table(
+        ["#BP", "d<0.1", "d<0.5", "d<2", "d>=2", "mean", "max",
+         "paper mean", "paper max"],
+        rows,
+        title="Table III: accuracy drop over the mini-zoo "
+              "[percentage points, negative = loss]",
+    )
+    sens = sorted(res.sensitivity_by_activation.items(),
+                  key=lambda kv: -kv[1])
+    lines = ["", f"sensitivity at {min(_BUDGETS)} breakpoints "
+                 "(mean drop by primary activation):"]
+    for fn, drop in sens:
+        lines.append(f"  {fn:12s} {drop:+.2f} pp")
+    report_writer("tab3_accuracy_drop", table + "\n".join(lines))
+
+    by_bp = {r.n_breakpoints: r for r in res.rows}
+    budgets = sorted(by_bp)
+    # Monotone: more breakpoints -> more models under the 0.5pp threshold.
+    assert by_bp[budgets[-1]].frac_below_0_5 >= by_bp[budgets[0]].frac_below_0_5
+    # 32+ breakpoints near-lossless (paper: 99-100% of models < 0.1pp).
+    top = by_bp[budgets[-1]]
+    assert top.frac_below_0_5 >= 0.95
+    assert top.mean_drop > -0.25
+    # The coarsest budget visibly hurts at least some models.
+    assert by_bp[budgets[0]].mean_drop < top.mean_drop - 0.05 or \
+        by_bp[budgets[0]].max_drop < -0.5
+    # ReLU-family models are exactly lossless at every budget (their
+    # activations — including the hard SE gates — are PWL-native).
+    for r in res.results:
+        if r.primary_activation in ("relu", "relu6", "leaky_relu"):
+            assert abs(r.drop) < 1e-9, (r.model, r.n_breakpoints, r.drop)

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Zoo-scale evaluation: regenerate the paper's Fig. 1 and Fig. 6 views.
+
+Builds the 778-model synthetic catalog (workload statistics profiled from
+real forward passes of family-faithful builders), prints the activation
+distribution by year and the per-family end-to-end speedups, and lists
+the models that benefit most from Flex-SFU.
+
+    python examples/model_zoo_eval.py
+"""
+
+from repro.eval import fmt_pct, format_table
+from repro.perf import evaluate_zoo
+from repro.zoo import activation_share_by_year, build_catalog
+
+
+def main() -> None:
+    records = build_catalog()
+    print(f"catalog: {len(records)} models across "
+          f"{len({r.family for r in records})} families")
+
+    # Fig. 1 view.
+    shares = activation_share_by_year(records)
+    functions = sorted({fn for d in shares.values() for fn in d})
+    rows = [[year] + [fmt_pct(shares[year].get(fn, 0.0)) for fn in functions]
+            for year in sorted(shares)]
+    print()
+    print(format_table(["year"] + functions, rows,
+                       title="activation share by publication year"))
+
+    # Fig. 6 view.
+    ev = evaluate_zoo(records)
+    rows = [[f.family, f.n_models, f"{f.mean_speedup:.3f}",
+             f"{f.max_speedup:.2f}"] for f in ev.families]
+    print()
+    print(format_table(["family", "models", "mean speedup", "peak"],
+                       rows, title="end-to-end speedup by family"))
+    print(f"\nzoo-wide mean: {ev.mean_speedup_all:.3f}   "
+          f"complex-activation mean: {ev.mean_speedup_complex:.3f}   "
+          f"peak: {ev.peak_speedup:.2f}x ({ev.peak_model})")
+
+    # The biggest winners, resnext26ts-style.
+    top = sorted(ev.per_model, key=lambda m: -m.speedup)[:8]
+    rows = [[m.record.name, m.record.primary_activation,
+             f"{m.baseline_act_share * 100:.0f}%", f"{m.speedup:.2f}x"]
+            for m in top]
+    print()
+    print(format_table(["model", "activation", "baseline act share", "speedup"],
+                       rows, title="top-8 accelerated models"))
+
+
+if __name__ == "__main__":
+    main()

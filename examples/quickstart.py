@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: approximate GELU with a non-uniform PWL and inspect it.
+
+Runs the paper's core algorithm (Section IV) on GELU with 16 breakpoints,
+compares against the uniform baseline, and shows how to evaluate and
+serialise the result.
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import PiecewiseLinear, evaluate, fit_activation, uniform_pwl
+from repro.functions import GELU
+
+
+def main() -> None:
+    # Fit: Adam (lr=0.1) + plateau scheduler + breakpoint removal/insertion.
+    result = fit_activation(GELU, n_breakpoints=16)
+    pwl = result.pwl
+    print(f"fitted {result.function} with {pwl.n_breakpoints} breakpoints "
+          f"in {result.total_steps} optimizer steps "
+          f"({result.rounds} remove/insert rounds, init={result.init_used})")
+
+    # The optimizer concentrates breakpoints where GELU bends.
+    print("\nbreakpoints:")
+    print("  " + "  ".join(f"{p:+.3f}" for p in pwl.breakpoints))
+    gaps = np.diff(pwl.breakpoints)
+    print(f"segment widths: min {gaps.min():.3f}  max {gaps.max():.3f} "
+          f"(non-uniform by design)")
+
+    # Error metrics vs the uniform baseline at the same budget.
+    ours = evaluate(pwl, GELU)
+    base = evaluate(uniform_pwl(GELU, 16), GELU)
+    print(f"\nMSE:  flex-sfu {ours.mse:.3e}   uniform {base.mse:.3e}   "
+          f"improvement {base.mse / ours.mse:.1f}x")
+    print(f"MAE:  flex-sfu {ours.mae:.3e}   uniform {base.mae:.3e}")
+    print(f"MSE in fp16 ULP^2 units: {ours.mse_in_fp16_ulp:.2f} "
+          f"(< 1.0 means below Fig. 5's float16 line)")
+
+    # Evaluate like any callable; outside [-8, 8] the asymptote pinning
+    # keeps the approximation glued to GELU's tails.
+    xs = np.array([-20.0, -1.0, 0.0, 1.0, 20.0])
+    print("\n        x:", "  ".join(f"{v:+8.4f}" for v in xs))
+    print("  gelu(x):", "  ".join(f"{v:+8.4f}" for v in GELU(xs)))
+    print("   pwl(x):", "  ".join(f"{v:+8.4f}" for v in pwl(xs)))
+
+    # Serialise / restore.
+    blob = pwl.to_json()
+    restored = PiecewiseLinear.from_json(blob)
+    assert np.array_equal(restored(xs), pwl(xs))
+    print(f"\nserialised to {len(blob)} bytes of JSON and restored losslessly")
+
+
+if __name__ == "__main__":
+    main()

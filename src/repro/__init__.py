@@ -1,0 +1,73 @@
+"""Flex-SFU: accelerating DNN activation functions by non-uniform
+piecewise approximation.
+
+A complete Python reproduction of the DAC 2023 paper by Reggiani, Andri
+and Cavigelli: the MSE-optimal non-uniform PWL fitting algorithm
+(:mod:`repro.core`), a bit-level model of the Flex-SFU hardware unit
+(:mod:`repro.hw`), the ONNX-like graph substrate and activation-rewrite
+pass (:mod:`repro.graph`), a synthetic model zoo (:mod:`repro.zoo`), the
+end-to-end accelerator performance model (:mod:`repro.perf`) and the
+experiment harness regenerating every table and figure
+(:mod:`repro.eval`).
+
+Quickstart::
+
+    from repro import fit_activation, functions
+
+    result = fit_activation(functions.GELU, n_breakpoints=16)
+    print(result.pwl.breakpoints)      # MSE-optimal knot locations
+    y = result.pwl(x)                  # evaluate the approximation
+"""
+
+from . import core, functions, graph, hw, numerics, optim, perf, zoo
+from . import eval as eval_  # "eval" shadows the builtin; alias available
+from .core import (
+    FitConfig,
+    FitResult,
+    FlexSfuFitter,
+    PiecewiseLinear,
+    build_tables,
+    evaluate,
+    fit_activation,
+    uniform_pwl,
+)
+from .errors import (
+    CatalogError,
+    FitError,
+    FormatError,
+    GraphError,
+    HardwareError,
+    ReproError,
+)
+from .hw import FlexSfuUnit, HwDataType
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "functions",
+    "numerics",
+    "optim",
+    "hw",
+    "graph",
+    "zoo",
+    "perf",
+    "eval_",
+    "fit_activation",
+    "FlexSfuFitter",
+    "FitConfig",
+    "FitResult",
+    "PiecewiseLinear",
+    "uniform_pwl",
+    "evaluate",
+    "build_tables",
+    "FlexSfuUnit",
+    "HwDataType",
+    "ReproError",
+    "FitError",
+    "FormatError",
+    "HardwareError",
+    "GraphError",
+    "CatalogError",
+    "__version__",
+]

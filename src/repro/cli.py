@@ -1,0 +1,198 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``fit``     fit one activation and print the PWL + metrics;
+``table``   emit quantised hardware tables as JSON;
+``fig``     regenerate one of the paper's figures/tables in the terminal;
+``zoo``     summarise the synthetic catalog and its speedups;
+``bound``   print the theoretical optimal-MSE bound for a budget sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .core import build_tables, evaluate, fit_activation
+from .core.analysis import assess_fit, optimal_mse_bound
+from .eval import fmt_ratio, fmt_sci, format_table
+from .eval.plots import breakpoint_strip, hbar_chart, log_line_chart
+from .functions import registry as fn_registry
+from .hw.dtypes import HwDataType, fixed_for_range
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
+    fn = fn_registry.get(args.function)
+    interval = (args.lo, args.hi) if args.lo is not None else None
+    result = fit_activation(fn, n_breakpoints=args.breakpoints,
+                            interval=interval)
+    m = evaluate(result.pwl, fn, interval)
+    a, b = m.interval
+    print(f"{fn.name}: {args.breakpoints} breakpoints on [{a:g}, {b:g}]")
+    print(f"  MSE {fmt_sci(m.mse)}   MAE {fmt_sci(m.mae)}   "
+          f"AAE {fmt_sci(m.aae)}")
+    quality = assess_fit(result.pwl, fn, (a, b))
+    print(f"  optimality gap vs free-knot bound: "
+          f"{quality.optimality_gap:.2f}x")
+    print(breakpoint_strip(result.pwl.breakpoints, a, b,
+                           title="  breakpoint placement:"))
+    if args.json:
+        print(result.pwl.to_json())
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    fn = fn_registry.get(args.function)
+    result = fit_activation(fn, n_breakpoints=args.breakpoints)
+    if args.format.startswith("fp"):
+        dtype = HwDataType.float(int(args.format[2:]))
+    else:
+        a, b = fn.default_interval
+        dtype = fixed_for_range(int(args.format), a, b)
+    tables = build_tables(result.pwl, dtype.fmt)
+    payload = {
+        "function": fn.name,
+        "format": dtype.name,
+        "depth": tables.depth,
+        "breakpoints": tables.breakpoints.tolist(),
+        "breakpoint_bits": [int(x) for x in tables.breakpoint_bits],
+        "slopes": tables.slopes.tolist(),
+        "slope_bits": [int(x) for x in tables.slope_bits],
+        "intercepts": tables.intercepts.tolist(),
+        "intercept_bits": [int(x) for x in tables.intercept_bits],
+    }
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+def _cmd_fig(args: argparse.Namespace) -> int:
+    from .eval import experiments as exp
+
+    name = args.name.lower()
+    if name in ("fig2", "2"):
+        res = exp.run_figure2()
+        print(format_table(
+            ["boundary", "uniform", "flex-sfu", "improvement"],
+            [["pinned", fmt_sci(res.mse_uniform), fmt_sci(res.mse_flexsfu),
+              fmt_ratio(res.improvement)],
+             ["free", fmt_sci(res.mse_uniform_free),
+              fmt_sci(res.mse_flexsfu_free), fmt_ratio(res.improvement_free)]],
+            title="Figure 2 (paper: 7.0x)"))
+    elif name in ("fig4", "4"):
+        res = exp.run_figure4()
+        series = {}
+        sizes = sorted({p.n_words_32b for p in res.points})
+        for bits in (8, 16, 32):
+            ys = [p.gact_s for p in res.points
+                  if p.bits == bits and p.depth == 32]
+            series[f"{bits}-bit"] = ys
+        print(log_line_chart(series, sizes,
+                             title="Figure 4: GAct/s vs words (depth 32)"))
+    elif name in ("fig5", "5"):
+        res = exp.run_figure5()
+        budgets = sorted({p.n_breakpoints for p in res.points})
+        series = {fn: [p.mse for p in res.series(fn)]
+                  for fn in ("tanh", "gelu", "silu")}
+        print(log_line_chart(series, budgets, title="Figure 5: MSE",
+                             hline=res.ulp_mse_line, hline_label="fp16 ULP^2"))
+        print(f"\nper-doubling: MSE {res.mse_improvement_per_doubling:.1f}x "
+              f"(paper 15.9x), MAE {res.mae_improvement_per_doubling:.1f}x "
+              f"(paper 3.8x)")
+    elif name in ("tab1", "table1"):
+        res = exp.run_table1()
+        rows = [[r.depth, r.latency_model, f"{r.power_model_mw:.2f}",
+                 f"{r.area_model_um2:.0f}"] for r in res.rows]
+        print(format_table(["depth", "latency", "power mW", "area um2"],
+                           rows, title="Table I (model)"))
+    elif name in ("tab2", "table2"):
+        res = exp.run_table2()
+        rows = [[r.row.ref, r.row.function, r.row.n_breakpoints,
+                 fmt_sci(r.measured_error), fmt_ratio(r.measured_improvement)]
+                for r in res.rows]
+        print(format_table(["ref", "funct", "#BP", "error", "improvement"],
+                           rows, title=f"Table II (mean "
+                           f"{fmt_ratio(res.mean_improvement)}, paper 22.3x)"))
+    else:
+        print(f"unknown figure {args.name!r}; try fig2/fig4/fig5/tab1/tab2",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_zoo(args: argparse.Namespace) -> int:
+    from .perf import evaluate_zoo
+    from .zoo import build_catalog
+
+    records = build_catalog()
+    ev = evaluate_zoo(records)
+    print(hbar_chart([f.family for f in ev.families],
+                     [f.mean_speedup for f in ev.families],
+                     title=f"mean end-to-end speedup per family "
+                           f"({len(records)} models)"))
+    print(f"\nzoo mean {ev.mean_speedup_all:.3f}  "
+          f"complex {ev.mean_speedup_complex:.3f}  "
+          f"peak {ev.peak_speedup:.2f}x ({ev.peak_model})")
+    return 0
+
+
+def _cmd_bound(args: argparse.Namespace) -> int:
+    fn = fn_registry.get(args.function)
+    rows = []
+    for n in (4, 8, 16, 32, 64, 128):
+        rows.append([n, fmt_sci(optimal_mse_bound(fn, n + 1)),
+                     fmt_sci(optimal_mse_bound(fn, n + 1, interpolatory=True))])
+    print(format_table(
+        ["#BP", "free-knot bound", "interpolatory bound"], rows,
+        title=f"optimal PWL MSE bounds for {fn.name} on "
+              f"[{fn.default_interval[0]:g}, {fn.default_interval[1]:g}]"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Flex-SFU reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fit = sub.add_parser("fit", help="fit one activation")
+    p_fit.add_argument("function")
+    p_fit.add_argument("-n", "--breakpoints", type=int, default=16)
+    p_fit.add_argument("--lo", type=float, default=None)
+    p_fit.add_argument("--hi", type=float, default=None)
+    p_fit.add_argument("--json", action="store_true",
+                       help="also print the PWL as JSON")
+    p_fit.set_defaults(func=_cmd_fit)
+
+    p_table = sub.add_parser("table", help="emit hardware tables as JSON")
+    p_table.add_argument("function")
+    p_table.add_argument("-n", "--breakpoints", type=int, default=15)
+    p_table.add_argument("-f", "--format", default="fp16",
+                         help="fp8/fp16/fp32 or fixed width 8/16/32")
+    p_table.set_defaults(func=_cmd_table)
+
+    p_fig = sub.add_parser("fig", help="regenerate a figure/table")
+    p_fig.add_argument("name", help="fig2|fig4|fig5|tab1|tab2")
+    p_fig.set_defaults(func=_cmd_fig)
+
+    p_zoo = sub.add_parser("zoo", help="catalog speedup summary")
+    p_zoo.set_defaults(func=_cmd_zoo)
+
+    p_bound = sub.add_parser("bound", help="theoretical MSE bounds")
+    p_bound.add_argument("function")
+    p_bound.set_defaults(func=_cmd_bound)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

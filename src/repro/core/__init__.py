@@ -1,0 +1,51 @@
+"""The paper's primary contribution: non-uniform PWL approximation.
+
+``PiecewiseLinear`` is the interpolation model of Section IV;
+``FlexSfuFitter`` implements the Adam + removal/insertion optimization
+strategy; ``uniform_pwl`` and friends are the baselines it is compared
+against; ``build_tables`` lowers a fitted PWL into the quantised tables
+the hardware consumes.
+"""
+
+from .boundary import ASYMPTOTE, CLAMP, FREE, BoundarySpec, SidePolicy
+from .fit import FitConfig, FitResult, FlexSfuFitter, fit_activation
+from .loss import (
+    GridGradients,
+    GridLoss,
+    max_abs_error,
+    quadrature_aae,
+    quadrature_mse,
+    segment_sq_integrals,
+)
+from .metrics import ApproxMetrics, evaluate
+from .pwl import PiecewiseLinear
+from .tables import HardwareTables, build_tables, format_kind, next_pow2
+from .uniform import LutOnlyApproximation, msb_indexed_pwl, uniform_pwl
+
+__all__ = [
+    "PiecewiseLinear",
+    "FlexSfuFitter",
+    "FitConfig",
+    "FitResult",
+    "fit_activation",
+    "GridLoss",
+    "GridGradients",
+    "quadrature_mse",
+    "quadrature_aae",
+    "max_abs_error",
+    "segment_sq_integrals",
+    "ApproxMetrics",
+    "evaluate",
+    "uniform_pwl",
+    "msb_indexed_pwl",
+    "LutOnlyApproximation",
+    "BoundarySpec",
+    "SidePolicy",
+    "ASYMPTOTE",
+    "FREE",
+    "CLAMP",
+    "HardwareTables",
+    "build_tables",
+    "next_pow2",
+    "format_kind",
+]

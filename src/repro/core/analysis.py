@@ -1,0 +1,137 @@
+"""Approximation-theoretic analysis of PWL budgets.
+
+Classical free-knot spline theory gives closed-form asymptotics for the
+best possible piecewise-linear approximation of a smooth function — the
+yardstick this reproduction uses to sanity-check both its own optimizer
+and the paper's published numbers (EXPERIMENTS.md, Table II notes).
+
+For a C^2 function ``f`` on ``[a, b]`` approximated by ``n`` linear
+segments with optimally placed knots:
+
+* **least-squares (free values)** — the squared L2 error of the best
+  linear fit on a segment of width ``h`` is ``f''^2 h^5 / 720``; with
+  the optimal knot density ``proportional to |f''|^(2/5)`` the interval
+  MSE approaches
+
+  .. math::
+
+      \\mathrm{MSE}^* \\approx \\frac{1}{b-a} \\cdot \\frac{1}{n^4}
+          \\left( \\int_a^b (f''(x)^2 / 720)^{1/5} dx \\right)^5
+
+* **interpolation (values on the curve)** — same expression with 120 in
+  place of 720 (6x worse), knot density ``|f''|^(2/5)`` again;
+* **uniform knots** — ``MSE approx (b-a)^4 / (720 n^4) mean(f''^2)``.
+
+These are lower bounds in the asymptotic regime; a fitter that lands
+within ~2x of :func:`optimal_mse_bound` has effectively solved the
+placement problem.  :func:`expected_improvement_per_doubling` explains
+Fig. 5's ~16x-per-doubling slope (= 2^4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import FitError
+from ..functions.base import ActivationFunction
+from .metrics import evaluate
+from .pwl import PiecewiseLinear
+
+#: Per-segment squared-error constants: best L2 line vs interpolant.
+_C_FREE = 720.0
+_C_INTERP = 120.0
+
+
+def _second_derivative(fn: ActivationFunction, a: float, b: float,
+                       n_points: int = 20001) -> Tuple[np.ndarray, np.ndarray]:
+    xs = np.linspace(a, b, n_points)
+    h = xs[1] - xs[0]
+    ys = np.asarray(fn(xs), dtype=np.float64)
+    d2 = np.gradient(np.gradient(ys, h), h)
+    # The one-sided stencils at the ends are noisy; clamp them.
+    d2[0], d2[-1] = d2[2], d2[-3]
+    d2[1], d2[-2] = d2[2], d2[-3]
+    return xs, d2
+
+
+def optimal_mse_bound(fn: ActivationFunction, n_segments: int,
+                      interval: Optional[Tuple[float, float]] = None,
+                      interpolatory: bool = False) -> float:
+    """Asymptotic MSE of the best ``n_segments``-piece PWL of ``fn``.
+
+    ``interpolatory=True`` constrains segment values to lie on the
+    function (the classical spline-interpolation setting); the default
+    allows free values, matching the Flex-SFU fit.
+    """
+    if n_segments < 1:
+        raise FitError(f"need at least one segment, got {n_segments}")
+    a, b = interval if interval is not None else fn.default_interval
+    xs, d2 = _second_derivative(fn, a, b)
+    c = _C_INTERP if interpolatory else _C_FREE
+    density = (d2 ** 2 / c) ** 0.2
+    integral = float(np.trapezoid(density, xs))
+    return integral ** 5 / n_segments ** 4 / (b - a)
+
+
+def uniform_mse_estimate(fn: ActivationFunction, n_segments: int,
+                         interval: Optional[Tuple[float, float]] = None
+                         ) -> float:
+    """Asymptotic MSE of a *uniform*-knot least-squares PWL."""
+    if n_segments < 1:
+        raise FitError(f"need at least one segment, got {n_segments}")
+    a, b = interval if interval is not None else fn.default_interval
+    xs, d2 = _second_derivative(fn, a, b)
+    mean_sq = float(np.trapezoid(d2 ** 2, xs)) / (b - a)
+    h = (b - a) / n_segments
+    return mean_sq * h ** 4 / _C_FREE
+
+
+def nonuniform_gain_estimate(fn: ActivationFunction, n_segments: int,
+                             interval: Optional[Tuple[float, float]] = None
+                             ) -> float:
+    """Predicted uniform/non-uniform MSE ratio (Fig. 2's headline).
+
+    Equals ``mean(f''^2) / ((1/(b-a)) * integral (f''^2)^(1/5))^5`` — a pure
+    shape property of the function: large whenever curvature is
+    concentrated (GELU, SiLU), ~1 for uniformly-curved functions.
+    """
+    opt = optimal_mse_bound(fn, n_segments, interval)
+    uni = uniform_mse_estimate(fn, n_segments, interval)
+    return uni / opt if opt > 0 else float("inf")
+
+
+def expected_improvement_per_doubling() -> float:
+    """Asymptotic MSE ratio between budgets n and 2n: ``2**4 = 16``.
+
+    Fig. 5's measured ~15-16x per doubling is this quartic law; the MAE
+    analogue is ``2**2 = 4`` (the paper measures 3.8x).
+    """
+    return 16.0
+
+
+@dataclass(frozen=True)
+class FitQuality:
+    """How close a fitted PWL is to the theoretical optimum."""
+
+    function: str
+    n_segments: int
+    measured_mse: float
+    optimal_mse: float
+
+    @property
+    def optimality_gap(self) -> float:
+        """measured / optimal — 1.0 is a perfect free-knot fit."""
+        return self.measured_mse / self.optimal_mse if self.optimal_mse else 0.0
+
+
+def assess_fit(pwl: PiecewiseLinear, fn: ActivationFunction,
+               interval: Optional[Tuple[float, float]] = None) -> FitQuality:
+    """Compare a fitted PWL against :func:`optimal_mse_bound`."""
+    a, b = interval if interval is not None else fn.default_interval
+    metrics = evaluate(pwl, fn, (a, b))
+    bound = optimal_mse_bound(fn, pwl.n_segments, (a, b))
+    return FitQuality(function=fn.name, n_segments=pwl.n_segments,
+                      measured_mse=metrics.mse, optimal_mse=bound)

@@ -1,0 +1,108 @@
+"""Boundary conditions for the edge segments (Section IV).
+
+All relevant activation functions converge to a line (often a constant)
+on at least one side.  To keep the approximation bounded outside the
+fitted interval the paper pins the edge segments to those asymptotes:
+
+.. math::
+
+    m_l = \\lim_{x\\to-\\infty} f(x)/x, \\qquad
+    v_0 = m_l p_0 + \\lim_{x\\to-\\infty} (f(x) - m_l x)
+
+(and symmetrically on the right).  The breakpoints ``p_0`` / ``p_{n-1}``
+themselves remain learnable — only the value is re-derived from the
+asymptote line each time the breakpoint moves.
+
+Three policies are supported per side:
+
+* ``asymptote`` — pin slope and value to the asymptote (paper default);
+* ``free``      — learn the edge slope and value like any other parameter;
+* ``clamp``     — constant extension (slope 0, value learned).
+
+A side requested as ``asymptote`` silently falls back to ``free`` when the
+function has no asymptote there (e.g. ``exp`` on the right), matching the
+paper's "unless noted otherwise".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import FitError
+from ..functions.base import ActivationFunction
+
+ASYMPTOTE = "asymptote"
+FREE = "free"
+CLAMP = "clamp"
+
+_POLICIES = (ASYMPTOTE, FREE, CLAMP)
+
+
+@dataclass(frozen=True)
+class SidePolicy:
+    """Resolved boundary behaviour for one side.
+
+    ``pinned`` means the edge value is a function of the edge breakpoint
+    (``v = m*p + c``) rather than a free parameter; ``slope_learnable``
+    means the edge slope participates in the optimization.
+    """
+
+    mode: str
+    slope: float            # initial / fixed slope
+    intercept: float        # asymptote intercept c (only when pinned)
+    pinned: bool
+    slope_learnable: bool
+
+    def pin_value(self, p_edge: float) -> float:
+        """Edge value on the asymptote line for breakpoint ``p_edge``."""
+        if not self.pinned:
+            raise FitError("pin_value called on a non-pinned boundary side")
+        return self.slope * p_edge + self.intercept
+
+
+@dataclass(frozen=True)
+class BoundarySpec:
+    """Boundary policy for both sides of a fit."""
+
+    left: SidePolicy
+    right: SidePolicy
+
+    @classmethod
+    def resolve(cls, fn: ActivationFunction, left: str = ASYMPTOTE,
+                right: str = ASYMPTOTE) -> "BoundarySpec":
+        """Resolve requested policies against the function's asymptotes."""
+        return cls(left=_resolve_side(fn.left_asymptote, left, fn, "left"),
+                   right=_resolve_side(fn.right_asymptote, right, fn, "right"))
+
+
+def _resolve_side(asymptote: Optional[Tuple[float, float]], requested: str,
+                  fn: ActivationFunction, side: str) -> SidePolicy:
+    if requested not in _POLICIES:
+        raise FitError(f"unknown boundary policy {requested!r}; expected one of {_POLICIES}")
+    if requested == ASYMPTOTE:
+        if asymptote is None:
+            # Paper: "unless noted otherwise" — fall back to a learnable edge.
+            return _free_side(fn, side)
+        m, c = asymptote
+        return SidePolicy(mode=ASYMPTOTE, slope=float(m), intercept=float(c),
+                          pinned=True, slope_learnable=False)
+    if requested == CLAMP:
+        return SidePolicy(mode=CLAMP, slope=0.0, intercept=0.0,
+                          pinned=False, slope_learnable=False)
+    return _free_side(fn, side)
+
+
+def _free_side(fn: ActivationFunction, side: str) -> SidePolicy:
+    """A learnable edge initialised to the local secant slope."""
+    a, b = fn.default_interval
+    x = a if side == "left" else b
+    h = 1e-3 * max(abs(b - a), 1.0)
+    with np.errstate(invalid="ignore", over="ignore"):
+        slope = float((fn(np.asarray(x + h)) - fn(np.asarray(x - h))) / (2 * h))
+    if not np.isfinite(slope):
+        slope = 0.0  # hostile function; the fit will reject it later
+    return SidePolicy(mode=FREE, slope=slope, intercept=0.0,
+                      pinned=False, slope_learnable=True)

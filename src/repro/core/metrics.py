@@ -1,0 +1,66 @@
+"""Approximation-quality metrics used throughout the evaluation.
+
+The paper reports three error measures:
+
+* **MSE** — mean squared error over the interval (Fig. 5, Table II);
+* **MAE** — *maximum* absolute error (Fig. 5; note the paper's MAE is the
+  worst case, not the mean);
+* **AAE / sq-AAE** — average absolute error and its square, the metric
+  most prior works quote (Table II squares it "to match the same MSE
+  order of magnitude").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..functions.base import ActivationFunction
+from ..numerics.floatformat import FP16
+from .loss import max_abs_error, quadrature_aae, quadrature_mse
+from .pwl import PiecewiseLinear
+
+
+@dataclass(frozen=True)
+class ApproxMetrics:
+    """Error metrics of one PWL approximation on one interval."""
+
+    function: str
+    n_breakpoints: int
+    interval: Tuple[float, float]
+    mse: float
+    mae: float          # maximum absolute error (paper's MAE)
+    aae: float          # average absolute error
+
+    @property
+    def sq_aae(self) -> float:
+        """Squared average absolute error (Table II's comparison metric)."""
+        return self.aae ** 2
+
+    @property
+    def mse_in_fp16_ulp(self) -> float:
+        """MSE relative to the squared float16 1-ULP-at-1 line of Fig. 5."""
+        return self.mse / (FP16.ulp_at_one() ** 2)
+
+    @property
+    def mae_in_fp16_ulp(self) -> float:
+        """MAE relative to the float16 1-ULP-at-1 line of Fig. 5."""
+        return self.mae / FP16.ulp_at_one()
+
+
+def evaluate(pwl: PiecewiseLinear, fn: ActivationFunction,
+             interval: Optional[Tuple[float, float]] = None) -> ApproxMetrics:
+    """Compute all paper metrics for ``pwl`` against ``fn``.
+
+    ``interval`` defaults to the function's paper interval.  Quadrature
+    (not the fit grid) is used so reported numbers are discretisation-free.
+    """
+    a, b = interval if interval is not None else fn.default_interval
+    return ApproxMetrics(
+        function=fn.name,
+        n_breakpoints=pwl.n_breakpoints,
+        interval=(float(a), float(b)),
+        mse=quadrature_mse(pwl, fn, a, b),
+        mae=max_abs_error(pwl, fn, a, b),
+        aae=quadrature_aae(pwl, fn, a, b),
+    )

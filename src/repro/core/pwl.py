@@ -1,0 +1,183 @@
+"""Piecewise-linear interpolation model (Section IV of the paper).
+
+A :class:`PiecewiseLinear` is the paper's interpolated function
+
+.. math::
+
+    \\hat f(x) = \\begin{cases}
+        m_l (x - p_0) + v_0                      & x \\le p_0 \\\\
+        \\frac{v_{i+1} - v_i}{p_{i+1} - p_i}(x - p_i) + v_i & p_i < x < p_{i+1} \\\\
+        m_r (x - p_{n-1}) + v_{n-1}              & x \\ge p_{n-1}
+    \\end{cases}
+
+with ``n`` breakpoints ``p_i`` (sorted, distinct), their function values
+``v_i``, and edge slopes ``m_l`` / ``m_r`` — ``n + 1`` linear segments in
+total.  Regions are indexed ``0 .. n`` left to right, matching the address
+the hardware's binary-search tree produces.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..errors import FitError
+
+
+@dataclass(frozen=True)
+class PiecewiseLinear:
+    """An immutable PWL approximation (see module docstring).
+
+    Use :meth:`create` rather than the raw constructor: it validates and
+    normalises the inputs.
+    """
+
+    breakpoints: np.ndarray  # shape (n,), sorted ascending, distinct
+    values: np.ndarray       # shape (n,)
+    left_slope: float
+    right_slope: float
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def create(cls, breakpoints: np.ndarray, values: np.ndarray,
+               left_slope: float, right_slope: float) -> "PiecewiseLinear":
+        """Validated constructor (sorts inputs, checks distinctness)."""
+        p = np.asarray(breakpoints, dtype=np.float64).copy()
+        v = np.asarray(values, dtype=np.float64).copy()
+        if p.ndim != 1 or v.ndim != 1 or p.shape != v.shape:
+            raise FitError(
+                f"breakpoints {p.shape} and values {v.shape} must be equal-length 1-D arrays"
+            )
+        if p.size < 2:
+            raise FitError(f"need at least 2 breakpoints, got {p.size}")
+        order = np.argsort(p, kind="stable")
+        p, v = p[order], v[order]
+        if np.any(np.diff(p) <= 0):
+            raise FitError("breakpoints must be strictly increasing")
+        if not (np.all(np.isfinite(p)) and np.all(np.isfinite(v))):
+            raise FitError("breakpoints and values must be finite")
+        p.setflags(write=False)
+        v.setflags(write=False)
+        return cls(breakpoints=p, values=v,
+                   left_slope=float(left_slope), right_slope=float(right_slope))
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def n_breakpoints(self) -> int:
+        """Number of breakpoints ``n``."""
+        return int(self.breakpoints.size)
+
+    @property
+    def n_segments(self) -> int:
+        """Number of linear segments (``n + 1``, counting both edges)."""
+        return self.n_breakpoints + 1
+
+    @property
+    def interval(self) -> Tuple[float, float]:
+        """The span covered by inner segments: ``[p_0, p_{n-1}]``."""
+        return float(self.breakpoints[0]), float(self.breakpoints[-1])
+
+    def inner_slopes(self) -> np.ndarray:
+        """Slopes of the ``n - 1`` inner segments."""
+        return np.diff(self.values) / np.diff(self.breakpoints)
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def region_index(self, x: np.ndarray) -> np.ndarray:
+        """Region id in ``0 .. n`` for each input (0 = left edge segment).
+
+        This is exactly the address the hardware BST computes: region
+        ``r`` means ``p_{r-1} <= x < p_r`` (with ``p_{-1} = -inf`` and
+        ``p_n = +inf``).
+        """
+        x = np.asarray(x, dtype=np.float64)
+        return np.searchsorted(self.breakpoints, x, side="right")
+
+    def coefficients(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-region affine coefficients ``(m, q)`` with ``f(x) = m x + q``.
+
+        Region ``r``'s coefficients are valid for inputs whose
+        :meth:`region_index` is ``r``; this is the table the hardware's
+        lookup-table cluster stores.
+        """
+        p, v = self.breakpoints, self.values
+        n = self.n_breakpoints
+        m = np.empty(n + 1, dtype=np.float64)
+        q = np.empty(n + 1, dtype=np.float64)
+        m[0] = self.left_slope
+        q[0] = v[0] - self.left_slope * p[0]
+        inner = self.inner_slopes()
+        m[1:n] = inner
+        q[1:n] = v[:-1] - inner * p[:-1]
+        m[n] = self.right_slope
+        q[n] = v[-1] - self.right_slope * p[-1]
+        return m, q
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the PWL at ``x`` (vectorised, float64)."""
+        x = np.asarray(x, dtype=np.float64)
+        scalar = x.ndim == 0
+        xf = np.atleast_1d(x)
+        m, q = self.coefficients()
+        r = self.region_index(xf)
+        out = m[r] * xf + q[r]
+        return float(out[0]) if scalar else out
+
+    # ------------------------------------------------------------------ #
+    # Structural edits (used by the removal/insertion heuristic)
+    # ------------------------------------------------------------------ #
+    def without_breakpoint(self, i: int) -> "PiecewiseLinear":
+        """Copy with breakpoint ``i`` removed (needs ``n >= 3``)."""
+        if self.n_breakpoints < 3:
+            raise FitError("cannot remove a breakpoint from a 2-point PWL")
+        if not 0 <= i < self.n_breakpoints:
+            raise FitError(f"breakpoint index {i} out of range")
+        keep = np.arange(self.n_breakpoints) != i
+        return PiecewiseLinear.create(self.breakpoints[keep], self.values[keep],
+                                      self.left_slope, self.right_slope)
+
+    def with_breakpoint(self, p_new: float, v_new: float) -> "PiecewiseLinear":
+        """Copy with an extra breakpoint inserted at ``(p_new, v_new)``."""
+        p = np.append(self.breakpoints, p_new)
+        v = np.append(self.values, v_new)
+        return PiecewiseLinear.create(p, v, self.left_slope, self.right_slope)
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict:
+        """JSON-serialisable representation."""
+        return {
+            "breakpoints": self.breakpoints.tolist(),
+            "values": self.values.tolist(),
+            "left_slope": self.left_slope,
+            "right_slope": self.right_slope,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "PiecewiseLinear":
+        """Inverse of :meth:`to_dict`."""
+        return cls.create(np.asarray(d["breakpoints"]), np.asarray(d["values"]),
+                          d["left_slope"], d["right_slope"])
+
+    def to_json(self) -> str:
+        """Serialise to a JSON string."""
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, s: str) -> "PiecewiseLinear":
+        """Deserialise from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(s))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        a, b = self.interval
+        return (f"PiecewiseLinear(n={self.n_breakpoints}, interval=[{a:.4g}, {b:.4g}], "
+                f"ml={self.left_slope:.4g}, mr={self.right_slope:.4g})")

@@ -1,0 +1,160 @@
+"""Hardware table generation: from a fitted PWL to LUT contents.
+
+The Flex-SFU stores three tables per activation function:
+
+* the **breakpoints** the ADU's binary-search tree compares against
+  (``depth - 1`` entries for a power-of-two ``depth``), and
+* the **slope / intercept** pairs ``(m_r, q_r)`` the LTC feeds to the
+  VPU MADD units (``depth`` entries, one per segment).
+
+This module quantises a :class:`~repro.core.pwl.PiecewiseLinear` into
+those tables for any supported number format, padding up to the next
+power-of-two depth with sentinel breakpoints (format maximum) and
+replicated edge coefficients so the pad regions are unreachable for
+in-range inputs and harmless outside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+import numpy as np
+
+from ..errors import HardwareError
+from ..numerics.fixedpoint import FixedPointFormat
+from ..numerics.floatformat import FloatFormat
+from ..numerics.ordered import KIND_FIXED, KIND_FLOAT
+from .pwl import PiecewiseLinear
+
+NumberFormat = Union[FixedPointFormat, FloatFormat]
+
+
+def next_pow2(n: int) -> int:
+    """Smallest power of two >= n (n >= 1)."""
+    if n < 1:
+        raise HardwareError(f"next_pow2 needs n >= 1, got {n}")
+    return 1 << (int(n) - 1).bit_length()
+
+
+def format_kind(fmt: NumberFormat) -> str:
+    """Comparator encoding kind for a number format."""
+    return KIND_FIXED if isinstance(fmt, FixedPointFormat) else KIND_FLOAT
+
+
+def _quantize(fmt: NumberFormat, values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """(real quantized values, raw bit patterns) for either format kind."""
+    if isinstance(fmt, FixedPointFormat):
+        bits = fmt.to_bits(values)
+        return fmt.from_bits(bits), bits.astype(np.uint64)
+    bits = fmt.encode(values)
+    return np.asarray(fmt.decode(bits), dtype=np.float64), bits.astype(np.uint64)
+
+
+@dataclass(frozen=True)
+class HardwareTables:
+    """Quantised Flex-SFU table set for one activation function.
+
+    ``depth`` is the LTC depth (= number of segments the hardware
+    addresses, a power of two).  Breakpoint entry ``i`` separates region
+    ``i`` from region ``i + 1``; exactly ``depth - 1`` entries are stored.
+    """
+
+    fmt: NumberFormat
+    depth: int
+    breakpoints: np.ndarray        # (depth-1,) quantised real values
+    breakpoint_bits: np.ndarray    # (depth-1,) raw encodings
+    slopes: np.ndarray             # (depth,) quantised real m
+    slope_bits: np.ndarray         # (depth,)
+    intercepts: np.ndarray         # (depth,) quantised real q
+    intercept_bits: np.ndarray     # (depth,)
+
+    @property
+    def kind(self) -> str:
+        """Comparator encoding kind ("fixed" or "float")."""
+        return format_kind(self.fmt)
+
+    @property
+    def total_bits(self) -> int:
+        """Element width in bits."""
+        return self.fmt.total_bits
+
+    @property
+    def n_active_segments(self) -> int:
+        """Segments that differ from the replicated pad (<= depth)."""
+        return int(self.depth - np.sum(self.breakpoints == self.breakpoints[-1])
+                   + 1) if self.depth > 1 else 1
+
+    # ------------------------------------------------------------------ #
+    # Reference semantics (what the RTL must match)
+    # ------------------------------------------------------------------ #
+    def region_index(self, x: np.ndarray) -> np.ndarray:
+        """Region id 0..depth-1 by comparing against quantised breakpoints."""
+        x = np.asarray(x, dtype=np.float64)
+        return np.searchsorted(self.breakpoints, x, side="right")
+
+    def reference_eval(self, x: np.ndarray, quantize_input: bool = True,
+                       quantize_output: bool = True) -> np.ndarray:
+        """Evaluate with quantised tables (float64 MADD arithmetic).
+
+        This is the bit-independent reference the hardware functional
+        simulator is tested against: same tables, same addressing, ideal
+        multiply-add.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if quantize_input:
+            x = self._quantize_real(x)
+        r = self.region_index(x)
+        y = self.slopes[r] * x + self.intercepts[r]
+        if quantize_output:
+            y = self._quantize_real(y)
+        return y
+
+    def _quantize_real(self, values: np.ndarray) -> np.ndarray:
+        if isinstance(self.fmt, FixedPointFormat):
+            return self.fmt.quantize(values)
+        return np.asarray(self.fmt.quantize(values), dtype=np.float64)
+
+
+def build_tables(pwl: PiecewiseLinear, fmt: NumberFormat,
+                 depth: int | None = None) -> HardwareTables:
+    """Quantise ``pwl`` into Flex-SFU tables of the given ``depth``.
+
+    ``depth`` defaults to the next power of two covering all
+    ``n_breakpoints + 1`` segments; explicit values must be powers of two
+    and large enough.
+    """
+    n_regions = pwl.n_segments
+    d = next_pow2(n_regions) if depth is None else int(depth)
+    if d & (d - 1):
+        raise HardwareError(f"depth must be a power of two, got {d}")
+    if d < n_regions:
+        raise HardwareError(
+            f"depth {d} cannot hold {n_regions} segments; need >= {n_regions}"
+        )
+
+    m, q = pwl.coefficients()
+    # Pad regions replicate the rightmost segment; pad breakpoints sit at
+    # the format maximum so in-range inputs never address a pad region.
+    pad = d - n_regions
+    sentinel = fmt.max_value
+    bp = np.concatenate([pwl.breakpoints, np.full(pad, sentinel)])
+    m_pad = np.concatenate([m, np.full(pad, m[-1])])
+    q_pad = np.concatenate([q, np.full(pad, q[-1])])
+
+    bp_q, bp_bits = _quantize(fmt, bp)
+    # Quantisation must not reorder the BST keys.
+    bp_q = np.maximum.accumulate(bp_q)
+    m_q, m_bits = _quantize(fmt, m_pad)
+    q_q, q_bits = _quantize(fmt, q_pad)
+
+    return HardwareTables(
+        fmt=fmt,
+        depth=d,
+        breakpoints=bp_q,
+        breakpoint_bits=bp_bits,
+        slopes=m_q,
+        slope_bits=m_bits,
+        intercepts=q_q,
+        intercept_bits=q_bits,
+    )

@@ -1,0 +1,95 @@
+"""Baseline interpolators: uniform PWL and LUT-only approximation.
+
+These are the comparison points of Section II / Fig. 2:
+
+* :func:`uniform_pwl` — the "Uniform PPA" of Fig. 2: equally-spaced
+  breakpoints holding exact function values (what MSB-indexed hybrid
+  designs compute);
+* :func:`msb_indexed_pwl` — uniform PWL whose breakpoints sit exactly
+  where a fixed-point MSB addressing scheme puts them (power-of-two
+  aligned), for the addressing ablation;
+* :class:`LutOnlyApproximation` — the pure LUT-based approach that stores
+  function *outputs* instead of segment coefficients (one constant per
+  interval), whose precision scales only with LUT depth.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import FitError
+from ..functions.base import ActivationFunction
+from .boundary import ASYMPTOTE, BoundarySpec
+from .pwl import PiecewiseLinear
+
+
+def uniform_pwl(fn: ActivationFunction, n_breakpoints: int,
+                interval: Optional[Tuple[float, float]] = None,
+                boundary_left: str = ASYMPTOTE,
+                boundary_right: str = ASYMPTOTE) -> PiecewiseLinear:
+    """Uniform-breakpoint PWL with exact values and pinned edge segments."""
+    if n_breakpoints < 2:
+        raise FitError(f"need at least 2 breakpoints, got {n_breakpoints}")
+    a, b = interval if interval is not None else fn.default_interval
+    spec = BoundarySpec.resolve(fn, boundary_left, boundary_right)
+    p = np.linspace(a, b, n_breakpoints)
+    v = np.asarray(fn(p), dtype=np.float64)
+    if spec.left.pinned:
+        v[0] = spec.left.pin_value(float(p[0]))
+    if spec.right.pinned:
+        v[-1] = spec.right.pin_value(float(p[-1]))
+    return PiecewiseLinear.create(p, v, spec.left.slope, spec.right.slope)
+
+
+def msb_indexed_pwl(fn: ActivationFunction, address_bits: int,
+                    interval: Optional[Tuple[float, float]] = None
+                    ) -> PiecewiseLinear:
+    """Uniform PWL at the 2**address_bits grid an MSB decoder implies.
+
+    MSB addressing slices a power-of-two input range into ``2**k`` equal
+    intervals; the breakpoints cannot move.  The returned PWL has
+    ``2**k + 1`` breakpoints on the power-of-two-aligned hull of the
+    requested interval.
+    """
+    if address_bits < 1:
+        raise FitError(f"need at least 1 address bit, got {address_bits}")
+    a, b = interval if interval is not None else fn.default_interval
+    span = max(abs(a), abs(b))
+    hull = float(2.0 ** np.ceil(np.log2(span)))
+    lo = -hull if a < 0 else 0.0
+    hi = hull
+    return uniform_pwl(fn, (1 << address_bits) + 1, interval=(lo, hi))
+
+
+class LutOnlyApproximation:
+    """Pure LUT approximation: one pre-computed output per interval.
+
+    The classic LUT-based architecture of Section II — approximation
+    precision depends directly on LUT depth because the stored value must
+    represent the whole interval (we use the interval midpoint's exact
+    function value, the standard choice).
+    """
+
+    def __init__(self, fn: ActivationFunction, n_entries: int,
+                 interval: Optional[Tuple[float, float]] = None) -> None:
+        if n_entries < 1:
+            raise FitError(f"need at least 1 LUT entry, got {n_entries}")
+        a, b = interval if interval is not None else fn.default_interval
+        self.a, self.b = float(a), float(b)
+        self.edges = np.linspace(a, b, n_entries + 1)
+        mids = 0.5 * (self.edges[:-1] + self.edges[1:])
+        self.table = np.asarray(fn(mids), dtype=np.float64)
+
+    @property
+    def n_entries(self) -> int:
+        """LUT depth."""
+        return int(self.table.size)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the step-function approximation (clamped at the ends)."""
+        x = np.asarray(x, dtype=np.float64)
+        idx = np.searchsorted(self.edges, x, side="right") - 1
+        idx = np.clip(idx, 0, self.n_entries - 1)
+        return self.table[idx]

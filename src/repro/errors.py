@@ -1,0 +1,25 @@
+"""Exception types shared across the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class FormatError(ReproError):
+    """A number-format definition or conversion is invalid."""
+
+
+class FitError(ReproError):
+    """The PWL fitting procedure received invalid inputs or diverged."""
+
+
+class HardwareError(ReproError):
+    """The hardware model was configured or driven inconsistently."""
+
+
+class GraphError(ReproError):
+    """A graph IR construction or execution problem."""
+
+
+class CatalogError(ReproError):
+    """The model-zoo catalog was queried inconsistently."""

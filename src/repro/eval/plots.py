@@ -1,0 +1,102 @@
+"""ASCII plotting: terminal renderings of the paper's figures.
+
+No plotting backend is available offline, so the examples and benchmark
+reports draw the figures as text — log-scale line charts for Fig. 4/5,
+horizontal bars for Fig. 1/6, and a breakpoint strip showing where the
+optimizer places density.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+def hbar_chart(labels: Sequence[str], values: Sequence[float],
+               title: str = "", width: int = 48,
+               fmt: str = "{:.2f}") -> str:
+    """Horizontal bar chart (Fig. 6-style family comparison)."""
+    vmax = max(values) if values else 1.0
+    label_w = max((len(str(l)) for l in labels), default=0)
+    out: List[str] = []
+    if title:
+        out.append(title)
+    for label, value in zip(labels, values):
+        bar = "#" * max(int(round(width * value / vmax)), 0)
+        out.append(f"{str(label):>{label_w}} | {bar} {fmt.format(value)}")
+    return "\n".join(out)
+
+
+def log_line_chart(series: Dict[str, Sequence[float]], xs: Sequence[float],
+                   title: str = "", height: int = 12, width: int = 60,
+                   hline: Optional[float] = None,
+                   hline_label: str = "") -> str:
+    """Log-y multi-series chart (Fig. 5-style error curves).
+
+    Each series gets a letter marker; a horizontal reference line (e.g.
+    the fp16 ULP threshold) renders as dashes.
+    """
+    all_vals = [v for vs in series.values() for v in vs if v > 0]
+    if hline:
+        all_vals.append(hline)
+    if not all_vals:
+        return title
+    lo = math.log10(min(all_vals))
+    hi = math.log10(max(all_vals))
+    if hi - lo < 1e-9:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    xpos = np.linspace(0, width - 1, len(xs)).round().astype(int)
+
+    def row_of(value: float) -> int:
+        frac = (math.log10(value) - lo) / (hi - lo)
+        return int(round((height - 1) * (1.0 - frac)))
+
+    if hline:
+        r = row_of(hline)
+        if 0 <= r < height:
+            for c in range(width):
+                grid[r][c] = "-"
+
+    markers = "abcdefghijklmnopqrstuvwxyz"
+    legend = []
+    for i, (name, ys) in enumerate(series.items()):
+        m = markers[i % len(markers)]
+        legend.append(f"{m}={name}")
+        for x, y in zip(xpos, ys):
+            if y > 0:
+                r = row_of(y)
+                if 0 <= r < height:
+                    grid[r][x] = m
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    for i, row in enumerate(grid):
+        frac = 1.0 - i / (height - 1)
+        label = f"1e{lo + frac * (hi - lo):+.0f}"
+        out.append(f"{label:>6} |" + "".join(row))
+    out.append(" " * 7 + "+" + "-" * width)
+    xticks = " " * 8 + "".join(
+        str(x).ljust(max(width // len(xs), 1)) for x in xs)
+    out.append(xticks[:width + 8])
+    out.append("  " + "  ".join(legend)
+               + (f"   ({hline_label})" if hline and hline_label else ""))
+    return "\n".join(out)
+
+
+def breakpoint_strip(breakpoints: Sequence[float], a: float, b: float,
+                     width: int = 64, title: str = "") -> str:
+    """One-line density strip of breakpoint placement on [a, b]."""
+    cells = [" "] * width
+    for p in breakpoints:
+        if a <= p <= b:
+            idx = int((p - a) / (b - a) * (width - 1))
+            cells[idx] = "|" if cells[idx] == " " else "#"
+    line = f"[{''.join(cells)}]"
+    if title:
+        return f"{title}\n{line}\n {a:<8g}{' ' * (width - 16)}{b:>8g}"
+    return line

@@ -1,0 +1,112 @@
+"""Published numbers from the paper (comparison targets).
+
+Everything the benchmarks compare against lives here: the Table II
+prior-work error values (quoted by the paper from refs [12], [16]-[20]),
+the Table III accuracy-drop distribution, the Fig. 5 scaling factors and
+the Fig. 6 headline speedups.  Hardware Table I data lives with the area
+model in :mod:`repro.hw.area`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+#: Error metric tags.
+SQ_AAE = "sq_aae"   # squared average absolute error (most prior works)
+MSE = "mse"         # mean squared error (rows marked with a double dagger)
+
+
+@dataclass(frozen=True)
+class TableIIRow:
+    """One comparison row of Table II."""
+
+    ref: str                     # citation tag, e.g. "[16]"
+    function: str                # registry name
+    interval: Tuple[float, float]
+    n_breakpoints: int
+    metric: str                  # SQ_AAE or MSE
+    ref_error: float             # prior work's published error
+    paper_this_work: float       # Flex-SFU's published error
+    paper_improvement: float     # published ratio
+    symmetric: bool = False      # dagger: ref halves segments via symmetry
+    #: Boundary policies (left, right); the [1/64, 4] rows sit entirely in
+    #: x > 0 where the left asymptote is meaningless.
+    boundary: Tuple[str, str] = ("asymptote", "asymptote")
+
+
+TABLE_II_ROWS: Tuple[TableIIRow, ...] = (
+    TableIIRow("[16]", "tanh", (-8.0, 8.0), 16, SQ_AAE, 5.76e-6, 4.27e-7,
+               13.5, symmetric=True),
+    TableIIRow("[17]", "tanh", (-3.5, 3.5), 16, SQ_AAE, 3.58e-5, 1.52e-6, 23.5),
+    TableIIRow("[17]", "tanh", (-3.5, 3.5), 64, SQ_AAE, 1.12e-7, 7.88e-9, 14.2),
+    TableIIRow("[18]", "tanh", (-8.0, 8.0), 16, SQ_AAE, 1.00e-6, 4.26e-7, 2.3),
+    TableIIRow("[20]", "tanh", (1.0 / 64.0, 4.0), 32, SQ_AAE, 5.94e-7, 6.72e-9,
+               88.4, boundary=("free", "free")),
+    TableIIRow("[12]", "tanh", (-4.0, 4.0), 32, MSE, 9.81e-7, 1.13e-8,
+               86.8, symmetric=True),
+    TableIIRow("[16]", "sigmoid", (-8.0, 8.0), 16, SQ_AAE, 8.10e-7, 1.21e-7,
+               6.7, symmetric=True),
+    TableIIRow("[17]", "sigmoid", (-7.0, 7.0), 16, SQ_AAE, 8.95e-6, 4.97e-7, 18.0),
+    TableIIRow("[17]", "sigmoid", (-7.0, 7.0), 64, SQ_AAE, 2.82e-8, 2.38e-9, 11.9),
+    TableIIRow("[18]", "sigmoid", (-8.0, 8.0), 16, SQ_AAE, 6.25e-6, 2.88e-7, 21.7),
+    TableIIRow("[20]", "sigmoid", (1.0 / 64.0, 4.0), 32, SQ_AAE, 1.41e-7,
+               3.80e-8, 3.7, boundary=("free", "free")),
+    TableIIRow("[12]", "sigmoid", (-4.0, 4.0), 64, MSE, 3.92e-8, 2.38e-9,
+               9.3, symmetric=True),
+    TableIIRow("[18]", "gelu", (-8.0, 8.0), 16, SQ_AAE, 6.76e-6, 1.89e-7, 9.0),
+)
+
+#: Published mean improvement over all Table II rows.
+TABLE_II_MEAN_IMPROVEMENT = 22.3
+
+
+@dataclass(frozen=True)
+class TableIIIRow:
+    """One row of Table III (distribution over ~600 TIMM models)."""
+
+    n_breakpoints: int
+    frac_below_0_1: float
+    frac_below_0_2: float
+    frac_below_0_5: float
+    frac_below_1: float
+    frac_below_2: float
+    frac_above_2: float
+    mean_drop: float  # percentage points, negative = accuracy loss
+    max_drop: float
+
+
+TABLE_III_ROWS: Tuple[TableIIIRow, ...] = (
+    TableIIIRow(4, 0.51, 0.52, 0.54, 0.56, 0.58, 0.42, -25.95, -87.00),
+    TableIIIRow(8, 0.80, 0.84, 0.89, 0.92, 0.95, 0.05, -0.87, -77.58),
+    TableIIIRow(16, 0.90, 0.93, 0.95, 0.97, 0.98, 0.02, -0.26, -25.79),
+    TableIIIRow(32, 0.99, 1.00, 1.00, 1.00, 1.00, 0.00, 0.00, -0.30),
+    TableIIIRow(64, 1.00, 1.00, 1.00, 1.00, 1.00, 0.00, 0.00, -0.04),
+)
+
+#: Fig. 5 claims: error improvement per doubling of breakpoints.
+FIG5_MSE_IMPROVEMENT_PER_DOUBLING = 15.9
+FIG5_MAE_IMPROVEMENT_PER_DOUBLING = 3.8
+
+#: Fig. 5 functions and their intervals.
+FIG5_FUNCTIONS = ("tanh", "sigmoid", "gelu", "silu", "exp", "hardswish")
+FIG5_BUDGETS = (4, 8, 16, 32, 64)
+
+#: Fig. 2 demo: GELU, 5 breakpoints on [-2, 2]; ~7x MSE vs uniform.
+FIG2_IMPROVEMENT = 7.0
+
+#: Fig. 6 / Section V-C headlines.
+FIG6_MEAN_GAIN_ALL = 1.228          # 22.8 % over the whole zoo
+FIG6_MEAN_GAIN_COMPLEX = 1.357      # 35.7 % on complex-activation models
+FIG6_PEAK = 3.3                     # resnext26ts
+FIG6_PEAK_MODEL = "resnext26ts"
+
+#: Fig. 1 anchors (activation share by publication year).
+FIG1_RELU_2021 = 0.207
+FIG1_SILU_GELU_2021 = 0.442
+FIG1_SILU_GELU_2020 = 0.321
+
+#: Fig. 4 / Section V-A hardware headlines.
+FIG4_STEADY_GACT_S = {8: 2.4, 16: 1.2, 32: 0.6}
+FIG4_SATURATION_WORDS = 256
+ENERGY_EFF_RANGE_GACT_S_W = (158.0, 1722.0)

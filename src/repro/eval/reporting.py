@@ -1,0 +1,51 @@
+"""ASCII reporting helpers: the benchmarks print paper-shaped tables."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def fmt_sci(x: float, digits: int = 2) -> str:
+    """Scientific notation like the paper's tables (1.52e-06)."""
+    return f"{x:.{digits}e}"
+
+
+def fmt_ratio(x: float) -> str:
+    """Improvement factor, e.g. '13.5x'."""
+    return f"{x:.1f}x"
+
+
+def fmt_pct(x: float, digits: int = 1) -> str:
+    """Percentage with sign preserved."""
+    return f"{100.0 * x:.{digits}f}%"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Fixed-width table with a separator under the header."""
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    cols = len(headers)
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i in range(min(cols, len(row))):
+            widths[i] = max(widths[i], len(row[i]))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    for row in str_rows:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def format_series(name: str, xs: Sequence[object], ys: Sequence[float],
+                  y_fmt=fmt_sci) -> str:
+    """One labelled series, e.g. a Fig. 4/5 curve."""
+    pairs = ", ".join(f"{x}: {y_fmt(y)}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"

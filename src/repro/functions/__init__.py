@@ -1,0 +1,87 @@
+"""Activation-function substrate.
+
+Exact reference implementations (value, derivative, asymptotes) of every
+activation the paper's evaluation touches, plus a registry keyed by name
+and the softmax decomposition used on vector accelerators.
+"""
+
+from .analytic import (
+    ANALYTIC_FUNCTIONS,
+    ELU,
+    EXP,
+    GELU,
+    GELU_TANH,
+    MISH,
+    SELU,
+    SIGMOID,
+    SILU,
+    SOFTPLUS,
+    TANH,
+    gelu_exact,
+    gelu_tanh,
+    mish,
+    sigmoid,
+    silu,
+    softplus,
+)
+from .base import ActivationFunction, estimate_asymptote, numeric_derivative
+from .piecewise import (
+    HARDSIGMOID,
+    HARDSWISH,
+    HARDTANH,
+    IDENTITY,
+    LEAKY_RELU,
+    PIECEWISE_FUNCTIONS,
+    RELU,
+    RELU6,
+    hardsigmoid,
+    hardswish,
+    leaky_relu,
+    relu,
+    relu6,
+)
+from .registry import available, get, make_custom, register
+from .softmax import SoftmaxApproximator, log_softmax, softmax
+
+__all__ = [
+    "ActivationFunction",
+    "numeric_derivative",
+    "estimate_asymptote",
+    "register",
+    "get",
+    "available",
+    "make_custom",
+    "softmax",
+    "log_softmax",
+    "SoftmaxApproximator",
+    "GELU",
+    "GELU_TANH",
+    "SILU",
+    "SIGMOID",
+    "TANH",
+    "EXP",
+    "SOFTPLUS",
+    "ELU",
+    "SELU",
+    "MISH",
+    "RELU",
+    "RELU6",
+    "LEAKY_RELU",
+    "HARDTANH",
+    "HARDSIGMOID",
+    "HARDSWISH",
+    "IDENTITY",
+    "ANALYTIC_FUNCTIONS",
+    "PIECEWISE_FUNCTIONS",
+    "gelu_exact",
+    "gelu_tanh",
+    "silu",
+    "sigmoid",
+    "softplus",
+    "mish",
+    "relu",
+    "relu6",
+    "leaky_relu",
+    "hardswish",
+    "hardsigmoid",
+]

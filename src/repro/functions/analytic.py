@@ -1,0 +1,236 @@
+"""Smooth activation functions (exact reference implementations).
+
+These are the functions Figure 5 and Table II of the paper evaluate:
+GELU, SiLU, Sigmoid, Tanh, Exp — plus the related smooth activations that
+appear in the model zoo (Softplus, ELU, SELU, Mish).  All implementations
+are float64-accurate and numerically stable over the interpolation
+intervals used by the paper and well beyond.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import special
+
+from .base import ActivationFunction
+
+_SQRT2 = float(np.sqrt(2.0))
+_INV_SQRT_2PI = float(1.0 / np.sqrt(2.0 * np.pi))
+
+
+# --------------------------------------------------------------------- #
+# Primitive math (stable forms)
+# --------------------------------------------------------------------- #
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically-stable logistic sigmoid."""
+    x = np.asarray(x, dtype=np.float64)
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def _sigmoid_d(x: np.ndarray) -> np.ndarray:
+    s = sigmoid(x)
+    return s * (1.0 - s)
+
+
+def _tanh(x: np.ndarray) -> np.ndarray:
+    return np.tanh(x)
+
+
+def _tanh_d(x: np.ndarray) -> np.ndarray:
+    t = np.tanh(x)
+    return 1.0 - t * t
+
+
+def gelu_exact(x: np.ndarray) -> np.ndarray:
+    """GELU using the exact Gauss error function (not the tanh fit)."""
+    x = np.asarray(x, dtype=np.float64)
+    return 0.5 * x * (1.0 + special.erf(x / _SQRT2))
+
+
+def _gelu_d(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64)
+    cdf = 0.5 * (1.0 + special.erf(x / _SQRT2))
+    pdf = _INV_SQRT_2PI * np.exp(-0.5 * x * x)
+    return cdf + x * pdf
+
+
+def gelu_tanh(x: np.ndarray) -> np.ndarray:
+    """The tanh approximation of GELU used by several NLP models."""
+    x = np.asarray(x, dtype=np.float64)
+    inner = np.sqrt(2.0 / np.pi) * (x + 0.044715 * x ** 3)
+    return 0.5 * x * (1.0 + np.tanh(inner))
+
+
+def _gelu_tanh_d(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64)
+    k = np.sqrt(2.0 / np.pi)
+    inner = k * (x + 0.044715 * x ** 3)
+    t = np.tanh(inner)
+    dt = (1.0 - t * t) * k * (1.0 + 3 * 0.044715 * x * x)
+    return 0.5 * (1.0 + t) + 0.5 * x * dt
+
+
+def silu(x: np.ndarray) -> np.ndarray:
+    """SiLU / Swish: ``x * sigmoid(x)``."""
+    x = np.asarray(x, dtype=np.float64)
+    return x * sigmoid(x)
+
+
+def _silu_d(x: np.ndarray) -> np.ndarray:
+    s = sigmoid(x)
+    return s * (1.0 + np.asarray(x, dtype=np.float64) * (1.0 - s))
+
+
+def softplus(x: np.ndarray) -> np.ndarray:
+    """Stable softplus ``log(1 + e^x)``."""
+    x = np.asarray(x, dtype=np.float64)
+    return np.maximum(x, 0.0) + np.log1p(np.exp(-np.abs(x)))
+
+
+def mish(x: np.ndarray) -> np.ndarray:
+    """Mish: ``x * tanh(softplus(x))``."""
+    x = np.asarray(x, dtype=np.float64)
+    return x * np.tanh(softplus(x))
+
+
+def _mish_d(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64)
+    sp = softplus(x)
+    t = np.tanh(sp)
+    return t + x * (1.0 - t * t) * sigmoid(x)
+
+
+def _exp(x: np.ndarray) -> np.ndarray:
+    return np.exp(np.asarray(x, dtype=np.float64))
+
+
+_ELU_ALPHA = 1.0
+_SELU_ALPHA = 1.6732632423543772
+_SELU_SCALE = 1.0507009873554805
+
+
+def elu(x: np.ndarray) -> np.ndarray:
+    """ELU with alpha = 1."""
+    x = np.asarray(x, dtype=np.float64)
+    return np.where(x > 0, x, _ELU_ALPHA * np.expm1(np.minimum(x, 0.0)))
+
+
+def _elu_d(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64)
+    return np.where(x > 0, 1.0, _ELU_ALPHA * np.exp(np.minimum(x, 0.0)))
+
+
+def selu(x: np.ndarray) -> np.ndarray:
+    """SELU (self-normalising ELU)."""
+    x = np.asarray(x, dtype=np.float64)
+    return _SELU_SCALE * np.where(x > 0, x, _SELU_ALPHA * np.expm1(np.minimum(x, 0.0)))
+
+
+def _selu_d(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64)
+    return _SELU_SCALE * np.where(x > 0, 1.0, _SELU_ALPHA * np.exp(np.minimum(x, 0.0)))
+
+
+# --------------------------------------------------------------------- #
+# ActivationFunction instances
+# --------------------------------------------------------------------- #
+GELU = ActivationFunction(
+    name="gelu",
+    fn=gelu_exact,
+    derivative=_gelu_d,
+    left_asymptote=(0.0, 0.0),
+    right_asymptote=(1.0, 0.0),
+    vpu_ops=12,  # paper: ~12x the arithmetic of ReLU
+)
+
+GELU_TANH = ActivationFunction(
+    name="gelu_tanh",
+    fn=gelu_tanh,
+    derivative=_gelu_tanh_d,
+    left_asymptote=(0.0, 0.0),
+    right_asymptote=(1.0, 0.0),
+    vpu_ops=12,
+)
+
+SILU = ActivationFunction(
+    name="silu",
+    fn=silu,
+    derivative=_silu_d,
+    left_asymptote=(0.0, 0.0),
+    right_asymptote=(1.0, 0.0),
+    vpu_ops=4,  # paper: ~4x the arithmetic of ReLU
+)
+
+SIGMOID = ActivationFunction(
+    name="sigmoid",
+    fn=sigmoid,
+    derivative=_sigmoid_d,
+    left_asymptote=(0.0, 0.0),
+    right_asymptote=(0.0, 1.0),
+    vpu_ops=4,
+)
+
+TANH = ActivationFunction(
+    name="tanh",
+    fn=_tanh,
+    derivative=_tanh_d,
+    left_asymptote=(0.0, -1.0),
+    right_asymptote=(0.0, 1.0),
+    vpu_ops=6,
+)
+
+EXP = ActivationFunction(
+    name="exp",
+    fn=_exp,
+    derivative=_exp,
+    left_asymptote=(0.0, 0.0),
+    right_asymptote=None,  # diverges: only interpolated on [-10, 0.1]
+    default_interval=(-10.0, 0.1),
+    vpu_ops=8,  # range reduction + polynomial on a general-purpose VPU
+)
+
+SOFTPLUS = ActivationFunction(
+    name="softplus",
+    fn=softplus,
+    derivative=sigmoid,
+    left_asymptote=(0.0, 0.0),
+    right_asymptote=(1.0, 0.0),
+    vpu_ops=6,
+)
+
+ELU = ActivationFunction(
+    name="elu",
+    fn=elu,
+    derivative=_elu_d,
+    left_asymptote=(0.0, -_ELU_ALPHA),
+    right_asymptote=(1.0, 0.0),
+    smooth=True,
+    vpu_ops=5,
+)
+
+SELU = ActivationFunction(
+    name="selu",
+    fn=selu,
+    derivative=_selu_d,
+    left_asymptote=(0.0, -_SELU_SCALE * _SELU_ALPHA),
+    right_asymptote=(_SELU_SCALE, 0.0),
+    vpu_ops=6,
+)
+
+MISH = ActivationFunction(
+    name="mish",
+    fn=mish,
+    derivative=_mish_d,
+    left_asymptote=(0.0, 0.0),
+    right_asymptote=(1.0, 0.0),
+    vpu_ops=16,  # exp + log1p + tanh + multiply chains on a VPU
+)
+
+ANALYTIC_FUNCTIONS = (
+    GELU, GELU_TANH, SILU, SIGMOID, TANH, EXP, SOFTPLUS, ELU, SELU, MISH,
+)

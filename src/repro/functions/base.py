@@ -1,0 +1,138 @@
+"""Activation-function interface used across the library.
+
+Every function the paper approximates is described by an
+:class:`ActivationFunction`: its exact mathematics (value + derivative),
+its behaviour at infinity (the asymptotes the boundary conditions of
+Section IV pin the edge segments to), the interpolation interval used in
+the evaluation, and a baseline arithmetic cost for the end-to-end
+performance model (the paper quotes SiLU ~4x and GELU ~12x the operation
+count of ReLU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+#: An asymptote ``f(x) -> m*x + c`` as ``x`` goes to one infinity.
+Asymptote = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class ActivationFunction:
+    """A scalar activation function and its metadata.
+
+    Parameters
+    ----------
+    name:
+        Registry key, e.g. ``"gelu"``.
+    fn:
+        Vectorised exact implementation (float64 in/out).
+    derivative:
+        Vectorised exact first derivative.
+    left_asymptote / right_asymptote:
+        ``(m, c)`` such that ``f(x) - (m*x + c) -> 0`` for ``x -> -inf`` /
+        ``+inf``; ``None`` when the function diverges from every line on
+        that side (e.g. ``exp`` on the right).
+    default_interval:
+        The interpolation interval ``[a, b]`` used by the paper's
+        evaluation (Fig. 5): ``[-10, 0.1]`` for Exp, ``[-8, 8]`` otherwise.
+    vpu_ops:
+        Baseline arithmetic operations per element when evaluated on a
+        general-purpose VPU without Flex-SFU (drives the Fig. 6 model).
+    smooth:
+        Whether the function is C^1 on the interior of the interval
+        (piecewise-native functions like ReLU are not).
+    exact_pwl_breakpoints:
+        For functions that *are* piecewise linear (ReLU, Hardswish, ...),
+        the knot locations — a PWL fit with breakpoints at these locations
+        is exact, which tests exploit.
+    """
+
+    name: str
+    fn: Callable[[np.ndarray], np.ndarray]
+    derivative: Callable[[np.ndarray], np.ndarray]
+    left_asymptote: Optional[Asymptote]
+    right_asymptote: Optional[Asymptote]
+    default_interval: Tuple[float, float] = (-8.0, 8.0)
+    vpu_ops: int = 1
+    smooth: bool = True
+    exact_pwl_breakpoints: Tuple[float, ...] = field(default_factory=tuple)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the exact function."""
+        return self.fn(np.asarray(x, dtype=np.float64))
+
+    def d(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the exact derivative."""
+        return self.derivative(np.asarray(x, dtype=np.float64))
+
+    # ------------------------------------------------------------------ #
+    # Asymptote helpers (Section IV boundary conditions)
+    # ------------------------------------------------------------------ #
+    @property
+    def has_left_asymptote(self) -> bool:
+        """True when the function converges to a line at ``-inf``."""
+        return self.left_asymptote is not None
+
+    @property
+    def has_right_asymptote(self) -> bool:
+        """True when the function converges to a line at ``+inf``."""
+        return self.right_asymptote is not None
+
+    def asymptote_values(self) -> Tuple[Optional[Asymptote], Optional[Asymptote]]:
+        """Both asymptotes as ``((ml, cl), (mr, cr))`` (entries may be None)."""
+        return self.left_asymptote, self.right_asymptote
+
+    def with_interval(self, a: float, b: float) -> "ActivationFunction":
+        """Copy of this function with a different default interval."""
+        return ActivationFunction(
+            name=self.name,
+            fn=self.fn,
+            derivative=self.derivative,
+            left_asymptote=self.left_asymptote,
+            right_asymptote=self.right_asymptote,
+            default_interval=(float(a), float(b)),
+            vpu_ops=self.vpu_ops,
+            smooth=self.smooth,
+            exact_pwl_breakpoints=self.exact_pwl_breakpoints,
+        )
+
+
+def numeric_derivative(fn: Callable[[np.ndarray], np.ndarray], eps: float = 1e-6
+                       ) -> Callable[[np.ndarray], np.ndarray]:
+    """Central-difference fallback derivative for user-defined functions."""
+
+    def d(x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return (fn(x + eps) - fn(x - eps)) / (2.0 * eps)
+
+    return d
+
+
+def estimate_asymptote(fn: Callable[[np.ndarray], np.ndarray], side: str,
+                       probe: float = 1e4, tol: float = 1e-6) -> Optional[Asymptote]:
+    """Estimate an asymptote numerically for user-defined functions.
+
+    Probes the function at two far points on the requested ``side``
+    (``"left"`` or ``"right"``); if the secant slope has converged, returns
+    ``(m, c)``; otherwise ``None`` (the function diverges from every line).
+    """
+    xs = np.array([probe, 2.0 * probe], dtype=np.float64)
+    if side == "left":
+        xs = -xs
+    with np.errstate(over="ignore", invalid="ignore"):
+        ys = fn(xs)
+    if not np.all(np.isfinite(ys)):
+        return None
+    m = (ys[1] - ys[0]) / (xs[1] - xs[0])
+    c0 = ys[0] - m * xs[0]
+    c1 = ys[1] - m * xs[1]
+    if not np.isfinite(m) or abs(c1 - c0) > tol * max(1.0, abs(c0)):
+        return None
+    # Snap tiny values to exact zero for cleanliness (e.g. GELU's 0, 1).
+    m = 0.0 if abs(m) < tol else float(m)
+    c = 0.0 if abs(c0) < tol else float(c0)
+    return (m, c)

@@ -1,0 +1,180 @@
+"""Piecewise-linear-native activation functions.
+
+ReLU and friends are already piecewise linear; Flex-SFU executes them
+losslessly with a handful of segments (their knots are listed in
+``exact_pwl_breakpoints``).  They matter for the end-to-end evaluation:
+the paper shows Flex-SFU matches — rather than slows down — models built
+on these cheap functions (Fig. 6), because one MADD per element is the
+same cost the VPU would pay anyway.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import ActivationFunction
+
+_LEAKY_SLOPE = 0.01
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    x = np.asarray(x, dtype=np.float64)
+    return np.maximum(x, 0.0)
+
+
+def _relu_d(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64)
+    return (x > 0).astype(np.float64)
+
+
+def relu6(x: np.ndarray) -> np.ndarray:
+    """ReLU clipped at 6 (MobileNet family)."""
+    x = np.asarray(x, dtype=np.float64)
+    return np.clip(x, 0.0, 6.0)
+
+
+def _relu6_d(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64)
+    return ((x > 0) & (x < 6)).astype(np.float64)
+
+
+def leaky_relu(x: np.ndarray) -> np.ndarray:
+    """Leaky ReLU with the default 0.01 negative slope (DarkNet uses 0.1)."""
+    x = np.asarray(x, dtype=np.float64)
+    return np.where(x > 0, x, _LEAKY_SLOPE * x)
+
+
+def _leaky_relu_d(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64)
+    return np.where(x > 0, 1.0, _LEAKY_SLOPE)
+
+
+def hardtanh(x: np.ndarray) -> np.ndarray:
+    """Hard tanh: clip to [-1, 1]."""
+    x = np.asarray(x, dtype=np.float64)
+    return np.clip(x, -1.0, 1.0)
+
+
+def _hardtanh_d(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64)
+    return ((x > -1) & (x < 1)).astype(np.float64)
+
+
+def hardsigmoid(x: np.ndarray) -> np.ndarray:
+    """PyTorch-style hard sigmoid: ``clip(x/6 + 1/2, 0, 1)``."""
+    x = np.asarray(x, dtype=np.float64)
+    return np.clip(x / 6.0 + 0.5, 0.0, 1.0)
+
+
+def _hardsigmoid_d(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64)
+    return ((x > -3) & (x < 3)).astype(np.float64) / 6.0
+
+
+def hardswish(x: np.ndarray) -> np.ndarray:
+    """Hardswish: ``x * relu6(x + 3) / 6`` (MobileNetV3 family).
+
+    Piecewise *quadratic* on (-3, 3), so unlike the other functions in
+    this module it is not exactly representable by a PWL — it appears in
+    Fig. 5's error analysis.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    return x * np.clip(x + 3.0, 0.0, 6.0) / 6.0
+
+
+def _hardswish_d(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64)
+    mid = (x > -3) & (x < 3)
+    return np.where(x >= 3, 1.0, np.where(mid, (2.0 * x + 3.0) / 6.0, 0.0))
+
+
+def identity(x: np.ndarray) -> np.ndarray:
+    """Identity (used for ablations and as a no-op activation)."""
+    return np.asarray(x, dtype=np.float64)
+
+
+def _identity_d(x: np.ndarray) -> np.ndarray:
+    return np.ones_like(np.asarray(x, dtype=np.float64))
+
+
+RELU = ActivationFunction(
+    name="relu",
+    fn=relu,
+    derivative=_relu_d,
+    left_asymptote=(0.0, 0.0),
+    right_asymptote=(1.0, 0.0),
+    vpu_ops=1,
+    smooth=False,
+    exact_pwl_breakpoints=(0.0,),
+)
+
+RELU6 = ActivationFunction(
+    name="relu6",
+    fn=relu6,
+    derivative=_relu6_d,
+    left_asymptote=(0.0, 0.0),
+    right_asymptote=(0.0, 6.0),
+    vpu_ops=2,
+    smooth=False,
+    exact_pwl_breakpoints=(0.0, 6.0),
+)
+
+LEAKY_RELU = ActivationFunction(
+    name="leaky_relu",
+    fn=leaky_relu,
+    derivative=_leaky_relu_d,
+    left_asymptote=(_LEAKY_SLOPE, 0.0),
+    right_asymptote=(1.0, 0.0),
+    vpu_ops=2,
+    smooth=False,
+    exact_pwl_breakpoints=(0.0,),
+)
+
+HARDTANH = ActivationFunction(
+    name="hardtanh",
+    fn=hardtanh,
+    derivative=_hardtanh_d,
+    left_asymptote=(0.0, -1.0),
+    right_asymptote=(0.0, 1.0),
+    vpu_ops=2,
+    smooth=False,
+    exact_pwl_breakpoints=(-1.0, 1.0),
+)
+
+HARDSIGMOID = ActivationFunction(
+    name="hardsigmoid",
+    fn=hardsigmoid,
+    derivative=_hardsigmoid_d,
+    left_asymptote=(0.0, 0.0),
+    right_asymptote=(0.0, 1.0),
+    vpu_ops=3,
+    smooth=False,
+    exact_pwl_breakpoints=(-3.0, 3.0),
+)
+
+HARDSWISH = ActivationFunction(
+    name="hardswish",
+    fn=hardswish,
+    derivative=_hardswish_d,
+    left_asymptote=(0.0, 0.0),
+    right_asymptote=(1.0, 0.0),
+    vpu_ops=5,
+    smooth=False,  # C^1 but piecewise-quadratic; PWL error is nonzero
+    exact_pwl_breakpoints=(),
+)
+
+IDENTITY = ActivationFunction(
+    name="identity",
+    fn=identity,
+    derivative=_identity_d,
+    left_asymptote=(1.0, 0.0),
+    right_asymptote=(1.0, 0.0),
+    vpu_ops=0,
+    smooth=True,
+    exact_pwl_breakpoints=(),
+)
+
+PIECEWISE_FUNCTIONS = (
+    RELU, RELU6, LEAKY_RELU, HARDTANH, HARDSIGMOID, HARDSWISH, IDENTITY,
+)

@@ -1,0 +1,70 @@
+"""Name-based registry of activation functions.
+
+The zoo catalog, the graph IR and the experiment harness all refer to
+activation functions by name; this registry is the single source of truth
+mapping those names to :class:`~repro.functions.base.ActivationFunction`
+instances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional
+
+import numpy as np
+
+from ..errors import ReproError
+from .analytic import ANALYTIC_FUNCTIONS
+from .base import ActivationFunction, estimate_asymptote, numeric_derivative
+from .piecewise import PIECEWISE_FUNCTIONS
+
+_REGISTRY: Dict[str, ActivationFunction] = {}
+
+
+def register(fn: ActivationFunction, overwrite: bool = False) -> ActivationFunction:
+    """Add a function to the registry; returns it for chaining."""
+    if fn.name in _REGISTRY and not overwrite:
+        raise ReproError(f"activation {fn.name!r} already registered")
+    _REGISTRY[fn.name] = fn
+    return fn
+
+
+def get(name: str) -> ActivationFunction:
+    """Look up a registered activation by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown activation {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available() -> Iterable[str]:
+    """Sorted names of every registered activation."""
+    return sorted(_REGISTRY)
+
+
+def make_custom(name: str, fn: Callable[[np.ndarray], np.ndarray],
+                derivative: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+                interval: Optional[tuple] = None,
+                vpu_ops: int = 8) -> ActivationFunction:
+    """Build (and register) a user-defined activation.
+
+    Derivative defaults to a central difference; asymptotes are estimated
+    numerically (Section IV's boundary conditions need them — a side
+    without a detectable asymptote is fitted with a free edge slope).
+    """
+    act = ActivationFunction(
+        name=name,
+        fn=lambda x: np.asarray(fn(np.asarray(x, dtype=np.float64)), dtype=np.float64),
+        derivative=derivative or numeric_derivative(fn),
+        left_asymptote=estimate_asymptote(fn, "left"),
+        right_asymptote=estimate_asymptote(fn, "right"),
+        default_interval=tuple(interval) if interval else (-8.0, 8.0),
+        vpu_ops=vpu_ops,
+        smooth=True,
+    )
+    return register(act, overwrite=True)
+
+
+for _fn in ANALYTIC_FUNCTIONS + PIECEWISE_FUNCTIONS:
+    register(_fn)

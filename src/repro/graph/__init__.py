@@ -1,0 +1,41 @@
+"""Graph IR substrate: ONNX-like representation, executor and passes.
+
+Mirrors the paper's deployment flow — models become operator graphs, a
+rewrite pass swaps every activation node for its Flex-SFU PWL
+implementation, and the executor / profiler provide the accuracy and
+workload numbers the end-to-end evaluation needs.
+"""
+
+from .builder import GraphBuilder
+from .executor import Executor, GraphProfile, NodeProfile
+from .ir import Graph, Node
+from .ops import CostRecord, OP_REGISTRY, get_op, register_op
+from .passes import (
+    clear_fit_cache,
+    collect_activation_names,
+    fit_pwl_cached,
+    make_pwl_approximators,
+    native_pwl,
+    replace_activations,
+    restore_exact_activations,
+)
+
+__all__ = [
+    "Graph",
+    "Node",
+    "GraphBuilder",
+    "Executor",
+    "GraphProfile",
+    "NodeProfile",
+    "CostRecord",
+    "OP_REGISTRY",
+    "get_op",
+    "register_op",
+    "replace_activations",
+    "restore_exact_activations",
+    "collect_activation_names",
+    "make_pwl_approximators",
+    "fit_pwl_cached",
+    "native_pwl",
+    "clear_fit_cache",
+]

@@ -1,0 +1,153 @@
+"""Fluent builder for the graph IR.
+
+Keeps value naming and weight initialisation (deterministic, seeded) out
+of the model-zoo code.  All weights use He/Glorot-style scales so random
+trunks produce well-conditioned features for the readout training.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .ir import Graph, Node
+
+
+class GraphBuilder:
+    """Builds a :class:`Graph` incrementally; returns value names."""
+
+    def __init__(self, name: str, seed: int = 0) -> None:
+        self.graph = Graph(name=name)
+        self.rng = np.random.default_rng(seed)
+        self._counter = 0
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+    def fresh(self, hint: str) -> str:
+        """New unique value name."""
+        self._counter += 1
+        return f"{hint}_{self._counter}"
+
+    def input(self, name: str, shape: Tuple[int, ...]) -> str:
+        """Declare a graph input (batch dim first, may be 0 = any)."""
+        self.graph.inputs.append((name, tuple(shape)))
+        return name
+
+    def output(self, value: str) -> str:
+        """Mark a value as a graph output."""
+        self.graph.outputs.append(value)
+        return value
+
+    def weight(self, hint: str, shape: Tuple[int, ...], scale: float) -> str:
+        """Gaussian weight initializer with the given std."""
+        name = self.fresh(hint)
+        self.graph.add_initializer(
+            name, self.rng.normal(0.0, scale, size=shape))
+        return name
+
+    def constant(self, hint: str, value: np.ndarray) -> str:
+        """Arbitrary constant initializer."""
+        name = self.fresh(hint)
+        self.graph.add_initializer(name, np.asarray(value, dtype=np.float64))
+        return name
+
+    def node(self, op_type: str, inputs: Sequence[str], hint: str = "",
+             **attrs) -> str:
+        """Add a single-output node; returns the output value name."""
+        out = self.fresh(hint or op_type)
+        self.graph.add_node(Node(op_type=op_type, inputs=list(inputs),
+                                 outputs=[out], attrs=attrs))
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Layers
+    # ------------------------------------------------------------------ #
+    def conv2d(self, x: str, c_in: int, c_out: int, kernel: int = 3,
+               stride: int = 1, padding: Optional[int] = None,
+               groups: int = 1, bias: bool = True) -> str:
+        """Conv2d with He-init weights."""
+        if padding is None:
+            padding = kernel // 2
+        fan_in = (c_in // groups) * kernel * kernel
+        w = self.weight("w_conv", (c_out, c_in // groups, kernel, kernel),
+                        scale=np.sqrt(2.0 / fan_in))
+        inputs = [x, w]
+        if bias:
+            inputs.append(self.constant("b_conv", np.zeros(c_out)))
+        return self.node("conv2d", inputs, hint="conv",
+                         stride=stride, padding=padding, groups=groups)
+
+    def linear(self, x: str, d_in: int, d_out: int, bias: bool = True) -> str:
+        """Dense layer with Glorot-init weights."""
+        w = self.weight("w_fc", (d_in, d_out),
+                        scale=np.sqrt(2.0 / (d_in + d_out)))
+        inputs = [x, w]
+        if bias:
+            inputs.append(self.constant("b_fc", np.zeros(d_out)))
+        return self.node("linear", inputs, hint="fc")
+
+    def batchnorm(self, x: str, channels: int) -> str:
+        """Folded batch-norm: random positive scale, small shift."""
+        scale = self.constant("bn_scale",
+                              1.0 + 0.1 * self.rng.standard_normal(channels))
+        shift = self.constant("bn_shift", 0.05 * self.rng.standard_normal(channels))
+        return self.node("batchnorm", [x, scale, shift], hint="bn")
+
+    def layernorm(self, x: str, dim: int) -> str:
+        """Layer norm with learnable-like random gamma/beta."""
+        gamma = self.constant("ln_gamma",
+                              1.0 + 0.05 * self.rng.standard_normal(dim))
+        beta = self.constant("ln_beta", 0.02 * self.rng.standard_normal(dim))
+        return self.node("layernorm", [x, gamma, beta], hint="ln")
+
+    def activation(self, x: str, fn: str) -> str:
+        """Exact activation node (rewritable by the Flex-SFU pass)."""
+        return self.node("activation", [x], hint=f"act_{fn}", fn=fn, impl="exact")
+
+    def softmax(self, x: str, axis: int = -1) -> str:
+        """Exact softmax node (rewritable by the Flex-SFU pass)."""
+        return self.node("softmax", [x], hint="softmax", axis=axis, impl="exact")
+
+    def add(self, a: str, b: str) -> str:
+        """Residual add."""
+        return self.node("add", [a, b], hint="add")
+
+    def mul(self, a: str, b: str) -> str:
+        """Elementwise product (gating)."""
+        return self.node("mul", [a, b], hint="mul")
+
+    def maxpool(self, x: str, kernel: int = 2, stride: int = 2) -> str:
+        """Max pooling."""
+        return self.node("maxpool2d", [x], hint="maxpool",
+                         kernel=kernel, stride=stride)
+
+    def global_avgpool(self, x: str) -> str:
+        """Global average pooling to (N, C)."""
+        return self.node("global_avgpool", [x], hint="gap")
+
+    def flatten(self, x: str) -> str:
+        """Flatten to (N, -1)."""
+        return self.node("flatten", [x], hint="flatten")
+
+    def reshape(self, x: str, shape: Tuple[int, ...]) -> str:
+        """Reshape."""
+        return self.node("reshape", [x], hint="reshape", shape=tuple(shape))
+
+    def transpose(self, x: str, perm: Tuple[int, ...]) -> str:
+        """Transpose."""
+        return self.node("transpose", [x], hint="transpose", perm=tuple(perm))
+
+    def matmul(self, a: str, b: str) -> str:
+        """Batched matrix multiply."""
+        return self.node("matmul", [a, b], hint="matmul")
+
+    def embedding(self, ids: str, vocab: int, dim: int) -> str:
+        """Token embedding lookup."""
+        table = self.weight("emb", (vocab, dim), scale=0.5 / np.sqrt(dim))
+        return self.node("embedding", [ids, table], hint="embed")
+
+    def mean_pool_seq(self, x: str) -> str:
+        """Mean over the sequence dimension."""
+        return self.node("mean_pool_seq", [x], hint="seqpool")

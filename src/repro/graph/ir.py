@@ -1,0 +1,134 @@
+"""Minimal ONNX-like graph IR.
+
+The paper's end-to-end flow converts each model to ONNX and rewrites
+every activation node into a custom Flex-SFU operator before compiling
+for the accelerator.  This IR mirrors that pipeline: a flat list of
+:class:`Node` objects connected by named values, with weight tensors held
+as initializers, plus the topological utilities the executor and the
+rewrite passes need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import GraphError
+
+
+@dataclass
+class Node:
+    """One operator instance.
+
+    ``attrs`` carries op-specific attributes (kernel size, activation
+    name, ...).  Values are referenced by string name, ONNX-style.
+    """
+
+    op_type: str
+    inputs: List[str]
+    outputs: List[str]
+    name: str = ""
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.outputs:
+            raise GraphError(f"node {self.name or self.op_type} has no outputs")
+        if not self.name:
+            self.name = f"{self.op_type}:{self.outputs[0]}"
+
+
+@dataclass
+class Graph:
+    """A dataflow graph: nodes + named inputs/outputs + weights."""
+
+    name: str
+    nodes: List[Node] = field(default_factory=list)
+    inputs: List[Tuple[str, Tuple[int, ...]]] = field(default_factory=list)
+    outputs: List[str] = field(default_factory=list)
+    initializers: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    def add_node(self, node: Node) -> Node:
+        """Append a node (no reordering; builders emit topologically)."""
+        self.nodes.append(node)
+        return node
+
+    def add_initializer(self, name: str, value: np.ndarray) -> str:
+        """Register a weight tensor; returns its value name."""
+        if name in self.initializers:
+            raise GraphError(f"initializer {name!r} already present")
+        self.initializers[name] = np.asarray(value, dtype=np.float64)
+        return name
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def producers(self) -> Dict[str, Node]:
+        """Map from value name to the node producing it."""
+        out: Dict[str, Node] = {}
+        for node in self.nodes:
+            for value in node.outputs:
+                if value in out:
+                    raise GraphError(f"value {value!r} produced twice")
+                out[value] = node
+        return out
+
+    def nodes_by_type(self, op_type: str) -> List[Node]:
+        """All nodes of one operator type."""
+        return [n for n in self.nodes if n.op_type == op_type]
+
+    def topological_order(self) -> List[Node]:
+        """Nodes in dependency order (raises on cycles / missing values)."""
+        available = {name for name, _ in self.inputs}
+        available.update(self.initializers)
+        remaining = list(self.nodes)
+        ordered: List[Node] = []
+        while remaining:
+            progressed = False
+            still: List[Node] = []
+            for node in remaining:
+                if all(v in available for v in node.inputs):
+                    ordered.append(node)
+                    available.update(node.outputs)
+                    progressed = True
+                else:
+                    still.append(node)
+            if not progressed:
+                missing = {
+                    v for node in still for v in node.inputs if v not in available
+                }
+                raise GraphError(
+                    f"graph {self.name!r} has a cycle or missing values: "
+                    f"{sorted(missing)[:5]}"
+                )
+            remaining = still
+        return ordered
+
+    def validate(self) -> None:
+        """Check structural invariants (single producer, outputs exist)."""
+        produced = self.producers()
+        for out in self.outputs:
+            if out not in produced and out not in self.initializers \
+                    and out not in {n for n, _ in self.inputs}:
+                raise GraphError(f"graph output {out!r} is never produced")
+        self.topological_order()
+
+    def clone(self) -> "Graph":
+        """Deep copy (nodes and attrs copied; weights shared read-only)."""
+        return Graph(
+            name=self.name,
+            nodes=[Node(op_type=n.op_type, inputs=list(n.inputs),
+                        outputs=list(n.outputs), name=n.name,
+                        attrs=dict(n.attrs)) for n in self.nodes],
+            inputs=list(self.inputs),
+            outputs=list(self.outputs),
+            initializers=dict(self.initializers),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Graph({self.name!r}, nodes={len(self.nodes)}, "
+                f"inputs={[n for n, _ in self.inputs]}, outputs={self.outputs})")

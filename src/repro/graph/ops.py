@@ -1,0 +1,351 @@
+"""Operator semantics and cost accounting for the graph IR.
+
+Every operator provides two things:
+
+* ``execute(inputs, attrs)`` — exact numpy semantics (float64), used by
+  the executor for the accuracy experiments;
+* ``cost(input_shapes, output_shapes, attrs)`` — a :class:`CostRecord`
+  with the MAC count (tensor-core work), generic vector-op count (VPU
+  work) and activation element count (the part Flex-SFU accelerates),
+  used by the end-to-end performance model.
+
+Activation nodes carry ``attrs["fn"]`` (registry name) and an ``impl``
+switch: ``"exact"`` evaluates the reference function, ``"pwl"`` calls the
+attached approximator — that is exactly the rewrite the paper applies to
+the ONNX graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import GraphError
+from ..functions import registry as fn_registry
+from ..functions.softmax import softmax as exact_softmax
+
+Shape = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class CostRecord:
+    """Work accounting for one node execution."""
+
+    macs: int = 0            # multiply-accumulates (tensor core)
+    vector_ops: int = 0      # generic elementwise/reduction VPU operations
+    act_elements: int = 0    # elements through an activation function
+    act_fn: str = ""         # which activation (registry name), if any
+
+    def __add__(self, other: "CostRecord") -> "CostRecord":
+        return CostRecord(
+            macs=self.macs + other.macs,
+            vector_ops=self.vector_ops + other.vector_ops,
+            act_elements=self.act_elements + other.act_elements,
+            act_fn=self.act_fn or other.act_fn,
+        )
+
+
+@dataclass(frozen=True)
+class OpImpl:
+    """Executable semantics + cost model of one operator type."""
+
+    execute: Callable[[List[np.ndarray], Dict[str, Any]], List[np.ndarray]]
+    cost: Callable[[List[Shape], List[Shape], Dict[str, Any]], CostRecord]
+
+
+OP_REGISTRY: Dict[str, OpImpl] = {}
+
+
+def register_op(name: str):
+    """Decorator-style registration of an (execute, cost) pair."""
+
+    def wrap(execute):
+        def inner(cost):
+            OP_REGISTRY[name] = OpImpl(execute=execute, cost=cost)
+            return cost
+        return inner
+    return wrap
+
+
+def get_op(name: str) -> OpImpl:
+    """Look up an operator implementation."""
+    try:
+        return OP_REGISTRY[name]
+    except KeyError:
+        raise GraphError(
+            f"unknown op {name!r}; known: {sorted(OP_REGISTRY)}"
+        ) from None
+
+
+def _elements(shape: Shape) -> int:
+    return int(np.prod(shape)) if shape else 1
+
+
+# --------------------------------------------------------------------- #
+# conv2d
+# --------------------------------------------------------------------- #
+def _exec_conv2d(inputs: List[np.ndarray], attrs: Dict[str, Any]) -> List[np.ndarray]:
+    x, w = inputs[0], inputs[1]
+    b = inputs[2] if len(inputs) > 2 else None
+    stride = int(attrs.get("stride", 1))
+    padding = int(attrs.get("padding", 0))
+    groups = int(attrs.get("groups", 1))
+    n, c, h, width = x.shape
+    c_out, c_in_g, kh, kw = w.shape
+    if c != c_in_g * groups:
+        raise GraphError(
+            f"conv2d channel mismatch: input {c}, weight {c_in_g}x{groups} groups"
+        )
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    h_p, w_p = x.shape[2], x.shape[3]
+    h_out = (h_p - kh) // stride + 1
+    w_out = (w_p - kw) // stride + 1
+    # im2col: gather kh*kw shifted views (kernels are small).
+    cols = np.empty((n, c, kh * kw, h_out, w_out), dtype=x.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            cols[:, :, i * kw + j] = x[:, :, i:i + h_out * stride:stride,
+                                       j:j + w_out * stride:stride]
+    cols = cols.reshape(n, groups, c_in_g * kh * kw, h_out * w_out)
+    wg = w.reshape(groups, c_out // groups, c_in_g * kh * kw)
+    out = np.einsum("ngkp,gok->ngop", cols, wg, optimize=True)
+    out = out.reshape(n, c_out, h_out, w_out)
+    if b is not None:
+        out = out + b.reshape(1, -1, 1, 1)
+    return [out]
+
+
+@register_op("conv2d")(_exec_conv2d)
+def _cost_conv2d(in_shapes: List[Shape], out_shapes: List[Shape],
+                 attrs: Dict[str, Any]) -> CostRecord:
+    _, c_in_g, kh, kw = in_shapes[1]
+    out_elems = _elements(out_shapes[0])
+    macs = out_elems * c_in_g * kh * kw
+    # Bias is folded into the MAC epilogue by the compiler (free).
+    return CostRecord(macs=macs)
+
+
+# --------------------------------------------------------------------- #
+# linear / matmul
+# --------------------------------------------------------------------- #
+def _exec_linear(inputs: List[np.ndarray], attrs: Dict[str, Any]) -> List[np.ndarray]:
+    x, w = inputs[0], inputs[1]
+    out = x @ w
+    if len(inputs) > 2:
+        out = out + inputs[2]
+    return [out]
+
+
+@register_op("linear")(_exec_linear)
+def _cost_linear(in_shapes: List[Shape], out_shapes: List[Shape],
+                 attrs: Dict[str, Any]) -> CostRecord:
+    k = in_shapes[1][0]
+    out_elems = _elements(out_shapes[0])
+    # Bias is folded into the MAC epilogue by the compiler (free).
+    return CostRecord(macs=out_elems * k)
+
+
+def _exec_matmul(inputs: List[np.ndarray], attrs: Dict[str, Any]) -> List[np.ndarray]:
+    return [inputs[0] @ inputs[1]]
+
+
+@register_op("matmul")(_exec_matmul)
+def _cost_matmul(in_shapes: List[Shape], out_shapes: List[Shape],
+                 attrs: Dict[str, Any]) -> CostRecord:
+    k = in_shapes[0][-1]
+    return CostRecord(macs=_elements(out_shapes[0]) * k)
+
+
+# --------------------------------------------------------------------- #
+# normalisation
+# --------------------------------------------------------------------- #
+def _exec_batchnorm(inputs: List[np.ndarray], attrs: Dict[str, Any]) -> List[np.ndarray]:
+    x, scale, shift = inputs
+    shape = [1] * x.ndim
+    shape[1] = -1
+    return [x * scale.reshape(shape) + shift.reshape(shape)]
+
+
+@register_op("batchnorm")(_exec_batchnorm)
+def _cost_batchnorm(in_shapes: List[Shape], out_shapes: List[Shape],
+                    attrs: Dict[str, Any]) -> CostRecord:
+    # Inference-time batch-norm is folded into the adjacent conv by the
+    # compiler (the paper's ATC flow does this), so it costs nothing.
+    return CostRecord()
+
+
+def _exec_layernorm(inputs: List[np.ndarray], attrs: Dict[str, Any]) -> List[np.ndarray]:
+    x, gamma, beta = inputs
+    eps = float(attrs.get("eps", 1e-5))
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    return [(x - mean) / np.sqrt(var + eps) * gamma + beta]
+
+
+@register_op("layernorm")(_exec_layernorm)
+def _cost_layernorm(in_shapes: List[Shape], out_shapes: List[Shape],
+                    attrs: Dict[str, Any]) -> CostRecord:
+    return CostRecord(vector_ops=8 * _elements(out_shapes[0]))
+
+
+# --------------------------------------------------------------------- #
+# elementwise
+# --------------------------------------------------------------------- #
+def _exec_add(inputs: List[np.ndarray], attrs: Dict[str, Any]) -> List[np.ndarray]:
+    return [inputs[0] + inputs[1]]
+
+
+@register_op("add")(_exec_add)
+def _cost_add(in_shapes, out_shapes, attrs) -> CostRecord:
+    return CostRecord(vector_ops=_elements(out_shapes[0]))
+
+
+def _exec_mul(inputs: List[np.ndarray], attrs: Dict[str, Any]) -> List[np.ndarray]:
+    return [inputs[0] * inputs[1]]
+
+
+@register_op("mul")(_exec_mul)
+def _cost_mul(in_shapes, out_shapes, attrs) -> CostRecord:
+    return CostRecord(vector_ops=_elements(out_shapes[0]))
+
+
+# --------------------------------------------------------------------- #
+# pooling
+# --------------------------------------------------------------------- #
+def _pool2d(x: np.ndarray, kernel: int, stride: int, reducer) -> np.ndarray:
+    n, c, h, w = x.shape
+    h_out = (h - kernel) // stride + 1
+    w_out = (w - kernel) // stride + 1
+    views = np.empty((kernel * kernel, n, c, h_out, w_out), dtype=x.dtype)
+    for i in range(kernel):
+        for j in range(kernel):
+            views[i * kernel + j] = x[:, :, i:i + h_out * stride:stride,
+                                      j:j + w_out * stride:stride]
+    return reducer(views, axis=0)
+
+
+def _exec_maxpool(inputs: List[np.ndarray], attrs: Dict[str, Any]) -> List[np.ndarray]:
+    return [_pool2d(inputs[0], int(attrs.get("kernel", 2)),
+                    int(attrs.get("stride", 2)), np.max)]
+
+
+@register_op("maxpool2d")(_exec_maxpool)
+def _cost_maxpool(in_shapes, out_shapes, attrs) -> CostRecord:
+    k = int(attrs.get("kernel", 2))
+    return CostRecord(vector_ops=_elements(out_shapes[0]) * k * k)
+
+
+def _exec_avgpool(inputs: List[np.ndarray], attrs: Dict[str, Any]) -> List[np.ndarray]:
+    return [_pool2d(inputs[0], int(attrs.get("kernel", 2)),
+                    int(attrs.get("stride", 2)), np.mean)]
+
+
+@register_op("avgpool2d")(_exec_avgpool)
+def _cost_avgpool(in_shapes, out_shapes, attrs) -> CostRecord:
+    k = int(attrs.get("kernel", 2))
+    return CostRecord(vector_ops=_elements(out_shapes[0]) * k * k)
+
+
+def _exec_gap(inputs: List[np.ndarray], attrs: Dict[str, Any]) -> List[np.ndarray]:
+    return [inputs[0].mean(axis=(2, 3))]
+
+
+@register_op("global_avgpool")(_exec_gap)
+def _cost_gap(in_shapes, out_shapes, attrs) -> CostRecord:
+    return CostRecord(vector_ops=_elements(in_shapes[0]))
+
+
+# --------------------------------------------------------------------- #
+# activations (the nodes Flex-SFU rewrites)
+# --------------------------------------------------------------------- #
+def _exec_activation(inputs: List[np.ndarray], attrs: Dict[str, Any]) -> List[np.ndarray]:
+    impl = attrs.get("impl", "exact")
+    if impl == "exact":
+        fn = fn_registry.get(attrs["fn"])
+        return [fn(inputs[0])]
+    if impl == "pwl":
+        approx = attrs.get("approximator")
+        if approx is None:
+            raise GraphError("pwl activation node has no approximator attached")
+        return [np.asarray(approx(inputs[0]), dtype=np.float64)]
+    raise GraphError(f"unknown activation impl {impl!r}")
+
+
+@register_op("activation")(_exec_activation)
+def _cost_activation(in_shapes, out_shapes, attrs) -> CostRecord:
+    return CostRecord(act_elements=_elements(out_shapes[0]),
+                      act_fn=str(attrs.get("fn", "")))
+
+
+def _exec_softmax(inputs: List[np.ndarray], attrs: Dict[str, Any]) -> List[np.ndarray]:
+    axis = int(attrs.get("axis", -1))
+    impl = attrs.get("impl", "exact")
+    if impl == "exact":
+        return [exact_softmax(inputs[0], axis=axis)]
+    if impl == "pwl":
+        approx = attrs.get("approximator")
+        if approx is None:
+            raise GraphError("pwl softmax node has no approximator attached")
+        return [np.asarray(approx(inputs[0], axis=axis), dtype=np.float64)]
+    raise GraphError(f"unknown softmax impl {impl!r}")
+
+
+@register_op("softmax")(_exec_softmax)
+def _cost_softmax(in_shapes, out_shapes, attrs) -> CostRecord:
+    n = _elements(out_shapes[0])
+    # The exp is the Flex-SFU-accelerated part; max-subtract, sum and
+    # divide stay on the VPU.
+    return CostRecord(act_elements=n, act_fn="softmax", vector_ops=3 * n)
+
+
+# --------------------------------------------------------------------- #
+# shape plumbing
+# --------------------------------------------------------------------- #
+def _exec_reshape(inputs: List[np.ndarray], attrs: Dict[str, Any]) -> List[np.ndarray]:
+    return [inputs[0].reshape(attrs["shape"])]
+
+
+@register_op("reshape")(_exec_reshape)
+def _cost_reshape(in_shapes, out_shapes, attrs) -> CostRecord:
+    return CostRecord()
+
+
+def _exec_transpose(inputs: List[np.ndarray], attrs: Dict[str, Any]) -> List[np.ndarray]:
+    return [np.transpose(inputs[0], attrs["perm"])]
+
+
+@register_op("transpose")(_exec_transpose)
+def _cost_transpose(in_shapes, out_shapes, attrs) -> CostRecord:
+    return CostRecord()
+
+
+def _exec_flatten(inputs: List[np.ndarray], attrs: Dict[str, Any]) -> List[np.ndarray]:
+    x = inputs[0]
+    return [x.reshape(x.shape[0], -1)]
+
+
+@register_op("flatten")(_exec_flatten)
+def _cost_flatten(in_shapes, out_shapes, attrs) -> CostRecord:
+    return CostRecord()
+
+
+def _exec_embedding(inputs: List[np.ndarray], attrs: Dict[str, Any]) -> List[np.ndarray]:
+    ids, table = inputs
+    return [table[ids.astype(np.int64)]]
+
+
+@register_op("embedding")(_exec_embedding)
+def _cost_embedding(in_shapes, out_shapes, attrs) -> CostRecord:
+    return CostRecord()
+
+
+def _exec_mean_seq(inputs: List[np.ndarray], attrs: Dict[str, Any]) -> List[np.ndarray]:
+    return [inputs[0].mean(axis=1)]
+
+
+@register_op("mean_pool_seq")(_exec_mean_seq)
+def _cost_mean_seq(in_shapes, out_shapes, attrs) -> CostRecord:
+    return CostRecord(vector_ops=_elements(in_shapes[0]))

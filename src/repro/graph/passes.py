@@ -1,0 +1,139 @@
+"""Graph rewrite passes — the Flex-SFU activation replacement.
+
+The paper "replaces each activation function of the resulting model graph
+with a custom ONNX operator" before compilation.  The same rewrite here:
+:func:`replace_activations` switches every matching ``activation`` /
+``softmax`` node to its PWL implementation, attaching the fitted
+approximator.  Approximators are built by :func:`make_pwl_approximators`
+(with an in-process cache — fits are expensive) and are exact for
+PWL-native functions like ReLU.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..core.fit import FitConfig, FlexSfuFitter
+from ..core.pwl import PiecewiseLinear
+from ..functions import registry as fn_registry
+from ..functions.base import ActivationFunction
+from ..functions.softmax import SoftmaxApproximator
+from .ir import Graph
+
+#: In-process fit cache: (fn, n_bp, interval, boundary) -> PiecewiseLinear.
+_FIT_CACHE: Dict[Tuple, PiecewiseLinear] = {}
+
+
+def native_pwl(fn: ActivationFunction) -> Optional[PiecewiseLinear]:
+    """Exact PWL for functions that *are* piecewise linear (ReLU & co).
+
+    Returns ``None`` when the function is not exactly representable.
+    Flex-SFU executes these losslessly — the reason ReLU-based models in
+    Fig. 6 match baseline accuracy and performance.
+    """
+    knots = fn.exact_pwl_breakpoints
+    if not knots or fn.left_asymptote is None or fn.right_asymptote is None:
+        return None
+    p = np.asarray(knots, dtype=np.float64)
+    if p.size == 1:
+        p = np.array([p[0], p[0] + 1.0])
+    v = fn(p)
+    return PiecewiseLinear.create(p, v, fn.left_asymptote[0], fn.right_asymptote[0])
+
+
+def fit_pwl_cached(fn: ActivationFunction, n_breakpoints: int,
+                   interval: Optional[Tuple[float, float]] = None,
+                   config: Optional[FitConfig] = None,
+                   boundary: Tuple[str, str] = ("asymptote", "asymptote")
+                   ) -> PiecewiseLinear:
+    """Fit (or reuse) a PWL for ``fn`` at the given budget."""
+    a, b = interval if interval is not None else fn.default_interval
+    key = (fn.name, int(n_breakpoints), (float(a), float(b)), tuple(boundary))
+    if key not in _FIT_CACHE:
+        native = native_pwl(fn)
+        if native is not None and native.n_breakpoints <= n_breakpoints:
+            _FIT_CACHE[key] = native
+        else:
+            base = config or FitConfig()
+            from dataclasses import replace as _replace
+            cfg = _replace(base, n_breakpoints=n_breakpoints, interval=(a, b),
+                           boundary_left=boundary[0], boundary_right=boundary[1])
+            _FIT_CACHE[key] = FlexSfuFitter(cfg).fit(fn).pwl
+    return _FIT_CACHE[key]
+
+
+def make_pwl_approximators(function_names, n_breakpoints: int,
+                           config: Optional[FitConfig] = None
+                           ) -> Dict[str, Callable[[np.ndarray], np.ndarray]]:
+    """Fitted PWL evaluators for each named activation.
+
+    The special name ``"softmax"`` yields a PWL of ``exp`` on the paper's
+    ``[-10, 0.1]`` interval wrapped in the max-subtract decomposition.
+    """
+    out: Dict[str, Callable[[np.ndarray], np.ndarray]] = {}
+    for name in function_names:
+        if name == "softmax":
+            exp_pwl = fit_pwl_cached(fn_registry.get("exp"), n_breakpoints)
+            out[name] = SoftmaxApproximator(exp_pwl)
+        else:
+            out[name] = fit_pwl_cached(fn_registry.get(name), n_breakpoints,
+                                       config=config)
+    return out
+
+
+def collect_activation_names(graph: Graph) -> Dict[str, int]:
+    """Histogram of activation/softmax node counts by function name."""
+    counts: Dict[str, int] = {}
+    for node in graph.nodes:
+        if node.op_type == "activation":
+            name = str(node.attrs.get("fn", ""))
+            counts[name] = counts.get(name, 0) + 1
+        elif node.op_type == "softmax":
+            counts["softmax"] = counts.get("softmax", 0) + 1
+    return counts
+
+
+def replace_activations(graph: Graph,
+                        approximators: Mapping[str, Callable],
+                        ) -> Tuple[Graph, int]:
+    """Clone ``graph`` with matching activation nodes rewired to PWL.
+
+    ``approximators`` maps function names (plus optionally ``"softmax"``)
+    to callables.  Softmax approximators must accept ``(x, axis=...)``.
+    Returns the rewritten graph and the number of nodes replaced.
+    """
+    new = graph.clone()
+    replaced = 0
+    for node in new.nodes:
+        if node.op_type == "activation":
+            fn_name = str(node.attrs.get("fn", ""))
+            approx = approximators.get(fn_name)
+            if approx is not None:
+                node.attrs["impl"] = "pwl"
+                node.attrs["approximator"] = approx
+                replaced += 1
+        elif node.op_type == "softmax":
+            approx = approximators.get("softmax")
+            if approx is not None:
+                node.attrs["impl"] = "pwl"
+                node.attrs["approximator"] = approx
+                replaced += 1
+    return new, replaced
+
+
+def restore_exact_activations(graph: Graph) -> Graph:
+    """Inverse of :func:`replace_activations` (drops approximators)."""
+    new = graph.clone()
+    for node in new.nodes:
+        if node.op_type in ("activation", "softmax") and \
+                node.attrs.get("impl") == "pwl":
+            node.attrs["impl"] = "exact"
+            node.attrs.pop("approximator", None)
+    return new
+
+
+def clear_fit_cache() -> None:
+    """Drop all cached fits (tests use this for isolation)."""
+    _FIT_CACHE.clear()

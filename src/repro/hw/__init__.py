@@ -1,0 +1,108 @@
+"""Hardware model of the Flex-SFU accelerator.
+
+Bit-level functional simulation (byte-sliced SIMD memories, ordered-int
+comparator, BST address decoding, coefficient LUTs, format-aware MADD)
+plus the cycle-accurate timing, throughput, area and power models the
+paper's hardware evaluation (Fig. 4, Table I, Section V-A) relies on.
+"""
+
+from .adu import AddressDecodingUnit
+from .area import (
+    AREA_MODEL,
+    AreaPowerModel,
+    TABLE_I_ADU_PCT,
+    TABLE_I_DEPTHS,
+    TABLE_I_LATENCY,
+    TABLE_I_LTC_PCT,
+    TABLE_I_POWER_MW,
+    TABLE_I_TOTAL_UM2,
+    calibrate,
+)
+from .comparator import SimdComparator
+from .dtypes import (
+    FP8,
+    FP16_T,
+    FP32_T,
+    HwDataType,
+    INT8_Q3_4,
+    INT16_Q7_8,
+    INT32_Q15_16,
+    fixed_for_range,
+)
+from .isa import (
+    DTYPE_CODES,
+    ISSUE_CYCLES,
+    Instruction,
+    OP_EXE_AF,
+    OP_LD_BP,
+    OP_LD_CF,
+    decode_instruction,
+    dtype_code_for,
+    encode_instruction,
+)
+from .ltc import LookupTableCluster
+from .madd import MaddUnit
+from .memory import N_BANKS, SimdSinglePortMemory
+from .perfmodel import (
+    ThroughputPoint,
+    elements_in_words,
+    energy_efficiency_gact_s_w,
+    exe_cycles,
+    figure4_sweep,
+    latency_cycles,
+    load_cycles,
+    saturation_size,
+    steady_state_gact_s,
+    throughput_gact_s,
+    total_cycles,
+)
+from .sfu import BASE_PIPELINE_STAGES, ExecutionReport, FlexSfuUnit
+
+__all__ = [
+    "HwDataType",
+    "fixed_for_range",
+    "FP8",
+    "FP16_T",
+    "FP32_T",
+    "INT8_Q3_4",
+    "INT16_Q7_8",
+    "INT32_Q15_16",
+    "SimdSinglePortMemory",
+    "N_BANKS",
+    "SimdComparator",
+    "AddressDecodingUnit",
+    "LookupTableCluster",
+    "MaddUnit",
+    "FlexSfuUnit",
+    "ExecutionReport",
+    "BASE_PIPELINE_STAGES",
+    "Instruction",
+    "encode_instruction",
+    "decode_instruction",
+    "dtype_code_for",
+    "DTYPE_CODES",
+    "ISSUE_CYCLES",
+    "OP_LD_BP",
+    "OP_LD_CF",
+    "OP_EXE_AF",
+    "latency_cycles",
+    "load_cycles",
+    "exe_cycles",
+    "total_cycles",
+    "throughput_gact_s",
+    "steady_state_gact_s",
+    "figure4_sweep",
+    "saturation_size",
+    "energy_efficiency_gact_s_w",
+    "elements_in_words",
+    "ThroughputPoint",
+    "AreaPowerModel",
+    "AREA_MODEL",
+    "calibrate",
+    "TABLE_I_DEPTHS",
+    "TABLE_I_LATENCY",
+    "TABLE_I_POWER_MW",
+    "TABLE_I_ADU_PCT",
+    "TABLE_I_LTC_PCT",
+    "TABLE_I_TOTAL_UM2",
+]

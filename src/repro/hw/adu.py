@@ -1,0 +1,88 @@
+"""Address Decoding Unit: a pipelined binary-search tree over breakpoints.
+
+The ADU replaces the MSB-indexed addressing of uniform-segment designs.
+Each pipeline stage is one level of a complete binary search tree:
+
+* stage ``s`` holds the ``2**s`` breakpoints of BST level ``s`` in a
+  :class:`~repro.hw.memory.SimdSinglePortMemory` (node ``j`` of level
+  ``s`` is the sorted breakpoint with index ``(2j+1) * 2**(K-1-s) - 1``
+  for a tree of ``K = log2(depth)`` levels);
+* the SIMD comparator produces ``cmpo = (x >= breakpoint)``;
+* the next-address generator computes ``a_out = 2*a_in + cmpo``.
+
+After ``K`` stages the address equals the region index — exactly
+``searchsorted(breakpoints, x, side="right")`` over the stored keys —
+which is forwarded to the lookup-table cluster.  Because breakpoint
+*values* are stored and compared (instead of slicing input bits), the
+segments can be arbitrarily non-uniform and any operand format works.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..errors import HardwareError
+from .comparator import SimdComparator
+from .dtypes import HwDataType
+from .memory import SimdSinglePortMemory
+
+
+class AddressDecodingUnit:
+    """BST address decoder for ``depth`` segments (``depth - 1`` keys)."""
+
+    def __init__(self, depth: int, dtype: HwDataType) -> None:
+        if depth < 2 or depth & (depth - 1):
+            raise HardwareError(f"ADU depth must be a power of two >= 2, got {depth}")
+        self.depth = int(depth)
+        self.dtype = dtype
+        self.n_stages = int(depth).bit_length() - 1  # K = log2(depth)
+        self._stages: List[SimdSinglePortMemory] = [
+            SimdSinglePortMemory(1 << s) for s in range(self.n_stages)
+        ]
+        self._comparator = SimdComparator(dtype)
+        self._loaded = False
+
+    # ------------------------------------------------------------------ #
+    # ld.bp()
+    # ------------------------------------------------------------------ #
+    def load_breakpoints(self, bp_bits: np.ndarray) -> int:
+        """Store the sorted breakpoint encodings; returns write cycles.
+
+        ``bp_bits`` must hold exactly ``depth - 1`` entries in ascending
+        (real-value) order; the unit re-shuffles them into per-level
+        node order.
+        """
+        bp_bits = np.atleast_1d(np.asarray(bp_bits, dtype=np.uint64))
+        if bp_bits.size != self.depth - 1:
+            raise HardwareError(
+                f"expected {self.depth - 1} breakpoints, got {bp_bits.size}"
+            )
+        cycles = 0
+        for s, mem in enumerate(self._stages):
+            nodes = np.arange(1 << s)
+            sorted_idx = ((2 * nodes + 1) << (self.n_stages - 1 - s)) - 1
+            cycles += mem.load_table(bp_bits[sorted_idx], self.dtype)
+        self._loaded = True
+        return cycles
+
+    # ------------------------------------------------------------------ #
+    # exe.af() address path
+    # ------------------------------------------------------------------ #
+    def decode(self, x_bits: np.ndarray) -> np.ndarray:
+        """Region index (0 .. depth-1) for each encoded input element."""
+        if not self._loaded:
+            raise HardwareError("ADU breakpoints not loaded (run ld.bp first)")
+        x_bits = np.atleast_1d(np.asarray(x_bits, dtype=np.uint64))
+        addr = np.zeros(x_bits.shape, dtype=np.int64)
+        for s, mem in enumerate(self._stages):
+            node_bits = mem.read_vector(addr, self.dtype)
+            cmpo = self._comparator.cmpo(x_bits, node_bits)
+            addr = 2 * addr + cmpo.astype(np.int64)
+        return addr
+
+    @property
+    def memory_bytes(self) -> int:
+        """Total breakpoint storage (constant across data types)."""
+        return sum(mem.total_bytes for mem in self._stages)

@@ -1,0 +1,32 @@
+"""SIMD comparator supporting fixed- and floating-point operands.
+
+The ADU compares the incoming element with a stored breakpoint every
+cycle.  One unsigned integer comparator serves all formats by mapping
+encodings through the order-preserving transforms of
+:mod:`repro.numerics.ordered` (sign-bit XOR for two's complement,
+sign-magnitude fold for floats) — a handful of XOR gates in hardware.
+
+The comparison is *greater-or-equal*, so the final leaf address equals
+``searchsorted(breakpoints, x, side="right")`` on real values: an input
+exactly on a breakpoint selects the right-hand segment.  Both conventions
+are valid hardware; tests pin this one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..numerics.ordered import compare_encoded
+from .dtypes import HwDataType
+
+
+class SimdComparator:
+    """Compares encoded operands; yields the ``cmpo`` signal per lane."""
+
+    def __init__(self, dtype: HwDataType) -> None:
+        self.dtype = dtype
+
+    def cmpo(self, x_bits: np.ndarray, bp_bits: np.ndarray) -> np.ndarray:
+        """1 where ``x >= breakpoint`` (encoded domain), else 0."""
+        return compare_encoded(x_bits, bp_bits, self.dtype.bits,
+                               self.dtype.kind, greater_equal=True)

@@ -1,0 +1,123 @@
+"""Hardware data types: the 8/16/32-bit fixed and float operand formats.
+
+Flex-SFU's memories are byte-sliced, so the unit sees every operand as
+1, 2 or 4 bytes plus a *kind* (two's-complement fixed point or IEEE-style
+float) that selects the comparator mapping.  :class:`HwDataType` bundles a
+software codec (:mod:`repro.numerics`) with that hardware view.
+
+Fixed-point formats need a binary-point position, which depends on the
+value range of the activation being approximated; :meth:`HwDataType.fixed`
+and :func:`fixed_for_range` pick it explicitly or from a range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from ..errors import HardwareError
+from ..numerics.fixedpoint import FixedPointFormat
+from ..numerics.floatformat import FP8_E4M3, FP16, FP32, FloatFormat
+from ..numerics.ordered import KIND_FIXED, KIND_FLOAT
+
+NumberFormat = Union[FixedPointFormat, FloatFormat]
+
+_FLOAT_PRESETS = {8: FP8_E4M3, 16: FP16, 32: FP32}
+
+
+@dataclass(frozen=True)
+class HwDataType:
+    """An operand format as the hardware sees it."""
+
+    name: str
+    fmt: NumberFormat
+
+    @classmethod
+    def float(cls, bits: int) -> "HwDataType":
+        """The float format of a given width (fp8-e4m3 / fp16 / fp32)."""
+        if bits not in _FLOAT_PRESETS:
+            raise HardwareError(f"no float preset for {bits} bits")
+        fmt = _FLOAT_PRESETS[bits]
+        return cls(name=fmt.name, fmt=fmt)
+
+    @classmethod
+    def fixed(cls, bits: int, frac_bits: int) -> "HwDataType":
+        """A two's-complement fixed-point format."""
+        fmt = FixedPointFormat(bits, frac_bits)
+        return cls(name=fmt.name.lower(), fmt=fmt)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def bits(self) -> int:
+        """Operand width in bits (8, 16 or 32)."""
+        return self.fmt.total_bits
+
+    @property
+    def n_bytes(self) -> int:
+        """Operand width in bytes (1, 2 or 4)."""
+        return self.bits // 8
+
+    @property
+    def kind(self) -> str:
+        """Comparator mapping kind ("fixed" or "float")."""
+        return KIND_FIXED if isinstance(self.fmt, FixedPointFormat) else KIND_FLOAT
+
+    @property
+    def elements_per_word(self) -> int:
+        """SIMD elements per 32-bit datapath word (4, 2 or 1)."""
+        return 4 // self.n_bytes
+
+    # ------------------------------------------------------------------ #
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Real values -> raw bit patterns (uint64)."""
+        if isinstance(self.fmt, FixedPointFormat):
+            return self.fmt.to_bits(values)
+        return np.asarray(self.fmt.encode(values), dtype=np.uint64)
+
+    def decode(self, bits: np.ndarray) -> np.ndarray:
+        """Raw bit patterns -> real values (float64)."""
+        if isinstance(self.fmt, FixedPointFormat):
+            return self.fmt.from_bits(bits)
+        return np.asarray(self.fmt.decode(np.asarray(bits, dtype=np.uint64)
+                                          .astype(np.uint32)), dtype=np.float64)
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Round-trip real values through the format."""
+        return self.decode(self.encode(values))
+
+    def to_bytes(self, bits: np.ndarray) -> np.ndarray:
+        """Split bit patterns into little-endian byte slices.
+
+        Returns shape ``(n_elements, n_bytes)`` of uint8 — slice ``k`` is
+        the byte stored in memory bank ``k`` (Fig. 3 subscripts).
+        """
+        b = np.atleast_1d(np.asarray(bits, dtype=np.uint64))
+        shifts = np.arange(self.n_bytes, dtype=np.uint64) * np.uint64(8)
+        return ((b[:, None] >> shifts[None, :]) & np.uint64(0xFF)).astype(np.uint8)
+
+    def from_bytes(self, byte_slices: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`to_bytes` (shape ``(n, n_bytes)`` -> uint64)."""
+        arr = np.asarray(byte_slices, dtype=np.uint64)
+        if arr.ndim != 2 or arr.shape[1] != self.n_bytes:
+            raise HardwareError(
+                f"expected shape (n, {self.n_bytes}), got {arr.shape}"
+            )
+        shifts = np.arange(self.n_bytes, dtype=np.uint64) * np.uint64(8)
+        return np.bitwise_or.reduce(arr << shifts[None, :], axis=1)
+
+
+def fixed_for_range(bits: int, lo: float, hi: float) -> HwDataType:
+    """Fixed-point dtype with maximum resolution covering ``[lo, hi]``."""
+    fmt = FixedPointFormat.for_range(bits, lo, hi)
+    return HwDataType(name=fmt.name.lower(), fmt=fmt)
+
+
+#: Convenience presets.
+FP8 = HwDataType.float(8)
+FP16_T = HwDataType.float(16)
+FP32_T = HwDataType.float(32)
+INT8_Q3_4 = HwDataType.fixed(8, 4)
+INT16_Q7_8 = HwDataType.fixed(16, 8)
+INT32_Q15_16 = HwDataType.fixed(32, 16)

@@ -1,0 +1,104 @@
+"""The three custom instructions extending the VPU ISA.
+
+Flex-SFU is driven by ``ld.bp()`` (load breakpoints), ``ld.cf()`` (load
+segment coefficients) and ``exe.af()`` (stream inputs through the
+pipeline).  The loads run once per activation function — and can be
+pre-executed while the tensor core is still producing inputs — after
+which any number of ``exe.af()`` calls reuse the tables.
+
+The 32-bit encoding (fields chosen for this model; any real integration
+would adopt the host VPU's format):
+
+====== ========== =====================================================
+bits   field      meaning
+====== ========== =====================================================
+31:28  opcode     1 = ld.bp, 2 = ld.cf, 3 = exe.af
+27:24  dtype      operand format code (:data:`DTYPE_CODES`)
+23:20  depth_log2 log2 of the LTC depth the tables target
+19:0   count      number of elements / table entries to transfer
+====== ========== =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import HardwareError
+
+OP_LD_BP = 1
+OP_LD_CF = 2
+OP_EXE_AF = 3
+
+_OPCODES = {OP_LD_BP: "ld.bp", OP_LD_CF: "ld.cf", OP_EXE_AF: "exe.af"}
+
+#: Operand-format codes carried in the instruction word.
+DTYPE_CODES = {
+    "int8": 0, "int16": 1, "int32": 2,
+    "fp8-e4m3": 4, "fp16": 5, "fp32": 6,
+}
+_CODE_TO_DTYPE = {v: k for k, v in DTYPE_CODES.items()}
+
+#: Cycles spent decoding/issuing one instruction before data moves.
+ISSUE_CYCLES = 2
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded Flex-SFU instruction."""
+
+    opcode: int
+    dtype_code: int
+    depth_log2: int
+    count: int
+
+    @property
+    def mnemonic(self) -> str:
+        """Assembly-style name."""
+        return _OPCODES[self.opcode]
+
+    @property
+    def dtype_name(self) -> str:
+        """Operand format name."""
+        return _CODE_TO_DTYPE[self.dtype_code]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{self.mnemonic}(dtype={self.dtype_name}, "
+                f"depth={1 << self.depth_log2}, count={self.count})")
+
+
+def dtype_code_for(name: str, bits: int) -> int:
+    """Instruction dtype code for a format name, with fixed fallback."""
+    if name in DTYPE_CODES:
+        return DTYPE_CODES[name]
+    # Fixed-point formats are named like "q3.4"; map by width.
+    return {8: 0, 16: 1, 32: 2}[bits]
+
+
+def encode_instruction(instr: Instruction) -> np.uint32:
+    """Pack an :class:`Instruction` into its 32-bit word."""
+    if instr.opcode not in _OPCODES:
+        raise HardwareError(f"unknown opcode {instr.opcode}")
+    if not 0 <= instr.dtype_code < 16:
+        raise HardwareError(f"dtype code out of range: {instr.dtype_code}")
+    if not 0 <= instr.depth_log2 < 16:
+        raise HardwareError(f"depth_log2 out of range: {instr.depth_log2}")
+    if not 0 <= instr.count < (1 << 20):
+        raise HardwareError(f"count out of range: {instr.count}")
+    word = (instr.opcode << 28) | (instr.dtype_code << 24) \
+        | (instr.depth_log2 << 20) | instr.count
+    return np.uint32(word)
+
+
+def decode_instruction(word: np.uint32) -> Instruction:
+    """Unpack a 32-bit word into an :class:`Instruction`."""
+    w = int(word)
+    opcode = (w >> 28) & 0xF
+    if opcode not in _OPCODES:
+        raise HardwareError(f"unknown opcode {opcode} in word {w:#010x}")
+    dtype_code = (w >> 24) & 0xF
+    if dtype_code not in _CODE_TO_DTYPE:
+        raise HardwareError(f"unknown dtype code {dtype_code} in word {w:#010x}")
+    return Instruction(opcode=opcode, dtype_code=dtype_code,
+                       depth_log2=(w >> 20) & 0xF, count=w & 0xFFFFF)

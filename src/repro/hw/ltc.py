@@ -1,0 +1,68 @@
+"""Lookup-Table Cluster: per-segment coefficient storage.
+
+The LTC stores the slope/intercept pair ``(m_r, q_r)`` of every segment.
+Per Fig. 3 the memories are four byte-wide banks whose word packs the two
+coefficients (bit-width = 8-bit minimum element x 2 coefficients); we
+model that as two parallel :class:`SimdSinglePortMemory` instances — the
+same geometry, addressed by the region index the ADU produces.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import HardwareError
+from .dtypes import HwDataType
+from .memory import SimdSinglePortMemory
+
+
+class LookupTableCluster:
+    """Coefficient store for ``depth`` segments."""
+
+    def __init__(self, depth: int, dtype: HwDataType) -> None:
+        if depth < 1:
+            raise HardwareError(f"LTC depth must be >= 1, got {depth}")
+        self.depth = int(depth)
+        self.dtype = dtype
+        self._slopes = SimdSinglePortMemory(self.depth)
+        self._intercepts = SimdSinglePortMemory(self.depth)
+        self._loaded = False
+
+    # ------------------------------------------------------------------ #
+    # ld.cf()
+    # ------------------------------------------------------------------ #
+    def load_coefficients(self, m_bits: np.ndarray, q_bits: np.ndarray) -> int:
+        """Store the per-segment coefficients; returns write cycles.
+
+        Slope and intercept words are written in the same cycle (separate
+        banks), so the cost is ``depth`` cycles.
+        """
+        m_bits = np.atleast_1d(np.asarray(m_bits, dtype=np.uint64))
+        q_bits = np.atleast_1d(np.asarray(q_bits, dtype=np.uint64))
+        if m_bits.size != self.depth or q_bits.size != self.depth:
+            raise HardwareError(
+                f"expected {self.depth} coefficient pairs, got "
+                f"{m_bits.size} slopes / {q_bits.size} intercepts"
+            )
+        cycles = self._slopes.load_table(m_bits, self.dtype)
+        self._intercepts.load_table(q_bits, self.dtype)
+        self._loaded = True
+        return cycles
+
+    # ------------------------------------------------------------------ #
+    # exe.af() coefficient fetch
+    # ------------------------------------------------------------------ #
+    def read(self, addresses: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Fetch ``(m_bits, q_bits)`` for each region address."""
+        if not self._loaded:
+            raise HardwareError("LTC coefficients not loaded (run ld.cf first)")
+        m = self._slopes.read_vector(addresses, self.dtype)
+        q = self._intercepts.read_vector(addresses, self.dtype)
+        return m, q
+
+    @property
+    def memory_bytes(self) -> int:
+        """Total coefficient storage (constant across data types)."""
+        return self._slopes.total_bytes + self._intercepts.total_bytes

@@ -1,0 +1,38 @@
+"""Multiply-add unit (the VPU datapath Flex-SFU feeds).
+
+Flex-SFU itself produces only the coefficients; the host VPU's MADD units
+compute ``y = m*x + q``.  We model a fused multiply-add evaluated exactly
+(float64 intermediate — real datapaths carry guard bits for this) with a
+single rounding of the result into the operand format, which matches the
+tables' :meth:`~repro.core.tables.HardwareTables.reference_eval` bit for
+bit.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .dtypes import HwDataType
+
+
+class MaddUnit:
+    """Format-aware fused multiply-add: ``round(m * x + q)``."""
+
+    def __init__(self, dtype: HwDataType) -> None:
+        self.dtype = dtype
+
+    def compute_bits(self, x_bits: np.ndarray, m_bits: np.ndarray,
+                     q_bits: np.ndarray) -> np.ndarray:
+        """Encoded operands in, encoded activation out."""
+        x = self.dtype.decode(x_bits)
+        m = self.dtype.decode(m_bits)
+        q = self.dtype.decode(q_bits)
+        return self.dtype.encode(m * x + q)
+
+    def compute(self, x_bits: np.ndarray, m_bits: np.ndarray,
+                q_bits: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Like :meth:`compute_bits` but also returns decoded reals."""
+        y_bits = self.compute_bits(x_bits, m_bits, q_bits)
+        return y_bits, self.dtype.decode(y_bits)

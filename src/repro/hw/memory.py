@@ -1,0 +1,112 @@
+"""SIMD single-port memory model (Fig. 3 memory-mapping strategy).
+
+Each Flex-SFU table (ADU breakpoints per BST stage, LTC slopes, LTC
+intercepts) is held in **four byte-wide single-port banks**.  The mapping
+guarantees one access per bank per cycle at full SIMD rate:
+
+* **8-bit data** — every bank stores a full copy of the table, so four
+  independent elements can each look up their own address in one cycle;
+* **16-bit data** — banks (0,1) and (2,3) each hold a lo/hi-byte copy of
+  the table, serving two elements per cycle;
+* **32-bit data** — the four banks jointly store one copy (byte slice
+  ``k`` in bank ``k``), serving one element per cycle.
+
+Storage is constant across data types (``depth * 4`` bytes per table),
+which is the paper's "linear throughput scaling with constant on-chip
+memory usage" property.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import HardwareError
+from .dtypes import HwDataType
+
+N_BANKS = 4
+
+
+class SimdSinglePortMemory:
+    """Four byte-wide banks of ``depth`` rows with the Fig. 3 mapping."""
+
+    def __init__(self, depth: int) -> None:
+        if depth < 1:
+            raise HardwareError(f"memory depth must be >= 1, got {depth}")
+        self.depth = int(depth)
+        self._banks = np.zeros((self.depth, N_BANKS), dtype=np.uint8)
+
+    # ------------------------------------------------------------------ #
+    # Table load (ld.bp / ld.cf)
+    # ------------------------------------------------------------------ #
+    def load_table(self, bits: np.ndarray, dtype: HwDataType) -> int:
+        """Write an encoded table; returns the write cycles consumed.
+
+        One row is written per cycle (all four banks in parallel — a
+        single port per bank still allows one write each).
+        """
+        bits = np.atleast_1d(np.asarray(bits, dtype=np.uint64))
+        if bits.size > self.depth:
+            raise HardwareError(
+                f"table of {bits.size} entries exceeds memory depth {self.depth}"
+            )
+        slices = dtype.to_bytes(bits)  # (n, n_bytes)
+        n = bits.size
+        reps = N_BANKS // dtype.n_bytes
+        # Replicate the byte slices across bank groups per the mapping.
+        row = np.tile(slices, (1, reps))  # (n, 4)
+        self._banks[:n, :] = row
+        return n
+
+    # ------------------------------------------------------------------ #
+    # SIMD read (exe.af)
+    # ------------------------------------------------------------------ #
+    def read_lanes(self, addresses: np.ndarray, dtype: HwDataType) -> np.ndarray:
+        """Per-lane reads: lane ``j`` reads its bank group at its address.
+
+        ``addresses`` has one entry per lane (``elements_per_word``
+        lanes).  Returns the raw encodings, one per lane.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        lanes = dtype.elements_per_word
+        if addresses.shape != (lanes,):
+            raise HardwareError(
+                f"expected {lanes} lane addresses for {dtype.name}, got {addresses.shape}"
+            )
+        if np.any((addresses < 0) | (addresses >= self.depth)):
+            raise HardwareError("lane address out of range")
+        nb = dtype.n_bytes
+        out = np.empty(lanes, dtype=np.uint64)
+        for lane in range(lanes):
+            banks = slice(lane * nb, (lane + 1) * nb)
+            row = self._banks[addresses[lane], banks]
+            out[lane] = dtype.from_bytes(row[None, :])[0]
+        return out
+
+    def read_vector(self, addresses: np.ndarray, dtype: HwDataType) -> np.ndarray:
+        """Vectorised multi-cycle view: many elements, one address each.
+
+        Elements are assigned to lanes round-robin (element ``i`` uses
+        lane ``i % lanes``); every bank still serves one byte per element
+        in its group, so this models back-to-back cycles of
+        :meth:`read_lanes` without the Python loop.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if np.any((addresses < 0) | (addresses >= self.depth)):
+            raise HardwareError("address out of range")
+        nb = dtype.n_bytes
+        lanes = dtype.elements_per_word
+        lane_of = np.arange(addresses.size) % lanes
+        first_bank = lane_of * nb
+        cols = first_bank[:, None] + np.arange(nb)[None, :]
+        rows = self._banks[addresses[:, None], cols]
+        return dtype.from_bytes(rows)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_bytes(self) -> int:
+        """Storage footprint in bytes (constant across data types)."""
+        return self.depth * N_BANKS
+
+    def raw(self) -> np.ndarray:
+        """Copy of the raw bank contents (tests / debugging)."""
+        return self._banks.copy()

@@ -1,0 +1,135 @@
+"""Closed-form performance model (Fig. 4 and Table I timing).
+
+The cycle math duplicates :class:`~repro.hw.sfu.FlexSfuUnit` so Fig. 4's
+full sweep (tensor sizes 2..8192 32-bit words x bit-widths x LTC depths)
+can be produced without instantiating memories; an integration test pins
+the two implementations together.
+
+Conventions from the paper's evaluation:
+
+* tensor sizes are counted in 32-bit words, so one word carries 4/2/1
+  activations for 8/16/32-bit data;
+* reported time includes ``ld.bp`` + ``ld.cf`` + ``exe.af``;
+* frequency 600 MHz, Nc = 1 unless stated.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import HardwareError
+from .isa import ISSUE_CYCLES
+from .sfu import BASE_PIPELINE_STAGES
+
+
+def latency_cycles(depth: int) -> int:
+    """Pipeline latency (Table I): ``5 + log2(depth)``."""
+    if depth < 2 or depth & (depth - 1):
+        raise HardwareError(f"depth must be a power of two >= 2, got {depth}")
+    return BASE_PIPELINE_STAGES + int(math.log2(depth))
+
+
+def load_cycles(depth: int) -> int:
+    """``ld.bp`` + ``ld.cf`` cycles: one table row per cycle each."""
+    return (ISSUE_CYCLES + depth - 1) + (ISSUE_CYCLES + depth)
+
+
+def exe_cycles(n_elements: int, bits: int, depth: int, n_clusters: int = 1) -> int:
+    """``exe.af`` cycles for a tensor of ``n_elements`` activations."""
+    if bits not in (8, 16, 32):
+        raise HardwareError(f"unsupported element width {bits}")
+    epc = (32 // bits) * n_clusters
+    beats = -(-n_elements // epc)
+    return ISSUE_CYCLES + latency_cycles(depth) + beats - 1
+
+
+def elements_in_words(n_words_32b: int, bits: int) -> int:
+    """Activations contained in ``n_words_32b`` 32-bit words."""
+    return n_words_32b * (32 // bits)
+
+
+def total_cycles(n_words_32b: int, bits: int, depth: int,
+                 n_clusters: int = 1, include_load: bool = True) -> int:
+    """End-to-end cycles for one activation call on a fresh function."""
+    n = elements_in_words(n_words_32b, bits)
+    cycles = exe_cycles(n, bits, depth, n_clusters)
+    if include_load:
+        cycles += load_cycles(depth)
+    return cycles
+
+
+def throughput_gact_s(n_words_32b: int, bits: int, depth: int,
+                      n_clusters: int = 1, freq_mhz: float = 600.0,
+                      include_load: bool = True) -> float:
+    """Achieved throughput in GAct/s (the Fig. 4 y-axis)."""
+    n = elements_in_words(n_words_32b, bits)
+    cycles = total_cycles(n_words_32b, bits, depth, n_clusters, include_load)
+    return n / cycles * freq_mhz / 1e3
+
+
+def steady_state_gact_s(bits: int, n_clusters: int = 1,
+                        freq_mhz: float = 600.0) -> float:
+    """Saturated throughput: 2.4 / 1.2 / 0.6 GAct/s for 8/16/32-bit."""
+    return (32 // bits) * n_clusters * freq_mhz / 1e3
+
+
+@dataclass(frozen=True)
+class ThroughputPoint:
+    """One point of the Fig. 4 sweep."""
+
+    n_words_32b: int
+    bits: int
+    depth: int
+    gact_s: float
+
+
+def figure4_sweep(sizes: Sequence[int] = tuple(2 ** k for k in range(1, 14)),
+                  bit_widths: Sequence[int] = (8, 16, 32),
+                  depths: Sequence[int] = (4, 8, 16, 32, 64),
+                  n_clusters: int = 1, freq_mhz: float = 600.0
+                  ) -> list[ThroughputPoint]:
+    """The full Fig. 4 grid: throughput vs tensor size per (bits, depth)."""
+    points = []
+    for bits in bit_widths:
+        for depth in depths:
+            for n in sizes:
+                points.append(ThroughputPoint(
+                    n_words_32b=int(n), bits=int(bits), depth=int(depth),
+                    gact_s=throughput_gact_s(n, bits, depth, n_clusters,
+                                             freq_mhz)))
+    return points
+
+
+def saturation_size(bits: int, depth: int, n_clusters: int = 1,
+                    fraction: float = 0.90) -> int:
+    """Smallest 32-bit-word tensor reaching ``fraction`` of steady state.
+
+    The paper observes steady-state behaviour for tensors larger than
+    256 words across all configurations.
+    """
+    target = fraction * steady_state_gact_s(bits, n_clusters)
+    n = 1
+    while throughput_gact_s(n, bits, depth, n_clusters) < target:
+        n *= 2
+        if n > 1 << 24:  # pragma: no cover - defensive
+            raise HardwareError("saturation size diverged")
+    # binary refine between n/2 and n
+    lo, hi = max(n // 2, 1), n
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if throughput_gact_s(mid, bits, depth, n_clusters) < target:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def energy_efficiency_gact_s_w(bits: int, depth: int, power_mw: float,
+                               n_clusters: int = 1,
+                               freq_mhz: float = 600.0) -> float:
+    """Steady-state GAct/s per watt (paper: 158 .. 1722 GAct/s/W)."""
+    return steady_state_gact_s(bits, n_clusters, freq_mhz) / (power_mw / 1e3)

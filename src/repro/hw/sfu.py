@@ -1,0 +1,146 @@
+"""Top-level Flex-SFU unit: functional simulation plus cycle timing.
+
+The unit chains the data control unit (modelled as the sequencing logic
+of this class), the ADU's BST pipeline, the LTC coefficient fetch and the
+VPU MADD units, exactly as Fig. 3.  Functional behaviour is bit-level
+(operands move as encoded words through byte-sliced memories); timing is
+the pipeline model validated against Table I and Fig. 4:
+
+* pipeline latency = ``5 + log2(depth)`` cycles — 1 dispatch stage,
+  ``log2(depth)`` ADU stages, 1 LTC stage, 2 MADD stages, 1 writeback —
+  reproducing Table I's 7..11 cycles for depths 4..64;
+* steady-state throughput = ``4 bytes / element size`` elements per cycle
+  per cluster (the byte-sliced memories serve 4/2/1 lanes for
+  8/16/32-bit data), times ``n_clusters`` (the paper's Nc).
+
+``ld.bp`` / ``ld.cf`` write one table row per cycle; ``exe.af`` streams
+the tensor through the pipeline.  Every instruction pays
+:data:`~repro.hw.isa.ISSUE_CYCLES` of decode overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.tables import HardwareTables
+from ..errors import HardwareError
+from .adu import AddressDecodingUnit
+from .dtypes import HwDataType
+from .isa import ISSUE_CYCLES
+from .ltc import LookupTableCluster
+from .madd import MaddUnit
+
+#: Non-ADU pipeline stages: dispatch, LTC read, 2x MADD, writeback.
+BASE_PIPELINE_STAGES = 5
+
+
+@dataclass(frozen=True)
+class ExecutionReport:
+    """Result of streaming one tensor through ``exe.af()``."""
+
+    outputs: np.ndarray          # decoded activation values
+    output_bits: np.ndarray     # raw encodings
+    cycles: int                  # total cycles including issue overhead
+    elements: int
+
+    def throughput_elements_per_cycle(self) -> float:
+        """Achieved elements per cycle for this tensor."""
+        return self.elements / self.cycles
+
+
+class FlexSfuUnit:
+    """One Flex-SFU instance (Nc identical clusters)."""
+
+    def __init__(self, dtype: HwDataType, depth: int, n_clusters: int = 1,
+                 freq_mhz: float = 600.0) -> None:
+        if depth < 2 or depth & (depth - 1):
+            raise HardwareError(f"depth must be a power of two >= 2, got {depth}")
+        if n_clusters < 1:
+            raise HardwareError(f"n_clusters must be >= 1, got {n_clusters}")
+        self.dtype = dtype
+        self.depth = int(depth)
+        self.n_clusters = int(n_clusters)
+        self.freq_mhz = float(freq_mhz)
+        self.adu = AddressDecodingUnit(depth, dtype)
+        self.ltc = LookupTableCluster(depth, dtype)
+        self.madd = MaddUnit(dtype)
+        self._configured = False
+
+    # ------------------------------------------------------------------ #
+    # Timing properties
+    # ------------------------------------------------------------------ #
+    @property
+    def latency_cycles(self) -> int:
+        """Pipeline depth in cycles (Table I row 1)."""
+        return BASE_PIPELINE_STAGES + self.adu.n_stages
+
+    @property
+    def elements_per_cycle(self) -> int:
+        """Steady-state throughput in elements per cycle."""
+        return self.dtype.elements_per_word * self.n_clusters
+
+    @property
+    def steady_state_gact_s(self) -> float:
+        """Saturated throughput in giga-activations per second."""
+        return self.elements_per_cycle * self.freq_mhz / 1e3
+
+    # ------------------------------------------------------------------ #
+    # Instructions
+    # ------------------------------------------------------------------ #
+    def ld_bp(self, tables: HardwareTables) -> int:
+        """Load breakpoints (``ld.bp()``); returns cycles consumed."""
+        self._check_tables(tables)
+        write_cycles = self.adu.load_breakpoints(tables.breakpoint_bits)
+        return ISSUE_CYCLES + write_cycles
+
+    def ld_cf(self, tables: HardwareTables) -> int:
+        """Load segment coefficients (``ld.cf()``); returns cycles."""
+        self._check_tables(tables)
+        write_cycles = self.ltc.load_coefficients(tables.slope_bits,
+                                                  tables.intercept_bits)
+        self._configured = True
+        return ISSUE_CYCLES + write_cycles
+
+    def configure(self, tables: HardwareTables) -> int:
+        """Run ``ld.bp`` + ``ld.cf``; returns total configuration cycles."""
+        return self.ld_bp(tables) + self.ld_cf(tables)
+
+    def exe_af(self, x: np.ndarray) -> ExecutionReport:
+        """Stream a tensor through the pipeline (``exe.af()``)."""
+        if not self._configured:
+            raise HardwareError("Flex-SFU not configured (run ld.bp / ld.cf)")
+        x = np.atleast_1d(np.asarray(x, dtype=np.float64)).ravel()
+        x_bits = self.dtype.encode(x)
+        addr = self.adu.decode(x_bits)
+        m_bits, q_bits = self.ltc.read(addr)
+        y_bits, y = self.madd.compute(x_bits, m_bits, q_bits)
+        n = x.size
+        beats = -(-n // self.elements_per_cycle)  # ceil division
+        cycles = ISSUE_CYCLES + self.latency_cycles + beats - 1
+        return ExecutionReport(outputs=y, output_bits=y_bits,
+                               cycles=int(cycles), elements=int(n))
+
+    # ------------------------------------------------------------------ #
+    # Convenience
+    # ------------------------------------------------------------------ #
+    def run(self, tables: HardwareTables, x: np.ndarray) -> ExecutionReport:
+        """Configure and execute in one call (cycles include the loads)."""
+        load_cycles = self.configure(tables)
+        report = self.exe_af(x)
+        return ExecutionReport(outputs=report.outputs,
+                               output_bits=report.output_bits,
+                               cycles=report.cycles + load_cycles,
+                               elements=report.elements)
+
+    def _check_tables(self, tables: HardwareTables) -> None:
+        if tables.depth != self.depth:
+            raise HardwareError(
+                f"tables depth {tables.depth} != unit depth {self.depth}"
+            )
+        if tables.total_bits != self.dtype.bits:
+            raise HardwareError(
+                f"tables are {tables.total_bits}-bit but unit runs "
+                f"{self.dtype.bits}-bit operands"
+            )

@@ -1,0 +1,188 @@
+"""Signed fixed-point formats (Qm.n) used by the Flex-SFU datapath.
+
+The hardware stores breakpoints and segment coefficients in 8-, 16- or
+32-bit memories.  For fixed-point operation the values are two's-complement
+integers with an implied binary point: a ``FixedPointFormat(total_bits=16,
+frac_bits=8)`` value ``v`` is stored as ``round(v * 2**8)`` clamped to the
+signed 16-bit range.
+
+The module provides a vectorised quantise / encode / decode path plus the
+metadata (scale, representable range, resolution) the rest of the stack
+needs to reason about quantisation error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import FormatError
+
+#: Rounding mode identifiers accepted by :meth:`FixedPointFormat.quantize`.
+ROUND_NEAREST_EVEN = "nearest-even"
+ROUND_NEAREST_AWAY = "nearest-away"
+ROUND_TRUNCATE = "truncate"
+ROUND_FLOOR = "floor"
+
+_ROUNDING_MODES = (
+    ROUND_NEAREST_EVEN,
+    ROUND_NEAREST_AWAY,
+    ROUND_TRUNCATE,
+    ROUND_FLOOR,
+)
+
+_STORAGE_DTYPES = {8: np.int8, 16: np.int16, 32: np.int32}
+
+
+def _round(scaled: np.ndarray, mode: str) -> np.ndarray:
+    """Round ``scaled`` (real-valued multiples of 1 LSB) to integers."""
+    if mode == ROUND_NEAREST_EVEN:
+        return np.rint(scaled)
+    if mode == ROUND_NEAREST_AWAY:
+        return np.sign(scaled) * np.floor(np.abs(scaled) + 0.5)
+    if mode == ROUND_TRUNCATE:
+        return np.trunc(scaled)
+    if mode == ROUND_FLOOR:
+        return np.floor(scaled)
+    raise FormatError(f"unknown rounding mode {mode!r}; expected one of {_ROUNDING_MODES}")
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A signed two's-complement fixed-point format.
+
+    Parameters
+    ----------
+    total_bits:
+        Storage width.  The Flex-SFU memories support 8, 16 and 32 bits.
+    frac_bits:
+        Number of fractional bits (may exceed ``total_bits - 1`` for
+        pure-fraction formats, or be negative for coarse formats).
+    name:
+        Optional human-readable name, e.g. ``"Q7.8"``.
+    """
+
+    total_bits: int
+    frac_bits: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.total_bits not in _STORAGE_DTYPES:
+            raise FormatError(
+                f"total_bits must be one of {sorted(_STORAGE_DTYPES)}, got {self.total_bits}"
+            )
+        if not self.name:
+            int_bits = self.total_bits - 1 - self.frac_bits
+            object.__setattr__(self, "name", f"Q{int_bits}.{self.frac_bits}")
+
+    # ------------------------------------------------------------------ #
+    # Metadata
+    # ------------------------------------------------------------------ #
+    @property
+    def scale(self) -> float:
+        """Value of one least-significant bit."""
+        return float(2.0 ** -self.frac_bits)
+
+    @property
+    def int_min(self) -> int:
+        """Smallest storable integer (two's complement)."""
+        return -(1 << (self.total_bits - 1))
+
+    @property
+    def int_max(self) -> int:
+        """Largest storable integer (two's complement)."""
+        return (1 << (self.total_bits - 1)) - 1
+
+    @property
+    def min_value(self) -> float:
+        """Most negative representable real value."""
+        return self.int_min * self.scale
+
+    @property
+    def max_value(self) -> float:
+        """Most positive representable real value."""
+        return self.int_max * self.scale
+
+    @property
+    def resolution(self) -> float:
+        """Distance between adjacent representable values (= scale)."""
+        return self.scale
+
+    @property
+    def storage_dtype(self) -> np.dtype:
+        """Numpy dtype used to hold the encoded integers."""
+        return np.dtype(_STORAGE_DTYPES[self.total_bits])
+
+    # ------------------------------------------------------------------ #
+    # Conversion
+    # ------------------------------------------------------------------ #
+    def encode(self, values: np.ndarray, rounding: str = ROUND_NEAREST_EVEN) -> np.ndarray:
+        """Encode real values to two's-complement integers (saturating)."""
+        values = np.asarray(values, dtype=np.float64)
+        scaled = values * (2.0 ** self.frac_bits)
+        ints = _round(scaled, rounding)
+        ints = np.clip(ints, self.int_min, self.int_max)
+        return ints.astype(self.storage_dtype)
+
+    def decode(self, ints: np.ndarray) -> np.ndarray:
+        """Decode two's-complement integers back to real values."""
+        ints = np.asarray(ints)
+        return ints.astype(np.float64) * self.scale
+
+    def quantize(self, values: np.ndarray, rounding: str = ROUND_NEAREST_EVEN) -> np.ndarray:
+        """Round-trip real values through the format (saturating)."""
+        return self.decode(self.encode(values, rounding=rounding))
+
+    def to_bits(self, values: np.ndarray, rounding: str = ROUND_NEAREST_EVEN) -> np.ndarray:
+        """Encode to raw unsigned bit patterns (for the memory model)."""
+        ints = self.encode(values, rounding=rounding).astype(np.int64)
+        mask = (1 << self.total_bits) - 1
+        return (ints & mask).astype(np.uint64)
+
+    def from_bits(self, bits: np.ndarray) -> np.ndarray:
+        """Decode raw unsigned bit patterns to real values."""
+        bits = np.asarray(bits, dtype=np.uint64).astype(np.int64)
+        sign_bit = np.int64(1) << (self.total_bits - 1)
+        mask = (np.int64(1) << self.total_bits) - 1
+        bits = bits & mask
+        ints = np.where(bits & sign_bit, bits - (np.int64(1) << self.total_bits), bits)
+        return ints.astype(np.float64) * self.scale
+
+    def representable(self, values: np.ndarray) -> np.ndarray:
+        """Boolean mask of values that encode without saturation or error."""
+        values = np.asarray(values, dtype=np.float64)
+        in_range = (values >= self.min_value) & (values <= self.max_value)
+        exact = values == self.quantize(values)
+        return in_range & exact
+
+    # ------------------------------------------------------------------ #
+    # Helpers for choosing a format
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def for_range(cls, total_bits: int, lo: float, hi: float) -> "FixedPointFormat":
+        """Widest-fraction format of ``total_bits`` covering ``[lo, hi]``.
+
+        Picks the largest ``frac_bits`` such that both interval endpoints
+        are within the representable range, maximising resolution.
+        """
+        if hi < lo:
+            raise FormatError(f"empty range [{lo}, {hi}]")
+        magnitude = max(abs(lo), abs(hi), 2.0 ** -(total_bits - 1))
+        # Integer bits needed to cover `magnitude` with a sign bit.
+        int_bits = int(np.ceil(np.log2(magnitude)))
+        # Guard: positive endpoint must fit below int_max * scale.
+        while True:
+            frac_bits = total_bits - 1 - int_bits
+            fmt = cls(total_bits=total_bits, frac_bits=frac_bits)
+            if fmt.min_value <= lo and hi <= fmt.max_value:
+                return fmt
+            int_bits += 1
+
+
+#: Common presets used throughout the hardware model.
+Q0_7 = FixedPointFormat(8, 7)
+Q3_4 = FixedPointFormat(8, 4)
+Q7_8 = FixedPointFormat(16, 8)
+Q3_12 = FixedPointFormat(16, 12)
+Q15_16 = FixedPointFormat(32, 16)

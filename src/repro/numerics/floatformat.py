@@ -1,0 +1,263 @@
+"""Generic IEEE-754-style minifloat codec.
+
+Flex-SFU supports 8-, 16- and 32-bit floating-point operands.  This module
+implements a software codec for arbitrary ``(exponent bits, mantissa bits)``
+formats — covering FP8 (E4M3 / E5M2), FP16, BF16 and FP32 — with
+round-to-nearest-even, gradual underflow (subnormals) and saturating or
+infinite overflow.
+
+The codec works on raw bit patterns (``uint32``) so the hardware memory and
+comparator models can operate on the exact words a silicon implementation
+would store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import FormatError
+
+#: Overflow policies.
+OVERFLOW_INF = "inf"
+OVERFLOW_SATURATE = "saturate"
+
+
+@dataclass(frozen=True)
+class FloatFormat:
+    """An IEEE-754-like binary floating-point format.
+
+    Parameters
+    ----------
+    exp_bits:
+        Width of the exponent field.
+    man_bits:
+        Width of the (explicit) mantissa field.
+    name:
+        Human-readable name.
+    overflow:
+        ``"inf"`` for IEEE behaviour (values beyond the max finite round to
+        infinity), ``"saturate"`` for formats without infinities (e.g. the
+        common E4M3 variant saturates to the max finite value).
+    """
+
+    exp_bits: int
+    man_bits: int
+    name: str = ""
+    overflow: str = OVERFLOW_INF
+
+    def __post_init__(self) -> None:
+        if self.exp_bits < 2 or self.exp_bits > 11:
+            raise FormatError(f"exp_bits out of supported range [2, 11]: {self.exp_bits}")
+        if self.man_bits < 1 or self.man_bits > 52:
+            raise FormatError(f"man_bits out of supported range [1, 52]: {self.man_bits}")
+        if self.total_bits > 32:
+            raise FormatError(f"format wider than 32 bits not supported: {self.total_bits}")
+        if self.overflow not in (OVERFLOW_INF, OVERFLOW_SATURATE):
+            raise FormatError(f"unknown overflow policy {self.overflow!r}")
+        if not self.name:
+            object.__setattr__(self, "name", f"E{self.exp_bits}M{self.man_bits}")
+
+    # ------------------------------------------------------------------ #
+    # Metadata
+    # ------------------------------------------------------------------ #
+    @property
+    def total_bits(self) -> int:
+        """Storage width including the sign bit."""
+        return 1 + self.exp_bits + self.man_bits
+
+    @property
+    def bias(self) -> int:
+        """Exponent bias."""
+        return (1 << (self.exp_bits - 1)) - 1
+
+    @property
+    def emax(self) -> int:
+        """Largest unbiased exponent of a normal number."""
+        return (1 << self.exp_bits) - 2 - self.bias
+
+    @property
+    def emin(self) -> int:
+        """Smallest unbiased exponent of a normal number."""
+        return 1 - self.bias
+
+    @property
+    def max_value(self) -> float:
+        """Largest finite representable magnitude."""
+        frac = 2.0 - 2.0 ** -self.man_bits
+        return float(frac * 2.0 ** self.emax)
+
+    @property
+    def min_normal(self) -> float:
+        """Smallest positive normal magnitude."""
+        return float(2.0 ** self.emin)
+
+    @property
+    def min_subnormal(self) -> float:
+        """Smallest positive subnormal magnitude."""
+        return float(2.0 ** (self.emin - self.man_bits))
+
+    @property
+    def sign_mask(self) -> int:
+        """Bit mask of the sign bit."""
+        return 1 << (self.total_bits - 1)
+
+    def ulp(self, x: np.ndarray) -> np.ndarray:
+        """Unit in the last place at magnitude ``|x|`` (vectorised).
+
+        For subnormal / zero inputs this is the subnormal spacing.
+        """
+        ax = np.abs(np.asarray(x, dtype=np.float64))
+        with np.errstate(divide="ignore"):
+            e = np.floor(np.log2(np.where(ax > 0, ax, self.min_normal)))
+        e = np.clip(e, self.emin, self.emax)
+        return 2.0 ** (e - self.man_bits)
+
+    def ulp_at_one(self) -> float:
+        """The paper's "single-bit error at a base of 1" (Fig. 5 line)."""
+        return float(2.0 ** -self.man_bits)
+
+    # ------------------------------------------------------------------ #
+    # Encoding
+    # ------------------------------------------------------------------ #
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Encode float64 values to bit patterns (round-to-nearest-even).
+
+        Returns a ``uint32`` array of bit patterns, one per input value.
+        """
+        x = np.atleast_1d(np.asarray(values, dtype=np.float64))
+        bits = np.zeros(x.shape, dtype=np.uint32)
+
+        sign = np.signbit(x)
+        ax = np.abs(x)
+
+        nan_mask = np.isnan(x)
+        inf_mask = np.isinf(x)
+        # Scale magnitude into units of the subnormal step, then round:
+        # q = round(ax / 2**(emin - man_bits)).  For normals this integer
+        # is >= 2**man_bits; for subnormals it is below.  Rounding in this
+        # integer domain is exactly round-to-nearest-even in the target
+        # format *for the subnormal range*; normals need per-exponent
+        # rounding, handled below.
+        finite = ~(nan_mask | inf_mask)
+
+        # --- Normal / subnormal split (pre-rounding estimate) ---
+        with np.errstate(divide="ignore", over="ignore"):
+            exp_est = np.floor(np.log2(np.where(ax > 0, ax, 1.0)))
+        subnormal = finite & (ax > 0) & (exp_est < self.emin)
+        normal = finite & (ax > 0) & ~subnormal
+
+        # --- Subnormal rounding ---
+        if np.any(subnormal):
+            step = 2.0 ** (self.emin - self.man_bits)
+            q = np.rint(ax[subnormal] / step)
+            # q == 2**man_bits means it rounded up to the first normal.
+            q = q.astype(np.uint32)
+            bits[subnormal] = q  # exponent field zero
+
+        # --- Normal rounding ---
+        if np.any(normal):
+            axn = ax[normal]
+            e = np.floor(np.log2(axn)).astype(np.int64)
+            # Mantissa in [1, 2): round its fractional part to man_bits.
+            scaled = axn / (2.0 ** e.astype(np.float64))
+            frac = np.rint((scaled - 1.0) * (1 << self.man_bits)).astype(np.int64)
+            # Carry: frac == 2**man_bits -> bump exponent.
+            carry = frac >= (1 << self.man_bits)
+            frac = np.where(carry, 0, frac)
+            e = e + carry.astype(np.int64)
+
+            overflow = e > self.emax
+            to_sub = e < self.emin  # can happen after downward rint on edge
+            biased = np.clip(e + self.bias, 1, (1 << self.exp_bits) - 2)
+            word = (biased.astype(np.uint32) << self.man_bits) | frac.astype(np.uint32)
+
+            if self.overflow == OVERFLOW_INF:
+                inf_word = np.uint32(((1 << self.exp_bits) - 1) << self.man_bits)
+                word = np.where(overflow, inf_word, word)
+            else:
+                max_word = self._max_finite_word()
+                word = np.where(overflow, max_word, word)
+            if np.any(to_sub):
+                step = 2.0 ** (self.emin - self.man_bits)
+                q = np.rint(axn / step).astype(np.uint32)
+                word = np.where(to_sub, q, word)
+            bits[normal] = word
+
+        # --- Specials ---
+        if np.any(inf_mask):
+            if self.overflow == OVERFLOW_INF:
+                bits[inf_mask] = np.uint32(((1 << self.exp_bits) - 1) << self.man_bits)
+            else:
+                bits[inf_mask] = self._max_finite_word()
+        if np.any(nan_mask):
+            exp_all_ones = np.uint32(((1 << self.exp_bits) - 1) << self.man_bits)
+            bits[nan_mask] = exp_all_ones | np.uint32(1 << max(self.man_bits - 1, 0))
+
+        bits = np.where(sign, bits | np.uint32(self.sign_mask), bits)
+        # Preserve signed zero semantics: -0.0 encodes to just the sign bit.
+        return bits if np.ndim(values) else bits.reshape(())
+
+    def _max_finite_word(self) -> np.uint32:
+        biased = (1 << self.exp_bits) - 2
+        frac = (1 << self.man_bits) - 1
+        return np.uint32((biased << self.man_bits) | frac)
+
+    # ------------------------------------------------------------------ #
+    # Decoding
+    # ------------------------------------------------------------------ #
+    def decode(self, bits: np.ndarray) -> np.ndarray:
+        """Decode bit patterns to float64 values."""
+        b = np.atleast_1d(np.asarray(bits, dtype=np.uint32))
+        sign = (b & np.uint32(self.sign_mask)) != 0
+        exp_field = (b >> self.man_bits) & np.uint32((1 << self.exp_bits) - 1)
+        frac_field = b & np.uint32((1 << self.man_bits) - 1)
+
+        exp_all_ones = (1 << self.exp_bits) - 1
+        is_special = exp_field == exp_all_ones if self.overflow == OVERFLOW_INF else np.zeros_like(sign)
+        is_sub = exp_field == 0
+
+        man = np.where(is_sub, frac_field.astype(np.float64),
+                       (1 << self.man_bits) + frac_field.astype(np.float64))
+        man = man / (1 << self.man_bits)
+        e = np.where(is_sub, self.emin, exp_field.astype(np.int64) - self.bias)
+        vals = man * np.power(2.0, e.astype(np.float64))
+
+        if self.overflow == OVERFLOW_INF:
+            vals = np.where(is_special & (frac_field == 0), np.inf, vals)
+            vals = np.where(is_special & (frac_field != 0), np.nan, vals)
+        vals = np.where(sign, -vals, vals)
+        return vals if np.ndim(bits) else vals.reshape(())
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Round-trip values through the format."""
+        return self.decode(self.encode(values))
+
+    def representable(self, values: np.ndarray) -> np.ndarray:
+        """Boolean mask of values that survive a round trip exactly."""
+        values = np.asarray(values, dtype=np.float64)
+        q = self.quantize(values)
+        same = q == values
+        both_nan = np.isnan(values) & np.isnan(q)
+        return same | both_nan
+
+
+#: Standard presets.
+FP8_E4M3 = FloatFormat(4, 3, name="fp8-e4m3", overflow=OVERFLOW_SATURATE)
+FP8_E5M2 = FloatFormat(5, 2, name="fp8-e5m2")
+FP16 = FloatFormat(5, 10, name="fp16")
+BF16 = FloatFormat(8, 7, name="bf16")
+FP32 = FloatFormat(8, 23, name="fp32")
+
+_PRESETS = {f.name: f for f in (FP8_E4M3, FP8_E5M2, FP16, BF16, FP32)}
+
+
+def float_format(name: str) -> FloatFormat:
+    """Look up a preset :class:`FloatFormat` by name."""
+    try:
+        return _PRESETS[name]
+    except KeyError:
+        raise FormatError(
+            f"unknown float format {name!r}; known: {sorted(_PRESETS)}"
+        ) from None

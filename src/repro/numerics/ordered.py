@@ -1,0 +1,101 @@
+"""Order-preserving integer views of encoded numbers.
+
+The Flex-SFU address-decoding unit compares the incoming operand with the
+stored breakpoints *in their encoded form* each cycle.  A single unsigned
+integer comparator can serve both fixed- and floating-point formats if the
+encodings are first mapped to a monotonically-ordered integer domain:
+
+* two's-complement fixed point: flip the sign bit
+  (``bits XOR 0x80…``) — the classic excess-K trick;
+* IEEE-style sign-magnitude floats: positive values keep their pattern with
+  the sign bit set, negative values are bitwise-inverted.
+
+Both mappings are cheap in hardware (a handful of XOR gates) and make
+``encoded_a < encoded_b  <=>  value_a < value_b`` hold for every pair of
+non-NaN values, which is exactly what the binary-search tree in the ADU
+needs.  This module implements the mappings in a vectorised form used by
+the comparator and memory models in :mod:`repro.hw`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FormatError
+
+KIND_FIXED = "fixed"
+KIND_FLOAT = "float"
+
+_KINDS = (KIND_FIXED, KIND_FLOAT)
+
+
+def to_ordered(bits: np.ndarray, total_bits: int, kind: str) -> np.ndarray:
+    """Map raw encodings to an unsigned, order-preserving integer domain.
+
+    Parameters
+    ----------
+    bits:
+        Raw bit patterns (unsigned), width ``total_bits``.
+    total_bits:
+        Storage width of the format (8, 16 or 32).
+    kind:
+        ``"fixed"`` for two's complement, ``"float"`` for sign-magnitude
+        IEEE-style encodings.
+    """
+    if kind not in _KINDS:
+        raise FormatError(f"unknown encoding kind {kind!r}; expected one of {_KINDS}")
+    b = np.asarray(bits, dtype=np.uint64)
+    sign = np.uint64(1) << np.uint64(total_bits - 1)
+    mask = (np.uint64(1) << np.uint64(total_bits)) - np.uint64(1)
+    b = b & mask
+    if kind == KIND_FIXED:
+        return (b ^ sign) & mask
+    negative = (b & sign) != 0
+    flipped = (~b) & mask
+    return np.where(negative, flipped, b | sign).astype(np.uint64)
+
+
+def from_ordered(ordered: np.ndarray, total_bits: int, kind: str) -> np.ndarray:
+    """Inverse of :func:`to_ordered`."""
+    if kind not in _KINDS:
+        raise FormatError(f"unknown encoding kind {kind!r}; expected one of {_KINDS}")
+    o = np.asarray(ordered, dtype=np.uint64)
+    sign = np.uint64(1) << np.uint64(total_bits - 1)
+    mask = (np.uint64(1) << np.uint64(total_bits)) - np.uint64(1)
+    o = o & mask
+    if kind == KIND_FIXED:
+        return (o ^ sign) & mask
+    was_positive = (o & sign) != 0
+    return np.where(was_positive, o & ~sign, (~o) & mask).astype(np.uint64)
+
+
+def canonicalize_zero(bits: np.ndarray, total_bits: int, kind: str) -> np.ndarray:
+    """Map the float negative-zero pattern onto positive zero.
+
+    IEEE encodings have two zeros; the ordered-integer mapping would rank
+    ``-0.0 < +0.0`` and desynchronise the hardware's region choice from a
+    real-valued ``searchsorted``.  Comparators canonicalise first.
+    """
+    b = np.asarray(bits, dtype=np.uint64)
+    if kind == KIND_FIXED:
+        return b
+    sign = np.uint64(1) << np.uint64(total_bits - 1)
+    mask = (np.uint64(1) << np.uint64(total_bits)) - np.uint64(1)
+    b = b & mask
+    return np.where(b == sign, np.uint64(0), b).astype(np.uint64)
+
+
+def compare_encoded(a: np.ndarray, b: np.ndarray, total_bits: int, kind: str,
+                    greater_equal: bool = False) -> np.ndarray:
+    """Hardware-style comparison on encoded operands.
+
+    Returns the ``cmpo`` signal of the paper's SIMD comparator: 1 where
+    the input is greater than (or, with ``greater_equal``, not less than)
+    the breakpoint, else 0.  The ADU uses ``greater_equal=True`` so its
+    region choice matches ``searchsorted(..., side="right")``.
+    """
+    oa = to_ordered(canonicalize_zero(a, total_bits, kind), total_bits, kind)
+    ob = to_ordered(canonicalize_zero(b, total_bits, kind), total_bits, kind)
+    if greater_equal:
+        return (oa >= ob).astype(np.uint8)
+    return (oa > ob).astype(np.uint8)

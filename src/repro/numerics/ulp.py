@@ -1,0 +1,35 @@
+"""Unit-in-the-last-place helpers.
+
+Figure 5 of the paper draws two reference lines: the float16 single-bit
+error "at a base of 1" for MAE (``2**-10``), and its square for MSE.  These
+helpers compute those thresholds for any :class:`~repro.numerics.FloatFormat`
+and provide a general per-value ULP measure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .floatformat import FP16, FloatFormat
+
+
+def ulp_at_one(fmt: FloatFormat = FP16) -> float:
+    """Single-bit representation error at 1.0 (the paper's MAE line)."""
+    return fmt.ulp_at_one()
+
+
+def ulp_at_one_squared(fmt: FloatFormat = FP16) -> float:
+    """Squared single-bit error at 1.0 (the paper's MSE line)."""
+    return fmt.ulp_at_one() ** 2
+
+
+def ulp(x: np.ndarray, fmt: FloatFormat = FP16) -> np.ndarray:
+    """Per-value unit in the last place for format ``fmt``."""
+    return fmt.ulp(x)
+
+
+def error_in_ulps(approx: np.ndarray, exact: np.ndarray, fmt: FloatFormat = FP16) -> np.ndarray:
+    """Absolute error expressed in ULPs of the exact value."""
+    approx = np.asarray(approx, dtype=np.float64)
+    exact = np.asarray(exact, dtype=np.float64)
+    return np.abs(approx - exact) / fmt.ulp(exact)

@@ -1,0 +1,19 @@
+"""Optimizer substrate: Adam, LR schedulers and a minimize() driver.
+
+Reimplements the PyTorch optimization semantics the paper relies on
+(Adam with lr=0.1, momenta (0.9, 0.999); ReduceLROnPlateau) on plain
+numpy arrays.
+"""
+
+from .adam import Adam
+from .runner import LossAndGrad, OptimResult, minimize
+from .schedulers import ReduceLROnPlateau, StepLR
+
+__all__ = [
+    "Adam",
+    "ReduceLROnPlateau",
+    "StepLR",
+    "minimize",
+    "OptimResult",
+    "LossAndGrad",
+]

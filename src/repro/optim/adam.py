@@ -1,0 +1,103 @@
+"""Adam optimizer (PyTorch-equivalent semantics) on numpy arrays.
+
+The paper fits its PWL parameters "with the Adam optimizer (lr=0.1,
+momenta=(0.9, 0.999)) and the Plateau LR scheduler".  This is a faithful
+reimplementation of ``torch.optim.Adam`` — bias-corrected first and second
+moment estimates, epsilon inside the square-root denominator — operating
+on a list of numpy parameter arrays updated in place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..errors import FitError
+
+
+class Adam:
+    """Adam over a list of numpy arrays (updated in place).
+
+    Parameters
+    ----------
+    params:
+        Parameter arrays.  The optimizer keeps references and mutates them.
+    lr:
+        Learning rate (paper: 0.1).
+    betas:
+        Exponential decay rates for the moment estimates (paper: 0.9, 0.999).
+    eps:
+        Denominator fuzz term.
+    """
+
+    def __init__(self, params: Sequence[np.ndarray], lr: float = 0.1,
+                 betas: tuple = (0.9, 0.999), eps: float = 1e-8) -> None:
+        if lr <= 0:
+            raise FitError(f"learning rate must be positive, got {lr}")
+        if not (0.0 <= betas[0] < 1.0 and 0.0 <= betas[1] < 1.0):
+            raise FitError(f"betas must be in [0, 1), got {betas}")
+        self._params: List[np.ndarray] = [np.asarray(p) for p in params]
+        for p in self._params:
+            if p.dtype != np.float64:
+                raise FitError("Adam parameters must be float64 arrays")
+        self.lr = float(lr)
+        self.beta1, self.beta2 = float(betas[0]), float(betas[1])
+        self.eps = float(eps)
+        self._m = [np.zeros_like(p) for p in self._params]
+        self._v = [np.zeros_like(p) for p in self._params]
+        self._t = 0
+
+    @property
+    def params(self) -> List[np.ndarray]:
+        """The parameter arrays being optimized (live references)."""
+        return self._params
+
+    @property
+    def step_count(self) -> int:
+        """Number of ``step`` calls so far."""
+        return self._t
+
+    def step(self, grads: Sequence[np.ndarray]) -> None:
+        """Apply one Adam update given gradients aligned with ``params``."""
+        if len(grads) != len(self._params):
+            raise FitError(
+                f"got {len(grads)} gradients for {len(self._params)} parameters"
+            )
+        self._t += 1
+        b1, b2, t = self.beta1, self.beta2, self._t
+        bias1 = 1.0 - b1 ** t
+        bias2 = 1.0 - b2 ** t
+        for p, g, m, v in zip(self._params, grads, self._m, self._v):
+            g = np.asarray(g, dtype=np.float64)
+            if g.shape != p.shape:
+                raise FitError(f"gradient shape {g.shape} != parameter shape {p.shape}")
+            m *= b1
+            m += (1.0 - b1) * g
+            v *= b2
+            v += (1.0 - b2) * g * g
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> Dict:
+        """Snapshot of optimizer state (for save/restore in the fitter)."""
+        return {
+            "lr": self.lr,
+            "t": self._t,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        self.lr = float(state["lr"])
+        self._t = int(state["t"])
+        self._m = [m.copy() for m in state["m"]]
+        self._v = [v.copy() for v in state["v"]]
+
+    def reset(self) -> None:
+        """Clear moments and step count (used after breakpoint edits)."""
+        self._m = [np.zeros_like(p) for p in self._params]
+        self._v = [np.zeros_like(p) for p in self._params]
+        self._t = 0

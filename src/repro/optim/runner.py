@@ -1,0 +1,98 @@
+"""Generic gradient-descent driver with best-state tracking.
+
+The PWL fitter repeatedly runs "optimize with SGD until convergence"
+(Section IV).  This module centralises that loop: call a loss-and-gradient
+closure, step Adam + the plateau scheduler, stop when the loss plateaus at
+the minimum learning rate, and always return the best parameters seen —
+SGD with lr=0.1 on a non-convex objective can wander, and the paper's
+procedure implicitly keeps the best iterate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from .adam import Adam
+from .schedulers import ReduceLROnPlateau
+
+#: Closure signature: params -> (loss, grads aligned with params).
+LossAndGrad = Callable[[Sequence[np.ndarray]], Tuple[float, List[np.ndarray]]]
+
+
+@dataclass
+class OptimResult:
+    """Outcome of an optimization run."""
+
+    best_loss: float
+    best_params: List[np.ndarray]
+    steps: int
+    converged: bool
+    history: List[float] = field(default_factory=list)
+
+
+def minimize(loss_and_grad: LossAndGrad, params: Sequence[np.ndarray],
+             lr: float = 0.1, max_steps: int = 2000, patience: int = 40,
+             lr_factor: float = 0.5, min_lr: float = 1e-5,
+             convergence_tol: float = 1e-12,
+             record_history: bool = False) -> OptimResult:
+    """Minimize ``loss_and_grad`` over ``params`` with Adam + plateau LR.
+
+    Parameters are mutated in place during the run but the *returned*
+    ``best_params`` are fresh copies of the best iterate.  Convergence is
+    declared when the learning rate has bottomed out and ``patience``
+    further steps bring no relative improvement beyond ``convergence_tol``.
+    """
+    params = [np.asarray(p, dtype=np.float64) for p in params]
+    opt = Adam(params, lr=lr)
+    sched = ReduceLROnPlateau(opt, factor=lr_factor, patience=patience,
+                              min_lr=min_lr)
+
+    best_loss = float("inf")
+    best_params = [p.copy() for p in params]
+    history: List[float] = []
+    stale = 0
+    steps_done = 0
+    converged = False
+
+    for step in range(max_steps):
+        loss, grads = loss_and_grad(params)
+        steps_done = step + 1
+        if record_history:
+            history.append(loss)
+        if not np.isfinite(loss):
+            # Diverged: restore the best iterate and stop.
+            for p, bp in zip(params, best_params):
+                p[...] = bp
+            break
+        if loss < best_loss * (1.0 - convergence_tol):
+            best_loss = loss
+            best_params = [p.copy() for p in params]
+            stale = 0
+        else:
+            stale += 1
+        # Converged: LR exhausted and no progress for a full patience window.
+        if opt.lr <= min_lr * (1 + 1e-12) and stale > 2 * patience:
+            converged = True
+            break
+        opt.step(grads)
+        sched.step(loss)
+
+    if best_loss == float("inf"):
+        # Never saw a finite loss; report the initial point.
+        loss, _ = loss_and_grad(params)
+        best_loss = float(loss)
+        best_params = [p.copy() for p in params]
+
+    # Leave the live params at the best iterate for the caller.
+    for p, bp in zip(params, best_params):
+        p[...] = bp
+    return OptimResult(
+        best_loss=float(best_loss),
+        best_params=[p.copy() for p in best_params],
+        steps=steps_done,
+        converged=converged,
+        history=history,
+    )

@@ -1,0 +1,91 @@
+"""Learning-rate schedulers (PyTorch-equivalent semantics).
+
+The paper uses the "Plateau LR scheduler" — ``ReduceLROnPlateau`` — during
+the PWL fit, dropping the learning rate when the loss stops improving.
+``StepLR`` is provided for ablations.
+"""
+
+from __future__ import annotations
+
+from ..errors import FitError
+from .adam import Adam
+
+
+class ReduceLROnPlateau:
+    """Reduce LR by ``factor`` after ``patience`` steps without improvement.
+
+    Mirrors ``torch.optim.lr_scheduler.ReduceLROnPlateau`` in ``min`` mode
+    with relative threshold.
+    """
+
+    def __init__(self, optimizer: Adam, factor: float = 0.5, patience: int = 50,
+                 threshold: float = 1e-4, min_lr: float = 1e-6,
+                 cooldown: int = 0) -> None:
+        if not 0.0 < factor < 1.0:
+            raise FitError(f"factor must be in (0, 1), got {factor}")
+        self._opt = optimizer
+        self.factor = float(factor)
+        self.patience = int(patience)
+        self.threshold = float(threshold)
+        self.min_lr = float(min_lr)
+        self.cooldown = int(cooldown)
+        self._best = float("inf")
+        self._bad_steps = 0
+        self._cooldown_left = 0
+        self.num_reductions = 0
+
+    @property
+    def lr(self) -> float:
+        """Current learning rate."""
+        return self._opt.lr
+
+    def step(self, loss: float) -> bool:
+        """Record a loss observation; returns True if LR was reduced."""
+        improved = loss < self._best * (1.0 - self.threshold)
+        if improved:
+            self._best = loss
+            self._bad_steps = 0
+            return False
+        if self._cooldown_left > 0:
+            self._cooldown_left -= 1
+            return False
+        self._bad_steps += 1
+        if self._bad_steps > self.patience:
+            new_lr = max(self._opt.lr * self.factor, self.min_lr)
+            reduced = new_lr < self._opt.lr
+            self._opt.lr = new_lr
+            self._bad_steps = 0
+            self._cooldown_left = self.cooldown
+            if reduced:
+                self.num_reductions += 1
+            return reduced
+        return False
+
+
+class StepLR:
+    """Multiply LR by ``gamma`` every ``step_size`` steps (ablation use)."""
+
+    def __init__(self, optimizer: Adam, step_size: int, gamma: float = 0.5,
+                 min_lr: float = 1e-8) -> None:
+        if step_size <= 0:
+            raise FitError(f"step_size must be positive, got {step_size}")
+        self._opt = optimizer
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+        self.min_lr = float(min_lr)
+        self._count = 0
+
+    @property
+    def lr(self) -> float:
+        """Current learning rate."""
+        return self._opt.lr
+
+    def step(self, loss: float = 0.0) -> bool:
+        """Advance one step; returns True if LR changed."""
+        self._count += 1
+        if self._count % self.step_size == 0:
+            new_lr = max(self._opt.lr * self.gamma, self.min_lr)
+            changed = new_lr < self._opt.lr
+            self._opt.lr = new_lr
+            return changed
+        return False

@@ -1,0 +1,38 @@
+"""End-to-end performance model (the Ascend 310P substitution).
+
+A calibrated cost model — matrix unit at 4096 MAC/cycle, vector unit at
+64 elements/cycle, activations as multi-op VPU sequences vs single
+Flex-SFU MADDs — evaluated over the profiled model catalog to reproduce
+Fig. 6's per-family speedups.
+"""
+
+from .accelerator import AcceleratorConfig, CycleBreakdown
+from .costs import (
+    FLEXSFU_ACT_OPS,
+    baseline_act_ops,
+    inference_time_us,
+    model_cycles,
+    model_speedup,
+    profile_to_record,
+)
+from .endtoend import (
+    FamilySummary,
+    ModelSpeedup,
+    ZooEvaluation,
+    evaluate_zoo,
+)
+
+__all__ = [
+    "AcceleratorConfig",
+    "CycleBreakdown",
+    "baseline_act_ops",
+    "FLEXSFU_ACT_OPS",
+    "model_cycles",
+    "model_speedup",
+    "inference_time_us",
+    "profile_to_record",
+    "evaluate_zoo",
+    "ZooEvaluation",
+    "FamilySummary",
+    "ModelSpeedup",
+]

@@ -1,0 +1,102 @@
+"""Zoo-wide end-to-end evaluation (Fig. 6 and its headline numbers).
+
+Runs every catalog record through the accelerator cost model with and
+without Flex-SFU and aggregates per family: mean / peak speedup, and the
+paper's three headline statistics — overall zoo gain (paper: 22.8 %),
+mean gain of models using complex activations (35.7 %) and the peak
+(3.3x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..zoo.catalog import ModelRecord
+from ..zoo.families import FIGURE6_ORDER
+from .accelerator import AcceleratorConfig
+from .costs import model_cycles, model_speedup
+
+
+@dataclass(frozen=True)
+class ModelSpeedup:
+    """Speedup of one catalog model."""
+
+    record: ModelRecord
+    speedup: float
+    baseline_act_share: float
+
+
+@dataclass
+class FamilySummary:
+    """Fig. 6 grouping: one box per family."""
+
+    family: str
+    n_models: int
+    mean_speedup: float
+    median_speedup: float
+    max_speedup: float
+    min_speedup: float
+
+
+@dataclass
+class ZooEvaluation:
+    """Full Fig. 6 dataset plus headline aggregates."""
+
+    per_model: List[ModelSpeedup] = field(default_factory=list)
+    families: List[FamilySummary] = field(default_factory=list)
+    mean_speedup_all: float = 1.0
+    mean_speedup_complex: float = 1.0
+    peak_speedup: float = 1.0
+    peak_model: str = ""
+
+    def family(self, name: str) -> FamilySummary:
+        """Summary of one family."""
+        for fam in self.families:
+            if fam.family == name:
+                return fam
+        raise KeyError(name)
+
+
+def evaluate_zoo(records: Sequence[ModelRecord],
+                 cfg: Optional[AcceleratorConfig] = None) -> ZooEvaluation:
+    """Evaluate the whole catalog under the accelerator cost model."""
+    cfg = cfg or AcceleratorConfig()
+    per_model: List[ModelSpeedup] = []
+    for rec in records:
+        base = model_cycles(rec, cfg, use_flexsfu=False)
+        per_model.append(ModelSpeedup(
+            record=rec,
+            speedup=model_speedup(rec, cfg),
+            baseline_act_share=base.act_share,
+        ))
+
+    families: List[FamilySummary] = []
+    names = [f for f in FIGURE6_ORDER if any(m.record.family == f
+                                             for m in per_model)]
+    extra = sorted({m.record.family for m in per_model} - set(names))
+    for fam in list(names) + extra:
+        sp = np.array([m.speedup for m in per_model if m.record.family == fam])
+        families.append(FamilySummary(
+            family=fam, n_models=int(sp.size),
+            mean_speedup=float(sp.mean()),
+            median_speedup=float(np.median(sp)),
+            max_speedup=float(sp.max()),
+            min_speedup=float(sp.min()),
+        ))
+
+    speedups = np.array([m.speedup for m in per_model])
+    complex_mask = np.array([m.record.uses_complex_activations
+                             for m in per_model])
+    peak_idx = int(np.argmax(speedups))
+    return ZooEvaluation(
+        per_model=per_model,
+        families=families,
+        mean_speedup_all=float(speedups.mean()),
+        mean_speedup_complex=float(speedups[complex_mask].mean())
+        if complex_mask.any() else 1.0,
+        peak_speedup=float(speedups[peak_idx]),
+        peak_model=per_model[peak_idx].record.name,
+    )

@@ -1,0 +1,322 @@
+"""Executable mini-model builders, one per family.
+
+Every builder returns a :class:`~repro.graph.ir.Graph` whose single
+output ``"features"`` is a ``(batch, feature_dim)`` tensor; a linear
+readout on top (see :mod:`repro.zoo.train`) turns it into a classifier.
+The architectures are miniaturised but structurally faithful — residual
+blocks with batch-norm, depthwise separable convolutions with
+squeeze-excite gates, pre-norm transformer encoders with multi-head
+attention — so activation-approximation error propagates through the
+same computational patterns as in the full-size networks.
+
+``scale`` multiplies the channel/embedding widths: the catalog profiles
+use ``scale >= 1`` (realistic compute-to-activation ratios for the
+Fig. 6 cost model), the accuracy mini-zoo uses smaller scales so Table
+III's sweep stays fast.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..graph.builder import GraphBuilder
+from ..graph.ir import Graph
+
+
+def _width(base: int, scale: float, multiple: int = 4) -> int:
+    """Scale a channel width, keeping it a positive multiple."""
+    return max(multiple, int(round(base * scale / multiple)) * multiple)
+
+
+# --------------------------------------------------------------------- #
+# Convolutional families
+# --------------------------------------------------------------------- #
+def build_vgg(act: str = "relu", scale: float = 1.0, seed: int = 0,
+              image: int = 16, in_ch: int = 3) -> Graph:
+    """VGG-style plain stack: conv-act x2 per stage, maxpool between."""
+    g = GraphBuilder(f"vgg_{act}_s{scale}", seed=seed)
+    x = g.input("x", (0, in_ch, image, image))
+    c = _width(32, scale)
+    prev = in_ch
+    for stage in range(3):
+        for _ in range(2):
+            x = g.conv2d(x, prev, c)
+            x = g.activation(x, act)
+            prev = c
+        if stage < 2:
+            x = g.maxpool(x)
+            c *= 2
+    x = g.global_avgpool(x)
+    g.output(x)
+    g.graph.outputs = [x]
+    return g.graph
+
+
+def build_resnet(act: str = "relu", scale: float = 1.0, seed: int = 0,
+                 image: int = 16, in_ch: int = 3, blocks: int = 3) -> Graph:
+    """Residual network: BN + act blocks with identity shortcuts."""
+    g = GraphBuilder(f"resnet_{act}_s{scale}", seed=seed)
+    x = g.input("x", (0, in_ch, image, image))
+    c = _width(48, scale)
+    x = g.conv2d(x, in_ch, c)
+    x = g.batchnorm(x, c)
+    x = g.activation(x, act)
+    for blk in range(blocks):
+        skip = x
+        y = g.conv2d(x, c, c)
+        y = g.batchnorm(y, c)
+        y = g.activation(y, act)
+        y = g.conv2d(y, c, c)
+        y = g.batchnorm(y, c)
+        x = g.add(y, skip)
+        x = g.activation(x, act)
+    x = g.global_avgpool(x)
+    g.graph.outputs = [x]
+    return g.graph
+
+
+def _squeeze_excite(g: GraphBuilder, x: str, channels: int,
+                    gate_act: str, inner_act: str) -> str:
+    """SE gate: GAP -> bottleneck MLP -> sigmoid-like gate -> scale."""
+    s = g.global_avgpool(x)
+    hidden = max(channels // 4, 4)
+    s = g.linear(s, channels, hidden)
+    s = g.activation(s, inner_act)
+    s = g.linear(s, hidden, channels)
+    s = g.activation(s, gate_act)
+    s = g.reshape(s, (-1, channels, 1, 1))
+    return g.mul(x, s)
+
+
+def build_mobilenet(act: str = "hardswish", scale: float = 1.0, seed: int = 0,
+                    image: int = 16, in_ch: int = 3, blocks: int = 3) -> Graph:
+    """MobileNetV3-style inverted residual: expand, depthwise, SE, project.
+
+    The squeeze-excite gates are *hard* sigmoids for the mobile-family
+    activations (as in MobileNetV3 / LCNet) — exactly PWL-representable,
+    which keeps ReLU6 variants lossless under Flex-SFU.
+    """
+    gate = "hardsigmoid" if act in ("relu6", "hardswish", "hardsigmoid") \
+        else "sigmoid"
+    g = GraphBuilder(f"mobilenet_{act}_s{scale}", seed=seed)
+    x = g.input("x", (0, in_ch, image, image))
+    c = _width(64, scale)
+    x = g.conv2d(x, in_ch, c)
+    x = g.batchnorm(x, c)
+    x = g.activation(x, act)
+    for _ in range(blocks):
+        skip = x
+        e = c * 3                                      # expansion
+        y = g.conv2d(x, c, e, kernel=1, padding=0)
+        y = g.batchnorm(y, e)
+        y = g.activation(y, act)
+        y = g.conv2d(y, e, e, kernel=3, groups=e)      # depthwise
+        y = g.batchnorm(y, e)
+        y = g.activation(y, act)
+        y = _squeeze_excite(g, y, e, gate, act)
+        y = g.conv2d(y, e, c, kernel=1, padding=0)     # project
+        y = g.batchnorm(y, c)
+        x = g.add(y, skip)
+    x = g.global_avgpool(x)
+    g.graph.outputs = [x]
+    return g.graph
+
+
+def build_efficientnet(act: str = "silu", scale: float = 1.0, seed: int = 0,
+                       image: int = 16, in_ch: int = 3, blocks: int = 3) -> Graph:
+    """EfficientNet-style MBConv: expand, depthwise, SE, project."""
+    g = GraphBuilder(f"efficientnet_{act}_s{scale}", seed=seed)
+    x = g.input("x", (0, in_ch, image, image))
+    c = _width(48, scale)
+    x = g.conv2d(x, in_ch, c)
+    x = g.batchnorm(x, c)
+    x = g.activation(x, act)
+    for _ in range(blocks):
+        skip = x
+        e = c * 4                                      # expansion
+        y = g.conv2d(x, c, e, kernel=1, padding=0)
+        y = g.batchnorm(y, e)
+        y = g.activation(y, act)
+        y = g.conv2d(y, e, e, kernel=3, groups=e)      # depthwise
+        y = g.batchnorm(y, e)
+        y = g.activation(y, act)
+        y = _squeeze_excite(g, y, e, "sigmoid", act)
+        y = g.conv2d(y, e, c, kernel=1, padding=0)     # project
+        y = g.batchnorm(y, c)
+        x = g.add(y, skip)
+    x = g.global_avgpool(x)
+    g.graph.outputs = [x]
+    return g.graph
+
+
+def build_darknet(act: str = "leaky_relu", scale: float = 1.0, seed: int = 0,
+                  image: int = 32, in_ch: int = 3, blocks: int = 3) -> Graph:
+    """DarkNet-style: 1x1 bottleneck + 3x3 conv residual blocks.
+
+    Detection backbones activate large early feature maps with narrow
+    channels, so their activation-to-MAC ratio is the highest of the CV
+    families — the reason DarkNets top Fig. 6.  The default 32x32 input
+    (vs 16x16 elsewhere) preserves that property.
+    """
+    g = GraphBuilder(f"darknet_{act}_s{scale}", seed=seed)
+    x = g.input("x", (0, in_ch, image, image))
+    c = _width(24, scale)
+    x = g.conv2d(x, in_ch, c)
+    x = g.batchnorm(x, c)
+    x = g.activation(x, act)
+    for _ in range(blocks):
+        skip = x
+        y = g.conv2d(x, c, c // 2, kernel=1, padding=0)
+        y = g.batchnorm(y, c // 2)
+        y = g.activation(y, act)
+        y = g.conv2d(y, c // 2, c, kernel=3)
+        y = g.batchnorm(y, c)
+        y = g.activation(y, act)
+        x = g.add(y, skip)
+    x = g.global_avgpool(x)
+    g.graph.outputs = [x]
+    return g.graph
+
+
+def build_generic_cnn(act: str = "relu", scale: float = 1.0, seed: int = 0,
+                      image: int = 16, in_ch: int = 3) -> Graph:
+    """Plain CNN used for the heterogeneous 'Others' bucket."""
+    g = GraphBuilder(f"cnn_{act}_s{scale}", seed=seed)
+    x = g.input("x", (0, in_ch, image, image))
+    c = _width(32, scale)
+    x = g.conv2d(x, in_ch, c)
+    x = g.activation(x, act)
+    x = g.maxpool(x)
+    x = g.conv2d(x, c, 2 * c)
+    x = g.batchnorm(x, 2 * c)
+    x = g.activation(x, act)
+    x = g.conv2d(x, 2 * c, 2 * c)
+    x = g.activation(x, act)
+    x = g.global_avgpool(x)
+    g.graph.outputs = [x]
+    return g.graph
+
+
+# --------------------------------------------------------------------- #
+# Transformer families
+# --------------------------------------------------------------------- #
+def _attention(g: GraphBuilder, x: str, tokens: int, dim: int, heads: int) -> str:
+    """Multi-head self-attention with exact-op softmax nodes."""
+    dh = dim // heads
+    q = g.linear(x, dim, dim, bias=False)
+    k = g.linear(x, dim, dim, bias=False)
+    v = g.linear(x, dim, dim, bias=False)
+
+    def split(t: str) -> str:
+        t = g.reshape(t, (-1, tokens, heads, dh))
+        return g.transpose(t, (0, 2, 1, 3))            # (N, H, T, dh)
+
+    qh, kh, vh = split(q), split(k), split(v)
+    kt = g.transpose(kh, (0, 1, 3, 2))                 # (N, H, dh, T)
+    scores = g.matmul(qh, kt)                          # (N, H, T, T)
+    inv_sqrt = g.constant("attn_scale", np.array([1.0 / np.sqrt(dh)]))
+    scores = g.mul(scores, inv_sqrt)
+    attn = g.softmax(scores, axis=-1)
+    ctx = g.matmul(attn, vh)                           # (N, H, T, dh)
+    ctx = g.transpose(ctx, (0, 2, 1, 3))
+    ctx = g.reshape(ctx, (-1, tokens, dim))
+    return g.linear(ctx, dim, dim)
+
+
+def _transformer_block(g: GraphBuilder, x: str, tokens: int, dim: int,
+                       heads: int, act: str, mlp_ratio: int = 4) -> str:
+    """Pre-norm encoder block: MHSA + MLP, both residual."""
+    y = g.layernorm(x, dim)
+    y = _attention(g, y, tokens, dim, heads)
+    x = g.add(x, y)
+    y = g.layernorm(x, dim)
+    y = g.linear(y, dim, mlp_ratio * dim)
+    y = g.activation(y, act)
+    y = g.linear(y, mlp_ratio * dim, dim)
+    return g.add(x, y)
+
+
+def build_vit(act: str = "gelu", scale: float = 1.0, seed: int = 0,
+              image: int = 16, in_ch: int = 3, patch: int = 4,
+              depth: int = 2, heads: int = 4) -> Graph:
+    """Vision transformer: conv patch embed + encoder blocks."""
+    g = GraphBuilder(f"vit_{act}_s{scale}", seed=seed)
+    dim = _width(128, scale, multiple=heads * 4)
+    tokens = (image // patch) ** 2
+    x = g.input("x", (0, in_ch, image, image))
+    x = g.conv2d(x, in_ch, dim, kernel=patch, stride=patch, padding=0)
+    x = g.reshape(x, (-1, dim, tokens))
+    x = g.transpose(x, (0, 2, 1))                      # (N, T, D)
+    for _ in range(depth):
+        x = _transformer_block(g, x, tokens, dim, heads, act)
+    x = g.layernorm(x, dim)
+    x = g.mean_pool_seq(x)
+    g.graph.outputs = [x]
+    return g.graph
+
+
+def build_mixer(act: str = "gelu", scale: float = 1.0, seed: int = 0,
+                image: int = 16, in_ch: int = 3, patch: int = 4,
+                depth: int = 2) -> Graph:
+    """MLP-Mixer: token-mixing and channel-mixing MLPs."""
+    g = GraphBuilder(f"mixer_{act}_s{scale}", seed=seed)
+    dim = _width(128, scale)
+    tokens = (image // patch) ** 2
+    x = g.input("x", (0, in_ch, image, image))
+    x = g.conv2d(x, in_ch, dim, kernel=patch, stride=patch, padding=0)
+    x = g.reshape(x, (-1, dim, tokens))
+    x = g.transpose(x, (0, 2, 1))                      # (N, T, D)
+    for _ in range(depth):
+        # Token mixing (over T).
+        y = g.layernorm(x, dim)
+        y = g.transpose(y, (0, 2, 1))                  # (N, D, T)
+        y = g.linear(y, tokens, 2 * tokens)
+        y = g.activation(y, act)
+        y = g.linear(y, 2 * tokens, tokens)
+        y = g.transpose(y, (0, 2, 1))
+        x = g.add(x, y)
+        # Channel mixing (over D).
+        y = g.layernorm(x, dim)
+        y = g.linear(y, dim, 2 * dim)
+        y = g.activation(y, act)
+        y = g.linear(y, 2 * dim, dim)
+        x = g.add(x, y)
+    x = g.layernorm(x, dim)
+    x = g.mean_pool_seq(x)
+    g.graph.outputs = [x]
+    return g.graph
+
+
+def build_nlp_transformer(act: str = "gelu", scale: float = 1.0, seed: int = 0,
+                          vocab: int = 64, seqlen: int = 16,
+                          depth: int = 2, heads: int = 4) -> Graph:
+    """BERT-style encoder over token ids (input ``"ids"``)."""
+    g = GraphBuilder(f"nlp_{act}_s{scale}", seed=seed)
+    dim = _width(128, scale, multiple=heads * 4)
+    ids = g.input("ids", (0, seqlen))
+    x = g.embedding(ids, vocab, dim)
+    pos = g.constant("pos_emb",
+                     0.1 * g.rng.standard_normal((1, seqlen, dim)))
+    x = g.add(x, pos)
+    for _ in range(depth):
+        x = _transformer_block(g, x, seqlen, dim, heads, act)
+    x = g.layernorm(x, dim)
+    x = g.mean_pool_seq(x)
+    g.graph.outputs = [x]
+    return g.graph
+
+
+#: Builder registry keyed by FamilySpec.builder.
+BUILDERS: Dict[str, Callable[..., Graph]] = {
+    "vgg": build_vgg,
+    "resnet": build_resnet,
+    "mobilenet": build_mobilenet,
+    "efficientnet": build_efficientnet,
+    "darknet": build_darknet,
+    "generic_cnn": build_generic_cnn,
+    "vit": build_vit,
+    "mixer": build_mixer,
+    "nlp_transformer": build_nlp_transformer,
+}

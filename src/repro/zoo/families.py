@@ -1,0 +1,177 @@
+"""Model-family definitions mirroring the paper's benchmark suite.
+
+The paper evaluates 628 computer-vision models (TIMM) and 150 NLP
+transformers (Hugging Face), grouped in Fig. 6 into VGGs, MobileNets,
+ResNets, Vision Transformers, NLP Transformers, EfficientNets, DarkNets
+and "Others".  Each family here records its share of the suite, its
+publication-year span and the activation functions its members use —
+year-dependent, so the catalog reproduces Fig. 1's activation-share
+evolution (ReLU fading from dominance to ~21 % by 2021 while SiLU + GELU
+grow to ~44 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+#: Activation mix per (family, year-bucket): name -> probability.
+ActMix = Dict[str, float]
+
+
+@dataclass(frozen=True)
+class FamilySpec:
+    """Static description of one model family."""
+
+    name: str
+    domain: str                    # "cv" or "nlp"
+    count: int                     # members in the 778-model suite
+    years: Tuple[int, ...]         # plausible publication years
+    builder: str                   # key into zoo.builders.BUILDERS
+    act_mix_by_year: Dict[int, ActMix]
+    size_scales: Tuple[float, ...] = (0.5, 0.75, 1.0, 1.5, 2.0)
+    #: Relative publication volume per year (aligned with ``years``);
+    #: None = mild growth over time.
+    year_weights: Tuple[float, ...] = ()
+
+    def act_mix(self, year: int) -> ActMix:
+        """Activation mix for a year (nearest defined bucket)."""
+        best = min(self.act_mix_by_year, key=lambda y: abs(y - year))
+        return self.act_mix_by_year[best]
+
+    def year_probabilities(self) -> Tuple[float, ...]:
+        """Normalised publication-year distribution."""
+        if self.year_weights:
+            if len(self.year_weights) != len(self.years):
+                raise ValueError(
+                    f"{self.name}: {len(self.year_weights)} weights for "
+                    f"{len(self.years)} years"
+                )
+            w = list(self.year_weights)
+        else:
+            y0 = min(self.years)
+            w = [1.0 + 0.35 * (y - y0) for y in self.years]
+        total = sum(w)
+        return tuple(x / total for x in w)
+
+
+def _mix(**kwargs: float) -> ActMix:
+    total = sum(kwargs.values())
+    return {k: v / total for k, v in kwargs.items()}
+
+
+FAMILIES: Dict[str, FamilySpec] = {}
+
+
+def _add(spec: FamilySpec) -> None:
+    FAMILIES[spec.name] = spec
+
+
+_add(FamilySpec(
+    name="vgg", domain="cv", count=30, years=(2015, 2016),
+    builder="vgg",
+    act_mix_by_year={2015: _mix(relu=1.0)},
+))
+
+_add(FamilySpec(
+    name="resnet", domain="cv", count=140, years=tuple(range(2015, 2022)),
+    builder="resnet",
+    act_mix_by_year={
+        2015: _mix(relu=1.0),
+        2018: _mix(relu=0.9, leaky_relu=0.1),
+        2020: _mix(relu=0.60, silu=0.40),
+        2021: _mix(relu=0.50, silu=0.35, gelu=0.15),  # *ts / attn variants
+    },
+    size_scales=(0.5, 0.75, 1.0, 1.5, 2.0, 3.0),
+    year_weights=(1.0, 1.0, 1.2, 1.4, 1.6, 2.2, 3.0),  # TIMM keeps adding
+))
+
+_add(FamilySpec(
+    name="mobilenet", domain="cv", count=70, years=tuple(range(2017, 2022)),
+    builder="mobilenet",
+    act_mix_by_year={
+        2017: _mix(relu6=1.0),
+        2019: _mix(relu6=0.3, hardswish=0.6, hardsigmoid=0.1),
+        2021: _mix(hardswish=0.8, hardsigmoid=0.2),
+    },
+))
+
+_add(FamilySpec(
+    name="efficientnet", domain="cv", count=90, years=tuple(range(2019, 2022)),
+    builder="efficientnet",
+    act_mix_by_year={
+        2019: _mix(silu=0.85, sigmoid=0.15),
+        2021: _mix(silu=0.9, sigmoid=0.1),
+    },
+    size_scales=(1.0, 1.5, 2.0, 3.0),
+    year_weights=(1.4, 1.1, 1.0),
+))
+
+_add(FamilySpec(
+    name="darknet", domain="cv", count=25, years=tuple(range(2018, 2022)),
+    builder="darknet",
+    act_mix_by_year={
+        2018: _mix(leaky_relu=1.0),
+        2020: _mix(leaky_relu=0.3, mish=0.4, silu=0.3),
+        2021: _mix(silu=0.6, mish=0.4),
+    },
+    size_scales=(1.0, 1.25, 1.5),
+))
+
+_add(FamilySpec(
+    name="vit", domain="cv", count=95, years=(2020, 2021),
+    builder="vit",
+    act_mix_by_year={2020: _mix(gelu=1.0)},
+    size_scales=(1.0, 1.5, 2.0, 2.5),
+    year_weights=(1.3, 1.0),
+))
+
+_add(FamilySpec(
+    name="mlp_mixer", domain="cv", count=25, years=(2021,),
+    builder="mixer",
+    act_mix_by_year={2021: _mix(gelu=1.0)},
+))
+
+_add(FamilySpec(
+    name="others", domain="cv", count=153, years=tuple(range(2016, 2022)),
+    builder="generic_cnn",
+    act_mix_by_year={
+        2016: _mix(relu=0.8, elu=0.1, sigmoid=0.05, tanh=0.05),
+        2019: _mix(relu=0.65, silu=0.15, gelu=0.1, leaky_relu=0.1),
+        2021: _mix(relu=0.55, silu=0.20, gelu=0.15, hardswish=0.10),
+    },
+    year_weights=(1.0, 1.0, 1.2, 1.4, 1.8, 2.4),
+))
+
+_add(FamilySpec(
+    name="nlp_transformer", domain="nlp", count=150,
+    years=tuple(range(2018, 2022)),
+    builder="nlp_transformer",
+    act_mix_by_year={
+        2018: _mix(gelu=0.8, tanh=0.2),
+        2020: _mix(gelu=0.9, silu=0.1),
+        2021: _mix(gelu=0.85, silu=0.15),
+    },
+    size_scales=(1.0, 1.5, 2.0, 2.5),
+    year_weights=(1.0, 1.2, 1.2, 1.0),
+))
+
+#: Fig. 6's x-axis ordering.
+FIGURE6_ORDER = (
+    "vgg", "mobilenet", "others", "resnet", "vit",
+    "nlp_transformer", "efficientnet", "darknet",
+)
+
+#: Paper-reported mean speedups per family (Fig. 6 narrative).
+PAPER_FAMILY_GAINS = {
+    "resnet": 1.173,
+    "vit": 1.179,
+    "nlp_transformer": 1.290,
+    "efficientnet": 1.451,
+    "darknet": 2.1,
+}
+
+
+def total_models() -> int:
+    """Size of the synthetic suite (paper: 628 CV + 150 NLP = 778)."""
+    return sum(f.count for f in FAMILIES.values())

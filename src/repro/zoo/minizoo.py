@@ -1,0 +1,96 @@
+"""The executable accuracy zoo (Table III's measurement population).
+
+A few dozen trained mini-models spanning every family and activation the
+paper's 600-model TIMM sweep covers.  Each entry pairs a builder
+configuration with the dataset matching its domain; training fits the
+linear readout once on exact activations, after which the Table III
+benchmark swaps in PWL approximations at each breakpoint budget and
+re-measures top-1 accuracy — no retraining, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .builders import BUILDERS
+from .dataset import Dataset, make_image_dataset, make_token_dataset
+from .train import MiniModel, fit_readout
+
+#: (family, builder, activation) variants mirroring the catalog mixes.
+MINI_ZOO_VARIANTS: Tuple[Tuple[str, str, str], ...] = (
+    ("vgg", "vgg", "relu"),
+    ("resnet", "resnet", "relu"),
+    ("resnet", "resnet", "silu"),
+    ("mobilenet", "mobilenet", "relu6"),
+    ("mobilenet", "mobilenet", "hardswish"),
+    ("efficientnet", "efficientnet", "silu"),
+    ("darknet", "darknet", "leaky_relu"),
+    ("darknet", "darknet", "mish"),
+    ("darknet", "darknet", "silu"),
+    ("vit", "vit", "gelu"),
+    ("mlp_mixer", "mixer", "gelu"),
+    ("others", "generic_cnn", "elu"),
+    ("others", "generic_cnn", "tanh"),
+    ("others", "generic_cnn", "silu"),
+    ("nlp_transformer", "nlp_transformer", "gelu"),
+    ("nlp_transformer", "nlp_transformer", "tanh"),
+)
+
+
+@dataclass
+class ZooMember:
+    """A trained mini-model with its dataset and baseline accuracy."""
+
+    model: MiniModel
+    dataset: Dataset
+    baseline_accuracy: float
+
+
+def build_mini_zoo(seeds: Sequence[int] = (0, 1, 2), scale: float = 0.5,
+                   data_seed: int = 0) -> List[ZooMember]:
+    """Build and train the accuracy zoo (len(variants) x len(seeds))."""
+    image_data = make_image_dataset(seed=data_seed)
+    token_data = make_token_dataset(seed=data_seed)
+    members: List[ZooMember] = []
+    deep_conv = {"resnet", "mobilenet", "efficientnet", "darknet"}
+    for family, builder_key, act in MINI_ZOO_VARIANTS:
+        for seed in seeds:
+            extra = {}
+            member_scale = scale
+            if builder_key == "darknet":
+                # Profiling default is a 32x32 detection-style input; the
+                # accuracy zoo runs on the shared 16x16 images.
+                extra["image"] = 16
+            if builder_key in deep_conv:
+                # Deeper trunks so approximation error accumulates across
+                # more activation layers, as in full-size networks.
+                extra["blocks"] = 4
+            if builder_key in ("vit", "nlp_transformer", "mixer"):
+                member_scale = max(scale, 0.75)
+            trunk = BUILDERS[builder_key](act=act, scale=member_scale,
+                                          seed=seed, **extra)
+            is_nlp = trunk.inputs[0][0] == "ids"
+            dataset = token_data if is_nlp else image_data
+            model = MiniModel(
+                name=f"{family}_{act}_seed{seed}",
+                family=family,
+                primary_activation=act,
+                trunk=trunk,
+                input_name=dataset.input_name,
+            )
+            acc = fit_readout(model, dataset)
+            members.append(ZooMember(model=model, dataset=dataset,
+                                     baseline_accuracy=acc))
+    return members
+
+
+def zoo_activation_names(members: List[ZooMember]) -> List[str]:
+    """All activation names (incl. softmax) appearing in the zoo."""
+    from ..graph.passes import collect_activation_names
+
+    names: Dict[str, int] = {}
+    for member in members:
+        for fn, count in collect_activation_names(member.model.trunk).items():
+            names[fn] = names.get(fn, 0) + count
+    return sorted(names)

@@ -1,0 +1,153 @@
+"""Mini-model training: random trunks with a closed-form readout.
+
+Backprop through every operator is out of scope for this reproduction's
+substrate; instead the accuracy zoo uses the random-features regime: the
+(seeded, well-conditioned) trunk is kept fixed and a linear readout is
+trained on its features by ridge regression.  What Table III measures —
+how PWL activation error propagates through the trunk and moves samples
+across the decision boundary — is fully preserved: the approximated
+model reuses the *exact* model's readout and feature normalisation, with
+no retraining, exactly like the paper swaps activations without
+fine-tuning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional
+
+import numpy as np
+
+from ..errors import CatalogError
+from ..graph.executor import Executor
+from ..graph.ir import Graph
+from ..graph.passes import replace_activations
+from .dataset import Dataset
+
+
+@dataclass
+class MiniModel:
+    """An executable zoo member: trunk graph + trained linear readout."""
+
+    name: str
+    family: str
+    primary_activation: str
+    trunk: Graph
+    input_name: str
+    readout_w: Optional[np.ndarray] = None
+    readout_b: Optional[np.ndarray] = None
+    feat_mean: Optional[np.ndarray] = None
+    feat_std: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    def features(self, x: np.ndarray, batch: int = 64) -> np.ndarray:
+        """Trunk forward pass in batches (float64)."""
+        executor = Executor(self.trunk)
+        out_name = self.trunk.outputs[0]
+        chunks = []
+        for start in range(0, len(x), batch):
+            feed = {self.input_name: x[start:start + batch]}
+            chunks.append(executor.run(feed)[out_name])
+        return np.concatenate(chunks, axis=0)
+
+    def _normalized_features(self, x: np.ndarray) -> np.ndarray:
+        feats = self.features(x)
+        if self.feat_mean is None or self.feat_std is None:
+            raise CatalogError(f"model {self.name} has no trained readout")
+        return (feats - self.feat_mean) / self.feat_std
+
+    def logits(self, x: np.ndarray) -> np.ndarray:
+        """Readout logits."""
+        if self.readout_w is None or self.readout_b is None:
+            raise CatalogError(f"model {self.name} has no trained readout")
+        return self._normalized_features(x) @ self.readout_w + self.readout_b
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Top-1 class predictions."""
+        return np.argmax(self.logits(x), axis=1)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Top-1 accuracy in percent."""
+        return float(100.0 * np.mean(self.predict(x) == y))
+
+    # ------------------------------------------------------------------ #
+    def with_approximations(self, approximators: Mapping[str, Callable]
+                            ) -> "MiniModel":
+        """Clone with PWL activations, *sharing* the trained readout."""
+        approx_trunk, _ = replace_activations(self.trunk, approximators)
+        return MiniModel(
+            name=self.name,
+            family=self.family,
+            primary_activation=self.primary_activation,
+            trunk=approx_trunk,
+            input_name=self.input_name,
+            readout_w=self.readout_w,
+            readout_b=self.readout_b,
+            feat_mean=self.feat_mean,
+            feat_std=self.feat_std,
+        )
+
+
+def fit_readout(model: MiniModel, dataset: Dataset, ridge: float = 1e-1) -> float:
+    """Train the linear readout by ridge regression on one-hot targets.
+
+    Returns the resulting test accuracy (percent).  Normalisation
+    statistics come from the training features and are frozen into the
+    model, so approximate trunks see the same affine map.
+    """
+    feats = model.features(dataset.x_train)
+    mean = feats.mean(axis=0)
+    std = feats.std(axis=0) + 1e-8
+    phi = (feats - mean) / std
+    onehot = np.eye(dataset.n_classes)[dataset.y_train]
+    targets = onehot - onehot.mean(axis=0, keepdims=True)
+
+    gram = phi.T @ phi + ridge * len(phi) * np.eye(phi.shape[1])
+    w = np.linalg.solve(gram, phi.T @ targets)
+    b = onehot.mean(axis=0)
+
+    model.feat_mean = mean
+    model.feat_std = std
+    model.readout_w = w
+    model.readout_b = b
+    return model.accuracy(dataset.x_test, dataset.y_test)
+
+
+@dataclass
+class AccuracyDropResult:
+    """Exact-vs-approximate accuracy for one model at one budget."""
+
+    model: str
+    family: str
+    primary_activation: str
+    n_breakpoints: int
+    acc_exact: float
+    acc_approx: float
+
+    @property
+    def drop(self) -> float:
+        """Accuracy drop in percentage points (positive = worse)."""
+        return self.acc_exact - self.acc_approx
+
+
+def accuracy_drop(model: MiniModel, dataset: Dataset,
+                  approximators: Mapping[str, Callable],
+                  n_breakpoints: int,
+                  exact_accuracy: Optional[float] = None) -> AccuracyDropResult:
+    """Table III's inner measurement for one model/budget pair.
+
+    Pass ``exact_accuracy`` (e.g. the stored baseline) to skip the exact
+    forward pass when sweeping many budgets.
+    """
+    if exact_accuracy is None:
+        exact_acc = model.accuracy(dataset.x_test, dataset.y_test)
+    else:
+        exact_acc = float(exact_accuracy)
+    approx_model = model.with_approximations(approximators)
+    approx_acc = approx_model.accuracy(dataset.x_test, dataset.y_test)
+    return AccuracyDropResult(
+        model=model.name, family=model.family,
+        primary_activation=model.primary_activation,
+        n_breakpoints=n_breakpoints,
+        acc_exact=exact_acc, acc_approx=approx_acc,
+    )

@@ -1,0 +1,106 @@
+"""Smoke tests for the experiment entry points (fast paths only).
+
+The full experiment sweeps live in benchmarks/; these tests check the
+harness wiring and the cheap experiments end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    format_table,
+    run_figure1,
+    run_figure2,
+    run_figure4,
+    run_table1,
+)
+from repro.eval.experiments import catalog, run_figure6
+
+
+class TestFigure1:
+    def test_shape_claims(self):
+        res = run_figure1()
+        assert 2015 in res.shares and 2021 in res.shares
+        # ReLU fades, SiLU+GELU rise.
+        assert res.shares[2015].get("relu", 0) > 0.9
+        assert res.relu_2021 < 0.4
+        assert res.silu_gelu_2021 > res.silu_gelu_2020 > 0.1
+
+
+class TestFigure2:
+    def test_nonuniform_beats_uniform(self):
+        res = run_figure2()
+        # Our fitter reaches the free-knot optimum: the gap meets or
+        # exceeds the paper's 7x under both boundary treatments.
+        assert res.improvement > 3.0
+        assert res.improvement_free >= res.paper_improvement
+
+
+class TestFigure4:
+    def test_steady_state_matches_paper(self):
+        res = run_figure4()
+        for bits, want in res.paper_steady.items():
+            assert res.steady_gact_s[bits] == pytest.approx(want)
+
+    def test_curves_monotone(self):
+        res = run_figure4()
+        series = {}
+        for p in res.points:
+            series.setdefault((p.bits, p.depth), []).append(
+                (p.n_words_32b, p.gact_s))
+        for pts in series.values():
+            ys = [y for _, y in sorted(pts)]
+            assert all(b >= a for a, b in zip(ys, ys[1:]))
+
+
+class TestTable1:
+    def test_model_close_to_paper(self):
+        res = run_table1()
+        for row in res.rows:
+            assert row.latency_model == row.latency_paper
+            assert row.area_model_um2 == pytest.approx(row.area_paper_um2,
+                                                       rel=0.15)
+            assert row.power_model_mw == pytest.approx(row.power_paper_mw,
+                                                       rel=0.05)
+
+    def test_ara_shares(self):
+        res = run_table1()
+        for depth, paper in res.ara_area_shares_paper.items():
+            assert res.ara_area_shares_model[depth] == pytest.approx(
+                paper, rel=0.2)
+
+
+class TestFigure6:
+    def test_headline_statistics(self):
+        res = run_figure6()
+        ev = res.evaluation
+        # Mean zoo gain near the paper's 22.8 %.
+        assert ev.mean_speedup_all == pytest.approx(res.paper_mean_all,
+                                                    abs=0.08)
+        assert ev.mean_speedup_complex == pytest.approx(
+            res.paper_mean_complex, abs=0.12)
+        assert 2.0 < ev.peak_speedup < 5.5
+
+    def test_family_ordering_trend(self):
+        ev = run_figure6().evaluation
+        fam = {f.family: f.mean_speedup for f in ev.families}
+        assert fam["vgg"] == pytest.approx(1.0, abs=0.01)
+        assert fam["efficientnet"] > fam["resnet"]
+        assert fam["darknet"] > fam["efficientnet"]
+        assert fam["nlp_transformer"] > fam["resnet"]
+
+    def test_catalog_cached(self):
+        assert catalog() is catalog()
+
+
+class TestReporting:
+    def test_table_rendering_of_results(self):
+        res = run_table1()
+        text = format_table(
+            ["depth", "latency", "area"],
+            [[r.depth, r.latency_model, f"{r.area_model_um2:.0f}"]
+             for r in res.rows],
+            title="Table I",
+        )
+        assert "Table I" in text
+        assert "64" in text

@@ -1,0 +1,112 @@
+"""Integration: fitted PWL -> quantised tables -> bit-level hardware sim.
+
+The full deployment path of the paper: optimise the interpolation, lower
+it to LUT contents for each supported operand format, and check the
+hardware functional model against both the quantised reference semantics
+(bit-exact) and the original activation function (error bounded by
+format precision).
+"""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.core.fit import FitConfig, FlexSfuFitter
+from repro.core.tables import build_tables
+from repro.functions import GELU, SIGMOID, SILU
+from repro.hw.dtypes import FP16_T, FP32_T, HwDataType, fixed_for_range
+from repro.hw.sfu import FlexSfuUnit
+from repro.numerics.floatformat import FP16
+
+
+@pytest.fixture(scope="module")
+def fitted_silu():
+    cfg = FitConfig(n_breakpoints=15, max_steps=300, refine_steps=80,
+                    max_refine_rounds=2, polish_maxiter=400, grid_points=2048)
+    return FlexSfuFitter(cfg).fit(SILU).pwl
+
+
+ALL_DTYPES = [
+    HwDataType.fixed(8, 3),
+    HwDataType.fixed(16, 11),
+    HwDataType.fixed(32, 24),
+    HwDataType.float(8),
+    FP16_T,
+    FP32_T,
+]
+
+
+@pytest.mark.parametrize("dtype", ALL_DTYPES, ids=lambda d: d.name)
+def test_hw_sim_bit_exact_vs_reference(fitted_silu, dtype, rng):
+    tables = build_tables(fitted_silu, dtype.fmt)
+    unit = FlexSfuUnit(dtype, tables.depth)
+    unit.configure(tables)
+    x = rng.uniform(-9, 9, size=2000)
+    got = unit.exe_af(x).outputs
+    want = tables.reference_eval(x)
+    assert np.array_equal(got, want)
+
+
+def test_fp32_path_close_to_exact_function(fitted_silu, rng):
+    tables = build_tables(fitted_silu, FP32_T.fmt)
+    unit = FlexSfuUnit(FP32_T, tables.depth)
+    unit.configure(tables)
+    x = rng.uniform(-8, 8, size=2000)
+    got = unit.exe_af(x).outputs
+    # fp32 tables: error is dominated by the PWL itself (~1e-3 for 15 BP).
+    assert np.max(np.abs(got - SILU(x))) < 0.01
+
+
+def test_fp16_error_within_few_ulps_of_pwl(fitted_silu, rng):
+    tables = build_tables(fitted_silu, FP16_T.fmt)
+    unit = FlexSfuUnit(FP16_T, tables.depth)
+    unit.configure(tables)
+    x = rng.uniform(-8, 8, size=2000)
+    got = unit.exe_af(x).outputs
+    pwl_vals = fitted_silu(x)
+    # Quantisation adds at most a few ULP at the output magnitude.
+    tol = 8 * FP16.ulp(np.maximum(np.abs(pwl_vals), 1.0))
+    assert np.all(np.abs(got - pwl_vals) <= tol + 1e-6)
+
+
+def test_outside_interval_follows_asymptotes(fitted_silu):
+    tables = build_tables(fitted_silu, FP16_T.fmt)
+    unit = FlexSfuUnit(FP16_T, tables.depth)
+    unit.configure(tables)
+    out = unit.exe_af(np.array([-50.0, 50.0])).outputs
+    assert out[0] == pytest.approx(0.0, abs=0.05)
+    assert out[1] == pytest.approx(50.0, rel=0.01)
+
+
+def test_depth_sweep_matches_table_i_budgets(rng):
+    """Fits sized for each LTC depth of Table I run on matching units."""
+    for depth in (4, 8, 16, 32):
+        cfg = FitConfig(n_breakpoints=depth - 1, max_steps=120,
+                        refine_steps=40, max_refine_rounds=1,
+                        polish_maxiter=150, grid_points=1024)
+        pwl = FlexSfuFitter(cfg).fit(GELU).pwl
+        tables = build_tables(pwl, FP16_T.fmt)
+        assert tables.depth == depth
+        unit = FlexSfuUnit(FP16_T, depth)
+        unit.configure(tables)
+        assert unit.latency_cycles == 5 + int(np.log2(depth))
+        x = rng.uniform(-8, 8, size=200)
+        assert np.array_equal(unit.exe_af(x).outputs,
+                              tables.reference_eval(x))
+
+
+def test_accuracy_improves_with_depth_on_hw(rng):
+    """More segments -> lower end-to-end hardware error (fp32 tables)."""
+    errors = []
+    x = rng.uniform(-8, 8, size=4000)
+    for n in (7, 15, 31):
+        cfg = FitConfig(n_breakpoints=n, max_steps=200, refine_steps=60,
+                        max_refine_rounds=1, polish_maxiter=200,
+                        grid_points=2048)
+        pwl = FlexSfuFitter(cfg).fit(SIGMOID).pwl
+        tables = build_tables(pwl, FP32_T.fmt)
+        unit = FlexSfuUnit(FP32_T, tables.depth)
+        unit.configure(tables)
+        got = unit.exe_af(x).outputs
+        errors.append(float(np.mean((got - SIGMOID(x)) ** 2)))
+    assert errors[0] > errors[1] > errors[2]

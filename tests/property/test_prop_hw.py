@@ -1,0 +1,72 @@
+"""Property-based tests for the hardware model."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.adu import AddressDecodingUnit
+from repro.hw.dtypes import FP16_T, HwDataType
+from repro.hw.memory import SimdSinglePortMemory
+
+INT8 = HwDataType.fixed(8, 3)
+DTYPES = [INT8, FP16_T, HwDataType.fixed(16, 8)]
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=2),
+       st.integers(min_value=1, max_value=3),  # log2 depth
+       st.lists(st.floats(min_value=-7, max_value=7, allow_nan=False),
+                min_size=70, max_size=70))
+def test_adu_always_matches_searchsorted(dtype_idx, log_depth, raw):
+    dtype = DTYPES[dtype_idx]
+    depth = 1 << (log_depth + 1)
+    keys = np.asarray(raw[:depth - 1])
+    x = np.asarray(raw[depth - 1:])
+    bp = dtype.quantize(np.sort(keys))
+    # Keys must be strictly increasing for a meaningful BST.
+    bp = np.unique(bp)
+    while bp.size < depth - 1:
+        bp = np.append(bp, bp[-1] + 1.0 + bp.size)
+    bp = dtype.quantize(bp)
+    if np.any(np.diff(bp) <= 0):
+        return
+    adu = AddressDecodingUnit(depth, dtype)
+    adu.load_breakpoints(dtype.encode(bp))
+    xq = dtype.quantize(x)
+    got = adu.decode(dtype.encode(xq))
+    want = np.searchsorted(bp, xq, side="right")
+    assert np.array_equal(got, want)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=2),
+       st.lists(st.floats(min_value=-7, max_value=7, allow_nan=False),
+                min_size=8, max_size=8),
+       st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=30))
+def test_memory_readback_equals_written_table(dtype_idx, values, addresses):
+    dtype = DTYPES[dtype_idx]
+    mem = SimdSinglePortMemory(8)
+    q = dtype.quantize(np.asarray(values))
+    bits = dtype.encode(q)
+    mem.load_table(bits, dtype)
+    addrs = np.asarray(addresses)
+    got = mem.read_vector(addrs, dtype)
+    mask = (1 << dtype.bits) - 1
+    assert np.array_equal(got, bits[addrs].astype(np.uint64) & mask)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False),
+                min_size=1, max_size=50))
+def test_sfu_output_always_representable(values):
+    """Whatever goes in, the unit emits values of its own format."""
+    from repro.core.pwl import PiecewiseLinear
+    from repro.core.tables import build_tables
+    from repro.hw.sfu import FlexSfuUnit
+
+    pwl = PiecewiseLinear.create(np.array([-1.0, 0.0, 1.0]),
+                                 np.array([0.0, 0.5, 1.0]), 0.0, 0.0)
+    tables = build_tables(pwl, FP16_T.fmt)
+    unit = FlexSfuUnit(FP16_T, tables.depth)
+    unit.configure(tables)
+    out = unit.exe_af(np.asarray(values)).outputs
+    assert np.array_equal(out, np.asarray(FP16_T.fmt.quantize(out)))

@@ -1,0 +1,99 @@
+"""Property-based tests for the number-format substrate."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.numerics.fixedpoint import FixedPointFormat
+from repro.numerics.floatformat import FP16, FP8_E4M3, FloatFormat
+from repro.numerics.ordered import (
+    KIND_FIXED,
+    KIND_FLOAT,
+    canonicalize_zero,
+    from_ordered,
+    to_ordered,
+)
+
+finite_floats = st.floats(min_value=-1e4, max_value=1e4,
+                          allow_nan=False, allow_infinity=False)
+
+
+@given(finite_floats)
+def test_fixed_quantize_idempotent(x):
+    fmt = FixedPointFormat(16, 6)
+    q = fmt.quantize(np.array([x]))
+    assert np.array_equal(fmt.quantize(q), q)
+
+
+@given(finite_floats)
+def test_fixed_quantize_error_bounded(x):
+    fmt = FixedPointFormat(16, 6)
+    q = fmt.quantize(np.array([x]))[0]
+    if fmt.min_value <= x <= fmt.max_value:
+        assert abs(q - x) <= 0.5 * fmt.scale + 1e-12
+    else:
+        assert q in (fmt.min_value, fmt.max_value)
+
+
+@given(finite_floats)
+def test_float_quantize_idempotent(x):
+    q = FP16.quantize(np.array([x]))
+    q2 = FP16.quantize(q)
+    assert np.array_equal(q, q2) or (np.isnan(q[0]) and np.isnan(q2[0]))
+
+
+@given(finite_floats)
+def test_fp16_matches_numpy_everywhere(x):
+    ours = FP16.quantize(np.array([x]))[0]
+    theirs = float(np.float64(x).astype(np.float16))
+    assert ours == theirs or (np.isnan(ours) and np.isnan(theirs)) \
+        or (np.isinf(ours) and np.isinf(theirs) and np.sign(ours) == np.sign(theirs))
+
+
+@given(st.floats(min_value=-200, max_value=200,
+                 allow_nan=False, allow_infinity=False))
+def test_fp8_relative_error_bounded(x):
+    q = FP8_E4M3.quantize(np.array([x]))[0]
+    if abs(x) < FP8_E4M3.min_subnormal / 2:
+        assert q == 0.0
+    else:
+        # 3 mantissa bits: relative error <= 2^-4 for normals.
+        assert abs(q - x) <= max(abs(x) * 2 ** -3, FP8_E4M3.min_subnormal)
+
+
+@given(st.lists(finite_floats, min_size=2, max_size=40))
+def test_float_ordering_preserved(values):
+    q = np.unique(FP16.quantize(np.asarray(values)))
+    q = q[np.isfinite(q)]
+    if q.size < 2:
+        return
+    bits = FP16.encode(q)
+    ordered = to_ordered(canonicalize_zero(bits, 16, KIND_FLOAT), 16, KIND_FLOAT)
+    assert np.all(np.diff(ordered.astype(np.int64)) > 0)
+
+
+@given(st.lists(finite_floats, min_size=2, max_size=40))
+def test_fixed_ordering_preserved(values):
+    fmt = FixedPointFormat(16, 3)
+    q = np.unique(fmt.quantize(np.asarray(values)))
+    if q.size < 2:
+        return
+    ordered = to_ordered(fmt.to_bits(q), 16, KIND_FIXED)
+    assert np.all(np.diff(ordered.astype(np.int64)) > 0)
+
+
+@given(st.integers(min_value=0, max_value=2 ** 16 - 1),
+       st.sampled_from([KIND_FIXED, KIND_FLOAT]))
+def test_ordered_roundtrip(bits, kind):
+    arr = np.array([bits], dtype=np.uint64)
+    back = from_ordered(to_ordered(arr, 16, kind), 16, kind)
+    assert back[0] == bits
+
+
+@settings(max_examples=25)
+@given(st.integers(min_value=2, max_value=8), st.integers(min_value=1, max_value=10))
+def test_any_minifloat_roundtrips_representable_values(exp_bits, man_bits):
+    fmt = FloatFormat(exp_bits, man_bits)
+    # All values of the form k * 2^-man_bits within [1, 2) are exact.
+    ks = np.arange(1 << man_bits)
+    vals = 1.0 + ks / (1 << man_bits)
+    assert np.array_equal(fmt.quantize(vals), vals)

@@ -1,0 +1,96 @@
+"""Property-based tests for the PWL model and loss."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.loss import GridLoss
+from repro.core.pwl import PiecewiseLinear
+from repro.functions import TANH
+
+
+def pwl_strategy(min_points=2, max_points=12):
+    """Random valid PiecewiseLinear instances."""
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(min_points, max_points))
+        xs = draw(st.lists(
+            st.floats(min_value=-10, max_value=10,
+                      allow_nan=False, allow_infinity=False),
+            min_size=n, max_size=n, unique=True))
+        vs = draw(st.lists(
+            st.floats(min_value=-5, max_value=5,
+                      allow_nan=False, allow_infinity=False),
+            min_size=n, max_size=n))
+        ml = draw(st.floats(min_value=-3, max_value=3, allow_nan=False))
+        mr = draw(st.floats(min_value=-3, max_value=3, allow_nan=False))
+        xs = np.sort(np.asarray(xs))
+        if np.min(np.diff(xs)) < 1e-6:
+            xs = np.linspace(xs[0], xs[0] + n, n)
+        return PiecewiseLinear.create(xs, np.asarray(vs), ml, mr)
+
+    return build()
+
+
+@settings(max_examples=60)
+@given(pwl_strategy())
+def test_continuity_everywhere(pwl):
+    eps = 1e-9
+    slopes = np.concatenate([[pwl.left_slope], pwl.inner_slopes(),
+                             [pwl.right_slope]])
+    max_slope = float(np.max(np.abs(slopes)))
+    for p in pwl.breakpoints:
+        left = pwl(p - eps)
+        right = pwl(p + eps)
+        # A continuous PWL can still move 2*eps*slope across the probe gap.
+        assert abs(left - right) <= 2 * eps * max_slope + 1e-7 * max(
+            1.0, abs(left), abs(right))
+
+
+@settings(max_examples=60)
+@given(pwl_strategy())
+def test_values_interpolated_at_breakpoints(pwl):
+    got = pwl(pwl.breakpoints)
+    assert np.allclose(got, pwl.values, rtol=1e-9, atol=1e-9)
+
+
+@settings(max_examples=60)
+@given(pwl_strategy())
+def test_coefficients_consistent_with_eval(pwl):
+    xs = np.linspace(pwl.breakpoints[0] - 2, pwl.breakpoints[-1] + 2, 101)
+    m, q = pwl.coefficients()
+    r = pwl.region_index(xs)
+    assert np.allclose(m[r] * xs + q[r], pwl(xs), rtol=1e-9, atol=1e-9)
+
+
+@settings(max_examples=40)
+@given(pwl_strategy(min_points=3))
+def test_collinear_insertion_preserves_function(pwl):
+    mid = 0.5 * (pwl.breakpoints[0] + pwl.breakpoints[1])
+    bigger = pwl.with_breakpoint(float(mid), float(pwl(mid)))
+    xs = np.linspace(pwl.breakpoints[0] - 1, pwl.breakpoints[-1] + 1, 201)
+    assert np.allclose(bigger(xs), pwl(xs), rtol=1e-8, atol=1e-8)
+
+
+@settings(max_examples=40)
+@given(pwl_strategy())
+def test_serialization_roundtrip(pwl):
+    back = PiecewiseLinear.from_json(pwl.to_json())
+    xs = np.linspace(-12, 12, 101)
+    assert np.array_equal(back(xs), pwl(xs))
+
+
+@settings(max_examples=30)
+@given(st.lists(st.floats(min_value=-3.9, max_value=3.9, allow_nan=False),
+                min_size=4, max_size=10, unique=True))
+def test_grid_loss_nonnegative_and_zero_iff_exact(points):
+    p = np.sort(np.asarray(points))
+    if np.min(np.diff(p)) < 1e-5:
+        return
+    loss = GridLoss(TANH, -4, 4, n_points=512)
+    v = np.tanh(p)
+    val = loss.loss(p, v, 0.0, 0.0)
+    assert val >= 0.0
+    # Residuals are bounded by tanh's range vs the flat edge extensions:
+    # |f_hat - f| <= 2, so the mean square stays below 4.
+    assert val < 4.0

@@ -1,0 +1,80 @@
+"""Unit tests for the approximation-theoretic analysis module."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    FitQuality,
+    assess_fit,
+    expected_improvement_per_doubling,
+    nonuniform_gain_estimate,
+    optimal_mse_bound,
+    uniform_mse_estimate,
+)
+from repro.core.fit import FitConfig, FlexSfuFitter
+from repro.core.uniform import uniform_pwl
+from repro.core.loss import quadrature_mse
+from repro.errors import FitError
+from repro.functions import GELU, SIGMOID, TANH
+
+
+class TestBounds:
+    def test_quartic_scaling(self):
+        b16 = optimal_mse_bound(TANH, 16)
+        b32 = optimal_mse_bound(TANH, 32)
+        assert b16 / b32 == pytest.approx(16.0, rel=0.01)
+
+    def test_interpolatory_is_6x_worse(self):
+        free = optimal_mse_bound(TANH, 32)
+        interp = optimal_mse_bound(TANH, 32, interpolatory=True)
+        assert interp / free == pytest.approx(6.0, rel=0.01)
+
+    def test_uniform_worse_than_optimal(self):
+        for fn in (TANH, GELU, SIGMOID):
+            assert uniform_mse_estimate(fn, 32) > optimal_mse_bound(fn, 32)
+
+    def test_known_value_tanh(self):
+        # Cross-checked against scipy quadrature during development:
+        # free-knot bound for tanh, 33 segments on [-4, 4] is ~1.1e-7.
+        got = optimal_mse_bound(TANH, 33, interval=(-4, 4))
+        assert got == pytest.approx(1.1e-7, rel=0.15)
+
+    def test_rejects_zero_segments(self):
+        with pytest.raises(FitError):
+            optimal_mse_bound(TANH, 0)
+        with pytest.raises(FitError):
+            uniform_mse_estimate(TANH, 0)
+
+    def test_expected_doubling_constant(self):
+        assert expected_improvement_per_doubling() == 16.0
+
+
+class TestAgainstRealFits:
+    @pytest.fixture(scope="class")
+    def tanh_fit(self):
+        cfg = FitConfig(n_breakpoints=16, interval=(-4, 4), max_steps=400,
+                        refine_steps=120, max_refine_rounds=3,
+                        polish_maxiter=800, grid_points=2048)
+        return FlexSfuFitter(cfg).fit(TANH).pwl
+
+    def test_fit_respects_lower_bound(self, tanh_fit):
+        measured = quadrature_mse(tanh_fit, TANH, -4, 4)
+        bound = optimal_mse_bound(TANH, tanh_fit.n_segments, (-4, 4))
+        # No fit may beat the bound by more than discretisation slack.
+        assert measured > bound * 0.5
+
+    def test_fit_is_near_optimal(self, tanh_fit):
+        quality = assess_fit(tanh_fit, TANH, (-4, 4))
+        assert isinstance(quality, FitQuality)
+        assert quality.optimality_gap < 4.0
+
+    def test_uniform_estimate_predicts_uniform_fit(self):
+        pwl = uniform_pwl(TANH, 33, interval=(-4, 4))
+        measured = quadrature_mse(pwl, TANH, -4, 4)
+        # Interpolatory uniform fit: between the LSQ estimate and 10x it.
+        est = uniform_mse_estimate(TANH, 32, (-4, 4))
+        assert est < measured < 20 * est
+
+    def test_gain_estimate_matches_fig2_direction(self):
+        gain = nonuniform_gain_estimate(GELU, 32)
+        assert gain > 3.0  # GELU's curvature is concentrated

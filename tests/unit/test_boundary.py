@@ -1,0 +1,59 @@
+"""Unit tests for boundary-condition resolution."""
+
+import pytest
+
+from repro.core.boundary import ASYMPTOTE, BoundarySpec, CLAMP, FREE
+from repro.errors import FitError
+from repro.functions import EXP, GELU, SIGMOID, TANH
+
+
+class TestAsymptotePolicy:
+    def test_gelu_pins_paper_values(self):
+        # Paper: ml=0, v0=0, mr=1, v_{n-1}=p_{n-1} for GELU.
+        spec = BoundarySpec.resolve(GELU)
+        assert spec.left.pinned and spec.right.pinned
+        assert spec.left.slope == 0.0
+        assert spec.left.pin_value(-8.0) == 0.0
+        assert spec.right.slope == 1.0
+        assert spec.right.pin_value(5.0) == 5.0
+
+    def test_tanh_pins_constants(self):
+        spec = BoundarySpec.resolve(TANH)
+        assert spec.left.pin_value(-8.0) == -1.0
+        assert spec.right.pin_value(8.0) == 1.0
+
+    def test_sigmoid_intercepts(self):
+        spec = BoundarySpec.resolve(SIGMOID)
+        assert spec.left.pin_value(-8.0) == 0.0
+        assert spec.right.pin_value(8.0) == 1.0
+
+
+class TestFallbacks:
+    def test_exp_right_falls_back_to_free(self):
+        # exp has no right asymptote: "unless noted otherwise".
+        spec = BoundarySpec.resolve(EXP)
+        assert spec.left.pinned
+        assert not spec.right.pinned
+        assert spec.right.slope_learnable
+
+    def test_free_requested_explicitly(self):
+        spec = BoundarySpec.resolve(GELU, left=FREE, right=FREE)
+        assert not spec.left.pinned
+        assert spec.left.slope_learnable
+        # Free edges initialise to the local secant slope.
+        assert spec.right.slope == pytest.approx(1.0, abs=0.05)
+
+    def test_clamp_policy(self):
+        spec = BoundarySpec.resolve(GELU, left=CLAMP)
+        assert spec.left.slope == 0.0
+        assert not spec.left.pinned
+        assert not spec.left.slope_learnable
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(FitError):
+            BoundarySpec.resolve(GELU, left="wavy")
+
+    def test_pin_value_on_unpinned_raises(self):
+        spec = BoundarySpec.resolve(GELU, left=FREE)
+        with pytest.raises(FitError):
+            spec.left.pin_value(0.0)

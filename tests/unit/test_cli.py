@@ -1,0 +1,58 @@
+"""Unit tests for the CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fit_defaults(self):
+        args = build_parser().parse_args(["fit", "tanh"])
+        assert args.function == "tanh"
+        assert args.breakpoints == 16
+
+
+class TestCommands:
+    def test_fit_prints_metrics(self, capsys):
+        assert main(["fit", "relu", "-n", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "MSE" in out and "breakpoint placement" in out
+
+    def test_fit_json_roundtrips(self, capsys):
+        assert main(["fit", "relu", "-n", "4", "--json"]) == 0
+        out = capsys.readouterr().out
+        blob = out.strip().splitlines()[-1]
+        from repro.core.pwl import PiecewiseLinear
+
+        pwl = PiecewiseLinear.from_json(blob)
+        assert pwl.n_breakpoints >= 2
+
+    def test_table_emits_valid_json(self, capsys):
+        assert main(["table", "relu", "-n", "4", "-f", "fp16"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "fp16"
+        assert len(payload["slopes"]) == payload["depth"]
+        assert len(payload["breakpoints"]) == payload["depth"] - 1
+
+    def test_table_fixed_format(self, capsys):
+        assert main(["table", "relu", "-n", "4", "-f", "16"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"].startswith("q")
+
+    def test_bound_table(self, capsys):
+        assert main(["bound", "tanh"]) == 0
+        out = capsys.readouterr().out
+        assert "free-knot bound" in out
+
+    def test_fig_unknown_name(self, capsys):
+        assert main(["fig", "fig99"]) == 2
+
+    def test_fig_tab1(self, capsys):
+        assert main(["fig", "tab1"]) == 0
+        assert "Table I" in capsys.readouterr().out

@@ -1,0 +1,71 @@
+"""Unit tests for reporting helpers and reference data sanity."""
+
+import pytest
+
+from repro.eval.reference import (
+    TABLE_II_ROWS,
+    TABLE_III_ROWS,
+    TABLE_II_MEAN_IMPROVEMENT,
+)
+from repro.eval.reporting import (
+    fmt_pct,
+    fmt_ratio,
+    fmt_sci,
+    format_series,
+    format_table,
+)
+
+
+class TestFormatting:
+    def test_fmt_sci(self):
+        assert fmt_sci(1.52e-6) == "1.52e-06"
+
+    def test_fmt_ratio(self):
+        assert fmt_ratio(13.51) == "13.5x"
+
+    def test_fmt_pct(self):
+        assert fmt_pct(0.223) == "22.3%"
+
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "333" in out
+        # Header separator present.
+        assert set(lines[3]) <= {"-", " "}
+
+    def test_format_series(self):
+        out = format_series("tanh", [4, 8], [1e-3, 1e-4])
+        assert out.startswith("tanh:")
+        assert "1.00e-03" in out
+
+
+class TestReferenceData:
+    def test_table2_improvements_consistent(self):
+        # Published improvement must equal ref/this within rounding.
+        # Known exceptions (documented in EXPERIMENTS.md): the paper's
+        # [12]-sigmoid row prints 9.3x but its own numbers imply 16.5x,
+        # and its [18]-gelu row prints 9.0x but the numbers imply 35.8x.
+        inconsistent = {("[12]", "sigmoid"), ("[18]", "gelu")}
+        for row in TABLE_II_ROWS:
+            if (row.ref, row.function) in inconsistent:
+                continue
+            implied = row.ref_error / row.paper_this_work
+            assert implied == pytest.approx(row.paper_improvement, rel=0.05)
+
+    def test_table2_mean_consistent(self):
+        # The arithmetic mean of the printed factors is 23.8; the paper
+        # quotes 22.3x — consistent within its own rounding.
+        mean = sum(r.paper_improvement for r in TABLE_II_ROWS) / len(TABLE_II_ROWS)
+        assert mean == pytest.approx(TABLE_II_MEAN_IMPROVEMENT, rel=0.10)
+
+    def test_table3_rows_monotone(self):
+        # More breakpoints -> more models under every drop threshold.
+        for a, b in zip(TABLE_III_ROWS, TABLE_III_ROWS[1:]):
+            assert b.n_breakpoints == 2 * a.n_breakpoints
+            assert b.frac_below_0_1 >= a.frac_below_0_1
+            assert b.mean_drop >= a.mean_drop
+
+    def test_table3_fractions_valid(self):
+        for row in TABLE_III_ROWS:
+            assert 0.0 <= row.frac_below_0_1 <= row.frac_below_2 <= 1.0

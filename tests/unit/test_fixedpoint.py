@@ -1,0 +1,116 @@
+"""Unit tests for repro.numerics.fixedpoint."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.numerics.fixedpoint import (
+    FixedPointFormat,
+    ROUND_FLOOR,
+    ROUND_NEAREST_AWAY,
+    ROUND_NEAREST_EVEN,
+    ROUND_TRUNCATE,
+)
+
+
+class TestFormatMetadata:
+    def test_scale_is_lsb(self):
+        fmt = FixedPointFormat(16, 8)
+        assert fmt.scale == 2.0 ** -8
+
+    def test_range_q3_4(self):
+        fmt = FixedPointFormat(8, 4)
+        assert fmt.int_min == -128
+        assert fmt.int_max == 127
+        assert fmt.min_value == -8.0
+        assert fmt.max_value == pytest.approx(7.9375)
+
+    def test_default_name(self):
+        assert FixedPointFormat(8, 4).name == "Q3.4"
+        assert FixedPointFormat(16, 8).name == "Q7.8"
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(FormatError):
+            FixedPointFormat(12, 4)
+
+    def test_storage_dtype_widths(self):
+        assert FixedPointFormat(8, 0).storage_dtype == np.dtype(np.int8)
+        assert FixedPointFormat(16, 0).storage_dtype == np.dtype(np.int16)
+        assert FixedPointFormat(32, 0).storage_dtype == np.dtype(np.int32)
+
+
+class TestQuantize:
+    def test_exact_values_roundtrip(self):
+        fmt = FixedPointFormat(16, 8)
+        vals = np.array([0.0, 1.0, -1.0, 0.5, -3.25, 127.99609375])
+        assert np.array_equal(fmt.quantize(vals), vals)
+
+    def test_rounding_nearest_even_ties(self):
+        fmt = FixedPointFormat(8, 0)
+        # 0.5 LSB ties round to even integers.
+        assert fmt.quantize(np.array([0.5, 1.5, 2.5, -0.5]),
+                            ROUND_NEAREST_EVEN).tolist() == [0.0, 2.0, 2.0, -0.0]
+
+    def test_rounding_nearest_away(self):
+        fmt = FixedPointFormat(8, 0)
+        got = fmt.quantize(np.array([0.5, -0.5, 1.5]), ROUND_NEAREST_AWAY)
+        assert got.tolist() == [1.0, -1.0, 2.0]
+
+    def test_rounding_truncate_and_floor_differ_on_negatives(self):
+        fmt = FixedPointFormat(8, 0)
+        x = np.array([-1.7])
+        assert fmt.quantize(x, ROUND_TRUNCATE)[0] == -1.0
+        assert fmt.quantize(x, ROUND_FLOOR)[0] == -2.0
+
+    def test_unknown_rounding_mode(self):
+        fmt = FixedPointFormat(8, 0)
+        with pytest.raises(FormatError):
+            fmt.quantize(np.array([1.0]), "bananas")
+
+    def test_saturation(self):
+        fmt = FixedPointFormat(8, 4)
+        got = fmt.quantize(np.array([100.0, -100.0]))
+        assert got[0] == fmt.max_value
+        assert got[1] == fmt.min_value
+
+    def test_quantization_error_bounded_by_half_lsb(self, rng):
+        fmt = FixedPointFormat(16, 10)
+        x = rng.uniform(-30, 30, size=1000)
+        err = np.abs(fmt.quantize(x) - x)
+        assert np.all(err <= 0.5 * fmt.scale + 1e-12)
+
+
+class TestBits:
+    def test_to_bits_twos_complement(self):
+        fmt = FixedPointFormat(8, 0)
+        assert fmt.to_bits(np.array([-1.0]))[0] == 0xFF
+        assert fmt.to_bits(np.array([-128.0]))[0] == 0x80
+        assert fmt.to_bits(np.array([127.0]))[0] == 0x7F
+
+    def test_bits_roundtrip(self, rng):
+        fmt = FixedPointFormat(16, 7)
+        x = rng.uniform(-200, 200, size=500)
+        q = fmt.quantize(x)
+        assert np.array_equal(fmt.from_bits(fmt.to_bits(x)), q)
+
+    def test_representable(self):
+        fmt = FixedPointFormat(8, 4)
+        vals = np.array([0.0625, 0.03, 100.0])
+        mask = fmt.representable(vals)
+        assert mask.tolist() == [True, False, False]
+
+
+class TestForRange:
+    def test_covers_requested_range(self):
+        fmt = FixedPointFormat.for_range(16, -8.0, 8.0)
+        assert fmt.min_value <= -8.0
+        assert fmt.max_value >= 8.0
+
+    def test_maximizes_resolution(self):
+        fmt = FixedPointFormat.for_range(16, -1.0, 1.0)
+        finer = FixedPointFormat(16, fmt.frac_bits + 1)
+        assert not (finer.min_value <= -1.0 and finer.max_value >= 1.0)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(FormatError):
+            FixedPointFormat.for_range(8, 3.0, -3.0)

@@ -1,0 +1,124 @@
+"""Unit tests for repro.numerics.floatformat."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.numerics.floatformat import (
+    BF16,
+    FP16,
+    FP32,
+    FP8_E4M3,
+    FP8_E5M2,
+    FloatFormat,
+    float_format,
+)
+
+
+class TestMetadata:
+    def test_fp16_constants(self):
+        assert FP16.total_bits == 16
+        assert FP16.bias == 15
+        assert FP16.emax == 15
+        assert FP16.emin == -14
+        assert FP16.max_value == 65504.0
+        assert FP16.min_normal == pytest.approx(6.103515625e-05)
+        assert FP16.min_subnormal == pytest.approx(5.960464477539063e-08)
+
+    def test_ulp_at_one(self):
+        assert FP16.ulp_at_one() == 2.0 ** -10
+        assert FP32.ulp_at_one() == 2.0 ** -23
+
+    def test_invalid_formats_rejected(self):
+        with pytest.raises(FormatError):
+            FloatFormat(1, 3)
+        with pytest.raises(FormatError):
+            FloatFormat(8, 0)
+        with pytest.raises(FormatError):
+            FloatFormat(11, 30)  # > 32 bits total
+
+    def test_preset_lookup(self):
+        assert float_format("fp16") is FP16
+        with pytest.raises(FormatError):
+            float_format("fp12")
+
+
+class TestAgainstNumpy:
+    """fp16/fp32 presets must agree with numpy's native casts."""
+
+    def test_fp16_matches_numpy_on_random_values(self, rng):
+        x = rng.normal(0, 10, size=2000)
+        ours = FP16.quantize(x)
+        theirs = x.astype(np.float16).astype(np.float64)
+        assert np.array_equal(ours, theirs)
+
+    def test_fp16_matches_numpy_on_subnormals(self, rng):
+        x = rng.uniform(-1e-4, 1e-4, size=2000)
+        ours = FP16.quantize(x)
+        theirs = x.astype(np.float16).astype(np.float64)
+        assert np.array_equal(ours, theirs)
+
+    def test_fp16_bit_patterns_match_numpy(self, rng):
+        x = rng.normal(0, 100, size=500)
+        ours = FP16.encode(x).astype(np.uint16)
+        theirs = x.astype(np.float16).view(np.uint16)
+        assert np.array_equal(ours, theirs)
+
+    def test_fp32_matches_numpy(self, rng):
+        x = rng.normal(0, 1e10, size=1000)
+        ours = FP32.quantize(x)
+        theirs = x.astype(np.float32).astype(np.float64)
+        assert np.array_equal(ours, theirs)
+
+    def test_fp16_overflow_to_inf(self):
+        assert np.isinf(FP16.quantize(np.array([1e6]))[0])
+        assert FP16.quantize(np.array([-1e6]))[0] == -np.inf
+
+
+class TestSpecials:
+    def test_zero_roundtrip(self):
+        bits = FP16.encode(np.array([0.0, -0.0]))
+        assert bits[0] == 0
+        assert bits[1] == 0x8000
+        vals = FP16.decode(bits)
+        assert vals[0] == 0.0
+        assert np.signbit(vals[1])
+
+    def test_nan_roundtrip(self):
+        out = FP16.quantize(np.array([np.nan]))
+        assert np.isnan(out[0])
+
+    def test_inf_roundtrip(self):
+        out = FP16.quantize(np.array([np.inf, -np.inf]))
+        assert out[0] == np.inf and out[1] == -np.inf
+
+
+class TestFP8:
+    def test_e4m3_saturates_instead_of_inf(self):
+        out = FP8_E4M3.quantize(np.array([1e9]))
+        assert out[0] == FP8_E4M3.max_value
+
+    def test_e4m3_max_value(self):
+        # IEEE-style E4M3 with saturation: max = (2 - 2^-3) * 2^7 = 240.
+        assert FP8_E4M3.max_value == 240.0
+
+    def test_e5m2_has_inf(self):
+        assert np.isinf(FP8_E5M2.quantize(np.array([1e9]))[0])
+
+    def test_e4m3_resolution_near_one(self):
+        # Adjacent values around 1.0 are 1/8 apart.
+        got = FP8_E4M3.quantize(np.array([1.0, 1.05, 1.125]))
+        assert got.tolist() == [1.0, 1.0, 1.125]
+
+    def test_bf16_truncates_mantissa(self, rng):
+        x = rng.normal(0, 5, size=200)
+        q = BF16.quantize(x)
+        # bf16 has 7 mantissa bits: relative error < 2^-7.
+        rel = np.abs(q - x) / np.abs(x)
+        assert np.all(rel <= 2.0 ** -8 + 1e-12)
+
+
+class TestRepresentable:
+    def test_exact_values(self):
+        vals = np.array([1.0, 1.5, 0.333])
+        assert FP16.representable(vals).tolist() == [True, True, False]

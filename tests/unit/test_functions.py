@@ -1,0 +1,126 @@
+"""Unit tests for the activation-function library."""
+
+import numpy as np
+import pytest
+
+from repro.functions import (
+    ANALYTIC_FUNCTIONS,
+    EXP,
+    GELU,
+    HARDSWISH,
+    PIECEWISE_FUNCTIONS,
+    RELU,
+    SIGMOID,
+    SILU,
+    TANH,
+    available,
+    get,
+    make_custom,
+)
+from repro.functions.base import estimate_asymptote, numeric_derivative
+
+ALL_FUNCTIONS = ANALYTIC_FUNCTIONS + PIECEWISE_FUNCTIONS
+
+
+class TestValues:
+    def test_gelu_reference_points(self):
+        # Exact erf-based GELU values.
+        assert GELU(np.array([0.0]))[0] == 0.0
+        assert GELU(np.array([1.0]))[0] == pytest.approx(0.8413447460685429)
+        assert GELU(np.array([-1.0]))[0] == pytest.approx(-0.15865525393145707)
+
+    def test_silu_reference_points(self):
+        assert SILU(np.array([0.0]))[0] == 0.0
+        assert SILU(np.array([1.0]))[0] == pytest.approx(0.7310585786300049)
+
+    def test_sigmoid_stable_at_extremes(self):
+        y = SIGMOID(np.array([-1000.0, 1000.0]))
+        assert y[0] == 0.0
+        assert y[1] == 1.0
+
+    def test_hardswish_knots(self):
+        x = np.array([-3.0, 0.0, 3.0])
+        assert HARDSWISH(x).tolist() == [0.0, 0.0, 3.0]
+
+    def test_relu_negative_zero(self):
+        assert RELU(np.array([-5.0, 5.0])).tolist() == [0.0, 5.0]
+
+
+@pytest.mark.parametrize("fn", ALL_FUNCTIONS, ids=lambda f: f.name)
+class TestDerivatives:
+    def test_derivative_matches_finite_difference(self, fn):
+        # Offset the grid so no sample lands on a kink (0, +-1, +-3, 6).
+        xs = np.linspace(-6.1234, 6.1234, 41) + 0.0171717
+        if fn.name == "exp":
+            xs = np.linspace(-9.1, 0.05, 41) + 0.0017
+        eps = 1e-6
+        fd = (fn(xs + eps) - fn(xs - eps)) / (2 * eps)
+        assert np.allclose(fn.d(xs), fd, atol=1e-5)
+
+
+@pytest.mark.parametrize("fn", ALL_FUNCTIONS, ids=lambda f: f.name)
+class TestAsymptotes:
+    def test_left_asymptote_is_reached(self, fn):
+        if fn.left_asymptote is None:
+            pytest.skip("no left asymptote")
+        m, c = fn.left_asymptote
+        x = np.array([-40.0])
+        assert fn(x)[0] == pytest.approx(m * x[0] + c, abs=1e-6)
+
+    def test_right_asymptote_is_reached(self, fn):
+        if fn.right_asymptote is None:
+            pytest.skip("no right asymptote")
+        m, c = fn.right_asymptote
+        x = np.array([40.0])
+        assert fn(x)[0] == pytest.approx(m * x[0] + c, abs=1e-6)
+
+
+class TestExactPwlKnots:
+    @pytest.mark.parametrize("fn", [f for f in PIECEWISE_FUNCTIONS
+                                    if f.exact_pwl_breakpoints],
+                             ids=lambda f: f.name)
+    def test_function_linear_between_knots(self, fn):
+        knots = np.array(fn.exact_pwl_breakpoints)
+        edges = np.concatenate([[knots[0] - 5], knots, [knots[-1] + 5]])
+        for lo, hi in zip(edges[:-1], edges[1:]):
+            xs = np.linspace(lo + 1e-9, hi - 1e-9, 9)
+            ys = fn(xs)
+            # Second difference of a linear function is zero.
+            assert np.allclose(np.diff(ys, 2), 0.0, atol=1e-12)
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        names = set(available())
+        for fn in ALL_FUNCTIONS:
+            assert fn.name in names
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(Exception):
+            get("blorp")
+
+    def test_make_custom_estimates_asymptotes(self):
+        softsign = make_custom("softsign_test",
+                               lambda x: x / (1.0 + np.abs(x)))
+        assert softsign.left_asymptote == pytest.approx((0.0, -1.0), abs=1e-3)
+        assert softsign.right_asymptote == pytest.approx((0.0, 1.0), abs=1e-3)
+
+    def test_estimate_asymptote_divergent(self):
+        assert estimate_asymptote(np.exp, "right") is None
+        got = estimate_asymptote(np.exp, "left")
+        assert got == pytest.approx((0.0, 0.0), abs=1e-4)
+
+    def test_numeric_derivative(self):
+        d = numeric_derivative(np.tanh)
+        assert d(np.array([0.0]))[0] == pytest.approx(1.0, abs=1e-6)
+
+
+class TestIntervalOverride:
+    def test_with_interval(self):
+        fn = TANH.with_interval(-2, 2)
+        assert fn.default_interval == (-2.0, 2.0)
+        assert fn.name == TANH.name
+
+    def test_exp_paper_interval(self):
+        assert EXP.default_interval == (-10.0, 0.1)
+        assert EXP.right_asymptote is None

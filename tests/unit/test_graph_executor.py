@@ -1,0 +1,88 @@
+"""Unit tests for the executor and profiler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.executor import Executor
+from repro.graph.ir import Graph, Node
+
+
+class TestRun:
+    def test_tiny_cnn_shapes(self, tiny_cnn_graph, rng):
+        ex = Executor(tiny_cnn_graph)
+        x = rng.normal(size=(3, 3, 8, 8))
+        out = ex.run({"x": x})
+        (name,) = tiny_cnn_graph.outputs
+        assert out[name].shape == (3, 4)
+
+    def test_missing_input_raises(self, tiny_cnn_graph):
+        with pytest.raises(GraphError):
+            Executor(tiny_cnn_graph).run({})
+
+    def test_wrong_shape_raises(self, tiny_cnn_graph, rng):
+        with pytest.raises(GraphError):
+            Executor(tiny_cnn_graph).run({"x": rng.normal(size=(1, 3, 9, 9))})
+
+    def test_batch_dimension_free(self, tiny_cnn_graph, rng):
+        ex = Executor(tiny_cnn_graph)
+        for batch in (1, 2, 7):
+            out = ex.run({"x": rng.normal(size=(batch, 3, 8, 8))})
+            assert out[tiny_cnn_graph.outputs[0]].shape[0] == batch
+
+    def test_deterministic(self, tiny_cnn_graph, rng):
+        ex = Executor(tiny_cnn_graph)
+        x = rng.normal(size=(2, 3, 8, 8))
+        a = ex.run({"x": x})[tiny_cnn_graph.outputs[0]]
+        b = ex.run({"x": x})[tiny_cnn_graph.outputs[0]]
+        assert np.array_equal(a, b)
+
+    def test_attention_graph_runs(self, tiny_attention_graph, rng):
+        ex = Executor(tiny_attention_graph)
+        out = ex.run({"x": rng.normal(size=(2, 3, 8, 8))})
+        feats = out[tiny_attention_graph.outputs[0]]
+        assert feats.ndim == 2 and feats.shape[0] == 2
+
+    def test_output_count_mismatch_detected(self):
+        g = Graph(name="bad")
+        g.inputs.append(("x", (0, 2)))
+        g.add_node(Node("add", ["x", "x"], ["y", "z"]))
+        g.outputs.append("y")
+        with pytest.raises(GraphError):
+            Executor(g).run({"x": np.zeros((1, 2))})
+
+
+class TestProfile:
+    def test_profile_counts_macs(self, tiny_cnn_graph, rng):
+        ex = Executor(tiny_cnn_graph)
+        _, prof = ex.profile({"x": rng.normal(size=(1, 3, 8, 8))})
+        # conv 3->8 3x3 on 8x8 + fc 8->4.
+        assert prof.total_macs == 8 * 8 * 8 * 3 * 9 + 8 * 4
+
+    def test_profile_activation_split(self, tiny_cnn_graph, rng):
+        ex = Executor(tiny_cnn_graph)
+        _, prof = ex.profile({"x": rng.normal(size=(1, 3, 8, 8))})
+        by_fn = prof.act_elements_by_fn()
+        assert by_fn == {"silu": 8 * 8 * 8}
+        assert prof.dominant_activation() == "silu"
+
+    def test_attention_profile_has_softmax(self, tiny_attention_graph, rng):
+        ex = Executor(tiny_attention_graph)
+        _, prof = ex.profile({"x": rng.normal(size=(1, 3, 8, 8))})
+        by_fn = prof.act_elements_by_fn()
+        assert "softmax" in by_fn
+        assert "gelu" in by_fn
+
+    def test_node_profiles_cover_all_nodes(self, tiny_cnn_graph, rng):
+        ex = Executor(tiny_cnn_graph)
+        _, prof = ex.profile({"x": rng.normal(size=(1, 3, 8, 8))})
+        assert len(prof.nodes) == len(tiny_cnn_graph.nodes)
+
+    def test_empty_activation_graph(self):
+        g = Graph(name="lin")
+        g.inputs.append(("x", (0, 2)))
+        g.add_node(Node("add", ["x", "x"], ["y"]))
+        g.outputs.append("y")
+        _, prof = Executor(g).profile({"x": np.zeros((1, 2))})
+        assert prof.dominant_activation() == ""
+        assert prof.total_act_elements == 0

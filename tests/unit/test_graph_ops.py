@@ -1,0 +1,194 @@
+"""Unit tests for operator semantics and cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.ops import CostRecord, get_op
+
+
+def _run(op_name, inputs, **attrs):
+    op = get_op(op_name)
+    return op.execute(inputs, attrs)[0]
+
+
+def _cost(op_name, in_shapes, out_shapes, **attrs):
+    return get_op(op_name).cost(in_shapes, out_shapes, attrs)
+
+
+class TestConv2d:
+    def test_identity_kernel(self):
+        x = np.arange(2 * 1 * 4 * 4, dtype=np.float64).reshape(2, 1, 4, 4)
+        w = np.zeros((1, 1, 3, 3))
+        w[0, 0, 1, 1] = 1.0
+        y = _run("conv2d", [x, w], stride=1, padding=1)
+        assert np.array_equal(y, x)
+
+    def test_matches_manual_convolution(self, rng):
+        x = rng.normal(0, 1, size=(1, 2, 5, 5))
+        w = rng.normal(0, 1, size=(3, 2, 3, 3))
+        y = _run("conv2d", [x, w], stride=1, padding=0)
+        assert y.shape == (1, 3, 3, 3)
+        # Manual check of one output element.
+        patch = x[0, :, 0:3, 0:3]
+        assert y[0, 1, 0, 0] == pytest.approx(np.sum(patch * w[1]))
+
+    def test_stride_and_padding_shapes(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        w = rng.normal(size=(4, 3, 3, 3))
+        y = _run("conv2d", [x, w], stride=2, padding=1)
+        assert y.shape == (2, 4, 4, 4)
+
+    def test_depthwise_groups(self, rng):
+        x = rng.normal(size=(1, 4, 6, 6))
+        w = rng.normal(size=(4, 1, 3, 3))
+        y = _run("conv2d", [x, w], stride=1, padding=1, groups=4)
+        # Each output channel depends only on its input channel.
+        x2 = x.copy()
+        x2[0, 0] += 100.0
+        y2 = _run("conv2d", [x2, w], stride=1, padding=1, groups=4)
+        assert np.allclose(y[0, 1:], y2[0, 1:])
+        assert not np.allclose(y[0, 0], y2[0, 0])
+
+    def test_bias_added(self, rng):
+        x = rng.normal(size=(1, 1, 4, 4))
+        w = rng.normal(size=(2, 1, 1, 1))
+        b = np.array([10.0, -10.0])
+        y = _run("conv2d", [x, w, b], stride=1, padding=0)
+        y0 = _run("conv2d", [x, w], stride=1, padding=0)
+        assert np.allclose(y - y0, b.reshape(1, 2, 1, 1))
+
+    def test_channel_mismatch_raises(self, rng):
+        x = rng.normal(size=(1, 3, 4, 4))
+        w = rng.normal(size=(2, 4, 3, 3))
+        with pytest.raises(GraphError):
+            _run("conv2d", [x, w])
+
+    def test_mac_count(self):
+        cost = _cost("conv2d", [(1, 8, 8, 8), (16, 8, 3, 3)],
+                     [(1, 16, 8, 8)], stride=1, padding=1)
+        assert cost.macs == 16 * 8 * 8 * 8 * 3 * 3
+
+
+class TestLinearMatmul:
+    def test_linear(self, rng):
+        x = rng.normal(size=(5, 3))
+        w = rng.normal(size=(3, 4))
+        b = rng.normal(size=4)
+        assert np.allclose(_run("linear", [x, w, b]), x @ w + b)
+
+    def test_linear_on_3d_tensor(self, rng):
+        x = rng.normal(size=(2, 7, 3))
+        w = rng.normal(size=(3, 4))
+        assert _run("linear", [x, w]).shape == (2, 7, 4)
+
+    def test_matmul_batched(self, rng):
+        a = rng.normal(size=(2, 3, 4, 5))
+        b = rng.normal(size=(2, 3, 5, 6))
+        assert np.allclose(_run("matmul", [a, b]), a @ b)
+
+    def test_matmul_macs(self):
+        cost = _cost("matmul", [(2, 4, 8), (2, 8, 16)], [(2, 4, 16)])
+        assert cost.macs == 2 * 4 * 16 * 8
+
+
+class TestNorms:
+    def test_batchnorm(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        scale = np.array([1.0, 2.0, 3.0])
+        shift = np.array([0.0, 1.0, -1.0])
+        y = _run("batchnorm", [x, scale, shift])
+        assert np.allclose(y[:, 1], x[:, 1] * 2.0 + 1.0)
+
+    def test_batchnorm_cost_is_fused_away(self):
+        assert _cost("batchnorm", [(1, 3, 4, 4)], [(1, 3, 4, 4)]).vector_ops == 0
+
+    def test_layernorm_normalizes(self, rng):
+        x = rng.normal(5, 3, size=(4, 10))
+        y = _run("layernorm", [x, np.ones(10), np.zeros(10)])
+        assert np.allclose(y.mean(axis=-1), 0.0, atol=1e-9)
+        assert np.allclose(y.std(axis=-1), 1.0, atol=1e-3)
+
+
+class TestPools:
+    def test_maxpool(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        y = _run("maxpool2d", [x], kernel=2, stride=2)
+        assert y[0, 0].tolist() == [[5.0, 7.0], [13.0, 15.0]]
+
+    def test_avgpool(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        y = _run("avgpool2d", [x], kernel=2, stride=2)
+        assert y[0, 0, 0, 0] == pytest.approx(2.5)
+
+    def test_global_avgpool(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        y = _run("global_avgpool", [x])
+        assert y.shape == (2, 3)
+        assert np.allclose(y, x.mean(axis=(2, 3)))
+
+
+class TestActivationNodes:
+    def test_exact_impl(self, rng):
+        x = rng.normal(size=(4, 4))
+        y = _run("activation", [x], fn="tanh", impl="exact")
+        assert np.allclose(y, np.tanh(x))
+
+    def test_pwl_impl_uses_approximator(self, rng):
+        x = rng.normal(size=(4, 4))
+        y = _run("activation", [x], fn="tanh", impl="pwl",
+                 approximator=lambda v: v * 0.5)
+        assert np.allclose(y, x * 0.5)
+
+    def test_pwl_without_approximator_raises(self, rng):
+        with pytest.raises(GraphError):
+            _run("activation", [rng.normal(size=(2,))], fn="tanh", impl="pwl")
+
+    def test_activation_cost_labels_function(self):
+        cost = _cost("activation", [(2, 8)], [(2, 8)], fn="silu")
+        assert cost.act_elements == 16
+        assert cost.act_fn == "silu"
+
+    def test_softmax_exact(self, rng):
+        from repro.functions.softmax import softmax
+
+        x = rng.normal(size=(3, 5))
+        y = _run("softmax", [x], axis=-1, impl="exact")
+        assert np.allclose(y, softmax(x))
+
+    def test_softmax_cost_splits_exp_and_vector(self):
+        cost = _cost("softmax", [(2, 8)], [(2, 8)], axis=-1)
+        assert cost.act_fn == "softmax"
+        assert cost.act_elements == 16
+        assert cost.vector_ops == 48
+
+
+class TestPlumbing:
+    def test_reshape_transpose_flatten(self, rng):
+        x = rng.normal(size=(2, 3, 4))
+        assert _run("reshape", [x], shape=(-1, 12)).shape == (2, 12)
+        assert _run("transpose", [x], perm=(0, 2, 1)).shape == (2, 4, 3)
+        assert _run("flatten", [x]).shape == (2, 12)
+
+    def test_embedding(self, rng):
+        table = rng.normal(size=(10, 4))
+        ids = np.array([[1, 2], [9, 0]])
+        y = _run("embedding", [ids, table])
+        assert np.array_equal(y[0, 0], table[1])
+
+    def test_plumbing_is_free(self):
+        assert _cost("reshape", [(2, 8)], [(4, 4)], shape=(4, 4)).macs == 0
+        assert _cost("embedding", [(2, 3), (10, 4)], [(2, 3, 4)]).vector_ops == 0
+
+    def test_unknown_op(self):
+        with pytest.raises(GraphError):
+            get_op("teleport")
+
+
+class TestCostRecord:
+    def test_addition(self):
+        a = CostRecord(macs=1, vector_ops=2, act_elements=3, act_fn="silu")
+        b = CostRecord(macs=10, vector_ops=20, act_elements=30)
+        c = a + b
+        assert (c.macs, c.vector_ops, c.act_elements) == (11, 22, 33)
+        assert c.act_fn == "silu"

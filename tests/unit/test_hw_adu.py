@@ -1,0 +1,73 @@
+"""Unit tests for the ADU binary-search tree."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HardwareError
+from repro.hw.adu import AddressDecodingUnit
+from repro.hw.dtypes import FP16_T, FP32_T, HwDataType
+
+INT8 = HwDataType.fixed(8, 3)
+
+
+class TestConstruction:
+    def test_stage_count(self):
+        assert AddressDecodingUnit(4, FP16_T).n_stages == 2
+        assert AddressDecodingUnit(64, FP16_T).n_stages == 6
+
+    def test_depth_must_be_pow2(self):
+        with pytest.raises(HardwareError):
+            AddressDecodingUnit(6, FP16_T)
+        with pytest.raises(HardwareError):
+            AddressDecodingUnit(1, FP16_T)
+
+    def test_memory_constant_across_dtypes(self):
+        a = AddressDecodingUnit(16, INT8)
+        b = AddressDecodingUnit(16, FP32_T)
+        assert a.memory_bytes == b.memory_bytes
+
+
+class TestDecode:
+    def _check_matches_searchsorted(self, dtype, depth, rng):
+        adu = AddressDecodingUnit(depth, dtype)
+        bp = np.sort(dtype.quantize(rng.uniform(-6, 6, size=depth - 1)))
+        bp = np.unique(bp)
+        while bp.size < depth - 1:  # ensure distinct keys
+            bp = np.append(bp, bp[-1] + 1.0)
+        bp = dtype.quantize(np.sort(bp))
+        adu.load_breakpoints(dtype.encode(bp))
+        x = dtype.quantize(rng.uniform(-8, 8, size=400))
+        got = adu.decode(dtype.encode(x))
+        want = np.searchsorted(bp, x, side="right")
+        assert np.array_equal(got, want)
+
+    def test_fp16_depth16(self, rng):
+        self._check_matches_searchsorted(FP16_T, 16, rng)
+
+    def test_fp32_depth4(self, rng):
+        self._check_matches_searchsorted(FP32_T, 4, rng)
+
+    def test_int8_depth8(self, rng):
+        self._check_matches_searchsorted(INT8, 8, rng)
+
+    def test_input_on_breakpoint_goes_right(self):
+        adu = AddressDecodingUnit(4, FP16_T)
+        bp = np.array([-1.0, 0.0, 1.0])
+        adu.load_breakpoints(FP16_T.encode(bp))
+        got = adu.decode(FP16_T.encode(np.array([0.0])))
+        assert got[0] == 2  # side="right" convention
+
+    def test_requires_load_first(self):
+        adu = AddressDecodingUnit(4, FP16_T)
+        with pytest.raises(HardwareError):
+            adu.decode(FP16_T.encode(np.array([0.0])))
+
+    def test_wrong_breakpoint_count(self):
+        adu = AddressDecodingUnit(8, FP16_T)
+        with pytest.raises(HardwareError):
+            adu.load_breakpoints(FP16_T.encode(np.zeros(5)))
+
+    def test_load_cycles_equal_keys(self):
+        adu = AddressDecodingUnit(16, FP16_T)
+        cycles = adu.load_breakpoints(FP16_T.encode(np.linspace(-3, 3, 15)))
+        assert cycles == 15

@@ -1,0 +1,82 @@
+"""Unit tests for the calibrated area/power model (Table I)."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hw.area import (
+    AREA_MODEL,
+    ARA_AREA_SHARES,
+    TABLE_I_ADU_PCT,
+    TABLE_I_DEPTHS,
+    TABLE_I_LTC_PCT,
+    TABLE_I_POWER_MW,
+    TABLE_I_TOTAL_UM2,
+    calibrate,
+)
+
+
+class TestCalibrationQuality:
+    def test_total_area_within_15pct_of_paper(self):
+        for depth, paper in zip(TABLE_I_DEPTHS, TABLE_I_TOTAL_UM2):
+            model = AREA_MODEL.total_area_um2(depth)
+            assert model == pytest.approx(paper, rel=0.15)
+
+    def test_power_within_5pct_of_paper(self):
+        for depth, paper in zip(TABLE_I_DEPTHS, TABLE_I_POWER_MW):
+            assert AREA_MODEL.power_mw(depth) == pytest.approx(paper, rel=0.05)
+
+    def test_breakdown_percentages_plausible(self):
+        for depth, adu, ltc in zip(TABLE_I_DEPTHS, TABLE_I_ADU_PCT,
+                                   TABLE_I_LTC_PCT):
+            split = AREA_MODEL.area_breakdown(depth)
+            assert split["adu_pct"] == pytest.approx(adu, abs=8.0)
+            assert split["ltc_pct"] == pytest.approx(ltc, abs=8.0)
+            total_pct = split["adu_pct"] + split["ltc_pct"] + split["other_pct"]
+            assert total_pct == pytest.approx(100.0, abs=1e-6)
+
+    def test_area_monotone_in_depth(self):
+        areas = [AREA_MODEL.total_area_um2(d) for d in (4, 8, 16, 32, 64)]
+        assert all(b > a for a, b in zip(areas, areas[1:]))
+
+    def test_ltc_dominates_at_large_depth(self):
+        # Paper: LTC share grows from 31% (d=4) to 53% (d=64).
+        small = AREA_MODEL.area_breakdown(4)
+        large = AREA_MODEL.area_breakdown(64)
+        assert large["ltc_pct"] > small["ltc_pct"]
+
+
+class TestScaling:
+    def test_clusters_scale_area_not_fixed_part(self):
+        one = AREA_MODEL.total_area_um2(16, n_clusters=1)
+        two = AREA_MODEL.total_area_um2(16, n_clusters=2)
+        assert two < 2 * one
+        assert two > one + (one - AREA_MODEL.fixed_um2) * 0.9
+
+    def test_power_scales_with_clusters(self):
+        assert AREA_MODEL.power_mw(16, 2) > AREA_MODEL.power_mw(16, 1)
+
+    def test_depth_validated(self):
+        with pytest.raises(HardwareError):
+            AREA_MODEL.total_area_um2(10)
+
+
+class TestAraIntegration:
+    def test_area_shares_match_paper(self):
+        # Paper: 2.2 / 3.5 / 5.9 % for depths 8 / 16 / 32.
+        for depth, paper in ARA_AREA_SHARES.items():
+            got = AREA_MODEL.vpu_area_share(depth)
+            assert got == pytest.approx(paper, rel=0.15)
+
+    def test_power_shares_in_paper_range(self):
+        # Paper: 0.5 % to 0.8 %.
+        shares = [AREA_MODEL.vpu_power_share(d) for d in (8, 16, 32)]
+        assert min(shares) > 0.003
+        assert max(shares) < 0.011
+        assert shares == sorted(shares)
+
+
+def test_recalibration_is_deterministic():
+    m1 = calibrate()
+    m2 = calibrate()
+    assert m1.fixed_um2 == m2.fixed_um2
+    assert m1.vpu_area_um2 == m2.vpu_area_um2

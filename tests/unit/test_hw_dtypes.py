@@ -1,0 +1,70 @@
+"""Unit tests for hardware data types and byte slicing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HardwareError
+from repro.hw.dtypes import FP8, FP16_T, FP32_T, HwDataType, fixed_for_range
+
+
+class TestConstruction:
+    def test_float_presets(self):
+        assert FP8.bits == 8 and FP8.kind == "float"
+        assert FP16_T.bits == 16
+        assert FP32_T.bits == 32
+
+    def test_unknown_float_width(self):
+        with pytest.raises(HardwareError):
+            HwDataType.float(24)
+
+    def test_fixed_construction(self):
+        dt = HwDataType.fixed(16, 8)
+        assert dt.kind == "fixed"
+        assert dt.bits == 16
+        assert dt.name == "q7.8"
+
+    def test_elements_per_word(self):
+        assert HwDataType.fixed(8, 4).elements_per_word == 4
+        assert FP16_T.elements_per_word == 2
+        assert FP32_T.elements_per_word == 1
+
+
+class TestCodec:
+    def test_roundtrip_float(self, rng):
+        x = rng.normal(0, 4, size=300)
+        q = FP16_T.quantize(x)
+        assert np.array_equal(FP16_T.decode(FP16_T.encode(q)), q)
+
+    def test_roundtrip_fixed(self, rng):
+        dt = HwDataType.fixed(16, 10)
+        x = rng.uniform(-20, 20, size=300)
+        q = dt.quantize(x)
+        assert np.array_equal(dt.decode(dt.encode(q)), q)
+
+
+class TestByteSlicing:
+    def test_to_bytes_little_endian(self):
+        dt = HwDataType.fixed(16, 0)
+        bits = dt.encode(np.array([0x1234 - 0x10000 if False else 0x1234]))
+        # 0x1234 -> lo byte 0x34 in bank 0, hi byte 0x12 in bank 1.
+        slices = dt.to_bytes(bits)
+        assert slices[0, 0] == 0x34
+        assert slices[0, 1] == 0x12
+
+    def test_bytes_roundtrip_all_widths(self, rng):
+        for dt in (HwDataType.fixed(8, 4), FP16_T, FP32_T):
+            vals = dt.quantize(rng.normal(0, 2, size=64))
+            bits = dt.encode(vals)
+            back = dt.from_bytes(dt.to_bytes(bits))
+            assert np.array_equal(back, bits)
+
+    def test_from_bytes_shape_checked(self):
+        with pytest.raises(HardwareError):
+            FP16_T.from_bytes(np.zeros((4, 3), dtype=np.uint8))
+
+
+class TestFixedForRange:
+    def test_covers_and_maximizes(self):
+        dt = fixed_for_range(16, -8.0, 8.0)
+        assert dt.fmt.min_value <= -8.0 <= 8.0 <= dt.fmt.max_value
+        assert dt.fmt.frac_bits >= 11  # Q4.11 covers +-8 at 16 bits

@@ -1,0 +1,64 @@
+"""Unit tests for the instruction encoding."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HardwareError
+from repro.hw.isa import (
+    DTYPE_CODES,
+    Instruction,
+    OP_EXE_AF,
+    OP_LD_BP,
+    OP_LD_CF,
+    decode_instruction,
+    dtype_code_for,
+    encode_instruction,
+)
+
+
+class TestEncodeDecode:
+    def test_roundtrip_all_opcodes(self):
+        for op in (OP_LD_BP, OP_LD_CF, OP_EXE_AF):
+            instr = Instruction(opcode=op, dtype_code=DTYPE_CODES["fp16"],
+                                depth_log2=5, count=1000)
+            back = decode_instruction(encode_instruction(instr))
+            assert back == instr
+
+    def test_field_packing(self):
+        instr = Instruction(opcode=OP_EXE_AF, dtype_code=5, depth_log2=4,
+                            count=0x12345)
+        word = int(encode_instruction(instr))
+        assert (word >> 28) == OP_EXE_AF
+        assert ((word >> 24) & 0xF) == 5
+        assert ((word >> 20) & 0xF) == 4
+        assert (word & 0xFFFFF) == 0x12345
+
+    def test_mnemonics(self):
+        instr = Instruction(OP_LD_BP, 0, 3, 7)
+        assert instr.mnemonic == "ld.bp"
+        assert instr.dtype_name == "int8"
+
+    def test_count_overflow_rejected(self):
+        with pytest.raises(HardwareError):
+            encode_instruction(Instruction(OP_LD_BP, 0, 0, 1 << 20))
+
+    def test_bad_opcode_rejected(self):
+        with pytest.raises(HardwareError):
+            encode_instruction(Instruction(9, 0, 0, 0))
+        with pytest.raises(HardwareError):
+            decode_instruction(np.uint32(0xF0000000))
+
+    def test_bad_dtype_code_in_word(self):
+        word = np.uint32((OP_LD_BP << 28) | (0xF << 24))
+        with pytest.raises(HardwareError):
+            decode_instruction(word)
+
+
+class TestDtypeCodeFor:
+    def test_named_formats(self):
+        assert dtype_code_for("fp16", 16) == DTYPE_CODES["fp16"]
+        assert dtype_code_for("fp32", 32) == DTYPE_CODES["fp32"]
+
+    def test_fixed_fallback_by_width(self):
+        assert dtype_code_for("q7.8", 16) == DTYPE_CODES["int16"]
+        assert dtype_code_for("q3.4", 8) == DTYPE_CODES["int8"]

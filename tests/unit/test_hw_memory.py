@@ -1,0 +1,90 @@
+"""Unit tests for the SIMD single-port memory model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HardwareError
+from repro.hw.dtypes import FP16_T, FP32_T, HwDataType
+from repro.hw.memory import N_BANKS, SimdSinglePortMemory
+
+INT8 = HwDataType.fixed(8, 4)
+INT16 = HwDataType.fixed(16, 8)
+
+
+class TestLoadTable:
+    def test_write_cycles_equal_rows(self):
+        mem = SimdSinglePortMemory(16)
+        bits = INT16.encode(np.linspace(-3, 3, 10))
+        assert mem.load_table(bits, INT16) == 10
+
+    def test_overflow_rejected(self):
+        mem = SimdSinglePortMemory(4)
+        with pytest.raises(HardwareError):
+            mem.load_table(np.zeros(5, dtype=np.uint64), INT8)
+
+    def test_8bit_replicated_across_banks(self):
+        mem = SimdSinglePortMemory(4)
+        bits = INT8.encode(np.array([1.0, -2.0]))
+        mem.load_table(bits, INT8)
+        raw = mem.raw()
+        for bank in range(1, N_BANKS):
+            assert np.array_equal(raw[:2, bank], raw[:2, 0])
+
+    def test_16bit_pairs_replicated(self):
+        mem = SimdSinglePortMemory(4)
+        bits = INT16.encode(np.array([1.5, -0.25]))
+        mem.load_table(bits, INT16)
+        raw = mem.raw()
+        assert np.array_equal(raw[:2, 2:], raw[:2, :2])
+
+    def test_constant_storage_across_dtypes(self):
+        mem = SimdSinglePortMemory(32)
+        assert mem.total_bytes == 32 * N_BANKS
+
+
+class TestReadLanes:
+    def test_8bit_four_lanes_independent_addresses(self):
+        mem = SimdSinglePortMemory(8)
+        vals = np.linspace(-4, 3.5, 8)
+        bits = INT8.encode(vals)
+        mem.load_table(bits, INT8)
+        got = mem.read_lanes(np.array([0, 3, 5, 7]), INT8)
+        want = INT8.decode(bits[np.array([0, 3, 5, 7])])
+        assert np.array_equal(INT8.decode(got), want)
+
+    def test_32bit_single_lane(self):
+        mem = SimdSinglePortMemory(4)
+        bits = FP32_T.encode(np.array([1.25, -7.5]))
+        mem.load_table(bits, FP32_T)
+        got = mem.read_lanes(np.array([1]), FP32_T)
+        assert FP32_T.decode(got)[0] == -7.5
+
+    def test_wrong_lane_count_rejected(self):
+        mem = SimdSinglePortMemory(4)
+        mem.load_table(FP16_T.encode(np.array([1.0])), FP16_T)
+        with pytest.raises(HardwareError):
+            mem.read_lanes(np.array([0, 0, 0]), FP16_T)  # fp16 has 2 lanes
+
+    def test_out_of_range_address(self):
+        mem = SimdSinglePortMemory(2)
+        mem.load_table(INT8.encode(np.array([0.0])), INT8)
+        with pytest.raises(HardwareError):
+            mem.read_lanes(np.array([0, 1, 2, 0]), INT8)
+
+
+class TestReadVector:
+    def test_matches_scalar_reads(self, rng):
+        mem = SimdSinglePortMemory(16)
+        vals = rng.uniform(-3, 3, size=16)
+        bits = FP16_T.encode(vals)
+        mem.load_table(bits, FP16_T)
+        addrs = rng.integers(0, 16, size=50)
+        got = FP16_T.decode(mem.read_vector(addrs, FP16_T))
+        want = FP16_T.decode(bits[addrs])
+        assert np.array_equal(got, want)
+
+    def test_bounds_checked(self):
+        mem = SimdSinglePortMemory(4)
+        mem.load_table(INT8.encode(np.zeros(4)), INT8)
+        with pytest.raises(HardwareError):
+            mem.read_vector(np.array([4]), INT8)

@@ -1,0 +1,94 @@
+"""Unit tests for the closed-form performance model (Fig. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HardwareError
+from repro.hw.perfmodel import (
+    elements_in_words,
+    energy_efficiency_gact_s_w,
+    exe_cycles,
+    figure4_sweep,
+    latency_cycles,
+    load_cycles,
+    saturation_size,
+    steady_state_gact_s,
+    throughput_gact_s,
+    total_cycles,
+)
+
+
+class TestLatency:
+    def test_matches_table_i(self):
+        assert [latency_cycles(d) for d in (4, 8, 16, 32, 64)] == [7, 8, 9, 10, 11]
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(HardwareError):
+            latency_cycles(12)
+
+
+class TestThroughput:
+    def test_steady_state_values(self):
+        # Paper: 2.4 / 1.2 / 0.6 GAct/s for 8/16/32-bit at 600 MHz.
+        assert steady_state_gact_s(8) == pytest.approx(2.4)
+        assert steady_state_gact_s(16) == pytest.approx(1.2)
+        assert steady_state_gact_s(32) == pytest.approx(0.6)
+
+    def test_scales_with_clusters(self):
+        assert steady_state_gact_s(32, n_clusters=2) == pytest.approx(1.2)
+
+    def test_monotone_in_tensor_size(self):
+        sizes = [2 ** k for k in range(1, 14)]
+        thr = [throughput_gact_s(n, 16, 32) for n in sizes]
+        assert all(b >= a for a, b in zip(thr, thr[1:]))
+
+    def test_approaches_steady_state(self):
+        got = throughput_gact_s(1 << 16, 8, 4)
+        assert got == pytest.approx(steady_state_gact_s(8), rel=0.01)
+
+    def test_never_exceeds_steady_state(self):
+        for bits in (8, 16, 32):
+            for depth in (4, 64):
+                for n in (2, 64, 4096):
+                    assert throughput_gact_s(n, bits, depth) \
+                        <= steady_state_gact_s(bits) + 1e-12
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(HardwareError):
+            exe_cycles(10, 24, 8)
+
+
+class TestCycleAccounting:
+    def test_load_cycles_structure(self):
+        # ld.bp writes depth-1 keys, ld.cf writes depth rows, plus issue.
+        assert load_cycles(32) == (2 + 31) + (2 + 32)
+
+    def test_elements_in_words(self):
+        assert elements_in_words(256, 8) == 1024
+        assert elements_in_words(256, 32) == 256
+
+    def test_total_cycles_with_and_without_load(self):
+        with_load = total_cycles(64, 16, 8)
+        without = total_cycles(64, 16, 8, include_load=False)
+        assert with_load - without == load_cycles(8)
+
+
+class TestSweep:
+    def test_grid_size(self):
+        points = figure4_sweep()
+        assert len(points) == 13 * 3 * 5  # sizes x bit-widths x depths
+
+    def test_saturation_around_paper_claim(self):
+        # Paper: steady state for tensors larger than 256 32-bit words.
+        for bits in (8, 16, 32):
+            for depth in (4, 8, 16, 32, 64):
+                words = saturation_size(bits, depth, fraction=0.85)
+                assert words <= 1024
+
+    def test_energy_efficiency_range(self):
+        from repro.hw.area import AREA_MODEL
+        effs = [energy_efficiency_gact_s_w(bits, d, AREA_MODEL.power_mw(d))
+                for bits in (8, 16, 32) for d in (4, 8, 16, 32, 64)]
+        # Paper: 158 .. 1722 GAct/s/W.
+        assert min(effs) > 100
+        assert max(effs) < 2200

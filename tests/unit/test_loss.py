@@ -1,0 +1,149 @@
+"""Unit tests for the loss module, including analytic-gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.core.loss import (
+    GridLoss,
+    max_abs_error,
+    quadrature_aae,
+    quadrature_mse,
+    segment_sq_integrals,
+)
+from repro.core.pwl import PiecewiseLinear
+from repro.errors import FitError
+from repro.functions import GELU, TANH
+
+
+@pytest.fixture
+def tanh_loss():
+    return GridLoss(TANH, -4.0, 4.0, n_points=2048)
+
+
+def _params(n=6, a=-4.0, b=4.0):
+    p = np.linspace(a + 0.3, b - 0.3, n)
+    v = np.tanh(p) + 0.01 * np.sin(p * 3)  # slightly off the curve
+    return p, v
+
+
+class TestGridLoss:
+    def test_zero_for_perfect_linear_target(self):
+        loss = GridLoss(lambda x: 2.0 * x + 1.0, -1.0, 1.0, n_points=256)
+        p = np.array([-0.5, 0.5])
+        v = 2.0 * p + 1.0
+        assert loss.loss(p, v, 2.0, 2.0) == pytest.approx(0.0, abs=1e-28)
+
+    def test_matches_quadrature_on_smooth_function(self):
+        p, v = _params()
+        loss = GridLoss(TANH, -4.0, 4.0, n_points=16384)
+        pwl = PiecewiseLinear.create(p, v, 0.0, 0.0)
+        grid = loss.loss_pwl(pwl)
+        quad = quadrature_mse(pwl, TANH, -4.0, 4.0)
+        assert grid == pytest.approx(quad, rel=1e-3)
+
+    def test_rejects_empty_interval(self):
+        with pytest.raises(FitError):
+            GridLoss(TANH, 1.0, 1.0)
+
+    def test_rejects_coarse_grid(self):
+        with pytest.raises(FitError):
+            GridLoss(TANH, -1.0, 1.0, n_points=4)
+
+    def test_rejects_nonfinite_target(self):
+        with pytest.raises(FitError):
+            with np.errstate(invalid="ignore", divide="ignore"):
+                GridLoss(np.log, -1.0, 1.0)
+
+
+class TestAnalyticGradients:
+    """Analytic gradients must match central finite differences."""
+
+    def _check_grad(self, tanh_loss, p, v, ml, mr, eps=1e-7):
+        _, g = tanh_loss.loss_and_grads(p, v, ml, mr)
+        # Breakpoints.
+        for i in range(p.size):
+            pp = p.copy()
+            pp[i] += eps
+            hi = tanh_loss.loss(pp, v, ml, mr)
+            pp[i] -= 2 * eps
+            lo = tanh_loss.loss(pp, v, ml, mr)
+            fd = (hi - lo) / (2 * eps)
+            assert g.d_breakpoints[i] == pytest.approx(fd, rel=1e-4, abs=1e-8)
+        # Values.
+        for i in range(v.size):
+            vv = v.copy()
+            vv[i] += eps
+            hi = tanh_loss.loss(p, vv, ml, mr)
+            vv[i] -= 2 * eps
+            lo = tanh_loss.loss(p, vv, ml, mr)
+            fd = (hi - lo) / (2 * eps)
+            assert g.d_values[i] == pytest.approx(fd, rel=1e-4, abs=1e-8)
+        # Edge slopes.
+        fd_ml = (tanh_loss.loss(p, v, ml + eps, mr)
+                 - tanh_loss.loss(p, v, ml - eps, mr)) / (2 * eps)
+        fd_mr = (tanh_loss.loss(p, v, ml, mr + eps)
+                 - tanh_loss.loss(p, v, ml, mr - eps)) / (2 * eps)
+        assert g.d_left_slope == pytest.approx(fd_ml, rel=1e-4, abs=1e-8)
+        assert g.d_right_slope == pytest.approx(fd_mr, rel=1e-4, abs=1e-8)
+
+    def test_gradients_match_fd(self, tanh_loss):
+        p, v = _params()
+        self._check_grad(tanh_loss, p, v, 0.1, -0.2)
+
+    def test_gradients_match_fd_other_point(self, tanh_loss, rng):
+        p = np.sort(rng.uniform(-3.5, 3.5, size=5))
+        v = rng.normal(0, 1, size=5)
+        self._check_grad(tanh_loss, p, v, 0.0, 0.3)
+
+    def test_gradient_descent_direction_decreases_loss(self, tanh_loss):
+        p, v = _params()
+        base, g = tanh_loss.loss_and_grads(p, v, 0.0, 0.0)
+        step = 1e-4
+        after = tanh_loss.loss(p - step * g.d_breakpoints,
+                               v - step * g.d_values, 0.0, 0.0)
+        assert after < base
+
+
+class TestRegionMass:
+    def test_mass_sums_to_integral(self, tanh_loss):
+        p, v = _params()
+        mass = tanh_loss.region_sq_mass(p, v, 0.0, 0.0)
+        total = tanh_loss.loss(p, v, 0.0, 0.0) * (tanh_loss.b - tanh_loss.a)
+        assert mass.sum() == pytest.approx(total, rel=1e-6)
+        assert mass.size == p.size + 1
+
+
+class TestQuadrature:
+    def test_quadrature_vs_dense_grid(self):
+        p, v = _params(8)
+        pwl = PiecewiseLinear.create(p, v, 0.0, 0.0)
+        quad = quadrature_mse(pwl, TANH, -4, 4)
+        xs = np.linspace(-4, 4, 400001)
+        brute = np.trapezoid((pwl(xs) - np.tanh(xs)) ** 2, xs) / 8.0
+        assert quad == pytest.approx(brute, rel=1e-5)
+
+    def test_aae_vs_dense_grid(self):
+        p, v = _params(8)
+        pwl = PiecewiseLinear.create(p, v, 0.0, 0.0)
+        aae = quadrature_aae(pwl, TANH, -4, 4)
+        xs = np.linspace(-4, 4, 400001)
+        brute = np.trapezoid(np.abs(pwl(xs) - np.tanh(xs)), xs) / 8.0
+        assert aae == pytest.approx(brute, rel=1e-4)
+
+    def test_max_abs_error_finds_peak(self):
+        # Error of a 2-point PWL on gelu peaks between the breakpoints.
+        pwl = PiecewiseLinear.create(np.array([-2.0, 2.0]),
+                                     GELU(np.array([-2.0, 2.0])), 0.0, 1.0)
+        mae = max_abs_error(pwl, GELU, -2, 2)
+        xs = np.linspace(-2, 2, 2000001)
+        brute = np.max(np.abs(pwl(xs) - GELU(xs)))
+        assert mae == pytest.approx(brute, rel=1e-6)
+
+    def test_segment_integrals_match_region_mass(self):
+        p, v = _params(6)
+        pwl = PiecewiseLinear.create(p, v, 0.0, 0.0)
+        seg = segment_sq_integrals(pwl, TANH)
+        assert seg.size == p.size - 1
+        loss = GridLoss(TANH, float(p[0]), float(p[-1]), n_points=65536)
+        mass = loss.region_sq_mass(p, v, 0.0, 0.0)
+        assert np.allclose(seg, mass[1:-1], rtol=5e-3, atol=1e-10)

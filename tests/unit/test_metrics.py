@@ -1,0 +1,40 @@
+"""Unit tests for approximation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import ApproxMetrics, evaluate
+from repro.core.uniform import uniform_pwl
+from repro.functions import TANH
+from repro.numerics.floatformat import FP16
+
+
+def test_evaluate_fields():
+    pwl = uniform_pwl(TANH, 9, interval=(-4, 4))
+    m = evaluate(pwl, TANH, (-4, 4))
+    assert m.function == "tanh"
+    assert m.n_breakpoints == 9
+    assert m.interval == (-4.0, 4.0)
+    assert 0 < m.mse < m.mae ** 2 * 10
+    assert m.aae ** 2 == pytest.approx(m.sq_aae)
+
+
+def test_metric_orderings():
+    pwl = uniform_pwl(TANH, 9, interval=(-4, 4))
+    m = evaluate(pwl, TANH, (-4, 4))
+    # AAE <= MAE (mean <= max), and MSE <= MAE^2.
+    assert m.aae <= m.mae
+    assert m.mse <= m.mae ** 2
+
+
+def test_ulp_normalisations():
+    pwl = uniform_pwl(TANH, 33, interval=(-4, 4))
+    m = evaluate(pwl, TANH, (-4, 4))
+    assert m.mse_in_fp16_ulp == pytest.approx(m.mse / FP16.ulp_at_one() ** 2)
+    assert m.mae_in_fp16_ulp == pytest.approx(m.mae / FP16.ulp_at_one())
+
+
+def test_default_interval_comes_from_function():
+    pwl = uniform_pwl(TANH, 9)
+    m = evaluate(pwl, TANH)
+    assert m.interval == TANH.default_interval

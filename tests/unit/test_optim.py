@@ -1,0 +1,147 @@
+"""Unit tests for the optimizer substrate (Adam, schedulers, runner)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FitError
+from repro.optim import Adam, OptimResult, ReduceLROnPlateau, StepLR, minimize
+
+
+def quadratic_loss(params):
+    """Simple convex objective: ||p - target||^2."""
+    p = params[0]
+    target = np.array([3.0, -2.0, 0.5])
+    grad = 2.0 * (p - target)
+    return float(np.sum((p - target) ** 2)), [grad]
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = np.zeros(3)
+        opt = Adam([p], lr=0.1)
+        for _ in range(500):
+            loss, grads = quadratic_loss([p])
+            opt.step(grads)
+        assert np.allclose(p, [3.0, -2.0, 0.5], atol=1e-3)
+
+    def test_first_step_magnitude_is_lr(self):
+        # Adam's bias correction makes the first update exactly lr-sized.
+        p = np.array([0.0])
+        opt = Adam([p], lr=0.1)
+        opt.step([np.array([123.0])])
+        assert p[0] == pytest.approx(-0.1, rel=1e-6)
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(FitError):
+            Adam([np.zeros(1)], lr=-1.0)
+
+    def test_rejects_bad_betas(self):
+        with pytest.raises(FitError):
+            Adam([np.zeros(1)], betas=(1.5, 0.9))
+
+    def test_rejects_mismatched_grads(self):
+        opt = Adam([np.zeros(3)])
+        with pytest.raises(FitError):
+            opt.step([np.zeros(3), np.zeros(2)])
+        with pytest.raises(FitError):
+            opt.step([np.zeros(2)])
+
+    def test_rejects_non_float64(self):
+        with pytest.raises(FitError):
+            Adam([np.zeros(3, dtype=np.float32)])
+
+    def test_state_dict_roundtrip(self):
+        p = np.zeros(2)
+        opt = Adam([p], lr=0.05)
+        opt.step([np.ones(2)])
+        state = opt.state_dict()
+        opt.step([np.ones(2)])
+        opt.load_state_dict(state)
+        assert opt.step_count == 1
+
+    def test_reset_clears_moments(self):
+        p = np.zeros(2)
+        opt = Adam([p])
+        opt.step([np.ones(2)])
+        opt.reset()
+        assert opt.step_count == 0
+
+
+class TestReduceLROnPlateau:
+    def test_reduces_after_patience(self):
+        opt = Adam([np.zeros(1)], lr=0.1)
+        sched = ReduceLROnPlateau(opt, factor=0.5, patience=3)
+        sched.step(1.0)  # becomes best
+        reduced = [sched.step(1.0) for _ in range(5)]
+        assert any(reduced)
+        assert opt.lr == pytest.approx(0.05)
+
+    def test_improvement_resets_counter(self):
+        opt = Adam([np.zeros(1)], lr=0.1)
+        sched = ReduceLROnPlateau(opt, factor=0.5, patience=3)
+        losses = [1.0, 0.9, 0.8, 0.7, 0.6, 0.5]
+        for loss in losses:
+            assert not sched.step(loss)
+        assert opt.lr == 0.1
+
+    def test_min_lr_floor(self):
+        opt = Adam([np.zeros(1)], lr=1e-5)
+        sched = ReduceLROnPlateau(opt, factor=0.5, patience=0, min_lr=1e-5)
+        sched.step(1.0)
+        for _ in range(5):
+            sched.step(1.0)
+        assert opt.lr == pytest.approx(1e-5)
+
+    def test_invalid_factor(self):
+        with pytest.raises(FitError):
+            ReduceLROnPlateau(Adam([np.zeros(1)]), factor=1.5)
+
+
+class TestStepLR:
+    def test_decays_every_step_size(self):
+        opt = Adam([np.zeros(1)], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        sched.step()
+        assert opt.lr == 1.0
+        sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_invalid_step_size(self):
+        with pytest.raises(FitError):
+            StepLR(Adam([np.zeros(1)]), step_size=0)
+
+
+class TestMinimize:
+    def test_finds_quadratic_minimum(self):
+        res = minimize(quadratic_loss, [np.zeros(3)], lr=0.1, max_steps=1500)
+        assert isinstance(res, OptimResult)
+        assert res.best_loss < 1e-6
+        assert np.allclose(res.best_params[0], [3.0, -2.0, 0.5], atol=1e-3)
+
+    def test_returns_best_not_last(self):
+        # An oscillating loss must still return the best-seen params.
+        calls = {"n": 0}
+
+        def noisy(params):
+            calls["n"] += 1
+            loss, grads = quadratic_loss(params)
+            return loss, grads
+
+        res = minimize(noisy, [np.zeros(3)], lr=0.5, max_steps=200)
+        direct, _ = quadratic_loss(res.best_params)
+        assert direct == pytest.approx(res.best_loss, rel=1e-9)
+
+    def test_diverged_loss_restores_best(self):
+        def exploding(params):
+            p = params[0]
+            if abs(p[0]) > 10:
+                return float("nan"), [np.zeros(1)]
+            return float(p[0] ** 2), [np.array([2 * p[0] - 1e9])]
+
+        res = minimize(exploding, [np.array([1.0])], lr=0.1, max_steps=50)
+        assert np.isfinite(res.best_loss)
+
+    def test_history_recorded(self):
+        res = minimize(quadratic_loss, [np.zeros(3)], max_steps=10,
+                       record_history=True)
+        assert len(res.history) == 10

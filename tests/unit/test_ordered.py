@@ -1,0 +1,83 @@
+"""Unit tests for the order-preserving encoding maps."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.numerics.fixedpoint import FixedPointFormat
+from repro.numerics.floatformat import FP16
+from repro.numerics.ordered import (
+    KIND_FIXED,
+    KIND_FLOAT,
+    canonicalize_zero,
+    compare_encoded,
+    from_ordered,
+    to_ordered,
+)
+
+
+class TestFixedOrdering:
+    def test_order_preserved(self, rng):
+        fmt = FixedPointFormat(16, 6)
+        vals = np.sort(rng.uniform(-500, 500, size=300))
+        bits = fmt.to_bits(vals)
+        ordered = to_ordered(bits, 16, KIND_FIXED)
+        assert np.all(np.diff(ordered.astype(np.int64)) >= 0)
+
+    def test_roundtrip(self, rng):
+        bits = rng.integers(0, 2 ** 16, size=500).astype(np.uint64)
+        back = from_ordered(to_ordered(bits, 16, KIND_FIXED), 16, KIND_FIXED)
+        assert np.array_equal(bits, back)
+
+    def test_unknown_kind(self):
+        with pytest.raises(FormatError):
+            to_ordered(np.array([0], dtype=np.uint64), 8, "decimal")
+
+
+class TestFloatOrdering:
+    def test_order_preserved_across_sign(self, rng):
+        vals = np.sort(np.concatenate([
+            rng.normal(0, 100, size=400),
+            np.array([-0.0, 0.0, 1e-7, -1e-7]),
+        ]))
+        q = FP16.quantize(vals)
+        q = q[np.isfinite(q)]
+        q = np.unique(q)
+        bits = FP16.encode(q)
+        ordered = to_ordered(canonicalize_zero(bits, 16, KIND_FLOAT),
+                             16, KIND_FLOAT)
+        assert np.all(np.diff(ordered.astype(np.int64)) > 0)
+
+    def test_roundtrip(self, rng):
+        bits = rng.integers(0, 2 ** 16, size=500).astype(np.uint64)
+        back = from_ordered(to_ordered(bits, 16, KIND_FLOAT), 16, KIND_FLOAT)
+        assert np.array_equal(bits, back)
+
+
+class TestCompareEncoded:
+    def test_matches_real_comparison_fixed(self, rng):
+        fmt = FixedPointFormat(8, 2)
+        a = fmt.quantize(rng.uniform(-30, 30, size=200))
+        b = fmt.quantize(rng.uniform(-30, 30, size=200))
+        got = compare_encoded(fmt.to_bits(a), fmt.to_bits(b), 8, KIND_FIXED)
+        assert np.array_equal(got, (a > b).astype(np.uint8))
+
+    def test_matches_real_comparison_float(self, rng):
+        a = FP16.quantize(rng.normal(0, 5, size=200))
+        b = FP16.quantize(rng.normal(0, 5, size=200))
+        got = compare_encoded(FP16.encode(a), FP16.encode(b), 16, KIND_FLOAT)
+        assert np.array_equal(got, (a > b).astype(np.uint8))
+
+    def test_greater_equal_mode(self):
+        a = FP16.encode(np.array([1.0, 2.0, 3.0]))
+        b = FP16.encode(np.array([1.0, 2.5, 2.0]))
+        ge = compare_encoded(a, b, 16, KIND_FLOAT, greater_equal=True)
+        gt = compare_encoded(a, b, 16, KIND_FLOAT, greater_equal=False)
+        assert ge.tolist() == [1, 0, 1]
+        assert gt.tolist() == [0, 0, 1]
+
+    def test_negative_zero_equals_positive_zero(self):
+        a = FP16.encode(np.array([-0.0]))
+        b = FP16.encode(np.array([0.0]))
+        assert compare_encoded(a, b, 16, KIND_FLOAT, greater_equal=True)[0] == 1
+        assert compare_encoded(b, a, 16, KIND_FLOAT, greater_equal=True)[0] == 1

@@ -1,0 +1,113 @@
+"""Unit tests for the end-to-end performance model."""
+
+import numpy as np
+import pytest
+
+from repro.perf.accelerator import AcceleratorConfig, CycleBreakdown
+from repro.perf.costs import (
+    FLEXSFU_ACT_OPS,
+    baseline_act_ops,
+    inference_time_us,
+    model_cycles,
+    model_speedup,
+)
+from repro.perf.endtoend import evaluate_zoo
+from repro.zoo.catalog import ModelRecord
+
+
+def _record(primary="silu", macs=1_000_000, act=100_000, vec=10_000,
+            layers=5, extra_acts=()):
+    acts = dict({primary: act}, **dict(extra_acts))
+    return ModelRecord(
+        name=f"test_{primary}", family="others", domain="cv", year=2021,
+        primary_activation=primary, size_scale=1.0, macs=macs,
+        vector_ops=vec, act_elements=tuple(sorted(acts.items())),
+        act_layers=layers,
+    )
+
+
+class TestActOps:
+    def test_paper_anchors(self):
+        # Paper: SiLU ~4x and GELU ~12x the operations of ReLU.
+        assert baseline_act_ops("relu") == 1
+        assert baseline_act_ops("silu") == 4
+        assert baseline_act_ops("gelu") == 12
+
+    def test_vpu_native_clip_functions_cheap(self):
+        assert baseline_act_ops("relu6") == 1
+        assert baseline_act_ops("hardswish") == 2
+
+    def test_softmax_exp_part(self):
+        assert baseline_act_ops("softmax") == 8
+
+    def test_flexsfu_is_one_madd(self):
+        assert FLEXSFU_ACT_OPS == 1
+
+
+class TestCycleModel:
+    def test_breakdown_totals(self):
+        cfg = AcceleratorConfig()
+        rec = _record()
+        base = model_cycles(rec, cfg, use_flexsfu=False)
+        assert base.mac_cycles == rec.macs / cfg.macs_per_cycle
+        assert base.total == base.mac_cycles + base.vector_cycles + base.act_cycles
+
+    def test_flexsfu_reduces_act_cycles_only(self):
+        cfg = AcceleratorConfig()
+        rec = _record(primary="gelu")
+        base = model_cycles(rec, cfg, use_flexsfu=False)
+        flex = model_cycles(rec, cfg, use_flexsfu=True)
+        assert flex.act_cycles < base.act_cycles
+        assert flex.mac_cycles == base.mac_cycles
+        assert flex.vector_cycles == base.vector_cycles
+
+    def test_relu_model_no_gain_no_loss(self):
+        cfg = AcceleratorConfig()  # preloaded tables by default
+        rec = _record(primary="relu")
+        assert model_speedup(rec, cfg) == pytest.approx(1.0)
+
+    def test_load_overhead_when_not_preloaded(self):
+        cfg = AcceleratorConfig(sfu_preloaded=False)
+        rec = _record(primary="relu")
+        assert model_speedup(rec, cfg) < 1.0
+
+    def test_speedup_grows_with_act_share(self):
+        cfg = AcceleratorConfig()
+        light = _record(primary="gelu", act=10_000)
+        heavy = _record(primary="gelu", act=1_000_000)
+        assert model_speedup(heavy, cfg) > model_speedup(light, cfg)
+
+    def test_expensive_functions_gain_more(self):
+        cfg = AcceleratorConfig()
+        assert model_speedup(_record("gelu"), cfg) \
+            > model_speedup(_record("silu"), cfg) \
+            > model_speedup(_record("relu"), cfg)
+
+    def test_inference_time_unit(self):
+        cfg = AcceleratorConfig(freq_ghz=1.0)
+        rec = _record()
+        cycles = model_cycles(rec, cfg, False).total
+        assert inference_time_us(rec, cfg, False) == pytest.approx(cycles / 1e3)
+
+    def test_act_share_property(self):
+        b = CycleBreakdown(mac_cycles=50, vector_cycles=25, act_cycles=25)
+        assert b.act_share == pytest.approx(0.25)
+
+
+class TestZooEvaluation:
+    def test_aggregates(self):
+        records = [_record("relu"), _record("gelu"), _record("silu")]
+        ev = evaluate_zoo(records)
+        assert ev.mean_speedup_all >= 1.0
+        assert ev.mean_speedup_complex > ev.mean_speedup_all
+        assert ev.peak_speedup == max(m.speedup for m in ev.per_model)
+        assert ev.peak_model == "test_gelu"
+
+    def test_family_summaries(self):
+        records = [_record("relu"), _record("gelu")]
+        ev = evaluate_zoo(records)
+        fam = ev.family("others")
+        assert fam.n_models == 2
+        assert fam.min_speedup <= fam.mean_speedup <= fam.max_speedup
+        with pytest.raises(KeyError):
+            ev.family("nonexistent")

@@ -1,0 +1,59 @@
+"""Unit tests for the ASCII plotting helpers."""
+
+import numpy as np
+
+from repro.eval.plots import breakpoint_strip, hbar_chart, log_line_chart
+
+
+class TestHbar:
+    def test_longest_bar_for_max(self):
+        out = hbar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_title_and_values_present(self):
+        out = hbar_chart(["x"], [3.14], title="T", fmt="{:.1f}")
+        assert out.startswith("T")
+        assert "3.1" in out
+
+
+class TestLogLine:
+    def test_contains_markers_and_legend(self):
+        out = log_line_chart({"tanh": [1e-3, 1e-5], "gelu": [1e-4, 1e-6]},
+                             xs=[4, 8])
+        assert "a=tanh" in out and "b=gelu" in out
+        assert "a" in out.splitlines()[0] or any(
+            "a" in line for line in out.splitlines())
+
+    def test_hline_rendered(self):
+        out = log_line_chart({"s": [1e-2, 1e-6]}, xs=[1, 2], hline=1e-4,
+                             hline_label="ulp")
+        assert "-" in out
+        assert "ulp" in out
+
+    def test_handles_empty(self):
+        assert log_line_chart({}, xs=[], title="empty") == "empty"
+
+    def test_decreasing_series_moves_down(self):
+        out = log_line_chart({"v": [1e-1, 1e-7]}, xs=[0, 1], height=8,
+                             width=20)
+        # Grid rows are the lines containing the axis separator "|".
+        rows = [line.split("|", 1)[1] for line in out.splitlines()
+                if "|" in line and not line.strip().startswith("a=")]
+        marked = [i for i, row in enumerate(rows) if "a" in row]
+        assert marked and marked[0] < marked[-1]
+
+
+class TestStrip:
+    def test_marks_breakpoints(self):
+        out = breakpoint_strip([0.0], -1.0, 1.0, width=21)
+        assert out[1 + 10] == "|"  # centre cell
+
+    def test_collisions_become_hash(self):
+        out = breakpoint_strip([0.0, 1e-9], -1.0, 1.0, width=21)
+        assert "#" in out
+
+    def test_out_of_range_ignored(self):
+        out = breakpoint_strip([5.0], -1.0, 1.0, width=21)
+        assert "|" not in out and "#" not in out

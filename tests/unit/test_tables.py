@@ -1,0 +1,89 @@
+"""Unit tests for hardware table generation."""
+
+import numpy as np
+import pytest
+
+from repro.core.pwl import PiecewiseLinear
+from repro.core.tables import build_tables, format_kind, next_pow2
+from repro.errors import HardwareError
+from repro.numerics.fixedpoint import FixedPointFormat
+from repro.numerics.floatformat import FP16, FP32
+
+
+@pytest.fixture
+def gelu_like_pwl():
+    p = np.array([-2.0, -0.7, 0.0, 0.7, 2.0])
+    v = np.array([0.0, -0.2, 0.0, 0.55, 2.0])
+    return PiecewiseLinear.create(p, v, 0.0, 1.0)
+
+
+class TestNextPow2:
+    def test_values(self):
+        assert next_pow2(1) == 1
+        assert next_pow2(5) == 8
+        assert next_pow2(16) == 16
+        assert next_pow2(17) == 32
+
+    def test_rejects_zero(self):
+        with pytest.raises(HardwareError):
+            next_pow2(0)
+
+
+class TestBuildTables:
+    def test_default_depth_covers_segments(self, gelu_like_pwl):
+        t = build_tables(gelu_like_pwl, FP16)
+        assert t.depth == 8  # 6 segments -> next pow2
+        assert t.breakpoints.size == 7
+        assert t.slopes.size == 8
+
+    def test_explicit_depth_validated(self, gelu_like_pwl):
+        with pytest.raises(HardwareError):
+            build_tables(gelu_like_pwl, FP16, depth=4)  # too small
+        with pytest.raises(HardwareError):
+            build_tables(gelu_like_pwl, FP16, depth=12)  # not pow2
+
+    def test_pad_breakpoints_are_sentinels(self, gelu_like_pwl):
+        t = build_tables(gelu_like_pwl, FP16, depth=16)
+        assert np.all(t.breakpoints[5:] >= FP16.max_value * 0.99)
+
+    def test_breakpoints_nondecreasing_after_quantization(self, gelu_like_pwl):
+        for fmt in (FP16, FixedPointFormat(8, 4)):
+            t = build_tables(gelu_like_pwl, fmt)
+            assert np.all(np.diff(t.breakpoints) >= 0)
+
+    def test_kind_tags(self, gelu_like_pwl):
+        assert build_tables(gelu_like_pwl, FP16).kind == "float"
+        assert build_tables(gelu_like_pwl, FixedPointFormat(16, 8)).kind == "fixed"
+        assert format_kind(FP32) == "float"
+
+
+class TestReferenceEval:
+    def test_fp32_nearly_exact(self, gelu_like_pwl, rng):
+        t = build_tables(gelu_like_pwl, FP32)
+        x = rng.uniform(-3, 3, size=500)
+        got = t.reference_eval(x)
+        assert np.allclose(got, gelu_like_pwl(x), atol=1e-5)
+
+    def test_fp16_error_bounded(self, gelu_like_pwl, rng):
+        t = build_tables(gelu_like_pwl, FP16)
+        x = rng.uniform(-3, 3, size=500)
+        got = t.reference_eval(x)
+        # Coefficient + IO quantisation: a few fp16 ULPs at magnitude ~2.
+        assert np.max(np.abs(got - gelu_like_pwl(x))) < 0.02
+
+    def test_region_index_consistent_with_pwl(self, gelu_like_pwl, rng):
+        t = build_tables(gelu_like_pwl, FP32)
+        x = rng.uniform(-1.5, 1.5, size=200)
+        assert np.array_equal(t.region_index(x),
+                              gelu_like_pwl.region_index(x))
+
+    def test_pad_regions_replicate_last_segment(self, gelu_like_pwl):
+        t = build_tables(gelu_like_pwl, FP32, depth=16)
+        assert np.allclose(t.slopes[6:], t.slopes[5])
+        assert np.allclose(t.intercepts[6:], t.intercepts[5])
+
+    def test_fixed_point_saturation_is_graceful(self, gelu_like_pwl):
+        fmt = FixedPointFormat(8, 5)  # max 3.97, pwl reaches values ~2
+        t = build_tables(gelu_like_pwl, fmt)
+        out = t.reference_eval(np.array([10.0]))
+        assert np.isfinite(out[0])

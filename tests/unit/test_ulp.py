@@ -1,0 +1,36 @@
+"""Unit tests for ULP helpers (Fig. 5 reference lines)."""
+
+import numpy as np
+import pytest
+
+from repro.numerics.floatformat import FP16, FP32
+from repro.numerics.ulp import error_in_ulps, ulp, ulp_at_one, ulp_at_one_squared
+
+
+def test_fig5_reference_lines():
+    # "Float16: 1 ULP ... defined as the single-bit error at a base of 1".
+    assert ulp_at_one(FP16) == 2.0 ** -10
+    assert ulp_at_one_squared(FP16) == 2.0 ** -20
+
+
+def test_ulp_scales_with_exponent():
+    u = ulp(np.array([1.0, 2.0, 4.0]), FP16)
+    assert u[1] == 2 * u[0]
+    assert u[2] == 4 * u[0]
+
+
+def test_ulp_matches_numpy_spacing(rng):
+    x = rng.uniform(0.5, 100.0, size=200)
+    ours = ulp(x, FP32)
+    theirs = np.spacing(x.astype(np.float32)).astype(np.float64)
+    assert np.allclose(ours, theirs, rtol=1e-12)
+
+
+def test_ulp_floors_at_subnormal_spacing():
+    assert ulp(np.array([0.0]), FP16)[0] == FP16.min_subnormal
+
+
+def test_error_in_ulps():
+    exact = np.array([1.0])
+    approx = exact + 3 * ulp_at_one(FP16)
+    assert error_in_ulps(approx, exact, FP16)[0] == pytest.approx(3.0)

@@ -1,0 +1,81 @@
+"""Unit tests for the baseline interpolators."""
+
+import numpy as np
+import pytest
+
+from repro.core.loss import quadrature_mse
+from repro.core.uniform import LutOnlyApproximation, msb_indexed_pwl, uniform_pwl
+from repro.errors import FitError
+from repro.functions import GELU, SIGMOID, TANH
+
+
+class TestUniformPwl:
+    def test_breakpoints_equally_spaced(self):
+        pwl = uniform_pwl(TANH, 9, interval=(-4, 4))
+        gaps = np.diff(pwl.breakpoints)
+        assert np.allclose(gaps, gaps[0])
+
+    def test_values_exact_inside(self):
+        pwl = uniform_pwl(TANH, 9, interval=(-4, 4))
+        inner = pwl.breakpoints[1:-1]
+        assert np.allclose(pwl(inner), np.tanh(inner))
+
+    def test_edges_pinned_by_default(self):
+        pwl = uniform_pwl(SIGMOID, 5, interval=(-8, 8))
+        assert pwl.values[0] == 0.0
+        assert pwl.values[-1] == 1.0
+
+    def test_free_edges_keep_exact_values(self):
+        pwl = uniform_pwl(SIGMOID, 5, interval=(-8, 8),
+                          boundary_left="free", boundary_right="free")
+        assert pwl.values[0] == pytest.approx(SIGMOID(np.array([-8.0]))[0])
+
+    def test_rejects_too_few(self):
+        with pytest.raises(FitError):
+            uniform_pwl(TANH, 1)
+
+    def test_error_shrinks_with_budget(self):
+        e = [quadrature_mse(uniform_pwl(GELU, n, interval=(-4, 4)), GELU, -4, 4)
+             for n in (5, 9, 17)]
+        assert e[0] > e[1] > e[2]
+
+
+class TestMsbIndexed:
+    def test_power_of_two_grid(self):
+        pwl = msb_indexed_pwl(TANH, address_bits=3, interval=(-3, 3))
+        # Hull of [-3,3] is [-4,4]; 8 segments + 1 -> 9 breakpoints.
+        assert pwl.n_breakpoints == 9
+        assert pwl.breakpoints[0] == -4.0
+        assert pwl.breakpoints[-1] == 4.0
+
+    def test_positive_range_stays_positive(self):
+        pwl = msb_indexed_pwl(SIGMOID, address_bits=2, interval=(0.1, 3.0))
+        assert pwl.breakpoints[0] == 0.0
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(FitError):
+            msb_indexed_pwl(TANH, address_bits=0)
+
+
+class TestLutOnly:
+    def test_step_function_values(self):
+        lut = LutOnlyApproximation(TANH, 4, interval=(-2, 2))
+        # Entry for [-2,-1) holds tanh(-1.5).
+        assert lut(np.array([-1.7]))[0] == pytest.approx(np.tanh(-1.5))
+
+    def test_clamps_outside(self):
+        lut = LutOnlyApproximation(TANH, 4, interval=(-2, 2))
+        assert lut(np.array([-100.0]))[0] == lut(np.array([-1.9]))[0]
+        assert lut(np.array([100.0]))[0] == lut(np.array([1.9]))[0]
+
+    def test_worse_than_pwl_at_same_depth(self):
+        lut = LutOnlyApproximation(GELU, 8, interval=(-4, 4))
+        pwl = uniform_pwl(GELU, 9, interval=(-4, 4))
+        xs = np.linspace(-4, 4, 10001)
+        mse_lut = np.mean((lut(xs) - GELU(xs)) ** 2)
+        mse_pwl = np.mean((pwl(xs) - GELU(xs)) ** 2)
+        assert mse_lut > 5 * mse_pwl
+
+    def test_rejects_empty(self):
+        with pytest.raises(FitError):
+            LutOnlyApproximation(TANH, 0)

@@ -1,0 +1,204 @@
+"""Unit tests for the model-zoo substrate."""
+
+import numpy as np
+import pytest
+
+from repro.graph.executor import Executor
+from repro.zoo.builders import BUILDERS
+from repro.zoo.catalog import (
+    activation_share_by_year,
+    build_catalog,
+    family_records,
+)
+from repro.zoo.dataset import make_image_dataset, make_token_dataset
+from repro.zoo.families import FAMILIES, FIGURE6_ORDER, total_models
+from repro.zoo.train import MiniModel, accuracy_drop, fit_readout
+
+
+class TestFamilies:
+    def test_total_is_778(self):
+        # 628 CV + 150 NLP, as in the paper.
+        assert total_models() == 778
+        cv = sum(f.count for f in FAMILIES.values() if f.domain == "cv")
+        nlp = sum(f.count for f in FAMILIES.values() if f.domain == "nlp")
+        assert cv == 628 and nlp == 150
+
+    def test_act_mixes_are_distributions(self):
+        for fam in FAMILIES.values():
+            for year in fam.years:
+                mix = fam.act_mix(year)
+                assert abs(sum(mix.values()) - 1.0) < 1e-9
+
+    def test_year_probabilities_normalised(self):
+        for fam in FAMILIES.values():
+            probs = fam.year_probabilities()
+            assert len(probs) == len(fam.years)
+            assert abs(sum(probs) - 1.0) < 1e-9
+
+    def test_figure6_order_families_exist(self):
+        for name in FIGURE6_ORDER:
+            assert name in FAMILIES
+
+
+class TestBuilders:
+    @pytest.mark.parametrize("key", sorted(BUILDERS), ids=str)
+    def test_builder_produces_runnable_graph(self, key, rng):
+        graph = BUILDERS[key](scale=0.5, seed=0)
+        ex = Executor(graph)
+        name, shape = graph.inputs[0]
+        if name == "ids":
+            feed = {name: rng.integers(0, 32, size=(2, shape[1]))}
+        else:
+            feed = {name: rng.normal(size=(2,) + tuple(shape[1:]))}
+        out = ex.run(feed)[graph.outputs[0]]
+        assert out.ndim == 2 and out.shape[0] == 2
+        assert np.all(np.isfinite(out))
+
+    def test_activation_parameter_respected(self):
+        g = BUILDERS["resnet"](act="silu", scale=0.5, seed=0)
+        from repro.graph.passes import collect_activation_names
+
+        names = collect_activation_names(g)
+        assert "silu" in names
+
+    def test_scale_changes_width(self, rng):
+        small = BUILDERS["vgg"](scale=0.5, seed=0)
+        big = BUILDERS["vgg"](scale=2.0, seed=0)
+        ex_s, _ = Executor(small).profile({"x": rng.normal(size=(1, 3, 16, 16))})
+        pass  # profile checked below
+
+    def test_scale_changes_macs(self, rng):
+        feeds = {"x": rng.normal(size=(1, 3, 16, 16))}
+        _, small = Executor(BUILDERS["vgg"](scale=0.5, seed=0)).profile(feeds)
+        _, big = Executor(BUILDERS["vgg"](scale=2.0, seed=0)).profile(feeds)
+        assert big.total_macs > 4 * small.total_macs
+
+    def test_determinism_in_seed(self, rng):
+        x = rng.normal(size=(1, 3, 16, 16))
+        a = Executor(BUILDERS["resnet"](scale=0.5, seed=5)).run({"x": x})
+        b = Executor(BUILDERS["resnet"](scale=0.5, seed=5)).run({"x": x})
+        ka = list(a)[0]
+        assert np.array_equal(a[ka], b[list(b)[0]])
+
+
+class TestDatasets:
+    def test_image_dataset_shapes(self):
+        d = make_image_dataset(n_classes=8, n_train=64, n_test=32)
+        assert d.x_train.shape == (64, 3, 16, 16)
+        assert d.y_test.shape == (32,)
+        assert d.input_name == "x"
+        assert set(np.unique(d.y_train)) <= set(range(8))
+
+    def test_token_dataset_shapes(self):
+        d = make_token_dataset(n_classes=8, n_train=64, n_test=32,
+                               vocab=32, seqlen=12)
+        assert d.x_train.shape == (64, 12)
+        assert d.x_train.dtype == np.int64
+        assert d.x_train.max() < 32
+        assert d.input_name == "ids"
+
+    def test_determinism(self):
+        a = make_image_dataset(n_train=16, n_test=8, seed=3)
+        b = make_image_dataset(n_train=16, n_test=8, seed=3)
+        assert np.array_equal(a.x_train, b.x_train)
+
+    def test_classes_are_separable(self):
+        # Same-class samples must be closer than cross-class on average.
+        d = make_image_dataset(n_classes=4, n_train=128, n_test=8, noise=0.5)
+        x = d.x_train.reshape(len(d.x_train), -1)
+        same, cross = [], []
+        for i in range(0, 60, 3):
+            for j in range(i + 1, 60, 7):
+                dist = np.linalg.norm(x[i] - x[j])
+                (same if d.y_train[i] == d.y_train[j] else cross).append(dist)
+        assert np.mean(same) < np.mean(cross)
+
+
+class TestTraining:
+    @pytest.fixture(scope="class")
+    def trained_model(self):
+        data = make_image_dataset(n_classes=8, n_train=256, n_test=128,
+                                  noise=0.8, seed=1)
+        trunk = BUILDERS["generic_cnn"](act="silu", scale=0.5, seed=0)
+        model = MiniModel(name="t", family="others", primary_activation="silu",
+                          trunk=trunk, input_name="x")
+        acc = fit_readout(model, data)
+        return model, data, acc
+
+    def test_readout_beats_chance(self, trained_model):
+        model, data, acc = trained_model
+        assert acc > 30.0  # chance is 12.5 %
+
+    def test_accuracy_drop_result_fields(self, trained_model):
+        model, data, acc = trained_model
+        res = accuracy_drop(model, data, {"silu": lambda x: x * 0.0}, 4,
+                            exact_accuracy=acc)
+        assert res.acc_exact == acc
+        assert res.drop > 5.0  # zeroing activations destroys the model
+
+    def test_identity_approximation_is_lossless(self, trained_model):
+        model, data, acc = trained_model
+        from repro.functions import silu
+
+        res = accuracy_drop(model, data, {"silu": silu}, 4,
+                            exact_accuracy=acc)
+        assert res.drop == pytest.approx(0.0, abs=1e-9)
+
+    def test_untrained_model_raises(self):
+        trunk = BUILDERS["generic_cnn"](act="relu", scale=0.5, seed=0)
+        model = MiniModel(name="u", family="others", primary_activation="relu",
+                          trunk=trunk, input_name="x")
+        from repro.errors import CatalogError
+
+        with pytest.raises(CatalogError):
+            model.predict(np.zeros((1, 3, 16, 16)))
+
+
+class TestCatalog:
+    @pytest.fixture(scope="class")
+    def records(self):
+        return build_catalog(seed=0)
+
+    def test_size(self, records):
+        assert len(records) == 778
+
+    def test_deterministic(self, records):
+        again = build_catalog(seed=0)
+        assert [r.name for r in again] == [r.name for r in records]
+        assert [r.macs for r in again] == [r.macs for r in records]
+
+    def test_records_have_positive_work(self, records):
+        for rec in records:
+            assert rec.macs > 0
+            assert rec.total_act_elements > 0
+            assert rec.act_layers > 0
+
+    def test_primary_activation_in_elements(self, records):
+        for rec in records:
+            assert rec.primary_activation in rec.act_elements_dict
+
+    def test_family_records_filter(self, records):
+        vggs = family_records(records, "vgg")
+        assert len(vggs) == FAMILIES["vgg"].count
+        assert all(r.family == "vgg" for r in vggs)
+
+    def test_transformers_mention_softmax(self, records):
+        for rec in family_records(records, "vit"):
+            assert "softmax" in rec.act_elements_dict
+
+    def test_share_by_year_normalised(self, records):
+        shares = activation_share_by_year(records)
+        for year, dist in shares.items():
+            assert abs(sum(dist.values()) - 1.0) < 1e-9
+
+    def test_relu_declines_over_time(self, records):
+        shares = activation_share_by_year(records)
+        assert shares[2015].get("relu", 0) > 0.9
+        assert shares[2021].get("relu", 0) < 0.35
+
+    def test_silu_gelu_rise(self, records):
+        shares = activation_share_by_year(records)
+        sg2021 = shares[2021].get("silu", 0) + shares[2021].get("gelu", 0)
+        sg2016 = shares[2016].get("silu", 0) + shares[2016].get("gelu", 0)
+        assert sg2021 > 0.35
+        assert sg2016 < 0.1
