@@ -13,7 +13,8 @@ import numpy as np
 from dataclasses import replace
 
 from repro.core import build_tables, evaluate, msb_indexed_pwl, quadrature_mse
-from repro.core.fit import FitConfig, FlexSfuFitter
+from repro.core.batchfit import BatchFitter, make_job
+from repro.core.fit import FitConfig
 from repro.eval import fmt_ratio, fmt_sci, format_table
 from repro.functions import GELU, SIGMOID, SILU, TANH
 from repro.hw.dtypes import FP16_T, FP32_T, HwDataType
@@ -22,19 +23,25 @@ _CFG = FitConfig(n_breakpoints=16, max_steps=600, refine_steps=200,
                  max_refine_rounds=6, polish_maxiter=800, grid_points=2048)
 
 
+def _fit_batch(jobs):
+    """All ablation fits go through the batch engine (pooled + cached)."""
+    return [r.pwl for r in BatchFitter().fit_all(jobs)]
+
+
 def test_ablation_heuristics_and_polish(benchmark, report_writer):
     def run():
-        out = {}
-        for name, cfg in [
+        variants = [
             ("adam only (uniform init)",
              replace(_CFG, init="uniform", polish=False, max_refine_rounds=0)),
             ("+ remove/insert (paper)",
              replace(_CFG, init="uniform", polish=False)),
             ("+ curvature init + polish (this repro)",
              replace(_CFG, init="auto", polish=True)),
-        ]:
-            out[name] = evaluate(FlexSfuFitter(cfg).fit(GELU).pwl, GELU).mse
-        return out
+        ]
+        pwls = _fit_batch([make_job(GELU, cfg.n_breakpoints, config=cfg)
+                           for _, cfg in variants])
+        return {name: evaluate(pwl, GELU).mse
+                for (name, _), pwl in zip(variants, pwls)}
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     base = results["adam only (uniform init)"]
@@ -51,16 +58,13 @@ def test_ablation_heuristics_and_polish(benchmark, report_writer):
 
 def test_ablation_boundary_pinning(benchmark, report_writer):
     def run():
-        out = {}
-        for name, (bl, br) in [("asymptote-pinned", ("asymptote", "asymptote")),
-                               ("free edges", ("free", "free"))]:
-            cfg = replace(_CFG, n_breakpoints=8, boundary_left=bl,
-                          boundary_right=br)
-            pwl = FlexSfuFitter(cfg).fit(SIGMOID).pwl
-            inside = quadrature_mse(pwl, SIGMOID, -8, 8)
-            outside = quadrature_mse(pwl, SIGMOID, 8, 64)
-            out[name] = (inside, outside)
-        return out
+        variants = [("asymptote-pinned", ("asymptote", "asymptote")),
+                    ("free edges", ("free", "free"))]
+        pwls = _fit_batch([make_job(SIGMOID, 8, config=_CFG, boundary=bounds)
+                           for _, bounds in variants])
+        return {name: (quadrature_mse(pwl, SIGMOID, -8, 8),
+                       quadrature_mse(pwl, SIGMOID, 8, 64))
+                for (name, _), pwl in zip(variants, pwls)}
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     table = format_table(
@@ -78,11 +82,11 @@ def test_ablation_boundary_pinning(benchmark, report_writer):
 
 def test_ablation_bst_vs_msb_addressing(benchmark, report_writer):
     def run():
+        fns = (TANH, GELU, SILU)
+        bsts = _fit_batch([make_job(fn, 17, config=_CFG) for fn in fns])
         rows = []
-        for fn in (TANH, GELU, SILU):
+        for fn, bst in zip(fns, bsts):
             msb = msb_indexed_pwl(fn, address_bits=4)  # 17 BP, uniform grid
-            cfg = replace(_CFG, n_breakpoints=17)
-            bst = FlexSfuFitter(cfg).fit(fn).pwl
             rows.append((fn.name,
                          quadrature_mse(msb, fn, -8, 8),
                          quadrature_mse(bst, fn, -8, 8)))
@@ -100,8 +104,7 @@ def test_ablation_bst_vs_msb_addressing(benchmark, report_writer):
 
 
 def test_ablation_table_precision(benchmark, report_writer):
-    cfg = replace(_CFG, n_breakpoints=15)
-    pwl = FlexSfuFitter(cfg).fit(SILU).pwl
+    [pwl] = _fit_batch([make_job(SILU, 15, config=_CFG)])
     xs = np.linspace(-8, 8, 20001)
     exact = SILU(xs)
 

@@ -1,12 +1,30 @@
-"""Shared benchmark utilities: report artifacts land in results/."""
+"""Shared benchmark utilities: report artifacts land in results/.
+
+``--bench-quick`` shrinks the fit-heavy workloads (fewer functions,
+smaller optimizer budgets) so a benchmark file can be smoke-run in
+seconds; the full sweeps remain the default when benchmarking for real.
+"""
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-quick", action="store_true", default=False,
+        help="shrink fit-heavy benchmark workloads for a quick smoke run")
+
+
+@pytest.fixture
+def bench_quick(request):
+    """Whether the benchmark should run its reduced workload."""
+    return request.config.getoption("--bench-quick")
 
 
 @pytest.fixture(scope="session")
@@ -18,5 +36,18 @@ def report_writer():
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text + "\n")
         print(f"\n{text}\n[report written to {path}]")
+
+    return write
+
+
+@pytest.fixture(scope="session")
+def json_report_writer():
+    """Write a machine-readable JSON summary next to the text reports."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, payload: dict) -> None:
+        path = RESULTS_DIR / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"[json summary written to {path}]")
 
     return write

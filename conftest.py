@@ -1,0 +1,50 @@
+"""Repo-wide pytest configuration.
+
+Two concerns live here because they span tests/ and benchmarks/:
+
+* the ``slow`` marker — fit-heavy integration tests are skipped unless
+  ``--runslow`` is given, keeping the tier-1 run (``pytest -x -q``) fast;
+* fit-cache isolation — the persistent fit cache (see
+  :mod:`repro.core.batchfit`) is pointed at a per-session temporary
+  directory so test runs never read from or write to the user's real
+  cache.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow", action="store_true", default=False,
+        help="run tests marked slow (fit-heavy integration tests)")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: fit-heavy test, skipped unless --runslow is given")
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip = pytest.mark.skip(reason="fit-heavy; pass --runslow to run")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip)
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_fit_cache(tmp_path_factory):
+    """Point REPRO_CACHE_DIR at a throwaway directory for the session."""
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("fitcache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous

@@ -6,11 +6,28 @@ compares against the uniform baseline, and shows how to evaluate and
 serialise the result.
 
     python examples/quickstart.py
+
+Batch fitting and the persistent fit cache
+------------------------------------------
+Fitting many (function, budget) combinations one by one is slow.
+``repro.core.batchfit.BatchFitter`` runs a list of jobs through a process
+pool (in-process on single-core machines) and stores every finished fit
+in a persistent on-disk cache, so re-running this script — or any sweep,
+benchmark, or ``python -m repro fit-all`` invocation with the same
+configurations — reloads fits instead of recomputing them.
+
+The cache lives in ``$REPRO_CACHE_DIR/fits`` when that environment
+variable is set, else ``~/.cache/repro-flexsfu/fits``.  Entries are keyed
+by a hash of the function name and every ``FitConfig`` field, so changing
+any hyper-parameter automatically misses the cache; delete the directory
+(or call ``FitCache.clear()``) to force refits.  See the
+``repro/core/batchfit.py`` module docstring for the full rules.
 """
 
 import numpy as np
 
 from repro import PiecewiseLinear, evaluate, fit_activation, uniform_pwl
+from repro.core.batchfit import BatchFitter, make_job
 from repro.functions import GELU
 
 
@@ -50,6 +67,16 @@ def main() -> None:
     restored = PiecewiseLinear.from_json(blob)
     assert np.array_equal(restored(xs), pwl(xs))
     print(f"\nserialised to {len(blob)} bytes of JSON and restored losslessly")
+
+    # Batch fitting: several functions at once through the parallel
+    # engine, persisted to the on-disk cache (see module docstring) —
+    # the second run of this script prints three cache hits.
+    jobs = [make_job(name, 8) for name in ("tanh", "sigmoid", "silu")]
+    results = BatchFitter().fit_all(jobs)
+    print("\nbatch fit (8 breakpoints each):")
+    for r in results:
+        source = "cache" if r.from_cache else f"fit in {r.wall_time_s:.1f}s"
+        print(f"  {r.job.function:8s} MSE {r.grid_mse:.3e}  [{source}]")
 
 
 if __name__ == "__main__":

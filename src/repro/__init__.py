@@ -22,6 +22,8 @@ Quickstart::
 from . import core, functions, graph, hw, numerics, optim, perf, zoo
 from . import eval as eval_  # "eval" shadows the builtin; alias available
 from .core import (
+    BatchFitter,
+    FitCache,
     FitConfig,
     FitResult,
     FlexSfuFitter,
@@ -29,6 +31,7 @@ from .core import (
     build_tables,
     evaluate,
     fit_activation,
+    make_job,
     uniform_pwl,
 )
 from .errors import (
@@ -57,6 +60,9 @@ __all__ = [
     "FlexSfuFitter",
     "FitConfig",
     "FitResult",
+    "BatchFitter",
+    "FitCache",
+    "make_job",
     "PiecewiseLinear",
     "uniform_pwl",
     "evaluate",

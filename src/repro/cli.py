@@ -3,6 +3,7 @@
 Commands
 --------
 ``fit``     fit one activation and print the PWL + metrics;
+``fit-all`` batch-fit many activations through the parallel engine;
 ``table``   emit quantised hardware tables as JSON;
 ``fig``     regenerate one of the paper's figures/tables in the terminal;
 ``zoo``     summarise the synthetic catalog and its speedups;
@@ -14,6 +15,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import List, Optional
 
 import numpy as np
@@ -43,6 +45,57 @@ def _cmd_fit(args: argparse.Namespace) -> int:
                            title="  breakpoint placement:"))
     if args.json:
         print(result.pwl.to_json())
+    return 0
+
+
+def _csv_ints(text: str) -> List[int]:
+    """argparse type for comma-separated integer lists."""
+    try:
+        return [int(x) for x in text.split(",")]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}") from None
+
+
+def _cmd_fit_all(args: argparse.Namespace) -> int:
+    from .core import FitConfig
+    from .core.batchfit import BatchFitter, FitCache, make_job
+
+    names = (args.functions.split(",") if args.functions
+             else list(fn_registry.available()))
+    budgets = args.breakpoints
+    base = FitConfig(max_steps=150, refine_steps=60, max_refine_rounds=2,
+                     polish_maxiter=200, grid_points=1024) \
+        if args.quick else None
+    jobs = [make_job(name, n, config=base) for name in names for n in budgets]
+    cache = FitCache(args.cache_dir) if args.cache_dir else None
+    fitter = BatchFitter(cache=cache, max_workers=args.workers,
+                         use_processes=not args.serial)
+    t0 = time.perf_counter()
+    results = fitter.fit_all(jobs)
+    elapsed = time.perf_counter() - t0
+
+    if args.json:
+        payload = [{
+            "function": r.job.function,
+            "n_breakpoints": r.job.config.n_breakpoints,
+            "grid_mse": r.grid_mse,
+            "from_cache": r.from_cache,
+            "wall_time_s": r.wall_time_s,
+            "pwl": r.pwl.to_dict(),
+        } for r in results]
+        print(json.dumps({"elapsed_s": elapsed, "results": payload},
+                         indent=2))
+        return 0
+
+    rows = [[r.job.function, r.job.config.n_breakpoints,
+             fmt_sci(r.grid_mse), "cache" if r.from_cache else "fit",
+             f"{r.wall_time_s:.2f}"] for r in results]
+    hits = sum(r.from_cache for r in results)
+    print(format_table(
+        ["function", "#BP", "grid MSE", "source", "fit s"], rows,
+        title=f"batch fit: {len(results)} jobs in {elapsed:.1f}s "
+              f"({hits} cache hits)"))
     return 0
 
 
@@ -167,6 +220,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_fit.add_argument("--json", action="store_true",
                        help="also print the PWL as JSON")
     p_fit.set_defaults(func=_cmd_fit)
+
+    p_fit_all = sub.add_parser(
+        "fit-all", help="batch-fit activations via the parallel engine")
+    p_fit_all.add_argument("--functions", default=None,
+                           help="comma-separated names (default: all)")
+    p_fit_all.add_argument("-n", "--breakpoints", default=[16],
+                           type=_csv_ints,
+                           help="comma-separated budgets (default: 16)")
+    p_fit_all.add_argument("--workers", type=int, default=None,
+                           help="process-pool size (default: CPU count)")
+    p_fit_all.add_argument("--serial", action="store_true",
+                           help="run in-process instead of a process pool")
+    p_fit_all.add_argument("--quick", action="store_true",
+                           help="cheap low-accuracy fit preset (smoke runs)")
+    p_fit_all.add_argument("--cache-dir", default=None,
+                           help="fit cache directory (default: "
+                                "$REPRO_CACHE_DIR or ~/.cache/repro-flexsfu)")
+    p_fit_all.add_argument("--json", action="store_true",
+                           help="emit a machine-readable JSON summary")
+    p_fit_all.set_defaults(func=_cmd_fit_all)
 
     p_table = sub.add_parser("table", help="emit hardware tables as JSON")
     p_table.add_argument("function")

@@ -7,6 +7,16 @@ against; ``build_tables`` lowers a fitted PWL into the quantised tables
 the hardware consumes.
 """
 
+from .batchfit import (
+    BatchFitResult,
+    BatchFitter,
+    CachedFit,
+    FitCache,
+    FitJob,
+    default_cache,
+    fit_cache_key,
+    make_job,
+)
 from .boundary import ASYMPTOTE, CLAMP, FREE, BoundarySpec, SidePolicy
 from .fit import FitConfig, FitResult, FlexSfuFitter, fit_activation
 from .loss import (
@@ -28,6 +38,14 @@ __all__ = [
     "FitConfig",
     "FitResult",
     "fit_activation",
+    "BatchFitter",
+    "BatchFitResult",
+    "FitJob",
+    "FitCache",
+    "CachedFit",
+    "default_cache",
+    "fit_cache_key",
+    "make_job",
     "GridLoss",
     "GridGradients",
     "quadrature_mse",

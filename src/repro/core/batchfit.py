@@ -1,0 +1,364 @@
+"""Parallel batch fitting with a persistent on-disk fit cache.
+
+The fitting loop (Adam + plateau scheduler + removal/insertion, Section
+IV) is this reproduction's hot path, and every sweep — Fig. 5's budget
+grid, Table II's per-row configurations, Table III's budgets x zoo
+activations — refits the same handful of (function, budget, format)
+combinations.  This module makes those workloads cheap twice over:
+
+* :class:`BatchFitter` runs many :class:`FitJob` s concurrently through a
+  ``concurrent.futures.ProcessPoolExecutor`` (falling back to in-process
+  execution on single-core machines or single-job batches, where pool
+  overhead would only slow things down), deduplicating identical jobs,
+  short-circuiting exactly-representable functions (ReLU & co) to their
+  native PWLs, and returning structured per-job results;
+* :class:`FitCache` persists every finished fit to disk as JSON (via
+  :meth:`PiecewiseLinear.to_dict`), so fits survive across processes,
+  sessions and benchmark runs.
+
+Cache location
+--------------
+``$REPRO_CACHE_DIR/fits`` when the ``REPRO_CACHE_DIR`` environment
+variable is set, else ``~/.cache/repro-flexsfu/fits``.  The test suite
+points ``REPRO_CACHE_DIR`` at a per-session temporary directory so test
+runs stay hermetic.
+
+Cache keys and invalidation
+---------------------------
+A key is the SHA-256 of a canonical JSON document containing the schema
+version, the function name, and *every* :class:`FitConfig` field (with
+``interval`` resolved to concrete floats — see :func:`make_job`).  Any
+change to a hyper-parameter, to the fit interval, or to the key schema
+therefore lands on a fresh key automatically; stale entries are never
+read, only orphaned.  To reclaim space or force refits wholesale, delete
+the cache directory or call :meth:`FitCache.clear`.  Entries are written
+atomically (temp file + ``os.replace``), so concurrent writers — the
+pool workers, parallel pytest sessions — can share one directory; a
+corrupt or truncated entry is treated as a miss and rewritten.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import hashlib
+import json
+import os
+import tempfile
+import time
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import FitError
+from ..functions.base import ActivationFunction
+from .fit import FitConfig, FlexSfuFitter
+from .pwl import PiecewiseLinear
+
+#: Bump when the key document or the entry payload changes shape.
+CACHE_SCHEMA_VERSION = 1
+
+
+# --------------------------------------------------------------------- #
+# Jobs and keys
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class FitJob:
+    """One fully-resolved fitting task: a function name plus its config.
+
+    Build instances through :func:`make_job`, which folds budget /
+    interval / boundary overrides into the config and resolves a ``None``
+    interval to the function's default so that equivalent requests land
+    on the same cache key.
+    """
+
+    function: str
+    config: FitConfig
+
+
+def make_job(fn: Union[str, ActivationFunction], n_breakpoints: int,
+             interval: Optional[Tuple[float, float]] = None,
+             config: Optional[FitConfig] = None,
+             boundary: Optional[Tuple[str, str]] = None) -> FitJob:
+    """Canonicalise a fit request into a :class:`FitJob`.
+
+    ``fn`` may be a registry name or an :class:`ActivationFunction`; the
+    interval defaults to the function's ``default_interval`` so explicit
+    and implicit requests for the same span share a cache key.
+    """
+    if isinstance(fn, str):
+        from ..functions import registry as fn_registry
+        fn = fn_registry.get(fn)
+    a, b = interval if interval is not None else fn.default_interval
+    base = config or FitConfig()
+    overrides: Dict = {
+        "n_breakpoints": int(n_breakpoints),
+        "interval": (float(a), float(b)),
+    }
+    if boundary is not None:
+        overrides["boundary_left"] = boundary[0]
+        overrides["boundary_right"] = boundary[1]
+    return FitJob(function=fn.name, config=replace(base, **overrides))
+
+
+def fit_cache_key(job: FitJob) -> str:
+    """Stable content hash of a job (see module docstring)."""
+    doc = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "function": job.function,
+        "config": asdict(job.config),
+    }
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------------- #
+# Persistent cache
+# --------------------------------------------------------------------- #
+@dataclass
+class CachedFit:
+    """One cache entry: the fitted PWL plus its fit statistics."""
+
+    function: str
+    pwl: PiecewiseLinear
+    grid_mse: float
+    rounds: int
+    total_steps: int
+    init_used: str
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema": CACHE_SCHEMA_VERSION,
+            "function": self.function,
+            "pwl": self.pwl.to_dict(),
+            "grid_mse": self.grid_mse,
+            "rounds": self.rounds,
+            "total_steps": self.total_steps,
+            "init_used": self.init_used,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "CachedFit":
+        if d.get("schema") != CACHE_SCHEMA_VERSION:
+            raise FitError(f"cache entry schema {d.get('schema')!r} != "
+                           f"{CACHE_SCHEMA_VERSION}")
+        return cls(function=str(d["function"]),
+                   pwl=PiecewiseLinear.from_dict(d["pwl"]),
+                   grid_mse=float(d["grid_mse"]),
+                   rounds=int(d["rounds"]),
+                   total_steps=int(d["total_steps"]),
+                   init_used=str(d["init_used"]))
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache root (``REPRO_CACHE_DIR`` env var or ~/.cache)."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    root = Path(env).expanduser() if env else (
+        Path.home() / ".cache" / "repro-flexsfu")
+    return root / "fits"
+
+
+class FitCache:
+    """Disk-backed fit store with an in-memory read-through layer.
+
+    The memory layer keeps object identity within a process (repeated
+    lookups of one key return the *same* :class:`PiecewiseLinear`); the
+    disk layer makes fits persistent and shareable across processes.
+    """
+
+    def __init__(self, directory: Optional[Union[str, Path]] = None) -> None:
+        self.directory = (Path(directory) if directory is not None
+                          else default_cache_dir())
+        self._mem: Dict[str, CachedFit] = {}
+
+    def path(self, key: str) -> Path:
+        """Disk location of one entry."""
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[CachedFit]:
+        """Entry for ``key``, or None.  Corrupt files count as misses."""
+        hit = self._mem.get(key)
+        if hit is not None:
+            return hit
+        path = self.path(key)
+        try:
+            entry = CachedFit.from_dict(json.loads(path.read_text()))
+        except (OSError, ValueError, KeyError, FitError):
+            return None
+        self._mem[key] = entry
+        return entry
+
+    def put(self, key: str, entry: CachedFit) -> None:
+        """Store an entry in memory and atomically on disk."""
+        self._mem[key] = entry
+        self.directory.mkdir(parents=True, exist_ok=True)
+        blob = json.dumps(entry.to_dict())
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(blob)
+            os.replace(tmp, self.path(key))
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def clear(self, memory_only: bool = False) -> None:
+        """Drop cached fits (memory layer, and the disk files unless told
+        otherwise)."""
+        self._mem.clear()
+        if memory_only:
+            return
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+    def __len__(self) -> int:
+        on_disk = (set(p.stem for p in self.directory.glob("*.json"))
+                   if self.directory.is_dir() else set())
+        return len(on_disk | set(self._mem))
+
+
+_DEFAULT_CACHES: Dict[Path, FitCache] = {}
+
+
+def default_cache() -> FitCache:
+    """Process-wide cache at :func:`default_cache_dir` (env-sensitive)."""
+    directory = default_cache_dir()
+    cache = _DEFAULT_CACHES.get(directory)
+    if cache is None:
+        cache = FitCache(directory)
+        _DEFAULT_CACHES[directory] = cache
+    return cache
+
+
+# --------------------------------------------------------------------- #
+# Batch engine
+# --------------------------------------------------------------------- #
+@dataclass
+class BatchFitResult:
+    """Outcome of one job within a :meth:`BatchFitter.fit_all` call."""
+
+    job: FitJob
+    key: str
+    pwl: PiecewiseLinear
+    grid_mse: float
+    from_cache: bool
+    wall_time_s: float
+    rounds: int
+    total_steps: int
+    init_used: str
+
+
+def _run_job(job: FitJob) -> Dict:
+    """Execute one fit in a worker process; returns the cache payload.
+
+    Module-level so the process pool can pickle it; functions are looked
+    up by name, so only registered activations can be fitted in parallel.
+    """
+    from ..functions import registry as fn_registry
+    t0 = time.perf_counter()
+    res = FlexSfuFitter(job.config).fit(fn_registry.get(job.function))
+    entry = CachedFit(function=job.function, pwl=res.pwl,
+                      grid_mse=res.grid_mse, rounds=res.rounds,
+                      total_steps=res.total_steps, init_used=res.init_used)
+    return {"entry": entry.to_dict(), "wall_time_s": time.perf_counter() - t0}
+
+
+class BatchFitter:
+    """Runs many fit jobs concurrently against a persistent cache.
+
+    Identical jobs are deduplicated before execution; cache hits skip
+    execution entirely.  ``max_workers`` defaults to the schedulable CPU
+    count; when that is 1 (or the miss list has a single entry) the jobs
+    run in-process, because forking a pool would only add overhead.
+    """
+
+    def __init__(self, cache: Optional[FitCache] = None,
+                 max_workers: Optional[int] = None,
+                 use_processes: bool = True) -> None:
+        self.cache = cache if cache is not None else default_cache()
+        if max_workers is not None and max_workers < 1:
+            raise FitError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+        self.use_processes = use_processes
+
+    def _worker_count(self, n_jobs: int) -> int:
+        if self.max_workers is not None:
+            return min(self.max_workers, n_jobs)
+        try:
+            cpus = len(os.sched_getaffinity(0))
+        except AttributeError:  # pragma: no cover - non-linux
+            cpus = os.cpu_count() or 1
+        return max(1, min(cpus, n_jobs))
+
+    def _native_entry(self, job: FitJob) -> Optional[CachedFit]:
+        """Exact-PWL shortcut, mirroring ``fit_pwl_cached``.
+
+        PWL-native functions (ReLU & co) must not burn a full optimizer
+        run — and must yield the *same* artifact under a key regardless
+        of whether the batch engine or the pass-level cache produced it.
+        """
+        from ..functions import registry as fn_registry
+        from ..graph.passes import native_pwl  # deferred: passes imports us
+        fn = fn_registry.get(job.function)
+        native = native_pwl(fn)
+        if native is None or native.n_breakpoints > job.config.n_breakpoints:
+            return None
+        a, b = job.config.interval if job.config.interval is not None \
+            else fn.default_interval
+        from .loss import GridLoss
+        n_grid = max(job.config.grid_points,
+                     64 * job.config.n_breakpoints)
+        mse = GridLoss(fn, a, b, n_points=n_grid).loss_pwl(native)
+        return CachedFit(function=job.function, pwl=native, grid_mse=mse,
+                         rounds=0, total_steps=0, init_used="native")
+
+    def fit_all(self, jobs: Sequence[FitJob]) -> List[BatchFitResult]:
+        """Fit every job, returning results in the order given."""
+        keys = [fit_cache_key(job) for job in jobs]
+        payloads: Dict[str, Tuple[CachedFit, bool, float]] = {}
+
+        # Cache pass + dedupe: first job instance per missing key runs.
+        misses: Dict[str, FitJob] = {}
+        for job, key in zip(jobs, keys):
+            if key in payloads or key in misses:
+                continue
+            hit = self.cache.get(key)
+            if hit is not None:
+                payloads[key] = (hit, True, 0.0)
+                continue
+            native = self._native_entry(job)
+            if native is not None:
+                self.cache.put(key, native)
+                payloads[key] = (native, False, 0.0)
+            else:
+                misses[key] = job
+
+        workers = self._worker_count(len(misses))
+        if misses:
+            if self.use_processes and workers > 1 and len(misses) > 1:
+                with concurrent.futures.ProcessPoolExecutor(
+                        max_workers=workers) as pool:
+                    futures = {key: pool.submit(_run_job, job)
+                               for key, job in misses.items()}
+                    raw = {key: fut.result() for key, fut in futures.items()}
+            else:
+                raw = {key: _run_job(job) for key, job in misses.items()}
+            for key, out in raw.items():
+                entry = CachedFit.from_dict(out["entry"])
+                self.cache.put(key, entry)
+                payloads[key] = (entry, False, float(out["wall_time_s"]))
+
+        results: List[BatchFitResult] = []
+        for job, key in zip(jobs, keys):
+            entry, from_cache, wall = payloads[key]
+            results.append(BatchFitResult(
+                job=job, key=key, pwl=entry.pwl, grid_mse=entry.grid_mse,
+                from_cache=from_cache, wall_time_s=wall, rounds=entry.rounds,
+                total_steps=entry.total_steps, init_used=entry.init_used))
+        return results

@@ -53,6 +53,12 @@ INIT_AUTO = "auto"
 
 _INITS = (INIT_UNIFORM, INIT_CURVATURE, INIT_AUTO)
 
+REMOVAL_FAST = "fast"
+REMOVAL_NAIVE = "naive"
+REMOVAL_CHECK = "check"
+
+_REMOVAL_SCANS = (REMOVAL_FAST, REMOVAL_NAIVE, REMOVAL_CHECK)
+
 
 @dataclass(frozen=True)
 class FitConfig:
@@ -88,6 +94,10 @@ class FitConfig:
     curvature_power: float = 0.4  # 2/5: optimal L2 knot density exponent
     polish: bool = True
     polish_maxiter: int = 3000
+    #: Removal-scan implementation: ``fast`` (vectorised, O(grid)),
+    #: ``naive`` (per-candidate rebuild, O(n*grid)), or ``check`` (run
+    #: both and fail on disagreement).
+    removal_scan: str = REMOVAL_FAST
 
     def __post_init__(self) -> None:
         if self.n_breakpoints < 2:
@@ -96,6 +106,11 @@ class FitConfig:
             raise FitError("max_refine_rounds must be >= 0")
         if self.init not in _INITS:
             raise FitError(f"unknown init {self.init!r}; expected one of {_INITS}")
+        if self.removal_scan not in _REMOVAL_SCANS:
+            raise FitError(
+                f"unknown removal_scan {self.removal_scan!r}; "
+                f"expected one of {_REMOVAL_SCANS}"
+            )
 
 
 @dataclass
@@ -261,7 +276,13 @@ class FlexSfuFitter:
         stale = 0
         steps_run = 0
         for step in range(max_steps):
-            _project(state, a, b, eps)
+            order = _project(state, a, b, eps)
+            if order is not None:
+                # Crossed breakpoints were swapped back into sorted order;
+                # the Adam moments must follow the same permutation or they
+                # keep applying to the pre-swap parameter positions.
+                opt.permute_state(0, order)  # breakpoints
+                opt.permute_state(1, order)  # values
             _pin_values(state, spec)
             cur, grads = loss.loss_and_grads(state.p, state.v,
                                              float(state.ml[0]), float(state.mr[0]))
@@ -395,15 +416,25 @@ class FlexSfuFitter:
             return None
 
         # Removal loss for every breakpoint (paper: argmin over l_rm).
-        removal = np.full(n, np.inf)
-        for i in range(n):
-            keep = np.arange(n) != i
-            p_c, v_c = p[keep].copy(), v[keep].copy()
-            if spec.left.pinned:
-                v_c[0] = spec.left.pin_value(float(p_c[0]))
-            if spec.right.pinned:
-                v_c[-1] = spec.right.pin_value(float(p_c[-1]))
-            removal[i] = loss.loss(p_c, v_c, ml, mr)
+        left_pin = ((spec.left.slope, spec.left.intercept)
+                    if spec.left.pinned else None)
+        right_pin = ((spec.right.slope, spec.right.intercept)
+                     if spec.right.pinned else None)
+        if self.config.removal_scan == REMOVAL_NAIVE:
+            removal = loss.removal_losses_naive(p, v, ml, mr,
+                                                left_pin, right_pin)
+        else:
+            removal = loss.removal_losses(p, v, ml, mr, left_pin, right_pin)
+            if self.config.removal_scan == REMOVAL_CHECK:
+                ref = loss.removal_losses_naive(p, v, ml, mr,
+                                                left_pin, right_pin)
+                scale = float(np.max(np.abs(ref))) + 1.0
+                if not np.allclose(removal, ref, rtol=1e-8,
+                                   atol=1e-11 * scale):
+                    raise FitError(
+                        "vectorised removal scan disagrees with the naive "
+                        f"rebuild by {float(np.max(np.abs(removal - ref)))}"
+                    )
         i_rm = int(np.argmin(removal))
 
         keep = np.arange(n) != i_rm
@@ -414,11 +445,19 @@ class FlexSfuFitter:
             v_new[-1] = spec.right.pin_value(float(p_new[-1]))
 
         # Insertion loss per inner segment of the post-removal function.
+        # With m = p_new.size surviving breakpoints, mass has m + 1
+        # entries (regions 0..m); mass[1:-1] keeps the m - 1 inner
+        # regions, region j + 1 being the segment [p_new[j], p_new[j+1]].
         mass = loss.region_sq_mass(p_new, v_new, ml, mr)
-        inner = mass[1:-1]  # regions 1..n-2 map to segments [p_j, p_j+1]
+        inner = mass[1:-1]
         if inner.size == 0:
             return None
         widths = np.diff(p_new)
+        if inner.size != widths.size:
+            raise FitError(
+                f"region/segment mapping drifted: {inner.size} inner "
+                f"regions vs {widths.size} segments"
+            )
         legal = widths > 2.5 * eps
         if not np.any(legal):
             return None
@@ -448,18 +487,24 @@ def _separate(p: np.ndarray, a: float, b: float, eps: float) -> None:
     p[...] = np.minimum(p, limit)
 
 
-def _project(state: _State, a: float, b: float, eps: float) -> None:
+def _project(state: _State, a: float, b: float, eps: float
+             ) -> Optional[np.ndarray]:
     """Keep breakpoints sorted, separated by >= eps, inside [a, b].
 
     Sorting permutes the (p, v) pairs together so a crossing during an
-    Adam step becomes a swap instead of a collapse.
+    Adam step becomes a swap instead of a collapse.  Returns the applied
+    permutation (``None`` when the order was already sorted) so the
+    caller can permute optimizer state alongside.
     """
     p, v = state.p, state.v
+    applied: Optional[np.ndarray] = None
     order = np.argsort(p, kind="stable")
     if not np.array_equal(order, np.arange(p.size)):
         p[...] = p[order]
         v[...] = v[order]
+        applied = order
     _separate(p, a, b, eps)
+    return applied
 
 
 def _pin_values(state: _State, spec: BoundarySpec) -> None:

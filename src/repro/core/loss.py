@@ -36,7 +36,7 @@ and for the edge segments ``f_hat = m(x - p_e) + v_e`` so
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -171,6 +171,120 @@ class GridLoss:
         res = m[r] * xs + q[r] - ys
         mass = np.bincount(r, weights=w * res * res, minlength=p.size + 1)
         return mass * (self.b - self.a)
+
+    # ------------------------------------------------------------------ #
+    # Removal losses (the refinement heuristic's removal scan)
+    # ------------------------------------------------------------------ #
+    def removal_losses(self, p: np.ndarray, v: np.ndarray, ml: float, mr: float,
+                       left_pin: Optional[Tuple[float, float]] = None,
+                       right_pin: Optional[Tuple[float, float]] = None
+                       ) -> np.ndarray:
+        """Grid MSE after removing each breakpoint, in O(grid) total.
+
+        Entry ``i`` equals rebuilding the PWL without breakpoint ``i`` and
+        re-evaluating :meth:`loss` — but computed from per-region loss
+        masses plus a vectorised merged-segment kernel instead of ``n``
+        full re-evaluations: removing ``i`` only rewrites the two regions
+        adjacent to it (regions ``i`` and ``i + 1`` merge into one span
+        carried by the segment ``p_{i-1} .. p_{i+1}``, or by the edge line
+        for ``i in {0, n-1}``).
+
+        ``left_pin`` / ``right_pin`` are optional ``(slope, intercept)``
+        asymptote lines.  When given, removing the corresponding edge
+        breakpoint re-derives the new edge value from the pin line (the
+        fitter's re-pinning), which additionally rewrites the first/last
+        inner segment.  The caller's current edge values must already lie
+        on the pin lines — the fitter guarantees this via ``_pin_values``.
+
+        :meth:`removal_losses_naive` is the O(n * grid) reference
+        implementation; ``FitConfig(removal_scan="check")`` runs both and
+        verifies agreement.
+        """
+        p = np.asarray(p, dtype=np.float64)
+        v = np.asarray(v, dtype=np.float64)
+        n = p.size
+        if n < 3:
+            raise FitError(f"removal scan needs >= 3 breakpoints, got {n}")
+        xs, ys, w = self.xs, self.ys, self.w
+
+        r = np.searchsorted(p, xs, side="right")
+        m, q = _coefficients(p, v, ml, mr)
+        res = m[r] * xs + q[r] - ys
+        mass = np.bincount(r, weights=w * res * res, minlength=n + 1)
+        total = float(mass.sum())
+
+        # Line carrying the merged span of candidate i.  Inner candidates
+        # connect (p_{i-1}, v_{i-1}) to (p_{i+1}, v_{i+1}); edge candidates
+        # extend the edge slope from the surviving neighbour breakpoint
+        # (re-pinned onto the asymptote line when one is given).
+        mm = np.empty(n, dtype=np.float64)
+        qq = np.empty(n, dtype=np.float64)
+        dp = np.maximum(p[2:] - p[:-2], 1e-12)
+        mm[1:-1] = (v[2:] - v[:-2]) / dp
+        qq[1:-1] = v[:-2] - mm[1:-1] * p[:-2]
+        v1 = left_pin[0] * p[1] + left_pin[1] if left_pin is not None else v[1]
+        mm[0] = ml
+        qq[0] = v1 - ml * p[1]
+        v2 = (right_pin[0] * p[-2] + right_pin[1]
+              if right_pin is not None else v[-2])
+        mm[-1] = mr
+        qq[-1] = v2 - mr * p[-2]
+
+        # A grid point in region r lies on candidate r's merged span (its
+        # lower half) and on candidate (r-1)'s merged span (its upper half).
+        new_mass = np.zeros(n, dtype=np.float64)
+        lo = r <= n - 1
+        cl = r[lo]
+        res_l = mm[cl] * xs[lo] + qq[cl] - ys[lo]
+        new_mass += np.bincount(cl, weights=w[lo] * res_l * res_l, minlength=n)
+        hi = r >= 1
+        ch = r[hi] - 1
+        res_h = mm[ch] * xs[hi] + qq[ch] - ys[hi]
+        new_mass += np.bincount(ch, weights=w[hi] * res_h * res_h, minlength=n)
+
+        out = total - mass[:-1] - mass[1:] + new_mass
+
+        # A pinned-edge removal moves the new edge value onto the pin
+        # line, which also rewrites the adjacent inner segment (region 2
+        # on the left, region n-2 on the right).
+        if left_pin is not None:
+            sel = r == 2
+            s = (v[2] - v1) / max(p[2] - p[1], 1e-12)
+            res2 = s * xs[sel] + (v1 - s * p[1]) - ys[sel]
+            out[0] += float(np.sum(w[sel] * res2 * res2)) - mass[2]
+        if right_pin is not None:
+            sel = r == n - 2
+            s = (v2 - v[-3]) / max(p[-2] - p[-3], 1e-12)
+            res2 = s * xs[sel] + (v[-3] - s * p[-3]) - ys[sel]
+            out[-1] += float(np.sum(w[sel] * res2 * res2)) - mass[n - 2]
+        return out
+
+    def removal_losses_naive(self, p: np.ndarray, v: np.ndarray,
+                             ml: float, mr: float,
+                             left_pin: Optional[Tuple[float, float]] = None,
+                             right_pin: Optional[Tuple[float, float]] = None
+                             ) -> np.ndarray:
+        """Reference removal scan: rebuild + re-evaluate per candidate.
+
+        O(n * grid); kept as the cross-check path for
+        :meth:`removal_losses` (property tests and
+        ``FitConfig(removal_scan="check")`` compare the two).
+        """
+        p = np.asarray(p, dtype=np.float64)
+        v = np.asarray(v, dtype=np.float64)
+        n = p.size
+        if n < 3:
+            raise FitError(f"removal scan needs >= 3 breakpoints, got {n}")
+        out = np.empty(n, dtype=np.float64)
+        for i in range(n):
+            keep = np.arange(n) != i
+            p_c, v_c = p[keep].copy(), v[keep].copy()
+            if left_pin is not None:
+                v_c[0] = left_pin[0] * p_c[0] + left_pin[1]
+            if right_pin is not None:
+                v_c[-1] = right_pin[0] * p_c[-1] + right_pin[1]
+            out[i] = self.loss(p_c, v_c, ml, mr)
+        return out
 
 
 def _coefficients(p: np.ndarray, v: np.ndarray, ml: float, mr: float

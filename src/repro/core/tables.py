@@ -68,6 +68,7 @@ class HardwareTables:
     slope_bits: np.ndarray         # (depth,)
     intercepts: np.ndarray         # (depth,) quantised real q
     intercept_bits: np.ndarray     # (depth,)
+    n_pad: int                     # pad regions appended beyond the real ones
 
     @property
     def kind(self) -> str:
@@ -81,9 +82,14 @@ class HardwareTables:
 
     @property
     def n_active_segments(self) -> int:
-        """Segments that differ from the replicated pad (<= depth)."""
-        return int(self.depth - np.sum(self.breakpoints == self.breakpoints[-1])
-                   + 1) if self.depth > 1 else 1
+        """Real (non-pad) segments (<= depth).
+
+        Counted from the pad width recorded at build time.  Inferring it
+        from sentinel equality (``breakpoints == breakpoints[-1]``) is
+        wrong when quantisation collapses a *real* trailing breakpoint
+        onto the sentinel/pad value.
+        """
+        return int(self.depth - self.n_pad)
 
     # ------------------------------------------------------------------ #
     # Reference semantics (what the RTL must match)
@@ -157,4 +163,5 @@ def build_tables(pwl: PiecewiseLinear, fmt: NumberFormat,
         slope_bits=m_bits,
         intercepts=q_q,
         intercept_bits=q_bits,
+        n_pad=pad,
     )

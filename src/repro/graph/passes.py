@@ -5,8 +5,10 @@ with a custom ONNX operator" before compilation.  The same rewrite here:
 :func:`replace_activations` switches every matching ``activation`` /
 ``softmax`` node to its PWL implementation, attaching the fitted
 approximator.  Approximators are built by :func:`make_pwl_approximators`
-(with an in-process cache — fits are expensive) and are exact for
-PWL-native functions like ReLU.
+and are exact for PWL-native functions like ReLU; expensive fits are
+served from the persistent cache of :mod:`repro.core.batchfit` (seedable
+in parallel via :class:`~repro.core.batchfit.BatchFitter`), with a thin
+in-process layer preserving object identity for repeated lookups.
 """
 
 from __future__ import annotations
@@ -15,6 +17,7 @@ from typing import Callable, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
+from ..core.batchfit import CachedFit, default_cache, fit_cache_key, make_job
 from ..core.fit import FitConfig, FlexSfuFitter
 from ..core.pwl import PiecewiseLinear
 from ..functions import registry as fn_registry
@@ -22,8 +25,10 @@ from ..functions.base import ActivationFunction
 from ..functions.softmax import SoftmaxApproximator
 from .ir import Graph
 
-#: In-process fit cache: (fn, n_bp, interval, boundary) -> PiecewiseLinear.
-_FIT_CACHE: Dict[Tuple, PiecewiseLinear] = {}
+#: In-process identity layer over the persistent cache.  Native-PWL
+#: shortcuts are resolved before the disk lookup, so they live here
+#: (and possibly on disk, if a BatchFitter produced the same key).
+_FIT_CACHE: Dict[str, PiecewiseLinear] = {}
 
 
 def native_pwl(fn: ActivationFunction) -> Optional[PiecewiseLinear]:
@@ -48,20 +53,35 @@ def fit_pwl_cached(fn: ActivationFunction, n_breakpoints: int,
                    config: Optional[FitConfig] = None,
                    boundary: Tuple[str, str] = ("asymptote", "asymptote")
                    ) -> PiecewiseLinear:
-    """Fit (or reuse) a PWL for ``fn`` at the given budget."""
-    a, b = interval if interval is not None else fn.default_interval
-    key = (fn.name, int(n_breakpoints), (float(a), float(b)), tuple(boundary))
-    if key not in _FIT_CACHE:
-        native = native_pwl(fn)
-        if native is not None and native.n_breakpoints <= n_breakpoints:
-            _FIT_CACHE[key] = native
-        else:
-            base = config or FitConfig()
-            from dataclasses import replace as _replace
-            cfg = _replace(base, n_breakpoints=n_breakpoints, interval=(a, b),
-                           boundary_left=boundary[0], boundary_right=boundary[1])
-            _FIT_CACHE[key] = FlexSfuFitter(cfg).fit(fn).pwl
-    return _FIT_CACHE[key]
+    """Fit (or reuse) a PWL for ``fn`` at the given budget.
+
+    Served from the persistent on-disk cache keyed by function name plus
+    the fully-resolved :class:`FitConfig` (see :mod:`repro.core.batchfit`
+    for location/invalidation rules), so fits survive across processes.
+    Batch sweeps can pre-seed the same keys in parallel with
+    :class:`~repro.core.batchfit.BatchFitter`.
+    """
+    job = make_job(fn, n_breakpoints, interval=interval, config=config,
+                   boundary=tuple(boundary))
+    key = fit_cache_key(job)
+    hit = _FIT_CACHE.get(key)
+    if hit is not None:
+        return hit
+    native = native_pwl(fn)
+    if native is not None and native.n_breakpoints <= n_breakpoints:
+        _FIT_CACHE[key] = native
+        return native
+    cache = default_cache()
+    entry = cache.get(key)
+    if entry is None:
+        res = FlexSfuFitter(job.config).fit(fn)
+        entry = CachedFit(function=fn.name, pwl=res.pwl,
+                          grid_mse=res.grid_mse, rounds=res.rounds,
+                          total_steps=res.total_steps,
+                          init_used=res.init_used)
+        cache.put(key, entry)
+    _FIT_CACHE[key] = entry.pwl
+    return entry.pwl
 
 
 def make_pwl_approximators(function_names, n_breakpoints: int,
@@ -134,6 +154,14 @@ def restore_exact_activations(graph: Graph) -> Graph:
     return new
 
 
-def clear_fit_cache() -> None:
-    """Drop all cached fits (tests use this for isolation)."""
+def clear_fit_cache(disk: bool = False) -> None:
+    """Drop the in-process fit layer (tests use this for isolation).
+
+    ``disk=True`` also wipes the persistent cache directory, forcing
+    genuine refits rather than disk reloads.
+    """
     _FIT_CACHE.clear()
+    if disk:
+        default_cache().clear()
+    else:
+        default_cache().clear(memory_only=True)

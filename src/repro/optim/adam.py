@@ -80,6 +80,31 @@ class Adam:
             v_hat = v / bias2
             p -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
+    def permute_state(self, param_index: int, order: np.ndarray) -> None:
+        """Reorder the moment buffers of one parameter array.
+
+        When the caller permutes a parameter array externally (the fitter
+        sorts crossed breakpoints, swapping ``(p, v)`` pairs), the first
+        and second moment estimates must follow the same permutation or
+        they keep applying to the *old* positions, scrambling the update
+        direction of every swapped entry.
+        """
+        if not 0 <= param_index < len(self._params):
+            raise FitError(
+                f"param_index {param_index} out of range for "
+                f"{len(self._params)} parameters"
+            )
+        idx = np.asarray(order, dtype=np.intp)
+        p = self._params[param_index]
+        if idx.shape != p.shape:
+            raise FitError(
+                f"permutation shape {idx.shape} != parameter shape {p.shape}"
+            )
+        if not np.array_equal(np.sort(idx), np.arange(p.size)):
+            raise FitError("order is not a permutation of the parameter indices")
+        self._m[param_index] = self._m[param_index][idx]
+        self._v[param_index] = self._v[param_index][idx]
+
     def state_dict(self) -> Dict:
         """Snapshot of optimizer state (for save/restore in the fitter)."""
         return {

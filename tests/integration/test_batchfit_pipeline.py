@@ -1,0 +1,64 @@
+"""Integration: batch engine + persistent cache across process layers."""
+
+import numpy as np
+import pytest
+
+import repro.graph.passes as passes
+from repro.core.batchfit import BatchFitter, FitCache, make_job
+from repro.functions import SIGMOID, TANH, registry as fn_registry
+from repro.graph.passes import clear_fit_cache, fit_pwl_cached
+
+
+class TestPrefitServesPasses:
+    def test_batch_prefit_then_pure_cache_read(self, tmp_path, monkeypatch,
+                                               fast_fit_config):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_fit_cache()
+        job = make_job(TANH, 5, config=fast_fit_config)
+        [seeded] = BatchFitter().fit_all([job])
+
+        # After prefitting, fit_pwl_cached must not fit again.
+        def _no_refit(self, fn):  # pragma: no cover - fails the test
+            pytest.fail("fit_pwl_cached refitted a prefitted configuration")
+
+        monkeypatch.setattr(passes.FlexSfuFitter, "fit", _no_refit)
+        pwl = fit_pwl_cached(TANH, 5, config=fast_fit_config)
+        assert pwl.to_json() == seeded.pwl.to_json()
+
+    def test_cache_shared_across_mem_clears(self, tmp_path, monkeypatch,
+                                            fast_fit_config):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_fit_cache()
+        first = fit_pwl_cached(SIGMOID, 5, config=fast_fit_config)
+        clear_fit_cache()  # drops the in-process layer, keeps the disk
+        second = fit_pwl_cached(SIGMOID, 5, config=fast_fit_config)
+        assert first is not second
+        assert first.to_json() == second.to_json()
+
+    def test_disk_clear_forces_refit(self, tmp_path, monkeypatch,
+                                     fast_fit_config):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_fit_cache()
+        fit_pwl_cached(TANH, 4, config=fast_fit_config)
+        clear_fit_cache(disk=True)
+        from repro.core.batchfit import default_cache
+        assert len(default_cache()) == 0
+
+
+@pytest.mark.slow
+class TestRegistrySweep:
+    """Fit-heavy sweep, gated behind --runslow to keep tier-1 fast."""
+
+    def test_registry_batch_fit(self, tmp_path, fast_fit_config):
+        names = sorted(fn_registry.available())
+        jobs = [make_job(name, 8, config=fast_fit_config) for name in names]
+        fitter = BatchFitter(cache=FitCache(tmp_path))
+        results = fitter.fit_all(jobs)
+        assert len(results) == len(names)
+        assert all(np.isfinite(r.grid_mse) for r in results)
+        assert all(r.pwl.n_breakpoints == 8 for r in results)
+        # Everything is now persisted and served back verbatim.
+        warm = fitter.fit_all(jobs)
+        assert all(r.from_cache for r in warm)
+        for a, b in zip(results, warm):
+            assert a.pwl.to_json() == b.pwl.to_json()

@@ -1,0 +1,91 @@
+"""Property tests: vectorised removal scan vs the naive rebuild."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.boundary import BoundarySpec
+from repro.core.loss import GridLoss
+from repro.functions import GELU, TANH
+
+_LOSS = GridLoss(TANH, -4.0, 4.0, n_points=512)
+
+
+@st.composite
+def removal_case(draw):
+    """Random raw fit state plus optional pinned-asymptote boundary lines.
+
+    When a side is pinned the edge value is forced onto the pin line,
+    matching the invariant the fitter maintains via ``_pin_values``.
+    """
+    n = draw(st.integers(3, 12))
+    xs = draw(st.lists(
+        st.floats(min_value=-4.5, max_value=4.5,
+                  allow_nan=False, allow_infinity=False),
+        min_size=n, max_size=n, unique=True))
+    p = np.sort(np.asarray(xs))
+    if np.min(np.diff(p)) < 1e-5:
+        p = np.linspace(p[0], p[0] + 0.5 * n, n)
+    v = np.asarray(draw(st.lists(
+        st.floats(min_value=-3, max_value=3, allow_nan=False),
+        min_size=n, max_size=n)))
+    ml = draw(st.floats(min_value=-2, max_value=2, allow_nan=False))
+    mr = draw(st.floats(min_value=-2, max_value=2, allow_nan=False))
+
+    left_pin = right_pin = None
+    if draw(st.booleans()):
+        c = draw(st.floats(min_value=-2, max_value=2, allow_nan=False))
+        left_pin = (ml, c)
+        v[0] = ml * p[0] + c
+    if draw(st.booleans()):
+        c = draw(st.floats(min_value=-2, max_value=2, allow_nan=False))
+        right_pin = (mr, c)
+        v[-1] = mr * p[-1] + c
+    return p, v, ml, mr, left_pin, right_pin
+
+
+@settings(max_examples=120, deadline=None)
+@given(removal_case())
+def test_removal_losses_match_naive_rebuild(case):
+    p, v, ml, mr, left_pin, right_pin = case
+    fast = _LOSS.removal_losses(p, v, ml, mr, left_pin, right_pin)
+    naive = _LOSS.removal_losses_naive(p, v, ml, mr, left_pin, right_pin)
+    scale = 1.0 + float(np.max(np.abs(naive)))
+    assert np.allclose(fast, naive, rtol=1e-10, atol=1e-12 * scale)
+
+
+@settings(max_examples=60, deadline=None)
+@given(removal_case())
+def test_removal_losses_nonnegative_and_collinear_is_free(case):
+    p, v, ml, mr, left_pin, right_pin = case
+    fast = _LOSS.removal_losses(p, v, ml, mr, left_pin, right_pin)
+    assert fast.size == p.size
+    # MSEs: never meaningfully below zero even through the incremental
+    # total - old + new arithmetic.
+    assert np.all(fast >= -1e-12 * (1.0 + float(np.max(np.abs(fast)))))
+    # An inner breakpoint forced onto the segment between its neighbours
+    # contributes nothing, so its removal must keep the loss unchanged.
+    mid = p.size // 2
+    t = (p[mid] - p[mid - 1]) / (p[mid + 1] - p[mid - 1])
+    v2 = v.copy()
+    v2[mid] = (1.0 - t) * v[mid - 1] + t * v[mid + 1]
+    cur = _LOSS.loss(p, v2, ml, mr)
+    fast2 = _LOSS.removal_losses(p, v2, ml, mr, left_pin, right_pin)
+    assert np.isclose(fast2[mid], cur, rtol=1e-9,
+                      atol=1e-12 * (1.0 + abs(cur)))
+
+
+def test_matches_on_paper_boundary_spec():
+    # Deterministic end-to-end case with GELU's real asymptote pins.
+    loss = GridLoss(GELU, -8.0, 8.0, n_points=2048)
+    spec = BoundarySpec.resolve(GELU)
+    left_pin = (spec.left.slope, spec.left.intercept)
+    right_pin = (spec.right.slope, spec.right.intercept)
+    p = np.linspace(-7.5, 7.5, 16)
+    v = np.asarray(GELU(p)) + 0.02 * np.cos(2.0 * p)
+    v[0] = left_pin[0] * p[0] + left_pin[1]
+    v[-1] = right_pin[0] * p[-1] + right_pin[1]
+    fast = loss.removal_losses(p, v, spec.left.slope, spec.right.slope,
+                               left_pin, right_pin)
+    naive = loss.removal_losses_naive(p, v, spec.left.slope, spec.right.slope,
+                                      left_pin, right_pin)
+    assert np.allclose(fast, naive, rtol=1e-11, atol=1e-14)

@@ -1,0 +1,161 @@
+"""Unit tests for the batch-fitting engine and the persistent fit cache."""
+
+import json
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.batchfit import (
+    BatchFitter,
+    CachedFit,
+    FitCache,
+    FitJob,
+    default_cache_dir,
+    fit_cache_key,
+    make_job,
+)
+from repro.core.fit import FitConfig, fit_activation
+from repro.core.pwl import PiecewiseLinear
+from repro.errors import FitError
+from repro.functions import SIGMOID, TANH
+
+#: Deliberately tiny: these tests exercise wiring, not fit quality.
+_TINY = FitConfig(n_breakpoints=4, max_steps=40, refine_steps=20,
+                  max_refine_rounds=1, polish_maxiter=60, grid_points=256)
+
+
+class TestJobsAndKeys:
+    def test_make_job_resolves_default_interval(self):
+        implicit = make_job(TANH, 4, config=_TINY)
+        explicit = make_job(TANH, 4, interval=TANH.default_interval,
+                            config=_TINY)
+        assert implicit == explicit
+        assert fit_cache_key(implicit) == fit_cache_key(explicit)
+
+    def test_make_job_accepts_registry_names(self):
+        assert make_job("tanh", 4, config=_TINY) == make_job(TANH, 4,
+                                                             config=_TINY)
+
+    def test_key_changes_with_any_config_field(self):
+        base = make_job(TANH, 4, config=_TINY)
+        for other in [
+            make_job(TANH, 5, config=_TINY),
+            make_job(SIGMOID, 4, config=_TINY),
+            make_job(TANH, 4, interval=(-2.0, 2.0), config=_TINY),
+            make_job(TANH, 4, config=replace(_TINY, lr=0.05)),
+            make_job(TANH, 4, config=_TINY, boundary=("free", "free")),
+        ]:
+            assert fit_cache_key(other) != fit_cache_key(base)
+
+    def test_key_is_stable_across_calls(self):
+        job = make_job(TANH, 4, config=_TINY)
+        assert fit_cache_key(job) == fit_cache_key(
+            FitJob(function=job.function, config=replace(job.config)))
+
+    def test_default_cache_dir_honours_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert default_cache_dir() == tmp_path / "fits"
+
+
+class TestFitCache:
+    def _entry(self):
+        pwl = PiecewiseLinear.create(np.array([-1.0, 0.0, 1.0]),
+                                     np.array([0.0, 0.5, 1.0]), 0.0, 0.0)
+        return CachedFit(function="tanh", pwl=pwl, grid_mse=1e-4, rounds=2,
+                         total_steps=100, init_used="uniform")
+
+    def test_roundtrip_and_identity(self, tmp_path):
+        cache = FitCache(tmp_path)
+        assert cache.get("k") is None
+        cache.put("k", self._entry())
+        first = cache.get("k")
+        assert first is cache.get("k")  # memory layer keeps identity
+        assert np.array_equal(first.pwl.breakpoints, [-1.0, 0.0, 1.0])
+
+    def test_survives_a_new_cache_instance(self, tmp_path):
+        FitCache(tmp_path).put("k", self._entry())
+        fresh = FitCache(tmp_path).get("k")
+        assert fresh is not None
+        assert fresh.grid_mse == 1e-4
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = FitCache(tmp_path)
+        cache.put("k", self._entry())
+        cache.path("k").write_text("{not json")
+        assert FitCache(tmp_path).get("k") is None
+
+    def test_wrong_schema_is_a_miss(self, tmp_path):
+        cache = FitCache(tmp_path)
+        cache.put("k", self._entry())
+        doc = json.loads(cache.path("k").read_text())
+        doc["schema"] = -1
+        cache.path("k").write_text(json.dumps(doc))
+        assert FitCache(tmp_path).get("k") is None
+
+    def test_clear(self, tmp_path):
+        cache = FitCache(tmp_path)
+        cache.put("k", self._entry())
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("k") is None
+
+
+class TestBatchFitter:
+    def test_results_byte_identical_to_sequential_fit_activation(self, tmp_path):
+        jobs = [make_job(TANH, 4, config=_TINY),
+                make_job(SIGMOID, 4, config=_TINY)]
+        fitter = BatchFitter(cache=FitCache(tmp_path), max_workers=2)
+        results = fitter.fit_all(jobs)
+        for job, res in zip(jobs, results):
+            seq = fit_activation(TANH if job.function == "tanh" else SIGMOID,
+                                 4, config=_TINY)
+            assert res.pwl.to_json() == seq.pwl.to_json()
+            assert res.grid_mse == seq.grid_mse
+            assert not res.from_cache
+
+    def test_cache_hits_on_second_run(self, tmp_path):
+        jobs = [make_job(TANH, 4, config=_TINY)]
+        fitter = BatchFitter(cache=FitCache(tmp_path), max_workers=1)
+        assert not fitter.fit_all(jobs)[0].from_cache
+        again = fitter.fit_all(jobs)[0]
+        assert again.from_cache
+        assert again.wall_time_s == 0.0
+
+    def test_duplicate_jobs_fit_once(self, tmp_path):
+        job = make_job(TANH, 4, config=_TINY)
+        fitter = BatchFitter(cache=FitCache(tmp_path), max_workers=1)
+        a, b = fitter.fit_all([job, job])
+        assert a.pwl is b.pwl  # deduplicated to one execution
+        assert a.key == b.key
+
+    def test_serial_and_pooled_agree(self, tmp_path):
+        jobs = [make_job(TANH, 4, config=_TINY),
+                make_job(SIGMOID, 4, config=_TINY)]
+        pooled = BatchFitter(cache=FitCache(tmp_path / "a"),
+                             max_workers=2).fit_all(jobs)
+        serial = BatchFitter(cache=FitCache(tmp_path / "b"),
+                             use_processes=False).fit_all(jobs)
+        for x, y in zip(pooled, serial):
+            assert x.pwl.to_json() == y.pwl.to_json()
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(FitError):
+            BatchFitter(max_workers=0)
+
+    def test_native_functions_short_circuit(self, tmp_path):
+        from repro.functions import RELU
+        job = make_job(RELU, 8, config=_TINY)
+        fitter = BatchFitter(cache=FitCache(tmp_path), max_workers=1)
+        [res] = fitter.fit_all([job])
+        # Exactly-representable functions never burn an optimizer run:
+        # the engine returns the 2-breakpoint native PWL, same as
+        # fit_pwl_cached would for this key.
+        assert res.init_used == "native"
+        assert res.total_steps == 0
+        assert res.pwl.n_breakpoints == 2
+        assert res.grid_mse < 1e-20
+        [warm] = fitter.fit_all([job])
+        assert warm.from_cache
+        assert warm.pwl.to_json() == res.pwl.to_json()

@@ -50,6 +50,23 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "free-knot bound" in out
 
+    def test_fit_all_table_and_cache(self, capsys, tmp_path):
+        args = ["fit-all", "--functions", "relu,hardtanh", "-n", "3,4",
+                "--serial", "--quick", "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "batch fit: 4 jobs" in out
+        assert main(args) == 0  # second run is served from the cache
+        assert "(4 cache hits)" in capsys.readouterr().out
+
+    def test_fit_all_json(self, capsys, tmp_path):
+        assert main(["fit-all", "--functions", "relu", "-n", "3", "--serial",
+                     "--quick", "--cache-dir", str(tmp_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["results"][0]["function"] == "relu"
+        assert payload["results"][0]["n_breakpoints"] == 3
+        assert payload["results"][0]["pwl"]["breakpoints"]
+
     def test_fig_unknown_name(self, capsys):
         assert main(["fig", "fig99"]) == 2
 

@@ -120,6 +120,39 @@ class TestEnhancements:
         assert res.rounds == 0
 
 
+class TestRemovalScan:
+    def test_rejects_unknown_scan(self):
+        with pytest.raises(FitError):
+            FitConfig(removal_scan="very fast")
+
+    def test_check_mode_verifies_every_round(self, fast_fit_config):
+        # "check" runs both scans and raises on any disagreement, so a
+        # passing fit is an in-situ proof of scan equivalence.
+        cfg = replace(fast_fit_config, removal_scan="check")
+        res = FlexSfuFitter(cfg).fit(GELU)
+        assert res.rounds >= 1
+        assert np.isfinite(res.grid_mse)
+
+    def test_fast_and_naive_scans_agree_end_to_end(self, fast_fit_config):
+        fast = FlexSfuFitter(replace(fast_fit_config,
+                                     removal_scan="fast")).fit(SIGMOID)
+        naive = FlexSfuFitter(replace(fast_fit_config,
+                                      removal_scan="naive")).fit(SIGMOID)
+        # The scans agree to roundoff, not bitwise: a last-ulp argmin tie
+        # could legitimately pick a different edit on another platform.
+        assert np.allclose(fast.pwl.breakpoints, naive.pwl.breakpoints,
+                           rtol=1e-9, atol=1e-12)
+        assert np.allclose(fast.pwl.values, naive.pwl.values,
+                           rtol=1e-9, atol=1e-12)
+        assert fast.grid_mse == pytest.approx(naive.grid_mse, rel=1e-9)
+
+    def test_free_boundary_check_mode(self, fast_fit_config):
+        cfg = replace(fast_fit_config, removal_scan="check",
+                      boundary_left="free", boundary_right="free")
+        res = FlexSfuFitter(cfg).fit(TANH)
+        assert np.isfinite(res.grid_mse)
+
+
 class TestScalingBehaviour:
     def test_more_breakpoints_lower_error(self, fast_fit_config):
         errors = []

@@ -113,6 +113,43 @@ class TestRegionMass:
         assert mass.size == p.size + 1
 
 
+class TestRemovalLosses:
+    def test_rejects_too_few_breakpoints(self, tanh_loss):
+        p = np.array([-1.0, 1.0])
+        with pytest.raises(FitError):
+            tanh_loss.removal_losses(p, np.tanh(p), 0.0, 0.0)
+        with pytest.raises(FitError):
+            tanh_loss.removal_losses_naive(p, np.tanh(p), 0.0, 0.0)
+
+    def test_matches_naive_unpinned(self, tanh_loss):
+        p, v = _params(7)
+        fast = tanh_loss.removal_losses(p, v, 0.1, -0.2)
+        naive = tanh_loss.removal_losses_naive(p, v, 0.1, -0.2)
+        assert fast.size == p.size
+        assert np.allclose(fast, naive, rtol=1e-11, atol=1e-14)
+
+    def test_matches_naive_with_pinned_edges(self, tanh_loss):
+        p, v = _params(6)
+        left_pin, right_pin = (0.0, -1.0), (0.0, 1.0)  # tanh asymptotes
+        v[0] = left_pin[0] * p[0] + left_pin[1]
+        v[-1] = right_pin[0] * p[-1] + right_pin[1]
+        fast = tanh_loss.removal_losses(p, v, 0.0, 0.0, left_pin, right_pin)
+        naive = tanh_loss.removal_losses_naive(p, v, 0.0, 0.0,
+                                               left_pin, right_pin)
+        assert np.allclose(fast, naive, rtol=1e-11, atol=1e-14)
+
+    def test_collinear_breakpoint_removal_is_free(self, tanh_loss):
+        # A breakpoint sitting exactly on the segment between its
+        # neighbours contributes nothing: removing it keeps the loss.
+        p, v = _params(5)
+        p[2] = 0.5 * (p[1] + p[3])
+        v[2] = 0.5 * (v[1] + v[3])
+        cur = tanh_loss.loss(p, v, 0.0, 0.0)
+        fast = tanh_loss.removal_losses(p, v, 0.0, 0.0)
+        assert fast[2] == pytest.approx(cur, rel=1e-10)
+        assert np.all(fast >= cur * (1.0 - 1e-9))
+
+
 class TestQuadrature:
     def test_quadrature_vs_dense_grid(self):
         p, v = _params(8)

@@ -67,6 +67,73 @@ class TestAdam:
         assert opt.step_count == 0
 
 
+class TestPermuteState:
+    def test_moments_follow_permutation(self):
+        p = np.array([0.0, 1.0, 2.0])
+        opt = Adam([p], lr=0.1)
+        opt.step([np.array([1.0, -2.0, 3.0])])
+        before = opt.state_dict()
+        order = np.array([2, 0, 1])
+        opt.permute_state(0, order)
+        after = opt.state_dict()
+        assert np.array_equal(after["m"][0], before["m"][0][order])
+        assert np.array_equal(after["v"][0], before["v"][0][order])
+
+    def test_rejects_bad_inputs(self):
+        opt = Adam([np.zeros(3)])
+        with pytest.raises(FitError):
+            opt.permute_state(1, np.arange(3))
+        with pytest.raises(FitError):
+            opt.permute_state(0, np.array([0, 1]))
+        with pytest.raises(FitError):
+            opt.permute_state(0, np.array([0, 0, 2]))
+
+    def test_swap_no_longer_scrambles_update_direction(self):
+        """Regression: breakpoint swaps used to leave moments misaligned.
+
+        The fitter sorts crossed breakpoints by permuting the parameter
+        arrays in place (``_project``); without ``permute_state`` the
+        Adam moments kept applying to the old positions.  A run whose
+        storage gets swapped mid-descent must track a reference run that
+        never swaps.
+        """
+        ref = np.array([0.0, 1.0])
+        opt_ref = Adam([ref], lr=0.1)
+        sub = np.array([0.0, 1.0])
+        opt_sub = Adam([sub], lr=0.1)
+        g1 = np.array([3.0, -1.0])
+        opt_ref.step([g1])
+        opt_sub.step([g1])
+
+        # External swap of the subject's storage (logical item 0 now at
+        # index 1), exactly what _project does when breakpoints cross.
+        order = np.array([1, 0])
+        sub[...] = sub[order]
+        opt_sub.permute_state(0, order)
+
+        g2 = np.array([0.5, 2.0])  # gradients in logical order
+        opt_ref.step([g2])
+        opt_sub.step([g2[order]])  # same gradients, swapped storage
+        assert np.allclose(sub, ref[order], atol=1e-15)
+
+    def test_without_permute_the_direction_is_scrambled(self):
+        # The converse of the regression above: skipping the moment
+        # permutation demonstrably corrupts the update.
+        ref = np.array([0.0, 1.0])
+        opt_ref = Adam([ref], lr=0.1)
+        sub = np.array([0.0, 1.0])
+        opt_sub = Adam([sub], lr=0.1)
+        g1 = np.array([3.0, -1.0])
+        opt_ref.step([g1])
+        opt_sub.step([g1])
+        order = np.array([1, 0])
+        sub[...] = sub[order]  # storage swapped, moments left behind
+        g2 = np.array([0.5, 2.0])
+        opt_ref.step([g2])
+        opt_sub.step([g2[order]])
+        assert not np.allclose(sub, ref[order], atol=1e-6)
+
+
 class TestReduceLROnPlateau:
     def test_reduces_after_patience(self):
         opt = Adam([np.zeros(1)], lr=0.1)

@@ -57,6 +57,35 @@ class TestBuildTables:
         assert format_kind(FP32) == "float"
 
 
+class TestActiveSegments:
+    def test_counts_real_segments(self, gelu_like_pwl):
+        # 5 breakpoints -> 6 real segments, regardless of the pad width.
+        assert build_tables(gelu_like_pwl, FP16).n_active_segments == 6
+        assert build_tables(gelu_like_pwl, FP16,
+                            depth=16).n_active_segments == 6
+
+    def test_full_depth_has_no_pad(self):
+        p = np.array([-1.0, 0.0, 1.0])
+        pwl = PiecewiseLinear.create(p, np.array([0.0, 0.5, 1.0]), 0.0, 0.0)
+        t = build_tables(pwl, FP16)  # 4 segments -> depth 4, pad 0
+        assert t.n_pad == 0
+        assert t.n_active_segments == t.depth == 4
+
+    def test_real_breakpoint_collapsed_onto_sentinel(self):
+        # Regression: 7.93 quantises to q4.4's max (7.9375), the same
+        # value as the pad sentinels.  Counting sentinel-equality would
+        # treat the real trailing breakpoint as pad; the explicit pad
+        # count must not be fooled.
+        fmt = FixedPointFormat(8, 4)
+        p = np.array([0.0, 1.0, 2.0, 7.93])
+        pwl = PiecewiseLinear.create(p, np.array([0.0, 1.0, 1.5, 2.0]),
+                                     0.0, 0.0)
+        t = build_tables(pwl, fmt, depth=8)  # 5 real segments, 3 pad
+        assert np.sum(t.breakpoints == t.breakpoints[-1]) == 4  # 3 pad + 1 real
+        assert t.n_pad == 3
+        assert t.n_active_segments == 5
+
+
 class TestReferenceEval:
     def test_fp32_nearly_exact(self, gelu_like_pwl, rng):
         t = build_tables(gelu_like_pwl, FP32)
