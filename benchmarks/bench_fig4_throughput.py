@@ -10,8 +10,7 @@ import numpy as np
 
 from repro.core import PiecewiseLinear, build_tables
 from repro.eval import format_series, run_figure4
-from repro.hw import FP32_T, FlexSfuUnit, load_cycles, total_cycles
-from repro.hw.perfmodel import throughput_gact_s
+from repro.hw import FP32_T, FlexSfuUnit, total_cycles
 
 
 def test_fig4_throughput_sweep(benchmark, report_writer):

@@ -12,8 +12,6 @@ are the most sensitive.
 
 import os
 
-import numpy as np
-
 from repro.eval import format_table
 from repro.eval.experiments import run_table3
 

@@ -4,10 +4,19 @@ Commands
 --------
 ``fit``     fit one activation and print the PWL + metrics;
 ``fit-all`` batch-fit many activations through the parallel engine;
+``serve``   run the long-running fit daemon over the shared job queue;
+``cache``   inspect / clear / prune the persistent fit cache;
 ``table``   emit quantised hardware tables as JSON;
 ``fig``     regenerate one of the paper's figures/tables in the terminal;
 ``zoo``     summarise the synthetic catalog and its speedups;
 ``bound``   print the theoretical optimal-MSE bound for a budget sweep.
+
+Environment
+-----------
+``REPRO_CACHE_DIR``   root of the persistent fit cache (and the default
+                      service queue directory, ``<root>/service``);
+``REPRO_MAX_WORKERS`` default process-pool size for batch fitting when
+                      no explicit ``--workers`` is given.
 """
 
 from __future__ import annotations
@@ -17,8 +26,6 @@ import json
 import sys
 import time
 from typing import List, Optional
-
-import numpy as np
 
 from .core import build_tables, evaluate, fit_activation
 from .core.analysis import assess_fit, optimal_mse_bound
@@ -96,6 +103,72 @@ def _cmd_fit_all(args: argparse.Namespace) -> int:
         ["function", "#BP", "grid MSE", "source", "fit s"], rows,
         title=f"batch fit: {len(results)} jobs in {elapsed:.1f}s "
               f"({hits} cache hits)"))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    from pathlib import Path
+
+    from .core.batchfit import FitCache
+    from .service import FitService, ServiceConfig, default_service_dir
+
+    root = Path(args.dir) if args.dir else default_service_dir()
+    cache = FitCache(args.cache_dir) if args.cache_dir else None
+    config = ServiceConfig(root=root, max_workers=args.workers,
+                           poll_interval_s=args.poll,
+                           idle_timeout_s=args.idle_exit)
+    print(f"repro serve: queue at {root}  "
+          f"(workers={args.workers or 'auto'}, "
+          f"idle-exit={args.idle_exit or 'never'})", flush=True)
+
+    def _terminate(signum, frame):  # pragma: no cover - signal path
+        # Route SIGTERM through the KeyboardInterrupt cleanup below so
+        # the pool workers are shut down with the daemon: a default
+        # SIGTERM death would orphan them (they outlive their parent).
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _terminate)
+    try:
+        with FitService(config, cache=cache) as svc:
+            try:
+                handled = svc.drain() if args.once else svc.serve_forever()
+            except KeyboardInterrupt:
+                handled = svc.processed
+            print(f"repro serve: exiting after {handled} jobs "
+                  f"({svc.failed} failed)", flush=True)
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .core.batchfit import FitCache
+
+    cache = FitCache(args.cache_dir) if args.cache_dir else FitCache()
+    if args.action == "stats":
+        stats = cache.stats()
+        if args.json:
+            print(json.dumps(stats, indent=2))
+        else:
+            age = stats["oldest_age_s"]
+            print(f"fit cache at {stats['directory']}")
+            print(f"  {stats['entries']} entries, "
+                  f"{stats['bytes'] / 1024:.1f} KiB"
+                  + (f", oldest {age / 3600:.1f}h" if age is not None else ""))
+    elif args.action == "clear":
+        before = len(cache)
+        cache.clear()
+        print(f"cleared {before} entries from {cache.directory}")
+    else:  # prune
+        if args.max_entries is None and args.max_age_s is None:
+            print("cache prune: need --max-entries and/or --max-age-s",
+                  file=sys.stderr)
+            return 2
+        removed = cache.prune(max_entries=args.max_entries,
+                              max_age_s=args.max_age_s)
+        print(f"pruned {removed} entries from {cache.directory} "
+              f"({len(cache)} remain)")
     return 0
 
 
@@ -240,6 +313,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_fit_all.add_argument("--json", action="store_true",
                            help="emit a machine-readable JSON summary")
     p_fit_all.set_defaults(func=_cmd_fit_all)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the fit daemon over the shared job queue")
+    p_serve.add_argument("--dir", default=None,
+                         help="queue directory (default: "
+                              "$REPRO_CACHE_DIR/service)")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="process-pool size (default: "
+                              "$REPRO_MAX_WORKERS or CPU count)")
+    p_serve.add_argument("--poll", type=float, default=0.2,
+                         help="queue poll interval in seconds when idle")
+    p_serve.add_argument("--idle-exit", type=float, default=None,
+                         help="exit after this many idle seconds "
+                              "(default: serve forever)")
+    p_serve.add_argument("--once", action="store_true",
+                         help="drain the queue once and exit")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="fit cache directory (default: "
+                              "$REPRO_CACHE_DIR or ~/.cache/repro-flexsfu)")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect / clear / prune the persistent fit cache")
+    p_cache.add_argument("action", choices=("stats", "clear", "prune"))
+    p_cache.add_argument("--cache-dir", default=None,
+                         help="fit cache directory (default: "
+                              "$REPRO_CACHE_DIR or ~/.cache/repro-flexsfu)")
+    p_cache.add_argument("--max-entries", type=int, default=None,
+                         help="prune: keep only the newest N entries")
+    p_cache.add_argument("--max-age-s", type=float, default=None,
+                         help="prune: drop entries older than this age")
+    p_cache.add_argument("--json", action="store_true",
+                         help="stats: emit machine-readable JSON")
+    p_cache.set_defaults(func=_cmd_cache)
 
     p_table = sub.add_parser("table", help="emit hardware tables as JSON")
     p_table.add_argument("function")

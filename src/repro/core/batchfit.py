@@ -16,6 +16,26 @@ combinations.  This module makes those workloads cheap twice over:
   :meth:`PiecewiseLinear.to_dict`), so fits survive across processes,
   sessions and benchmark runs.
 
+Three service-grade behaviours layer on top (all used by
+:mod:`repro.service`, all available standalone):
+
+* **portable jobs** — a :class:`FitJob` may carry a sampled
+  :class:`~repro.service.spec.FunctionSpec`, so unregistered
+  (``make_custom``-built) activations can be fitted by pool workers and
+  daemon processes that never saw the original Python callable;
+* **near-miss warm starts** — on a cache miss, :meth:`FitCache.nearest`
+  finds the cached fit of the closest neighbouring configuration (same
+  function, adjacent budget/interval) and the optimizer is seeded from
+  its PWL instead of refitting cold (disable with
+  ``BatchFitter(warm_start=False)``; note a warm-started entry may
+  differ bit-for-bit from a cold fit of the same key, depending on what
+  the cache held at fit time — quality is equivalent, provenance is
+  recorded in ``init_used == "warm"``);
+* **shared-memory grids** — a ``grid_provider`` callback can hand each
+  miss a :mod:`multiprocessing.shared_memory` grid reference; workers
+  then map the target samples (:meth:`GridLoss.from_samples`) instead of
+  re-evaluating the target function per job.
+
 Cache location
 --------------
 ``$REPRO_CACHE_DIR/fits`` when the ``REPRO_CACHE_DIR`` environment
@@ -26,36 +46,45 @@ runs stay hermetic.
 Cache keys and invalidation
 ---------------------------
 A key is the SHA-256 of a canonical JSON document containing the schema
-version, the function name, and *every* :class:`FitConfig` field (with
+version, the function identity (registry name, plus the content digest
+for sampled specs), and *every* :class:`FitConfig` field (with
 ``interval`` resolved to concrete floats — see :func:`make_job`).  Any
 change to a hyper-parameter, to the fit interval, or to the key schema
 therefore lands on a fresh key automatically; stale entries are never
 read, only orphaned.  To reclaim space or force refits wholesale, delete
-the cache directory or call :meth:`FitCache.clear`.  Entries are written
-atomically (temp file + ``os.replace``), so concurrent writers — the
-pool workers, parallel pytest sessions — can share one directory; a
-corrupt or truncated entry is treated as a miss and rewritten.
+the cache directory, call :meth:`FitCache.clear`, or bound the directory
+with :meth:`FitCache.prune` (also exposed as ``repro cache prune``).
+Entries are written atomically (temp file + ``os.replace``), so
+concurrent writers — the pool workers, parallel pytest sessions — can
+share one directory; a corrupt or truncated entry is treated as a miss
+and rewritten.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
-import hashlib
 import json
+import hashlib
+import math
 import os
+import signal
 import tempfile
 import time
 from dataclasses import asdict, dataclass, replace
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import (TYPE_CHECKING, Callable, Dict, List, Optional, Sequence,
+                    Tuple, Union)
 
 from ..errors import FitError
 from ..functions.base import ActivationFunction
-from .fit import FitConfig, FlexSfuFitter
+from .fit import FitConfig, FlexSfuFitter, grid_points_for
 from .pwl import PiecewiseLinear
 
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..service.spec import FunctionSpec
+
 #: Bump when the key document or the entry payload changes shape.
-CACHE_SCHEMA_VERSION = 1
+CACHE_SCHEMA_VERSION = 2
 
 
 # --------------------------------------------------------------------- #
@@ -63,32 +92,77 @@ CACHE_SCHEMA_VERSION = 1
 # --------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class FitJob:
-    """One fully-resolved fitting task: a function name plus its config.
+    """One fully-resolved fitting task: a function identity plus config.
 
     Build instances through :func:`make_job`, which folds budget /
     interval / boundary overrides into the config and resolves a ``None``
     interval to the function's default so that equivalent requests land
-    on the same cache key.
+    on the same cache key.  ``spec`` is set for functions that are not
+    resolvable by registry name in another process (sampled
+    :class:`~repro.service.spec.FunctionSpec`); it rides along so pool
+    workers and daemons can rebuild the target.
     """
 
     function: str
     config: FitConfig
+    spec: Optional["FunctionSpec"] = None
 
 
-def make_job(fn: Union[str, ActivationFunction], n_breakpoints: int,
+def make_job(fn: Union[str, ActivationFunction, "FunctionSpec"],
+             n_breakpoints: int,
              interval: Optional[Tuple[float, float]] = None,
              config: Optional[FitConfig] = None,
              boundary: Optional[Tuple[str, str]] = None) -> FitJob:
     """Canonicalise a fit request into a :class:`FitJob`.
 
-    ``fn`` may be a registry name or an :class:`ActivationFunction`; the
+    ``fn`` may be a registry name, an :class:`ActivationFunction`, or a
+    :class:`~repro.service.spec.FunctionSpec`.  Activation objects that
+    are not the registered instance of their name (unregistered customs,
+    ``with_interval`` copies) are captured as a sampled spec so the job
+    stays executable — and correctly cache-keyed — in any process.  The
     interval defaults to the function's ``default_interval`` so explicit
     and implicit requests for the same span share a cache key.
     """
+    from ..service.spec import KIND_SAMPLED, FunctionSpec, as_spec
+
+    spec: Optional[FunctionSpec] = None
     if isinstance(fn, str):
+        # Resolve and fall through to the object branch: a *session*
+        # registration referenced by name must still be captured as a
+        # sampled spec — keyed by name alone, two make_custom overwrites
+        # of one name would collide on a cache key (and the name would
+        # be unresolvable in a daemon anyway).
         from ..functions import registry as fn_registry
         fn = fn_registry.get(fn)
-    a, b = interval if interval is not None else fn.default_interval
+    if isinstance(fn, FunctionSpec):
+        s = fn
+        name = s.name
+        a, b = (interval if interval is not None
+                else s.resolve().default_interval)
+        if s.kind == KIND_SAMPLED:
+            spec = s
+            # A pre-built spec cannot be re-sampled here: the fit span
+            # — *including* the edge margin where learnable edge
+            # breakpoints roam — must already lie inside the captured
+            # samples, or workers would optimize against the
+            # extrapolated tails.
+            margin = (config or FitConfig()).edge_margin_rel * (b - a)
+            if a - margin < s.lo or b + margin > s.hi:
+                raise FitError(
+                    f"fit interval [{a:g}, {b:g}] (+ edge margin "
+                    f"{margin:g}) exceeds the sampled span "
+                    f"[{s.lo:g}, {s.hi:g}] of spec {s.name!r}; "
+                    f"rebuild the spec with interval=({a}, {b})")
+    else:
+        name = fn.name
+        a, b = interval if interval is not None else fn.default_interval
+        # Sample past the edge margin too: learnable edge breakpoints
+        # roam up to edge_margin_rel outside [a, b] and must read real
+        # function values there, whatever the config sets the margin to.
+        m = (config or FitConfig()).edge_margin_rel * (b - a)
+        s = as_spec(fn, interval=(float(a - m), float(b + m)))
+        if s.kind == KIND_SAMPLED:
+            spec = s
     base = config or FitConfig()
     overrides: Dict = {
         "n_breakpoints": int(n_breakpoints),
@@ -97,7 +171,20 @@ def make_job(fn: Union[str, ActivationFunction], n_breakpoints: int,
     if boundary is not None:
         overrides["boundary_left"] = boundary[0]
         overrides["boundary_right"] = boundary[1]
-    return FitJob(function=fn.name, config=replace(base, **overrides))
+    return FitJob(function=name, config=replace(base, **overrides), spec=spec)
+
+
+def job_spec_digest(job: FitJob) -> Optional[str]:
+    """Content digest identifying a spec-carrying job's function."""
+    return job.spec.digest if job.spec is not None else None
+
+
+def resolve_function(job: FitJob) -> ActivationFunction:
+    """Rebuild the job's target function in *this* process."""
+    if job.spec is not None:
+        return job.spec.resolve()
+    from ..functions import registry as fn_registry
+    return fn_registry.get(job.function)
 
 
 def fit_cache_key(job: FitJob) -> str:
@@ -107,8 +194,43 @@ def fit_cache_key(job: FitJob) -> str:
         "function": job.function,
         "config": asdict(job.config),
     }
+    digest = job_spec_digest(job)
+    if digest is not None:
+        doc["spec_digest"] = digest
     blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def config_to_dict(config: FitConfig) -> Dict:
+    """JSON-serialisable form of a :class:`FitConfig`."""
+    return asdict(config)
+
+
+def config_from_dict(d: Dict) -> FitConfig:
+    """Inverse of :func:`config_to_dict` (tuples restored)."""
+    doc = dict(d)
+    if doc.get("interval") is not None:
+        doc["interval"] = tuple(float(x) for x in doc["interval"])
+    return FitConfig(**doc)
+
+
+def job_to_dict(job: FitJob) -> Dict:
+    """JSON-serialisable form of a job (the queue's wire format)."""
+    doc: Dict = {"function": job.function,
+                 "config": config_to_dict(job.config)}
+    if job.spec is not None:
+        doc["spec"] = job.spec.to_dict()
+    return doc
+
+
+def job_from_dict(d: Dict) -> FitJob:
+    """Inverse of :func:`job_to_dict`."""
+    spec = None
+    if d.get("spec") is not None:
+        from ..service.spec import FunctionSpec
+        spec = FunctionSpec.from_dict(d["spec"])
+    return FitJob(function=str(d["function"]),
+                  config=config_from_dict(d["config"]), spec=spec)
 
 
 # --------------------------------------------------------------------- #
@@ -116,7 +238,13 @@ def fit_cache_key(job: FitJob) -> str:
 # --------------------------------------------------------------------- #
 @dataclass
 class CachedFit:
-    """One cache entry: the fitted PWL plus its fit statistics."""
+    """One cache entry: the fitted PWL plus its fit statistics.
+
+    ``config`` and ``spec_digest`` (schema >= 2) record what produced the
+    entry, which is what makes near-miss lookups possible: without the
+    config on disk there is nothing to measure "adjacent budget/interval"
+    against.
+    """
 
     function: str
     pwl: PiecewiseLinear
@@ -124,6 +252,8 @@ class CachedFit:
     rounds: int
     total_steps: int
     init_used: str
+    config: Optional[FitConfig] = None
+    spec_digest: Optional[str] = None
 
     def to_dict(self) -> Dict:
         return {
@@ -134,6 +264,9 @@ class CachedFit:
             "rounds": self.rounds,
             "total_steps": self.total_steps,
             "init_used": self.init_used,
+            "config": (config_to_dict(self.config)
+                       if self.config is not None else None),
+            "spec_digest": self.spec_digest,
         }
 
     @classmethod
@@ -141,12 +274,15 @@ class CachedFit:
         if d.get("schema") != CACHE_SCHEMA_VERSION:
             raise FitError(f"cache entry schema {d.get('schema')!r} != "
                            f"{CACHE_SCHEMA_VERSION}")
+        cfg = d.get("config")
         return cls(function=str(d["function"]),
                    pwl=PiecewiseLinear.from_dict(d["pwl"]),
                    grid_mse=float(d["grid_mse"]),
                    rounds=int(d["rounds"]),
                    total_steps=int(d["total_steps"]),
-                   init_used=str(d["init_used"]))
+                   init_used=str(d["init_used"]),
+                   config=config_from_dict(cfg) if cfg is not None else None,
+                   spec_digest=d.get("spec_digest"))
 
 
 def default_cache_dir() -> Path:
@@ -157,18 +293,52 @@ def default_cache_dir() -> Path:
     return root / "fits"
 
 
+def write_json_atomic(path: Path, doc: Dict) -> None:
+    """Write a JSON document via temp file + ``os.replace``.
+
+    The one atomic-publication discipline shared by the fit cache and
+    the service queue: readers either see the old file, the new file, or
+    nothing — never a torn write.  The temp file lives in the target's
+    directory so the replace stays on one filesystem.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(json.dumps(doc))
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
 class FitCache:
     """Disk-backed fit store with an in-memory read-through layer.
 
     The memory layer keeps object identity within a process (repeated
     lookups of one key return the *same* :class:`PiecewiseLinear`); the
     disk layer makes fits persistent and shareable across processes.
+    The memory layer is FIFO-bounded so a long-running daemon touching
+    an unbounded key stream cannot grow without limit (the disk layer
+    is bounded separately, via :meth:`prune`).
     """
+
+    #: Memory-layer entry cap; identity is only promised within it.
+    MEM_ENTRIES_MAX = 4096
 
     def __init__(self, directory: Optional[Union[str, Path]] = None) -> None:
         self.directory = (Path(directory) if directory is not None
                           else default_cache_dir())
         self._mem: Dict[str, CachedFit] = {}
+        #: key -> (mtime, neighbour metadata or None); see :meth:`_scan`.
+        self._meta: Dict[str, Tuple[float, Optional[Dict]]] = {}
+        #: (monotonic stamp, scan result) — amortises the per-miss scan
+        #: inside one fit_all batch; invalidated by this process's own
+        #: writes (other writers surface after the short TTL).
+        self._scan_cache: Optional[Tuple[float, Dict[str, Dict]]] = None
 
     def path(self, key: str) -> Path:
         """Disk location of one entry."""
@@ -184,30 +354,26 @@ class FitCache:
             entry = CachedFit.from_dict(json.loads(path.read_text()))
         except (OSError, ValueError, KeyError, FitError):
             return None
-        self._mem[key] = entry
+        self._remember(key, entry)
         return entry
+
+    def _remember(self, key: str, entry: CachedFit) -> None:
+        while len(self._mem) >= self.MEM_ENTRIES_MAX:
+            self._mem.pop(next(iter(self._mem)))
+        self._mem[key] = entry
 
     def put(self, key: str, entry: CachedFit) -> None:
         """Store an entry in memory and atomically on disk."""
-        self._mem[key] = entry
-        self.directory.mkdir(parents=True, exist_ok=True)
-        blob = json.dumps(entry.to_dict())
-        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(blob)
-            os.replace(tmp, self.path(key))
-        except OSError:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        self._remember(key, entry)
+        self._scan_cache = None
+        write_json_atomic(self.path(key), entry.to_dict())
 
     def clear(self, memory_only: bool = False) -> None:
         """Drop cached fits (memory layer, and the disk files unless told
         otherwise)."""
         self._mem.clear()
+        self._meta.clear()
+        self._scan_cache = None
         if memory_only:
             return
         if self.directory.is_dir():
@@ -221,6 +387,180 @@ class FitCache:
         on_disk = (set(p.stem for p in self.directory.glob("*.json"))
                    if self.directory.is_dir() else set())
         return len(on_disk | set(self._mem))
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict:
+        """Entry count, on-disk footprint and age span of the store."""
+        entries = 0
+        total_bytes = 0
+        oldest: Optional[float] = None
+        newest: Optional[float] = None
+        now = time.time()
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                try:
+                    st = path.stat()
+                except OSError:
+                    continue
+                entries += 1
+                total_bytes += st.st_size
+                oldest = st.st_mtime if oldest is None else min(oldest,
+                                                                st.st_mtime)
+                newest = st.st_mtime if newest is None else max(newest,
+                                                                st.st_mtime)
+        return {
+            "directory": str(self.directory),
+            "entries": entries,
+            "bytes": total_bytes,
+            "oldest_age_s": (now - oldest) if oldest is not None else None,
+            "newest_age_s": (now - newest) if newest is not None else None,
+        }
+
+    def prune(self, max_entries: Optional[int] = None,
+              max_age_s: Optional[float] = None) -> int:
+        """Bound the on-disk store; returns the number of entries removed.
+
+        ``max_age_s`` drops entries older than the given age;
+        ``max_entries`` then keeps only the newest N (by mtime).  Both
+        are applied when both are given.  Removed keys also leave the
+        in-memory layer so a pruned entry cannot be resurrected from RAM.
+        """
+        if max_entries is None and max_age_s is None:
+            return 0
+        if max_entries is not None and max_entries < 0:
+            raise FitError(f"max_entries must be >= 0, got {max_entries}")
+        if not self.directory.is_dir():
+            return 0
+        now = time.time()
+        stamped: List[Tuple[float, Path]] = []
+        for path in self.directory.glob("*.json"):
+            try:
+                stamped.append((path.stat().st_mtime, path))
+            except OSError:
+                continue
+        stamped.sort(key=lambda t: t[0], reverse=True)  # newest first
+
+        doomed: List[Path] = []
+        if max_age_s is not None:
+            cutoff = now - max_age_s
+            keep = [(m, p) for m, p in stamped if m >= cutoff]
+            doomed.extend(p for m, p in stamped if m < cutoff)
+            stamped = keep
+        if max_entries is not None and len(stamped) > max_entries:
+            doomed.extend(p for _, p in stamped[max_entries:])
+
+        removed = 0
+        for path in doomed:
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+            self._mem.pop(path.stem, None)
+            self._meta.pop(path.stem, None)
+        self._scan_cache = None
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # Near-miss lookup (warm starts)
+    # ------------------------------------------------------------------ #
+    def _scan(self, max_age_s: float = 1.0) -> Dict[str, Dict]:
+        """Neighbour metadata for every parseable on-disk entry.
+
+        Two-level amortisation: a whole-result TTL (``max_age_s``) so a
+        batch of misses pays for one directory walk instead of one per
+        miss, and mtime-keyed parse caching underneath so even a fresh
+        walk only re-reads files that actually changed.
+        """
+        now = time.monotonic()
+        if (self._scan_cache is not None
+                and now - self._scan_cache[0] < max_age_s):
+            return self._scan_cache[1]
+        fresh: Dict[str, Tuple[float, Optional[Dict]]] = {}
+        out: Dict[str, Dict] = {}
+        if not self.directory.is_dir():
+            self._meta = fresh
+            self._scan_cache = (now, out)
+            return out
+        for path in self.directory.glob("*.json"):
+            key = path.stem
+            try:
+                mtime = path.stat().st_mtime
+            except OSError:
+                continue
+            cached = self._meta.get(key)
+            if cached is not None and cached[0] == mtime:
+                fresh[key] = cached
+                if cached[1] is not None:
+                    out[key] = cached[1]
+                continue
+            meta: Optional[Dict] = None
+            try:
+                doc = json.loads(path.read_text())
+                cfg = doc.get("config")
+                if (doc.get("schema") == CACHE_SCHEMA_VERSION
+                        and cfg is not None
+                        and cfg.get("interval") is not None):
+                    meta = {
+                        "function": doc["function"],
+                        "spec_digest": doc.get("spec_digest"),
+                        "n_breakpoints": int(cfg["n_breakpoints"]),
+                        "interval": (float(cfg["interval"][0]),
+                                     float(cfg["interval"][1])),
+                        "boundary": (cfg.get("boundary_left"),
+                                     cfg.get("boundary_right")),
+                    }
+            except (OSError, ValueError, KeyError, TypeError):
+                meta = None
+            fresh[key] = (mtime, meta)
+            if meta is not None:
+                out[key] = meta
+        self._meta = fresh
+        self._scan_cache = (now, out)
+        return out
+
+    def nearest(self, job: FitJob, exclude_key: Optional[str] = None,
+                max_distance: float = 1.25) -> Optional[CachedFit]:
+        """Cached fit of the closest neighbouring configuration, if any.
+
+        Candidates must match the job's function identity (name plus
+        sampled-spec digest) and boundary policy; distance is
+        ``|log2(budget ratio)| + interval mismatch / width``, so one
+        budget doubling or shifting the interval by its own width both
+        count as distance 1.  Entries further than ``max_distance`` are
+        worse seeds than a cold curvature init and are ignored.
+        """
+        cfg = job.config
+        if cfg.interval is None:
+            return None
+        a, b = cfg.interval
+        width = max(b - a, 1e-12)
+        digest = job_spec_digest(job)
+        boundary = (cfg.boundary_left, cfg.boundary_right)
+
+        best_key: Optional[str] = None
+        best_d = max_distance
+        for key, meta in self._scan().items():
+            if key == exclude_key:
+                continue
+            if meta["function"] != job.function:
+                continue
+            if meta["spec_digest"] != digest:
+                continue
+            if tuple(meta["boundary"]) != boundary:
+                continue
+            oa, ob = meta["interval"]
+            d = (abs(math.log2(max(meta["n_breakpoints"], 1)
+                               / max(cfg.n_breakpoints, 1)))
+                 + (abs(a - oa) + abs(b - ob)) / max(width, ob - oa, 1e-12))
+            if d <= best_d:
+                best_d = d
+                best_key = key
+        if best_key is None:
+            return None
+        return self.get(best_key)
 
 
 _DEFAULT_CACHES: Dict[Path, FitCache] = {}
@@ -254,47 +594,132 @@ class BatchFitResult:
     init_used: str
 
 
-def _run_job(job: FitJob) -> Dict:
+def _run_job(job: FitJob, warm: Optional[Dict] = None,
+             grid: Optional[Dict] = None) -> Dict:
     """Execute one fit in a worker process; returns the cache payload.
 
-    Module-level so the process pool can pickle it; functions are looked
-    up by name, so only registered activations can be fitted in parallel.
+    Module-level so the process pool can pickle it.  ``warm`` is an
+    optional :meth:`PiecewiseLinear.to_dict` seed from a neighbouring
+    cached configuration; ``grid`` an optional shared-memory grid
+    reference (see :mod:`repro.service.shm`) — both degrade gracefully
+    to a cold, locally-built fit when unusable.
     """
-    from ..functions import registry as fn_registry
     t0 = time.perf_counter()
-    res = FlexSfuFitter(job.config).fit(fn_registry.get(job.function))
+    fn = resolve_function(job)
+    loss = None
+    if grid is not None:
+        from ..service.shm import attach_grid
+        loss = attach_grid(grid)  # None when the segment has vanished
+    warm_pwl = PiecewiseLinear.from_dict(warm) if warm is not None else None
+    res = FlexSfuFitter(job.config).fit(fn, warm_start=warm_pwl, loss=loss)
     entry = CachedFit(function=job.function, pwl=res.pwl,
                       grid_mse=res.grid_mse, rounds=res.rounds,
-                      total_steps=res.total_steps, init_used=res.init_used)
+                      total_steps=res.total_steps, init_used=res.init_used,
+                      config=job.config, spec_digest=job_spec_digest(job))
     return {"entry": entry.to_dict(), "wall_time_s": time.perf_counter() - t0}
+
+
+#: Returns a shared-grid reference for a job about to be fitted, or None
+#: to let the worker build its own grid (see :mod:`repro.service.shm`).
+GridProvider = Callable[[FitJob], Optional[Dict]]
+
+
+def _pool_worker_init() -> None:
+    """Reset inherited signal dispositions in a fresh pool worker.
+
+    The ``repro serve`` CLI reroutes SIGTERM to ``KeyboardInterrupt``
+    for its own clean shutdown; fork-started workers inherit that
+    handler and would raise at whatever bytecode they happen to be on
+    when an operator signals the process group.  Workers should just
+    die the default way — the executor's broken-pool handling and the
+    daemon's per-job retry own the recovery story.
+    """
+    try:
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
 
 
 class BatchFitter:
     """Runs many fit jobs concurrently against a persistent cache.
 
     Identical jobs are deduplicated before execution; cache hits skip
-    execution entirely.  ``max_workers`` defaults to the schedulable CPU
-    count; when that is 1 (or the miss list has a single entry) the jobs
-    run in-process, because forking a pool would only add overhead.
+    execution entirely.  ``max_workers`` defaults to the
+    ``REPRO_MAX_WORKERS`` environment variable when set, else the
+    schedulable CPU count; when the effective count is 1 (or the miss
+    list has a single entry) the jobs run in-process, because forking a
+    pool would only add overhead.
+
+    ``keep_alive=True`` keeps one process pool warm across
+    :meth:`fit_all` calls (the daemon's mode — workers retain their
+    attached shared-memory grids and resolved functions); pair it with
+    :meth:`close` or use the instance as a context manager.
+
+    ``warm_start`` seeds cache misses from the nearest cached
+    neighbouring configuration (see :meth:`FitCache.nearest`);
+    ``grid_provider`` lets a caller hand workers shared-memory grid
+    references instead of having each rebuild its ``GridLoss``.
     """
 
     def __init__(self, cache: Optional[FitCache] = None,
                  max_workers: Optional[int] = None,
-                 use_processes: bool = True) -> None:
+                 use_processes: bool = True,
+                 keep_alive: bool = False,
+                 warm_start: bool = True,
+                 grid_provider: Optional[GridProvider] = None) -> None:
         self.cache = cache if cache is not None else default_cache()
         if max_workers is not None and max_workers < 1:
             raise FitError(f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = max_workers
         self.use_processes = use_processes
+        self.keep_alive = keep_alive
+        self.warm_start = warm_start
+        self.grid_provider = grid_provider
+        self._executor: Optional[concurrent.futures.ProcessPoolExecutor] = None
 
     def _worker_count(self, n_jobs: int) -> int:
         if self.max_workers is not None:
             return min(self.max_workers, n_jobs)
+        env = os.environ.get("REPRO_MAX_WORKERS")
+        if env:
+            try:
+                cap = int(env)
+            except ValueError:
+                raise FitError(
+                    f"REPRO_MAX_WORKERS must be an integer, got {env!r}"
+                ) from None
+            if cap < 1:
+                raise FitError(
+                    f"REPRO_MAX_WORKERS must be >= 1, got {cap}")
+            return min(cap, n_jobs)
         try:
             cpus = len(os.sched_getaffinity(0))
         except AttributeError:  # pragma: no cover - non-linux
             cpus = os.cpu_count() or 1
         return max(1, min(cpus, n_jobs))
+
+    # ------------------------------------------------------------------ #
+    # Pool lifecycle
+    # ------------------------------------------------------------------ #
+    def _pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        """The persistent executor (created on first use, keep_alive only)."""
+        if self._executor is None:
+            workers = self._worker_count(1 << 30)
+            self._executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers, initializer=_pool_worker_init)
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the persistent pool, if one was started."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "BatchFitter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _native_entry(self, job: FitJob) -> Optional[CachedFit]:
         """Exact-PWL shortcut, mirroring ``fit_pwl_cached``.
@@ -303,20 +728,19 @@ class BatchFitter:
         run — and must yield the *same* artifact under a key regardless
         of whether the batch engine or the pass-level cache produced it.
         """
-        from ..functions import registry as fn_registry
         from ..graph.passes import native_pwl  # deferred: passes imports us
-        fn = fn_registry.get(job.function)
+        fn = resolve_function(job)
         native = native_pwl(fn)
         if native is None or native.n_breakpoints > job.config.n_breakpoints:
             return None
         a, b = job.config.interval if job.config.interval is not None \
             else fn.default_interval
         from .loss import GridLoss
-        n_grid = max(job.config.grid_points,
-                     64 * job.config.n_breakpoints)
+        n_grid = grid_points_for(job.config)
         mse = GridLoss(fn, a, b, n_points=n_grid).loss_pwl(native)
         return CachedFit(function=job.function, pwl=native, grid_mse=mse,
-                         rounds=0, total_steps=0, init_used="native")
+                         rounds=0, total_steps=0, init_used="native",
+                         config=job.config, spec_digest=job_spec_digest(job))
 
     def fit_all(self, jobs: Sequence[FitJob]) -> List[BatchFitResult]:
         """Fit every job, returning results in the order given."""
@@ -339,20 +763,58 @@ class BatchFitter:
             else:
                 misses[key] = job
 
-        workers = self._worker_count(len(misses))
         if misses:
-            if self.use_processes and workers > 1 and len(misses) > 1:
-                with concurrent.futures.ProcessPoolExecutor(
-                        max_workers=workers) as pool:
-                    futures = {key: pool.submit(_run_job, job)
-                               for key, job in misses.items()}
-                    raw = {key: fut.result() for key, fut in futures.items()}
+            # Near-miss warm seeds + shared-grid references per miss.
+            tasks: Dict[str, Tuple[FitJob, Optional[Dict], Optional[Dict]]] = {}
+            for key, job in misses.items():
+                warm: Optional[Dict] = None
+                if self.warm_start:
+                    near = self.cache.nearest(job, exclude_key=key)
+                    if near is not None:
+                        warm = near.pwl.to_dict()
+                grid = (self.grid_provider(job)
+                        if self.grid_provider is not None else None)
+                tasks[key] = (job, warm, grid)
+
+            workers = self._worker_count(len(misses))
+            pooled = self.use_processes and (
+                self.keep_alive or (workers > 1 and len(misses) > 1))
+            raw: Dict[str, Dict] = {}
+            errors: Dict[str, BaseException] = {}
+            if pooled:
+                pool = (self._pool() if self.keep_alive else
+                        concurrent.futures.ProcessPoolExecutor(
+                            max_workers=workers,
+                            initializer=_pool_worker_init))
+                try:
+                    futures = {key: pool.submit(_run_job, *task)
+                               for key, task in tasks.items()}
+                    for key, fut in futures.items():
+                        try:
+                            raw[key] = fut.result()
+                        except Exception as exc:  # job failures gather;
+                            errors[key] = exc     # interrupts propagate
+                finally:
+                    if not self.keep_alive:
+                        pool.shutdown(wait=True, cancel_futures=True)
             else:
-                raw = {key: _run_job(job) for key, job in misses.items()}
+                for key, task in tasks.items():
+                    try:
+                        raw[key] = _run_job(*task)
+                    except Exception as exc:
+                        errors[key] = exc
+            # Persist every finished fit BEFORE surfacing failures: a
+            # single divergent job must not cost its batchmates their
+            # results (a retrying caller then hits the cache for them).
             for key, out in raw.items():
                 entry = CachedFit.from_dict(out["entry"])
                 self.cache.put(key, entry)
                 payloads[key] = (entry, False, float(out["wall_time_s"]))
+            if errors:
+                key, exc = next(iter(errors.items()))
+                raise FitError(
+                    f"{len(errors)} of {len(misses)} fit jobs failed; "
+                    f"first: {misses[key].function!r} ({exc!r})") from exc
 
         results: List[BatchFitResult] = []
         for job, key in zip(jobs, keys):

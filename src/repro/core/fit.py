@@ -50,8 +50,21 @@ from .pwl import PiecewiseLinear
 INIT_UNIFORM = "uniform"
 INIT_CURVATURE = "curvature"
 INIT_AUTO = "auto"
+#: Not a config value: reported as ``init_used`` when a fit was seeded
+#: from a previous PWL via ``fit(..., warm_start=...)``.
+INIT_WARM = "warm"
 
 _INITS = (INIT_UNIFORM, INIT_CURVATURE, INIT_AUTO)
+
+
+def grid_points_for(config: "FitConfig") -> int:
+    """Loss-grid density for a config: >= ~64 samples per segment.
+
+    Single source of truth shared by the fitter, the batch engine's
+    native shortcut, and the fit service's shared-memory grid pool — all
+    three must agree or cached entries stop being reproducible.
+    """
+    return max(config.grid_points, 64 * config.n_breakpoints)
 
 REMOVAL_FAST = "fast"
 REMOVAL_NAIVE = "naive"
@@ -155,17 +168,41 @@ class FlexSfuFitter:
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
-    def fit(self, fn: ActivationFunction) -> FitResult:
-        """Run the full optimization strategy on ``fn``."""
+    def fit(self, fn: ActivationFunction,
+            warm_start: Optional[PiecewiseLinear] = None,
+            loss: Optional[GridLoss] = None) -> FitResult:
+        """Run the full optimization strategy on ``fn``.
+
+        ``warm_start`` seeds the optimizer from a previously fitted PWL
+        (typically the cached fit of a neighbouring configuration — see
+        ``FitCache.nearest``) instead of racing the cold inits; the seed
+        is resampled to the configured budget, descended at the
+        refinement learning rate, and still goes through the full
+        removal/insertion phase, so quality matches a cold fit while
+        convergence takes measurably fewer steps.
+
+        ``loss`` injects a prebuilt :class:`GridLoss` (e.g. one mapping a
+        shared-memory grid published by the fit service) instead of
+        re-sampling the target here.  Its interval and density must match
+        what this config would build — fits must not silently change with
+        the transport that delivered their grid.
+        """
         cfg = self.config
         a, b = cfg.interval if cfg.interval is not None else fn.default_interval
         if not b > a:
             raise FitError(f"empty fit interval [{a}, {b}]")
         spec = BoundarySpec.resolve(fn, cfg.boundary_left, cfg.boundary_right)
-        # Keep >= ~64 grid samples per segment so large budgets are not
-        # starved of loss resolution.
-        n_grid = max(cfg.grid_points, 64 * cfg.n_breakpoints)
-        loss = GridLoss(fn, a, b, n_points=n_grid)
+        n_grid = grid_points_for(cfg)
+        if loss is None:
+            loss = GridLoss(fn, a, b, n_points=n_grid)
+        else:
+            if (loss.xs.size != n_grid
+                    or abs(loss.a - a) > 1e-12 * max(1.0, abs(a))
+                    or abs(loss.b - b) > 1e-12 * max(1.0, abs(b))):
+                raise FitError(
+                    f"injected loss grid ([{loss.a}, {loss.b}], "
+                    f"{loss.xs.size} pts) does not match the config's "
+                    f"([{a}, {b}], {n_grid} pts)")
         eps = cfg.min_separation_rel * (b - a)
         # The edge breakpoints are learned (paper) and may settle slightly
         # outside the loss interval — that is where an asymptote-pinned
@@ -178,13 +215,20 @@ class FlexSfuFitter:
             INIT_CURVATURE: [INIT_CURVATURE],
             INIT_AUTO: [INIT_UNIFORM, INIT_CURVATURE],
         }[cfg.init]
+        if warm_start is not None:
+            inits = [INIT_WARM]
 
         # Phase A: Adam (+ polish) from each requested init; keep the best.
         best: Optional[Tuple[float, _State, str]] = None
         total_steps = 0
         for kind in inits:
-            state = self._initial_state(fn, spec, a, b, kind)
-            cur, steps = self._adam(loss, spec, state, lr=cfg.lr,
+            if kind == INIT_WARM:
+                state = self._warm_state(fn, spec, warm_start, lo, hi, eps)
+                lr0 = cfg.refine_lr  # near the optimum: refinement-scale steps
+            else:
+                state = self._initial_state(fn, spec, a, b, kind)
+                lr0 = cfg.lr
+            cur, steps = self._adam(loss, spec, state, lr=lr0,
                                     max_steps=cfg.max_steps, a=lo, b=hi, eps=eps)
             total_steps += steps
             if cfg.polish:
@@ -251,6 +295,35 @@ class FlexSfuFitter:
             p = _curvature_quantiles(fn, a, b, n, self.config.curvature_power)
         v = np.asarray(fn(p), dtype=np.float64)
         state = _State(p, v, spec.left.slope, spec.right.slope)
+        _pin_values(state, spec)
+        return state
+
+    def _warm_state(self, fn: ActivationFunction, spec: BoundarySpec,
+                    warm: PiecewiseLinear, lo: float, hi: float,
+                    eps: float) -> _State:
+        """Seed state from a previous fit's PWL (possibly another budget).
+
+        The warm PWL's breakpoint *distribution* is what carries the
+        information — when the budgets differ, breakpoints are resampled
+        along the warm knot sequence (preserving its density), and values
+        are re-read from the exact function, which beats reusing the warm
+        PWL's approximate values on a different knot set.
+        """
+        n = self.config.n_breakpoints
+        m = warm.n_breakpoints
+        if m == n:
+            p = warm.breakpoints.astype(np.float64).copy()
+        else:
+            p = np.interp(np.linspace(0.0, m - 1.0, n),
+                          np.arange(m, dtype=np.float64), warm.breakpoints)
+        p.sort(kind="stable")
+        _separate(p, lo, hi, eps)
+        v = np.asarray(fn(p), dtype=np.float64)
+        ml = spec.left.slope if not spec.left.slope_learnable \
+            else float(warm.left_slope)
+        mr = spec.right.slope if not spec.right.slope_learnable \
+            else float(warm.right_slope)
+        state = _State(p, v, ml, mr)
         _pin_values(state, spec)
         return state
 

@@ -23,3 +23,7 @@ class GraphError(ReproError):
 
 class CatalogError(ReproError):
     """The model-zoo catalog was queried inconsistently."""
+
+
+class ServiceError(ReproError):
+    """The fit service (daemon, queue, or spec transport) misbehaved."""

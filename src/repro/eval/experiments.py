@@ -14,8 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.batchfit import BatchFitter, FitJob, make_job
-from ..core.fit import FitConfig
-from ..core.metrics import ApproxMetrics, evaluate
+from ..core.metrics import evaluate
 from ..core.uniform import uniform_pwl
 from ..functions import registry as fn_registry
 from ..graph.passes import fit_pwl_cached, make_pwl_approximators, native_pwl

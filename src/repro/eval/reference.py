@@ -10,7 +10,7 @@ model in :mod:`repro.hw.area`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 #: Error metric tags.
 SQ_AAE = "sq_aae"   # squared average absolute error (most prior works)

@@ -46,12 +46,18 @@ def available() -> Iterable[str]:
 def make_custom(name: str, fn: Callable[[np.ndarray], np.ndarray],
                 derivative: Optional[Callable[[np.ndarray], np.ndarray]] = None,
                 interval: Optional[tuple] = None,
-                vpu_ops: int = 8) -> ActivationFunction:
-    """Build (and register) a user-defined activation.
+                vpu_ops: int = 8,
+                register_fn: bool = True) -> ActivationFunction:
+    """Build (and by default register) a user-defined activation.
 
     Derivative defaults to a central difference; asymptotes are estimated
     numerically (Section IV's boundary conditions need them — a side
     without a detectable asymptote is fitted with a free edge slope).
+
+    With ``register_fn=False`` the activation stays out of the registry —
+    useful for throwaway functions that travel to the fit service as a
+    sampled :class:`~repro.service.spec.FunctionSpec` instead of a name
+    (worker processes never see this process's registrations anyway).
     """
     act = ActivationFunction(
         name=name,
@@ -63,8 +69,20 @@ def make_custom(name: str, fn: Callable[[np.ndarray], np.ndarray],
         vpu_ops=vpu_ops,
         smooth=True,
     )
+    if not register_fn:
+        return act
     return register(act, overwrite=True)
 
 
 for _fn in ANALYTIC_FUNCTIONS + PIECEWISE_FUNCTIONS:
     register(_fn)
+
+#: Names present in *every* process that imports this package — the only
+#: names safe to ship across a process boundary as bare references.
+#: Session registrations (``make_custom``) exist in one process only.
+_BUILTIN_NAMES = frozenset(_REGISTRY)
+
+
+def is_builtin(name: str) -> bool:
+    """Whether ``name`` is an import-time registration (not session-added)."""
+    return name in _BUILTIN_NAMES

@@ -15,7 +15,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from ..errors import GraphError
-from .ir import Graph, Node
+from .ir import Graph
 from .ops import CostRecord, get_op
 
 

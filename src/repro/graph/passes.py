@@ -17,7 +17,8 @@ from typing import Callable, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
-from ..core.batchfit import CachedFit, default_cache, fit_cache_key, make_job
+from ..core.batchfit import (CachedFit, default_cache, fit_cache_key,
+                             job_spec_digest, make_job)
 from ..core.fit import FitConfig, FlexSfuFitter
 from ..core.pwl import PiecewiseLinear
 from ..functions import registry as fn_registry
@@ -78,7 +79,9 @@ def fit_pwl_cached(fn: ActivationFunction, n_breakpoints: int,
         entry = CachedFit(function=fn.name, pwl=res.pwl,
                           grid_mse=res.grid_mse, rounds=res.rounds,
                           total_steps=res.total_steps,
-                          init_used=res.init_used)
+                          init_used=res.init_used,
+                          config=job.config,
+                          spec_digest=job_spec_digest(job))
         cache.put(key, entry)
     _FIT_CACHE[key] = entry.pwl
     return entry.pwl

@@ -19,8 +19,6 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
-import numpy as np
-
 from ..errors import HardwareError
 from .isa import ISSUE_CYCLES
 from .sfu import BASE_PIPELINE_STAGES

@@ -215,7 +215,8 @@ class FloatFormat:
         frac_field = b & np.uint32((1 << self.man_bits) - 1)
 
         exp_all_ones = (1 << self.exp_bits) - 1
-        is_special = exp_field == exp_all_ones if self.overflow == OVERFLOW_INF else np.zeros_like(sign)
+        is_special = (exp_field == exp_all_ones
+                      if self.overflow == OVERFLOW_INF else np.zeros_like(sign))
         is_sub = exp_field == 0
 
         man = np.where(is_sub, frac_field.astype(np.float64),

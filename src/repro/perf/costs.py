@@ -10,8 +10,6 @@ evaluation) plus the per-function table-load overhead.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Union
-
 from ..functions import registry as fn_registry
 from ..zoo.catalog import ModelRecord
 from .accelerator import AcceleratorConfig, CycleBreakdown

@@ -10,7 +10,7 @@ mean gain of models using complex activations (35.7 %) and the peak
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 

@@ -1,0 +1,216 @@
+"""Thin client API over the fit service: submit / wait / fit_many.
+
+A client process never fits anything itself when a daemon is serving:
+it checks the shared on-disk cache, enqueues the misses, and waits for
+``done`` markers.  When no daemon is alive (or one dies mid-wait), the
+default policy transparently falls back to a local
+:class:`~repro.core.batchfit.BatchFitter` against the same cache, so
+code written against :func:`fit_many` works identically on a laptop
+with no daemon and on a machine where ``repro serve`` owns the pool.
+
+All coordination is file-based (queue directory + cache directory), so
+"client" and "daemon" only need a filesystem in common.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..core.batchfit import (BatchFitResult, BatchFitter, CachedFit, FitCache,
+                             FitJob, default_cache, fit_cache_key, job_to_dict)
+from ..core.pwl import PiecewiseLinear
+from ..errors import ReproError, ServiceError
+from .queue import JobQueue
+
+#: Fallback policies when no daemon is serving the queue.
+FALLBACK_LOCAL = "local"
+FALLBACK_ERROR = "error"
+
+SOURCE_CACHE = "cache"
+SOURCE_DAEMON = "daemon"
+SOURCE_LOCAL = "local"
+
+
+@dataclass
+class ServiceResult:
+    """One fitted job as seen by a client."""
+
+    job: FitJob
+    key: str
+    pwl: PiecewiseLinear
+    grid_mse: float
+    from_cache: bool
+    rounds: int
+    total_steps: int
+    init_used: str
+    source: str  # cache | daemon | local
+
+    @classmethod
+    def _from_entry(cls, job: FitJob, key: str, entry: CachedFit,
+                    from_cache: bool, source: str) -> "ServiceResult":
+        return cls(job=job, key=key, pwl=entry.pwl, grid_mse=entry.grid_mse,
+                   from_cache=from_cache, rounds=entry.rounds,
+                   total_steps=entry.total_steps, init_used=entry.init_used,
+                   source=source)
+
+    @classmethod
+    def _from_batch(cls, res: BatchFitResult, source: str) -> "ServiceResult":
+        return cls(job=res.job, key=res.key, pwl=res.pwl,
+                   grid_mse=res.grid_mse, from_cache=res.from_cache,
+                   rounds=res.rounds, total_steps=res.total_steps,
+                   init_used=res.init_used, source=source)
+
+
+def submit(job: FitJob, root: Optional[Union[str, Path]] = None) -> str:
+    """Enqueue one job; returns its key (idempotent per key)."""
+    key = fit_cache_key(job)
+    JobQueue(Path(root) if root is not None else None).submit(
+        key, {"job": job_to_dict(job)})
+    return key
+
+
+def wait(keys: Sequence[str], root: Optional[Union[str, Path]] = None,
+         timeout_s: float = 300.0, poll_s: float = 0.05,
+         require_daemon: bool = True, return_failures: bool = False):
+    """Block until every key reaches ``done``; returns key -> entry.
+
+    A job the daemon marked *failed* raises :class:`ServiceError` — or,
+    with ``return_failures=True``, the call instead returns a
+    ``(results, failures)`` pair where ``failures`` maps key -> failure
+    payload, so one bad job cannot discard its batchmates' finished
+    fits.  Timeout, and — with ``require_daemon`` — a heartbeat going
+    stale while results are outstanding, always raise (so clients don't
+    sit out the full timeout against a dead service).
+    """
+    queue = JobQueue(Path(root) if root is not None else None)
+    outstanding = set(keys)
+    results: Dict[str, CachedFit] = {}
+    failures: Dict[str, Dict] = {}
+    deadline = time.monotonic() + timeout_s
+    while outstanding:
+        for key in sorted(outstanding):
+            got = queue.result(key)
+            if got is None:
+                continue
+            state, doc = got
+            if state == "failed":
+                if not return_failures:
+                    raise ServiceError(
+                        f"fit job {key[:16]}… failed in the daemon: "
+                        f"{doc.get('error', 'unknown error')}")
+                failures[key] = doc
+            else:
+                try:
+                    results[key] = CachedFit.from_dict(doc["entry"])
+                except (KeyError, TypeError, ValueError, ReproError) as exc:
+                    # E.g. a done marker published by a daemon running a
+                    # different cache schema: treat like a failed job so
+                    # fallback paths (and marker cleanup) still work.
+                    if not return_failures:
+                        raise ServiceError(
+                            f"fit job {key[:16]}… returned an "
+                            f"undecodable result: {exc!r}") from exc
+                    failures[key] = {"error": f"undecodable result: {exc!r}"}
+            outstanding.discard(key)
+        if not outstanding:
+            break
+        # Generous staleness bound: the daemon refreshes per batch, but a
+        # pool cold-start plus a big claim can stretch one cycle.
+        if require_daemon and not queue.daemon_alive(max_age_s=60.0):
+            raise ServiceError(
+                f"no fit daemon is serving {queue.root} "
+                f"({len(outstanding)} jobs outstanding)")
+        if time.monotonic() > deadline:
+            raise ServiceError(
+                f"timed out after {timeout_s:g}s waiting for "
+                f"{len(outstanding)} of {len(keys)} fit jobs")
+        time.sleep(poll_s)
+    return (results, failures) if return_failures else results
+
+
+def fit_many(jobs: Sequence[FitJob],
+             root: Optional[Union[str, Path]] = None,
+             cache: Optional[FitCache] = None,
+             timeout_s: float = 300.0,
+             poll_s: float = 0.05,
+             fallback: str = FALLBACK_LOCAL) -> List[ServiceResult]:
+    """Fit every job through the shared service; results in input order.
+
+    The cheap paths are tried in order: the shared on-disk cache, then
+    the daemon (when one is heartbeating), then — per ``fallback`` — a
+    local :class:`BatchFitter` against the same cache.  With
+    ``fallback="error"`` a missing/dying daemon raises instead, which is
+    how deployments assert that nothing ever fits outside the pool.
+    """
+    if fallback not in (FALLBACK_LOCAL, FALLBACK_ERROR):
+        raise ServiceError(f"unknown fallback policy {fallback!r}")
+    cache = cache if cache is not None else default_cache()
+    queue = JobQueue(Path(root) if root is not None else None)
+
+    keys = [fit_cache_key(job) for job in jobs]
+    found: Dict[str, ServiceResult] = {}
+    misses: Dict[str, FitJob] = {}
+    for job, key in zip(jobs, keys):
+        if key in found or key in misses:
+            continue
+        hit = cache.get(key)
+        if hit is not None:
+            found[key] = ServiceResult._from_entry(job, key, hit, True,
+                                                   SOURCE_CACHE)
+        else:
+            misses[key] = job
+
+    if misses and queue.daemon_alive():
+        for key, job in misses.items():
+            # A leftover failure from an earlier episode (broken pool,
+            # killed daemon) must not veto a fresh attempt: drop it so
+            # submit() enqueues instead of no-op'ing against the marker.
+            got = queue.result(key)
+            if got is not None and got[0] == "failed":
+                queue.forget(key)
+            queue.submit(key, {"job": job_to_dict(job)})
+        try:
+            entries, failures = wait(list(misses), root=root,
+                                     timeout_s=timeout_s, poll_s=poll_s,
+                                     require_daemon=True,
+                                     return_failures=True)
+        except ServiceError:
+            # Daemon vanished / timed out mid-wait: everything still
+            # outstanding falls through to the local path below.
+            if fallback != FALLBACK_LOCAL:
+                raise
+        else:
+            for key, entry in entries.items():
+                # Serve this process's reruns from the local cache; in
+                # the default topology the daemon already persisted the
+                # same file, so only write when it isn't there.
+                if cache.get(key) is None:
+                    cache.put(key, entry)
+                found[key] = ServiceResult._from_entry(
+                    misses.pop(key), key, entry, False, SOURCE_DAEMON)
+            if failures and fallback != FALLBACK_LOCAL:
+                key, doc = next(iter(failures.items()))
+                raise ServiceError(
+                    f"{len(failures)} fit job(s) failed in the daemon, "
+                    f"e.g. {key[:16]}…: "
+                    f"{doc.get('error', 'unknown error')}")
+            # With the local fallback, daemon-failed jobs stay in
+            # `misses` and are retried below (clearing their markers so
+            # a later run isn't vetoed either); a deterministic failure
+            # then surfaces as the fitter's own exception.
+            for key in failures:
+                queue.forget(key)
+
+    if misses:
+        if fallback == FALLBACK_ERROR:
+            raise ServiceError(
+                f"no fit daemon is serving {queue.root} and "
+                f"fallback='error' ({len(misses)} jobs unfitted)")
+        local = BatchFitter(cache=cache)
+        for res in local.fit_all(list(misses.values())):
+            found[res.key] = ServiceResult._from_batch(res, SOURCE_LOCAL)
+
+    return [found[key] for key in keys]

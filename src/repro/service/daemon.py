@@ -1,0 +1,259 @@
+"""The long-running fit daemon behind ``repro serve``.
+
+One :class:`FitService` owns the machine's fitting resources — a single
+persistent :class:`~repro.core.batchfit.BatchFitter` process pool, a
+:class:`~repro.service.shm.SharedGridPool` of target-sample segments,
+and the shared on-disk :class:`~repro.core.batchfit.FitCache` — and
+drains the file-backed :class:`~repro.service.queue.JobQueue` that any
+number of benchmark / CLI processes submit into.  The pre-service
+topology (every benchmark process spawning its own pool and rebuilding
+its own grids) becomes one pool, one grid set, one cache.
+
+Robustness model: a batch failure falls back to per-job execution, and a
+job failure is published to the queue's ``failed/`` state instead of
+taking the daemon down.  Claims orphaned by a crashed daemon are
+requeued on startup (:meth:`JobQueue.requeue_stale`).  The daemon
+advertises liveness through a heartbeat file that clients poll before
+deciding between daemon submission and local fallback; on clean exit
+the heartbeat is removed so clients fail over immediately.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional
+
+from ..core.batchfit import (BatchFitResult, BatchFitter, FitCache, FitJob,
+                             job_from_dict)
+from ..errors import ServiceError
+from .queue import JobQueue
+from .shm import SharedGridPool
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of one daemon instance."""
+
+    root: Optional[Path] = None            # queue dir (default_service_dir)
+    max_workers: Optional[int] = None      # pool size (env/CPU default)
+    poll_interval_s: float = 0.2           # queue poll cadence when idle
+    idle_timeout_s: Optional[float] = None  # exit after this much idleness
+    claim_batch: int = 64                  # max jobs claimed per cycle
+    use_shared_grids: bool = True
+    warm_start: bool = True
+    requeue_stale_s: float = 600.0         # reclaim age for orphaned claims
+    prune_results_s: float = 3600.0        # done/failed marker retention
+
+
+class FitService:
+    """Claims queued jobs and fits them on one shared pool."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None,
+                 cache: Optional[FitCache] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.queue = JobQueue(self.config.root)
+        self.grids = SharedGridPool()
+        self.fitter = BatchFitter(
+            cache=cache,
+            max_workers=self.config.max_workers,
+            keep_alive=True,
+            warm_start=self.config.warm_start,
+            grid_provider=(self._grid_for_job
+                           if self.config.use_shared_grids else None),
+        )
+        self.processed = 0
+        self.failed = 0
+        self._stop = False
+        self._hb_stop = threading.Event()
+        self._hb_thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------ #
+    # Grid publication
+    # ------------------------------------------------------------------ #
+    def _grid_for_job(self, job: FitJob) -> Optional[Dict]:
+        try:
+            return self.grids.ref_for(job)
+        except ServiceError:
+            return None  # un-shareable target; the worker builds locally
+
+    # ------------------------------------------------------------------ #
+    # Serving
+    # ------------------------------------------------------------------ #
+    def run_once(self) -> int:
+        """Claim and process one batch; returns the number handled."""
+        claimed = self.queue.claim(self.config.claim_batch)
+        if not claimed:
+            return 0
+        # Refresh liveness before a potentially long fit batch: clients
+        # treat a stale heartbeat as a dead daemon and fail over.
+        self._write_heartbeat()
+        jobs: Dict[str, FitJob] = {}
+        for key, payload in claimed:
+            try:
+                jobs[key] = job_from_dict(payload["job"])
+            except Exception as exc:
+                self.queue.fail(key, f"undecodable job: {exc}")
+                self.failed += 1
+        if not jobs:
+            return len(claimed)
+
+        pairs = list(jobs.items())
+        try:
+            results = self.fitter.fit_all([job for _, job in pairs])
+            for (key, _), res in zip(pairs, results):
+                self._publish(key, res)
+        except Exception as exc:
+            # Batch path poisoned (one divergent fit killing the gather,
+            # or a dead pool worker) — isolate per job so one bad fit
+            # fails alone.  Only an actually-broken executor forces a
+            # pool rebuild; an ordinary FitError must not cost the
+            # workers their attached grids and resolved functions.
+            self._drop_pool_if_broken(exc)
+            for key, job in pairs:
+                try:
+                    [res] = self.fitter.fit_all([job])
+                except Exception as job_exc:
+                    self.queue.fail(key, str(job_exc))
+                    self.failed += 1
+                    self._drop_pool_if_broken(job_exc)
+                else:
+                    self._publish(key, res)
+        return len(claimed)
+
+    def _drop_pool_if_broken(self, exc: BaseException) -> None:
+        # fit_all wraps worker failures in FitError with the original as
+        # __cause__, so check both levels for a genuinely broken pool.
+        broken = concurrent.futures.BrokenExecutor
+        if isinstance(exc, broken) or isinstance(exc.__cause__, broken):
+            self.fitter.close()  # recreated lazily on the next batch
+
+    def _publish(self, key: str, res: BatchFitResult) -> None:
+        entry = self.fitter.cache.get(res.key)
+        if entry is None:  # pragma: no cover - fit_all just stored it
+            self.queue.fail(key, "fit finished but cache entry vanished")
+            self.failed += 1
+            return
+        self.queue.finish(key, {
+            "key": res.key,
+            "entry": entry.to_dict(),
+            "from_cache": res.from_cache,
+            "wall_time_s": res.wall_time_s,
+        })
+        self.processed += 1
+
+    def _write_heartbeat(self) -> None:
+        self.queue.write_heartbeat({
+            "pid": os.getpid(),
+            "processed": self.processed,
+            "failed": self.failed,
+            "shared_grids": len(self.grids),
+            "time": time.time(),
+        })
+
+    def _start_heartbeat_thread(self) -> None:
+        """Keep the heartbeat fresh *during* long fit batches.
+
+        ``run_once`` blocks in ``fit_all`` for as long as a claimed batch
+        takes; without a background refresher a healthy-but-busy daemon
+        would look dead to clients (whose staleness bound is seconds).
+        The writes are atomic (temp + ``os.replace``), so racing the
+        serve loop's own refreshes is harmless.
+        """
+        if self._hb_thread is not None and self._hb_thread.is_alive():
+            return
+        self._hb_stop.clear()
+
+        def beat() -> None:
+            while not self._hb_stop.wait(2.0):
+                try:
+                    self._write_heartbeat()
+                except OSError:  # pragma: no cover - transient fs issue
+                    pass
+
+        self._hb_thread = threading.Thread(target=beat, daemon=True,
+                                           name="fitservice-heartbeat")
+        self._hb_thread.start()
+
+    def serve_forever(self) -> int:
+        """Blocking serve loop; returns total jobs handled.
+
+        Exits when :meth:`stop` is called (e.g. from a signal handler)
+        or after ``idle_timeout_s`` without work.
+        """
+        cfg = self.config
+        self.queue.requeue_stale(cfg.requeue_stale_s)
+        self.queue.prune_results(cfg.prune_results_s)
+        self._write_heartbeat()
+        self._start_heartbeat_thread()
+        idle_since = time.monotonic()
+        last_prune = time.monotonic()
+        last_requeue = time.monotonic()
+        # Orphaned claims become reclaimable at age requeue_stale_s, so
+        # sweep for them a few times per staleness window; result-marker
+        # pruning only bounds disk growth and can run on its own period.
+        requeue_every = max(cfg.requeue_stale_s / 4.0, 1.0)
+        while not self._stop:
+            n = self.run_once()
+            if n:  # idle refreshes belong to the heartbeat thread
+                self._write_heartbeat()
+            now = time.monotonic()
+            if now - last_requeue > requeue_every:
+                self.queue.requeue_stale(cfg.requeue_stale_s)
+                last_requeue = now
+            if now - last_prune > cfg.prune_results_s:
+                self.queue.prune_results(cfg.prune_results_s)
+                last_prune = now
+            if n:
+                idle_since = now
+                continue  # drain eagerly while work keeps arriving
+            if (cfg.idle_timeout_s is not None
+                    and now - idle_since > cfg.idle_timeout_s):
+                break
+            time.sleep(cfg.poll_interval_s)
+        return self.processed
+
+    def drain(self) -> int:
+        """Process until the queue is empty; returns jobs handled."""
+        self.queue.requeue_stale(self.config.requeue_stale_s)
+        self._write_heartbeat()
+        self._start_heartbeat_thread()
+        handled = 0
+        while True:
+            n = self.run_once()
+            if n == 0:
+                return handled
+            handled += n
+            self._write_heartbeat()
+
+    def stop(self) -> None:
+        """Ask the serve loop to exit after the current batch."""
+        self._stop = True
+
+    def close(self) -> None:
+        """Release the pool, the shared grids, and the heartbeat."""
+        self._hb_stop.set()
+        if self._hb_thread is not None:
+            self._hb_thread.join(timeout=5.0)
+            self._hb_thread = None
+        self.fitter.close()
+        self.grids.close()
+        # Retire the liveness marker only if it is OURS: with several
+        # daemons sharing one queue, an exiting daemon must not declare
+        # a surviving sibling dead.
+        beat = self.queue.heartbeat()
+        if beat is not None and beat.get("pid") == os.getpid():
+            try:
+                self.queue.heartbeat_path.unlink()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "FitService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,237 @@
+"""Durable file-backed job queue with atomic claims.
+
+The queue is a directory tree — the same discipline as
+:class:`~repro.core.batchfit.FitCache` (atomic ``os.replace``), extended
+with a claim step so any number of client processes and daemon processes
+can share it without locks:
+
+.. code-block:: text
+
+    <root>/
+      pending/<key>.json    submitted, unowned
+      claimed/<key>.json    owned by a daemon (``os.replace`` from pending)
+      done/<key>.json       result payload (entry + timing)
+      failed/<key>.json     error payload
+      daemon.json           heartbeat of the serving daemon
+
+``<key>`` is the job's fit-cache key, which buys queue-level
+deduplication for free: two clients submitting the same job race on one
+``pending`` file, the daemon claims it once, and both clients read the
+single ``done`` marker.  ``os.replace`` of a missing source raises, so
+exactly one of two racing daemons wins each claim.
+
+Claimed files left behind by a crashed daemon are returned to
+``pending`` by :meth:`JobQueue.requeue_stale` (age-based), which the
+daemon runs on startup.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..core.batchfit import default_cache_dir, write_json_atomic
+from ..errors import ServiceError
+
+PENDING = "pending"
+CLAIMED = "claimed"
+DONE = "done"
+FAILED = "failed"
+
+_STATES = (PENDING, CLAIMED, DONE, FAILED)
+
+HEARTBEAT_NAME = "daemon.json"
+
+
+def default_service_dir() -> Path:
+    """Queue root next to the fit cache (``<cache root>/service``)."""
+    return default_cache_dir().parent / "service"
+
+
+def _read_json(path: Path) -> Optional[Dict]:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+
+
+class JobQueue:
+    """One shared queue directory; safe for many readers and writers."""
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        self.root = Path(root) if root is not None else default_service_dir()
+
+    def _dir(self, state: str) -> Path:
+        return self.root / state
+
+    def _path(self, state: str, key: str) -> Path:
+        return self._dir(state) / f"{key}.json"
+
+    # ------------------------------------------------------------------ #
+    # Client side
+    # ------------------------------------------------------------------ #
+    def submit(self, key: str, payload: Dict) -> bool:
+        """Enqueue a job under ``key``; returns False when redundant.
+
+        Redundant means the key is already pending, claimed, or
+        finished — the submit is then a no-op and the caller just waits
+        on the existing lifecycle.
+        """
+        for state in (DONE, FAILED, CLAIMED, PENDING):
+            if self._path(state, key).exists():
+                return False
+        write_json_atomic(self._path(PENDING, key), payload)
+        return True
+
+    def result(self, key: str) -> Optional[Tuple[str, Dict]]:
+        """(state, payload) once the job reached done/failed, else None."""
+        for state in (DONE, FAILED):
+            doc = _read_json(self._path(state, key))
+            if doc is not None:
+                return state, doc
+        return None
+
+    def forget(self, key: str) -> None:
+        """Drop every trace of a key (any state); used by re-submitters."""
+        for state in _STATES:
+            try:
+                self._path(state, key).unlink()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------ #
+    # Daemon side
+    # ------------------------------------------------------------------ #
+    def claim(self, max_jobs: int = 64) -> List[Tuple[str, Dict]]:
+        """Atomically move up to ``max_jobs`` pending jobs to claimed.
+
+        Returns the claimed (key, payload) pairs.  Unparseable payloads
+        are moved straight to ``failed`` instead of wedging the queue.
+        """
+        if max_jobs < 1:
+            raise ServiceError(f"max_jobs must be >= 1, got {max_jobs}")
+        pending = self._dir(PENDING)
+        if not pending.is_dir():
+            return []
+        # Stat first, racily: a file another daemon claims between the
+        # glob and the stat simply drops out of this cycle's ordering.
+        stamped: List[Tuple[float, Path]] = []
+        for path in pending.glob("*.json"):
+            try:
+                stamped.append((path.stat().st_mtime, path))
+            except OSError:
+                continue
+        stamped.sort(key=lambda t: t[0])
+        out: List[Tuple[str, Dict]] = []
+        for _, path in stamped:
+            if len(out) >= max_jobs:
+                break
+            key = path.stem
+            target = self._path(CLAIMED, key)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                os.replace(path, target)  # atomic: exactly one winner
+            except OSError:
+                continue  # another daemon got it first
+            # Stamp the *claim* time: os.replace preserved the submit
+            # mtime, which would make long-queued jobs look instantly
+            # stale to requeue_stale().
+            try:
+                os.utime(target)
+            except OSError:
+                pass
+            doc = _read_json(target)
+            if doc is None:
+                self.fail(key, "unparseable job payload")
+                continue
+            out.append((key, doc))
+        return out
+
+    def finish(self, key: str, result: Dict) -> None:
+        """Publish a result and retire the claim."""
+        write_json_atomic(self._path(DONE, key), result)
+        try:
+            self._path(CLAIMED, key).unlink()
+        except OSError:
+            pass
+
+    def fail(self, key: str, error: str,
+             detail: Optional[Dict] = None) -> None:
+        """Publish a failure and retire the claim."""
+        doc = {"error": str(error)}
+        if detail:
+            doc.update(detail)
+        write_json_atomic(self._path(FAILED, key), doc)
+        try:
+            self._path(CLAIMED, key).unlink()
+        except OSError:
+            pass
+
+    def requeue_stale(self, max_age_s: float = 600.0) -> int:
+        """Return crashed daemons' claims to pending; returns the count."""
+        claimed = self._dir(CLAIMED)
+        if not claimed.is_dir():
+            return 0
+        cutoff = time.time() - max_age_s
+        moved = 0
+        for path in claimed.glob("*.json"):
+            try:
+                if path.stat().st_mtime >= cutoff:
+                    continue
+                os.replace(path, self._path(PENDING, path.stem))
+            except OSError:
+                continue
+            moved += 1
+        return moved
+
+    def prune_results(self, max_age_s: float = 3600.0) -> int:
+        """Drop done/failed markers older than ``max_age_s``."""
+        cutoff = time.time() - max_age_s
+        removed = 0
+        for state in (DONE, FAILED):
+            directory = self._dir(state)
+            if not directory.is_dir():
+                continue
+            for path in directory.glob("*.json"):
+                try:
+                    if path.stat().st_mtime < cutoff:
+                        path.unlink()
+                        removed += 1
+                except OSError:
+                    continue
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # Introspection / heartbeat
+    # ------------------------------------------------------------------ #
+    def counts(self) -> Dict[str, int]:
+        """Per-state entry counts."""
+        out: Dict[str, int] = {}
+        for state in _STATES:
+            directory = self._dir(state)
+            out[state] = (len(list(directory.glob("*.json")))
+                          if directory.is_dir() else 0)
+        return out
+
+    @property
+    def heartbeat_path(self) -> Path:
+        return self.root / HEARTBEAT_NAME
+
+    def write_heartbeat(self, doc: Dict) -> None:
+        """Refresh the daemon liveness marker (atomic)."""
+        write_json_atomic(self.heartbeat_path, doc)
+
+    def daemon_alive(self, max_age_s: float = 10.0) -> bool:
+        """Whether a daemon refreshed its heartbeat recently."""
+        try:
+            age = time.time() - self.heartbeat_path.stat().st_mtime
+        except OSError:
+            return False
+        return age <= max_age_s
+
+    def heartbeat(self) -> Optional[Dict]:
+        """Last heartbeat payload, if any."""
+        return _read_json(self.heartbeat_path)

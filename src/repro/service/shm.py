@@ -1,0 +1,162 @@
+"""Shared-memory loss grids for pool workers.
+
+A ``GridLoss`` holds the target function sampled on a dense uniform grid
+(typically 4096+ float64 values).  Pre-service, every pool worker
+rebuilt that grid per job — re-evaluating the target over the full grid
+even when ten jobs fit the same function at different budgets.  The
+:class:`SharedGridPool` moves the samples into
+:mod:`multiprocessing.shared_memory` segments owned by the daemon (or
+any long-lived ``BatchFitter`` host); workers *map* the samples
+(:meth:`GridLoss.from_samples` with ``copy=False``) instead of
+recomputing them, and keep the mapping attached for the life of the
+worker process so repeated jobs on one grid pay a dictionary lookup.
+
+Grid identity is ``(function digest, interval, n_points)`` — exactly the
+inputs :class:`~repro.core.loss.GridLoss` construction consumes — so a
+shared-grid fit is bit-for-bit identical to a locally-built one (the
+worker recomputes the same ``linspace``; the samples are the same
+float64 values, transported instead of re-derived).
+
+Lifecycle: the owning side must call :meth:`SharedGridPool.close` (or
+use the pool as a context manager) to unlink the segments; attachers
+only ever ``close``.  Attachers do get registered with the
+``resource_tracker`` (CPython < 3.13 tracks every ``SharedMemory``, not
+just creators), but that is harmless here: the daemon and its pool
+workers share one fork-inherited tracker whose per-type cache is a set,
+so the owner's single ``unlink`` retires the name exactly once — and if
+the whole daemon family dies uncleanly, the tracker unlinks the
+leftovers, which is precisely the janitor behaviour we want.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from multiprocessing import shared_memory
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.batchfit import FitJob, job_spec_digest, resolve_function
+from ..core.fit import grid_points_for
+from ..core.loss import GridLoss
+from ..errors import ServiceError
+
+
+def grid_ref_for(job: FitJob) -> Tuple[str, float, float, int]:
+    """Canonical (identity, a, b, n_points) of the grid a job needs."""
+    cfg = job.config
+    if cfg.interval is not None:
+        a, b = cfg.interval
+    else:
+        a, b = resolve_function(job).default_interval
+    digest = job_spec_digest(job) or f"registry:{job.function}"
+    return digest, float(a), float(b), grid_points_for(cfg)
+
+
+class SharedGridPool:
+    """Owner of shared-memory target-sample segments, one per grid key."""
+
+    def __init__(self, prefix: str = "reprogrid") -> None:
+        self.prefix = prefix
+        self._segments: Dict[Tuple[str, float, float, int],
+                             Tuple[shared_memory.SharedMemory, Dict]] = {}
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def ref_for(self, job: FitJob) -> Dict:
+        """Publish (or reuse) the grid for ``job``; returns the wire ref.
+
+        The returned dict is what travels to the worker:
+        ``{"shm_name", "a", "b", "n_points"}``.  This method is the
+        ``grid_provider`` signature expected by
+        :class:`~repro.core.batchfit.BatchFitter`.
+        """
+        key = grid_ref_for(job)
+        hit = self._segments.get(key)
+        if hit is not None:
+            return hit[1]
+        digest, a, b, n_points = key
+        fn = resolve_function(job)
+        xs = np.linspace(a, b, n_points)
+        ys = np.asarray(fn(xs), dtype=np.float64)
+        if not np.all(np.isfinite(ys)):
+            raise ServiceError(
+                f"{job.function!r} produced non-finite grid samples on "
+                f"[{a:g}, {b:g}]")
+        name = self._segment_name(key)
+        try:
+            shm = shared_memory.SharedMemory(name=name, create=True,
+                                             size=ys.nbytes)
+        except FileExistsError:
+            # A previous owner died without unlinking; adopt the segment.
+            shm = shared_memory.SharedMemory(name=name)
+            if shm.size < ys.nbytes:  # pragma: no cover - paranoia
+                shm.close()
+                raise ServiceError(
+                    f"stale shared grid {name} is too small") from None
+        buf = np.ndarray(ys.shape, dtype=np.float64, buffer=shm.buf)
+        buf[...] = ys
+        ref = {"shm_name": shm.name, "a": a, "b": b, "n_points": n_points}
+        self._segments[key] = (shm, ref)
+        return ref
+
+    def _segment_name(self, key: Tuple[str, float, float, int]) -> str:
+        blob = repr(key).encode("utf-8")
+        return f"{self.prefix}_{hashlib.sha256(blob).hexdigest()[:24]}"
+
+    def close(self) -> None:
+        """Unlink every owned segment (workers' mappings stay valid)."""
+        for shm, _ in self._segments.values():
+            try:
+                shm.close()
+                shm.unlink()
+            except (OSError, FileNotFoundError):  # pragma: no cover
+                pass
+        self._segments.clear()
+
+    def __enter__(self) -> "SharedGridPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+#: Worker-side attachment cache: segment name -> (shm handle, loss).
+#: Entries live for the worker process's lifetime; the shm handle must
+#: stay referenced or the mapping underneath the GridLoss would be freed.
+_ATTACHED: Dict[str, Tuple[shared_memory.SharedMemory, GridLoss]] = {}
+
+
+def attach_grid(ref: Dict) -> Optional[GridLoss]:
+    """Map a published grid into a :class:`GridLoss` (zero-copy).
+
+    Returns ``None`` when the segment no longer exists or the reference
+    is malformed — callers fall back to building the grid locally, so a
+    torn-down daemon can never fail a fit, only slow it down.
+    """
+    try:
+        name = str(ref["shm_name"])
+        a, b = float(ref["a"]), float(ref["b"])
+        n_points = int(ref["n_points"])
+    except (KeyError, TypeError, ValueError):
+        return None
+    hit = _ATTACHED.get(name)
+    if hit is not None:
+        return hit[1]
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except (OSError, FileNotFoundError):
+        return None
+    if shm.size < n_points * 8:
+        shm.close()
+        return None
+    ys = np.ndarray((n_points,), dtype=np.float64, buffer=shm.buf)
+    xs = np.linspace(a, b, n_points)
+    try:
+        loss = GridLoss.from_samples(xs, ys, copy=False)
+    except Exception:
+        shm.close()
+        return None
+    _ATTACHED[name] = (shm, loss)
+    return loss

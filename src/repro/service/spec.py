@@ -1,0 +1,329 @@
+"""Serializable activation-function specifications.
+
+The batch engine and the fit daemon run fits in *other processes*, which
+until now restricted them to registry names: a ``make_custom``-built
+activation exists only as a closure in the submitting process and cannot
+be pickled across a job queue.  :class:`FunctionSpec` closes that gap
+with two kinds of spec:
+
+* ``registry`` — a plain name; the worker resolves it against its own
+  registry (cheap, exact, the common case);
+* ``sampled`` — the function captured as dense samples on a padded
+  uniform grid plus its asymptotes and metadata.  The worker
+  reconstructs an :class:`~repro.functions.base.ActivationFunction`
+  whose forward is linear interpolation over the samples (asymptote
+  lines beyond the sampled span), which any process can evaluate without
+  the original Python callable.
+
+Sampled specs are content-addressed: :attr:`FunctionSpec.digest` hashes
+the samples, span, asymptotes and interval (not the display name).  Two
+same-named captures of *different* functions therefore never collide in
+the fit cache (the cache key includes the digest), and two
+differently-named captures of the same function share their resolved
+reconstruction; cache entries themselves are keyed by name *and*
+digest, so renaming a function starts a fresh cache lineage.
+
+Fidelity: linear interpolation over ``n_samples`` points has error
+``O(h^2 |f''|)``; the default 16385 samples over a 2x-padded interval
+put the reconstruction error orders of magnitude below the MSE floor of
+any realistic breakpoint budget.  The sample span is padded beyond the
+fit interval because the fitter evaluates the target slightly outside it
+(learned edge breakpoints, ``FitConfig.edge_margin_rel``).
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import weakref
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from ..errors import ServiceError
+from ..functions import registry as fn_registry
+from ..functions.base import ActivationFunction, numeric_derivative
+
+KIND_REGISTRY = "registry"
+KIND_SAMPLED = "sampled"
+
+#: Default sample count for captured functions (2**14 + 1).
+DEFAULT_SAMPLES = 16385
+
+#: Sample-span padding relative to the interval width, each side.  Must
+#: comfortably exceed ``FitConfig.edge_margin_rel`` (0.25).
+PAD_REL = 0.5
+
+
+def _encode_f64(arr: np.ndarray) -> str:
+    return base64.b64encode(
+        np.ascontiguousarray(arr, dtype="<f8").tobytes()).decode("ascii")
+
+
+def _decode_f64(blob: str, n: int) -> np.ndarray:
+    arr = np.frombuffer(base64.b64decode(blob.encode("ascii")), dtype="<f8")
+    if arr.size != n:
+        raise ServiceError(
+            f"sample payload holds {arr.size} values, expected {n}")
+    return arr.astype(np.float64)
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """A process-portable description of one activation function.
+
+    Build with :meth:`from_name`, :meth:`from_function` or
+    :meth:`sample`; turn back into an evaluable function with
+    :meth:`resolve`.  Instances are frozen/hashable so they can ride
+    inside :class:`~repro.core.batchfit.FitJob`.
+    """
+
+    kind: str
+    name: str
+    #: ``sampled`` only: sample span, count and base64 float64 payload.
+    lo: Optional[float] = None
+    hi: Optional[float] = None
+    n_samples: Optional[int] = None
+    samples_b64: Optional[str] = None
+    left_asymptote: Optional[Tuple[float, float]] = None
+    right_asymptote: Optional[Tuple[float, float]] = None
+    interval: Optional[Tuple[float, float]] = None
+    vpu_ops: int = 8
+
+    def __post_init__(self) -> None:
+        if self.kind not in (KIND_REGISTRY, KIND_SAMPLED):
+            raise ServiceError(f"unknown spec kind {self.kind!r}")
+        if self.kind == KIND_SAMPLED:
+            missing = [f for f, v in (("lo", self.lo), ("hi", self.hi),
+                                      ("n_samples", self.n_samples),
+                                      ("samples_b64", self.samples_b64),
+                                      ("interval", self.interval))
+                       if v is None]
+            if missing:
+                raise ServiceError(
+                    f"sampled spec is missing fields: {missing}")
+            if not self.hi > self.lo:
+                raise ServiceError(
+                    f"empty sample span [{self.lo}, {self.hi}]")
+            if self.n_samples < 16:
+                raise ServiceError(
+                    f"sampled spec too coarse: {self.n_samples} samples")
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_name(cls, name: str) -> "FunctionSpec":
+        """Spec referencing a registered activation by name."""
+        fn_registry.get(name)  # fail fast on unknown names
+        return cls(kind=KIND_REGISTRY, name=name)
+
+    @classmethod
+    def from_function(cls, fn: ActivationFunction,
+                      n_samples: int = DEFAULT_SAMPLES,
+                      interval: Optional[Tuple[float, float]] = None
+                      ) -> "FunctionSpec":
+        """Spec for an :class:`ActivationFunction`, by name when possible.
+
+        Only *built-in* registrations ship as a name: a worker or daemon
+        resolves names against its own registry, which holds exactly the
+        import-time entries.  Session registrations (``make_custom``,
+        even with ``register_fn=True``) exist in this process alone, so
+        they — like fully unregistered instances — are captured by
+        sampling.  ``interval`` widens the sampled span when the caller
+        intends to fit beyond the function's default interval.
+        """
+        try:
+            if fn_registry.is_builtin(fn.name) \
+                    and fn_registry.get(fn.name) is fn:
+                return cls(kind=KIND_REGISTRY, name=fn.name)
+        except Exception:
+            pass
+        return cls.sample(fn, n_samples=n_samples, interval=interval)
+
+    @classmethod
+    def sample(cls, fn: ActivationFunction,
+               n_samples: int = DEFAULT_SAMPLES,
+               interval: Optional[Tuple[float, float]] = None
+               ) -> "FunctionSpec":
+        """Capture ``fn`` as dense samples over its padded interval.
+
+        The sampled span covers the union of the function's default
+        interval and the optional ``interval`` the caller intends to fit
+        on — a fit must never reach past the samples into the
+        extrapolation region, where a curved target would be silently
+        misrepresented by the asymptote/linear tails.
+
+        Captures are memoised per function object (WeakKey), so a budget
+        sweep building many jobs for one custom activation pays for one
+        sampling pass, not one per job.
+        """
+        a, b = fn.default_interval
+        if interval is not None:
+            a = min(a, float(interval[0]))
+            b = max(b, float(interval[1]))
+        key = (int(n_samples), float(a), float(b))
+        per_fn = _SAMPLED.setdefault(fn, {})
+        hit = per_fn.get(key)
+        if hit is not None:
+            return hit
+        pad = PAD_REL * (b - a)
+        lo, hi = a - pad, b + pad
+        xs = np.linspace(lo, hi, int(n_samples))
+        ys = np.asarray(fn(xs), dtype=np.float64)
+        if not np.all(np.isfinite(ys)):
+            raise ServiceError(
+                f"cannot capture {fn.name!r}: non-finite values on "
+                f"[{lo:g}, {hi:g}]")
+        spec = cls(kind=KIND_SAMPLED, name=fn.name, lo=float(lo),
+                   hi=float(hi), n_samples=int(n_samples),
+                   samples_b64=_encode_f64(ys),
+                   left_asymptote=fn.left_asymptote,
+                   right_asymptote=fn.right_asymptote,
+                   interval=(float(a), float(b)), vpu_ops=int(fn.vpu_ops))
+        per_fn[key] = spec
+        return spec
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict:
+        doc: Dict = {"kind": self.kind, "name": self.name}
+        if self.kind == KIND_SAMPLED:
+            doc.update({
+                "lo": self.lo, "hi": self.hi, "n_samples": self.n_samples,
+                "samples_b64": self.samples_b64,
+                "left_asymptote": list(self.left_asymptote)
+                if self.left_asymptote is not None else None,
+                "right_asymptote": list(self.right_asymptote)
+                if self.right_asymptote is not None else None,
+                "interval": list(self.interval),
+                "vpu_ops": self.vpu_ops,
+            })
+        return doc
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "FunctionSpec":
+        kind = d.get("kind")
+        if kind == KIND_REGISTRY:
+            return cls(kind=KIND_REGISTRY, name=str(d["name"]))
+        if kind != KIND_SAMPLED:
+            raise ServiceError(f"unknown spec kind {kind!r}")
+
+        def _pair(x):
+            return tuple(float(v) for v in x) if x is not None else None
+
+        return cls(kind=KIND_SAMPLED, name=str(d["name"]),
+                   lo=float(d["lo"]), hi=float(d["hi"]),
+                   n_samples=int(d["n_samples"]),
+                   samples_b64=str(d["samples_b64"]),
+                   left_asymptote=_pair(d.get("left_asymptote")),
+                   right_asymptote=_pair(d.get("right_asymptote")),
+                   interval=_pair(d["interval"]),
+                   vpu_ops=int(d.get("vpu_ops", 8)))
+
+    @property
+    def digest(self) -> str:
+        """Content hash identifying the *function*, not its name.
+
+        Registry specs hash to ``registry:<name>``; sampled specs hash
+        samples + span + asymptotes + interval, so renames don't split
+        cache entries and same-named different functions don't share.
+        Memoised on the (frozen, hence immutable) instance: keying,
+        grid identity and near-miss lookups all ask repeatedly, and the
+        hash covers the full sample blob.
+        """
+        if self.kind == KIND_REGISTRY:
+            return f"registry:{self.name}"
+        cached = self.__dict__.get("_digest")
+        if cached is not None:
+            return cached
+        doc = self.to_dict()
+        doc.pop("name")
+        blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        out = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+        object.__setattr__(self, "_digest", out)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Resolution
+    # ------------------------------------------------------------------ #
+    def resolve(self) -> ActivationFunction:
+        """Rebuild an evaluable :class:`ActivationFunction`.
+
+        Sampled resolutions are memoised by digest so repeated jobs in
+        one worker share a single reconstruction (and its identity).
+        """
+        if self.kind == KIND_REGISTRY:
+            return fn_registry.get(self.name)
+        key = self.digest
+        hit = _RESOLVED.get(key)
+        if hit is not None:
+            return hit
+        fn = self._build_sampled()
+        # Bounded FIFO: a long-running daemon (and its pool workers)
+        # resolving a stream of throwaway customs must not pin every
+        # sample blob forever.
+        while len(_RESOLVED) >= _RESOLVED_MAX:
+            _RESOLVED.pop(next(iter(_RESOLVED)))
+        _RESOLVED[key] = fn
+        return fn
+
+    def _build_sampled(self) -> ActivationFunction:
+        xs = np.linspace(self.lo, self.hi, self.n_samples)
+        ys = _decode_f64(self.samples_b64, self.n_samples)
+        lo, hi = float(xs[0]), float(xs[-1])
+        y_lo, y_hi = float(ys[0]), float(ys[-1])
+        la, ra = self.left_asymptote, self.right_asymptote
+        h = (hi - lo) / (self.n_samples - 1)
+        m_lo = (float(ys[1]) - y_lo) / h
+        m_hi = (y_hi - float(ys[-2])) / h
+
+        def forward(x: np.ndarray) -> np.ndarray:
+            x = np.asarray(x, dtype=np.float64)
+            out = np.interp(x, xs, ys)
+            below = x < lo
+            if np.any(below):
+                m, c = la if la is not None else (m_lo, y_lo - m_lo * lo)
+                out = np.where(below, m * x + c, out)
+            above = x > hi
+            if np.any(above):
+                m, c = ra if ra is not None else (m_hi, y_hi - m_hi * hi)
+                out = np.where(above, m * x + c, out)
+            return out
+
+        return ActivationFunction(
+            name=self.name,
+            fn=forward,
+            derivative=numeric_derivative(forward, eps=2.0 * h),
+            left_asymptote=self.left_asymptote,
+            right_asymptote=self.right_asymptote,
+            default_interval=self.interval,
+            vpu_ops=self.vpu_ops,
+            smooth=True,
+        )
+
+
+_RESOLVED: Dict[str, ActivationFunction] = {}
+_RESOLVED_MAX = 64
+
+#: Sampling memo: function object -> {(n_samples, a, b): spec}.  Weak
+#: keys so throwaway customs don't pin their sample blobs forever.
+_SAMPLED: "weakref.WeakKeyDictionary[ActivationFunction, Dict]" = \
+    weakref.WeakKeyDictionary()
+
+
+def as_spec(fn: Union[str, ActivationFunction, FunctionSpec],
+            interval: Optional[Tuple[float, float]] = None) -> FunctionSpec:
+    """Coerce any of the accepted function designators to a spec.
+
+    ``interval`` is the span the caller intends to fit on; it only
+    matters for functions that end up sampled (see :meth:`sample`).
+    """
+    if isinstance(fn, FunctionSpec):
+        return fn
+    if isinstance(fn, str):
+        return FunctionSpec.from_name(fn)
+    return FunctionSpec.from_function(fn, interval=interval)

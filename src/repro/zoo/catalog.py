@@ -10,7 +10,7 @@ Fig. 1.  Record generation is deterministic in the seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 import numpy as np

@@ -12,7 +12,7 @@ grow to ~44 %).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 #: Activation mix per (family, year-bucket): name -> probability.

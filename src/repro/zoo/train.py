@@ -13,8 +13,8 @@ fine-tuning.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Mapping, Optional
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional
 
 import numpy as np
 

@@ -56,7 +56,11 @@ class TestRegistrySweep:
         results = fitter.fit_all(jobs)
         assert len(results) == len(names)
         assert all(np.isfinite(r.grid_mse) for r in results)
-        assert all(r.pwl.n_breakpoints == 8 for r in results)
+        # PWL-native functions (ReLU & co) short-circuit to their exact
+        # representation, which may need fewer than the budgeted knots.
+        assert all(r.pwl.n_breakpoints == 8 or r.init_used == "native"
+                   for r in results)
+        assert any(r.init_used == "native" for r in results)  # relu & co
         # Everything is now persisted and served back verbatim.
         warm = fitter.fit_all(jobs)
         assert all(r.from_cache for r in warm)

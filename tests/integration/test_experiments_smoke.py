@@ -4,7 +4,6 @@ The full experiment sweeps live in benchmarks/; these tests check the
 harness wiring and the cheap experiments end to end.
 """
 
-import numpy as np
 import pytest
 
 from repro.eval import (

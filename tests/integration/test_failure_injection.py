@@ -7,7 +7,7 @@ across module boundaries.
 import numpy as np
 import pytest
 
-from repro.core import build_tables, fit_activation
+from repro.core import build_tables
 from repro.core.fit import FitConfig, FlexSfuFitter
 from repro.core.pwl import PiecewiseLinear
 from repro.errors import FitError, GraphError, HardwareError

@@ -9,12 +9,11 @@ format precision).
 
 import numpy as np
 import pytest
-from dataclasses import replace
 
 from repro.core.fit import FitConfig, FlexSfuFitter
 from repro.core.tables import build_tables
 from repro.functions import GELU, SIGMOID, SILU
-from repro.hw.dtypes import FP16_T, FP32_T, HwDataType, fixed_for_range
+from repro.hw.dtypes import FP16_T, FP32_T, HwDataType
 from repro.hw.sfu import FlexSfuUnit
 from repro.numerics.floatformat import FP16
 

@@ -1,6 +1,5 @@
 """Unit tests for the approximation-theoretic analysis module."""
 
-import numpy as np
 import pytest
 
 from repro.core.analysis import (

@@ -144,6 +144,19 @@ class TestBatchFitter:
         with pytest.raises(FitError):
             BatchFitter(max_workers=0)
 
+    def test_failed_job_does_not_discard_batchmates(self, tmp_path):
+        # exp over (0, 800) overflows the loss grid and the fit raises;
+        # the tanh batchmate must still land in the cache so a retry
+        # serves it without refitting.
+        good = make_job(TANH, 4, config=_TINY)
+        bad = make_job("exp", 4, interval=(0.0, 800.0), config=_TINY)
+        fitter = BatchFitter(cache=FitCache(tmp_path), use_processes=False)
+        with np.errstate(over="ignore"), \
+                pytest.raises(FitError, match="1 of 2 fit jobs failed"):
+            fitter.fit_all([good, bad])
+        [retry] = fitter.fit_all([good])
+        assert retry.from_cache
+
     def test_native_functions_short_circuit(self, tmp_path):
         from repro.functions import RELU
         job = make_job(RELU, 8, config=_TINY)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.boundary import ASYMPTOTE, BoundarySpec, CLAMP, FREE
+from repro.core.boundary import BoundarySpec, CLAMP, FREE
 from repro.errors import FitError
 from repro.functions import EXP, GELU, SIGMOID, TANH
 

@@ -73,3 +73,71 @@ class TestCommands:
     def test_fig_tab1(self, capsys):
         assert main(["fig", "tab1"]) == 0
         assert "Table I" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_serve_once_on_empty_queue(self, capsys, tmp_path):
+        assert main(["serve", "--once", "--dir", str(tmp_path / "q"),
+                     "--cache-dir", str(tmp_path / "fits"),
+                     "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "exiting after 0 jobs" in out
+
+    def test_serve_once_processes_submitted_jobs(self, capsys, tmp_path):
+        from repro.core.batchfit import make_job
+        from repro.core.fit import FitConfig
+        from repro.service import submit
+        tiny = FitConfig(n_breakpoints=4, max_steps=30, refine_steps=15,
+                         max_refine_rounds=1, polish_maxiter=40,
+                         grid_points=256)
+        submit(make_job("tanh", 4, config=tiny), root=tmp_path / "q")
+        assert main(["serve", "--once", "--dir", str(tmp_path / "q"),
+                     "--cache-dir", str(tmp_path / "fits"),
+                     "--workers", "1"]) == 0
+        assert "exiting after 1 jobs" in capsys.readouterr().out
+
+
+class TestCacheCommand:
+    def _seed(self, tmp_path, n=2):
+        import numpy as np
+
+        from repro.core.batchfit import CachedFit, FitCache
+        from repro.core.pwl import PiecewiseLinear
+        cache = FitCache(tmp_path)
+        pwl = PiecewiseLinear.create(np.array([-1.0, 1.0]),
+                                     np.array([0.0, 1.0]), 0.0, 0.0)
+        for i in range(n):
+            cache.put(f"k{i}", CachedFit(
+                function="tanh", pwl=pwl, grid_mse=1e-4, rounds=1,
+                total_steps=10, init_used="uniform"))
+        return cache
+
+    def test_stats_json(self, capsys, tmp_path):
+        self._seed(tmp_path, 3)
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path),
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 3
+        assert payload["bytes"] > 0
+
+    def test_stats_human(self, capsys, tmp_path):
+        self._seed(tmp_path, 1)
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        assert "1 entries" in capsys.readouterr().out
+
+    def test_clear(self, capsys, tmp_path):
+        cache = self._seed(tmp_path, 2)
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "cleared 2 entries" in capsys.readouterr().out
+        assert len(cache) == 2  # its private memory layer, but...
+        assert not list(tmp_path.glob("*.json"))  # ...the disk is empty
+
+    def test_prune_needs_a_bound(self, capsys, tmp_path):
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path)]) == 2
+
+    def test_prune_by_entries(self, capsys, tmp_path):
+        self._seed(tmp_path, 4)
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path),
+                     "--max-entries", "1"]) == 0
+        assert "pruned 3 entries" in capsys.readouterr().out
+        assert len(list(tmp_path.glob("*.json"))) == 1

@@ -1,6 +1,5 @@
 """Unit tests for the closed-form performance model (Fig. 4)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import HardwareError

@@ -1,9 +1,8 @@
 """Unit tests for approximation metrics."""
 
-import numpy as np
 import pytest
 
-from repro.core.metrics import ApproxMetrics, evaluate
+from repro.core.metrics import evaluate
 from repro.core.uniform import uniform_pwl
 from repro.functions import TANH
 from repro.numerics.floatformat import FP16

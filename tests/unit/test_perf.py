@@ -1,6 +1,5 @@
 """Unit tests for the end-to-end performance model."""
 
-import numpy as np
 import pytest
 
 from repro.perf.accelerator import AcceleratorConfig, CycleBreakdown

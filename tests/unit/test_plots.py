@@ -1,7 +1,5 @@
 """Unit tests for the ASCII plotting helpers."""
 
-import numpy as np
-
 from repro.eval.plots import breakpoint_strip, hbar_chart, log_line_chart
 
 

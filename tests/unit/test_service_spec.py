@@ -1,0 +1,162 @@
+"""Unit tests for FunctionSpec: capture, round-trip, digest, resolution."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.batchfit import (fit_cache_key, job_from_dict, job_to_dict,
+                                 make_job)
+from repro.core.fit import FitConfig
+from repro.errors import ServiceError
+from repro.functions import TANH, make_custom, registry as fn_registry
+from repro.service.spec import (KIND_REGISTRY, KIND_SAMPLED, FunctionSpec,
+                                as_spec)
+
+_TINY = FitConfig(n_breakpoints=4, max_steps=40, refine_steps=20,
+                  max_refine_rounds=1, polish_maxiter=60, grid_points=256)
+
+
+def _unregistered(name="softplusish", scale=1.0):
+    return make_custom(
+        name,
+        lambda x: scale * (np.log1p(np.exp(-np.abs(x))) + np.maximum(x, 0.0)),
+        register_fn=False)
+
+
+class TestMakeCustomRegisterFlag:
+    def test_register_false_stays_out_of_registry(self):
+        fn = _unregistered("never-registered")
+        assert "never-registered" not in fn_registry.available()
+        assert fn.left_asymptote is not None  # estimation still runs
+
+    def test_register_true_still_registers(self):
+        fn = make_custom("regtest-yes", lambda x: np.tanh(2.0 * x))
+        assert fn_registry.get("regtest-yes") is fn
+
+
+class TestConstruction:
+    def test_registered_function_ships_by_name(self):
+        spec = FunctionSpec.from_function(TANH)
+        assert spec.kind == KIND_REGISTRY
+        assert spec.resolve() is TANH
+
+    def test_unregistered_function_is_sampled(self):
+        spec = FunctionSpec.from_function(_unregistered())
+        assert spec.kind == KIND_SAMPLED
+        assert spec.n_samples >= 16
+
+    def test_as_spec_accepts_all_designators(self):
+        assert as_spec("tanh").kind == KIND_REGISTRY
+        assert as_spec(TANH).kind == KIND_REGISTRY
+        spec = as_spec(_unregistered())
+        assert as_spec(spec) is spec
+
+    def test_unknown_registry_name_fails_fast(self):
+        with pytest.raises(Exception):
+            FunctionSpec.from_name("definitely-not-a-function")
+
+    def test_sampled_spec_validates_fields(self):
+        with pytest.raises(ServiceError):
+            FunctionSpec(kind=KIND_SAMPLED, name="broken")
+        with pytest.raises(ServiceError):
+            FunctionSpec(kind="telepathic", name="nope")
+
+
+class TestRoundTripAndDigest:
+    def test_dict_roundtrip_preserves_identity(self):
+        spec = FunctionSpec.from_function(_unregistered())
+        blob = json.dumps(spec.to_dict())
+        again = FunctionSpec.from_dict(json.loads(blob))
+        assert again == spec
+        assert again.digest == spec.digest
+
+    def test_digest_ignores_name_but_not_content(self):
+        a = FunctionSpec.sample(_unregistered("name-a"))
+        b = FunctionSpec.sample(_unregistered("name-b"))
+        c = FunctionSpec.sample(_unregistered("name-a", scale=1.5))
+        assert a.digest == b.digest  # same samples, different label
+        assert a.digest != c.digest  # same label, different function
+
+    def test_resolution_is_memoised_by_digest(self):
+        spec = FunctionSpec.from_function(_unregistered())
+        assert spec.resolve() is spec.resolve()
+
+
+class TestResolutionFidelity:
+    def test_sampled_resolution_tracks_the_original(self):
+        original = _unregistered()
+        fn = FunctionSpec.from_function(original).resolve()
+        xs = np.linspace(-8.0, 8.0, 2001)
+        assert np.max(np.abs(fn(xs) - original(xs))) < 1e-5
+
+    def test_extrapolation_follows_the_asymptotes(self):
+        original = _unregistered()
+        fn = FunctionSpec.from_function(original).resolve()
+        # Far outside the sampled span the asymptote lines take over.
+        assert fn(np.array([-1e6]))[0] == pytest.approx(0.0, abs=1e-6)
+        assert fn(np.array([1e6]))[0] == pytest.approx(1e6, rel=1e-9)
+
+
+class TestJobIntegration:
+    def test_unregistered_function_yields_a_spec_job(self):
+        job = make_job(_unregistered(), 4, config=_TINY)
+        assert job.spec is not None
+        assert job.spec.kind == KIND_SAMPLED
+
+    def test_registered_function_yields_a_name_job(self):
+        job = make_job(TANH, 4, config=_TINY)
+        assert job.spec is None
+
+    def test_spec_job_serialises_through_json(self):
+        job = make_job(_unregistered(), 4, config=_TINY)
+        blob = json.dumps(job_to_dict(job))
+        again = job_from_dict(json.loads(blob))
+        assert again == job
+        assert fit_cache_key(again) == fit_cache_key(job)
+
+    def test_cache_key_depends_on_function_content(self):
+        j1 = make_job(_unregistered("same-name"), 4, config=_TINY)
+        j2 = make_job(_unregistered("same-name", scale=1.5), 4, config=_TINY)
+        assert fit_cache_key(j1) != fit_cache_key(j2)
+
+    def test_wide_fit_interval_widens_the_sampled_span(self):
+        # Fitting beyond the default interval must sample the function
+        # there, not leave workers optimizing against extrapolated
+        # tails.  (-8, 8) is the default; ask for (-20, 20).
+        fn = _unregistered("wide")
+        job = make_job(fn, 4, interval=(-20.0, 20.0), config=_TINY)
+        assert job.spec is not None
+        assert job.spec.lo <= -20.0 and job.spec.hi >= 20.0
+        resolved = job.spec.resolve()
+        xs = np.linspace(-20.0, 20.0, 1001)
+        assert np.max(np.abs(resolved(xs) - fn(xs))) < 1e-4
+
+    def test_prebuilt_spec_rejects_uncovered_interval(self):
+        from repro.errors import FitError
+        spec = FunctionSpec.sample(_unregistered())
+        with pytest.raises(FitError, match="exceeds the sampled span"):
+            make_job(spec, 4, interval=(-100.0, 100.0), config=_TINY)
+
+    def test_session_registered_names_do_not_collide(self):
+        # Registering two different functions under one name (overwrite
+        # is allowed) must not alias their cache keys: name-referenced
+        # session customs are captured as content-hashed specs.
+        make_custom("collide-test", lambda x: np.tanh(x))
+        j1 = make_job("collide-test", 4, config=_TINY)
+        make_custom("collide-test", lambda x: np.sin(np.tanh(x)))
+        j2 = make_job("collide-test", 4, config=_TINY)
+        assert j1.spec is not None and j2.spec is not None
+        assert fit_cache_key(j1) != fit_cache_key(j2)
+
+    def test_builtin_names_stay_name_keyed(self):
+        job = make_job("tanh", 4, config=_TINY)
+        assert job.spec is None
+
+    def test_sampling_is_memoised_per_function(self):
+        fn = _unregistered("memo")
+        a = FunctionSpec.sample(fn)
+        b = FunctionSpec.sample(fn)
+        assert a is b  # one sampling pass per (function, span)
+        jobs = [make_job(fn, n, config=_TINY) for n in (4, 5, 6)]
+        assert jobs[0].spec is jobs[1].spec is jobs[2].spec

@@ -1,7 +1,6 @@
 """Unit tests for the softmax decomposition."""
 
 import numpy as np
-import pytest
 
 from repro.functions.softmax import SoftmaxApproximator, log_softmax, softmax
 

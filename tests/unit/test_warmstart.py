@@ -1,0 +1,117 @@
+"""Warm-started refits: near-miss cache lookup + seeded optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.core.batchfit import (BatchFitter, FitCache, fit_cache_key,
+                                 make_job)
+from repro.core.fit import FitConfig, FlexSfuFitter
+from repro.errors import FitError
+from repro.functions import SIGMOID, TANH
+
+_TINY = FitConfig(n_breakpoints=6, max_steps=200, refine_steps=60,
+                  max_refine_rounds=2, polish_maxiter=120, grid_points=512)
+
+
+class TestFitterWarmStart:
+    def test_warm_start_reported_and_quality_kept(self):
+        cold = FlexSfuFitter(_TINY).fit(TANH)
+        warm = FlexSfuFitter(_TINY).fit(TANH, warm_start=cold.pwl)
+        assert cold.init_used in ("uniform", "curvature")
+        assert warm.init_used == "warm"
+        # Seeded from the cold optimum: quality must not regress much...
+        assert warm.grid_mse <= cold.grid_mse * 2.0
+        # ...and phase A converges in fewer optimizer steps.
+        assert warm.total_steps < cold.total_steps
+
+    def test_warm_start_adapts_across_budgets(self):
+        cold = FlexSfuFitter(_TINY).fit(TANH)
+        import dataclasses
+        bigger = dataclasses.replace(_TINY, n_breakpoints=8)
+        warm = FlexSfuFitter(bigger).fit(TANH, warm_start=cold.pwl)
+        assert warm.init_used == "warm"
+        assert warm.pwl.n_breakpoints == 8
+        # A larger budget fits at least as well as the smaller seed.
+        assert warm.grid_mse <= cold.grid_mse * 1.05
+
+    def test_injected_loss_must_match_the_config(self):
+        from repro.core.fit import grid_points_for
+        from repro.core.loss import GridLoss
+        a, b = TANH.default_interval
+        good = GridLoss(TANH, a, b, n_points=grid_points_for(_TINY))
+        res = FlexSfuFitter(_TINY).fit(TANH, loss=good)
+        assert np.isfinite(res.grid_mse)
+        bad = GridLoss(TANH, a, b, n_points=64)
+        with pytest.raises(FitError):
+            FlexSfuFitter(_TINY).fit(TANH, loss=bad)
+
+
+class TestNearestLookup:
+    def test_adjacent_budget_is_found(self, tmp_path):
+        cache = FitCache(tmp_path)
+        fitter = BatchFitter(cache=cache, use_processes=False)
+        fitter.fit_all([make_job(TANH, 6, config=_TINY)])
+        near_job = make_job(TANH, 7, config=_TINY)
+        hit = cache.nearest(near_job, exclude_key=fit_cache_key(near_job))
+        assert hit is not None
+        assert hit.function == "tanh"
+        assert hit.pwl.n_breakpoints == 6
+
+    def test_other_functions_never_match(self, tmp_path):
+        cache = FitCache(tmp_path)
+        BatchFitter(cache=cache, use_processes=False).fit_all(
+            [make_job(TANH, 6, config=_TINY)])
+        assert cache.nearest(make_job(SIGMOID, 6, config=_TINY)) is None
+
+    def test_distant_budgets_are_rejected(self, tmp_path):
+        cache = FitCache(tmp_path)
+        BatchFitter(cache=cache, use_processes=False).fit_all(
+            [make_job(TANH, 4, config=_TINY)])
+        # 4 -> 64 breakpoints is 4 doublings: far beyond max_distance.
+        assert cache.nearest(make_job(TANH, 64, config=_TINY)) is None
+
+    def test_boundary_mismatch_is_rejected(self, tmp_path):
+        cache = FitCache(tmp_path)
+        BatchFitter(cache=cache, use_processes=False).fit_all(
+            [make_job(TANH, 6, config=_TINY)])
+        free = make_job(TANH, 7, config=_TINY, boundary=("free", "free"))
+        assert cache.nearest(free) is None
+
+
+class TestBatchFitterIntegration:
+    def test_second_budget_is_warm_started(self, tmp_path):
+        fitter = BatchFitter(cache=FitCache(tmp_path), use_processes=False)
+        [cold] = fitter.fit_all([make_job(TANH, 6, config=_TINY)])
+        [warm] = fitter.fit_all([make_job(TANH, 7, config=_TINY)])
+        assert cold.init_used in ("uniform", "curvature")
+        assert warm.init_used == "warm"
+        assert warm.total_steps < cold.total_steps
+
+    def test_warm_start_can_be_disabled(self, tmp_path):
+        fitter = BatchFitter(cache=FitCache(tmp_path), use_processes=False,
+                             warm_start=False)
+        fitter.fit_all([make_job(TANH, 6, config=_TINY)])
+        [res] = fitter.fit_all([make_job(TANH, 7, config=_TINY)])
+        assert res.init_used in ("uniform", "curvature")
+
+
+class TestWorkerCountEnv:
+    def test_env_override_caps_workers(self, tmp_path, monkeypatch):
+        fitter = BatchFitter(cache=FitCache(tmp_path))
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "2")
+        assert fitter._worker_count(8) == 2
+        assert fitter._worker_count(1) == 1
+
+    def test_explicit_workers_beat_the_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "2")
+        fitter = BatchFitter(cache=FitCache(tmp_path), max_workers=3)
+        assert fitter._worker_count(8) == 3
+
+    def test_invalid_env_is_loud(self, tmp_path, monkeypatch):
+        fitter = BatchFitter(cache=FitCache(tmp_path))
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "many")
+        with pytest.raises(FitError):
+            fitter._worker_count(8)
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "0")
+        with pytest.raises(FitError):
+            fitter._worker_count(8)
