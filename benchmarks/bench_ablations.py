@@ -13,19 +13,22 @@ import numpy as np
 from dataclasses import replace
 
 from repro.core import build_tables, evaluate, msb_indexed_pwl, quadrature_mse
-from repro.core.batchfit import BatchFitter, make_job
+from repro.core.batchfit import make_job
 from repro.core.fit import FitConfig
 from repro.eval import fmt_ratio, fmt_sci, format_table
 from repro.functions import GELU, SIGMOID, SILU, TANH
 from repro.hw.dtypes import FP16_T, FP32_T, HwDataType
+from repro.service import fit_many
 
 _CFG = FitConfig(n_breakpoints=16, max_steps=600, refine_steps=200,
                  max_refine_rounds=6, polish_maxiter=800, grid_points=2048)
 
 
 def _fit_batch(jobs):
-    """All ablation fits go through the batch engine (pooled + cached)."""
-    return [r.pwl for r in BatchFitter().fit_all(jobs)]
+    """All ablation fits go through the shared fit service: a running
+    ``repro serve`` daemon picks them up; otherwise they fall back to a
+    local lane-batched ``BatchFitter`` against the same cache."""
+    return [r.pwl for r in fit_many(jobs)]
 
 
 def test_ablation_heuristics_and_polish(benchmark, report_writer):

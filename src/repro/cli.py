@@ -77,7 +77,8 @@ def _cmd_fit_all(args: argparse.Namespace) -> int:
     jobs = [make_job(name, n, config=base) for name in names for n in budgets]
     cache = FitCache(args.cache_dir) if args.cache_dir else None
     fitter = BatchFitter(cache=cache, max_workers=args.workers,
-                         use_processes=not args.serial)
+                         use_processes=not args.serial,
+                         lane_batch=not args.no_lane_batch)
     t0 = time.perf_counter()
     results = fitter.fit_all(jobs)
     elapsed = time.perf_counter() - t0
@@ -117,7 +118,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     cache = FitCache(args.cache_dir) if args.cache_dir else None
     config = ServiceConfig(root=root, max_workers=args.workers,
                            poll_interval_s=args.poll,
-                           idle_timeout_s=args.idle_exit)
+                           idle_timeout_s=args.idle_exit,
+                           lane_batch=not args.no_lane_batch)
     print(f"repro serve: queue at {root}  "
           f"(workers={args.workers or 'auto'}, "
           f"idle-exit={args.idle_exit or 'never'})", flush=True)
@@ -305,6 +307,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="process-pool size (default: CPU count)")
     p_fit_all.add_argument("--serial", action="store_true",
                            help="run in-process instead of a process pool")
+    p_fit_all.add_argument("--no-lane-batch", action="store_true",
+                           help="disable the vectorised multi-lane fit "
+                                "kernel (one scalar fit per job)")
     p_fit_all.add_argument("--quick", action="store_true",
                            help="cheap low-accuracy fit preset (smoke runs)")
     p_fit_all.add_argument("--cache-dir", default=None,
@@ -329,6 +334,8 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: serve forever)")
     p_serve.add_argument("--once", action="store_true",
                          help="drain the queue once and exit")
+    p_serve.add_argument("--no-lane-batch", action="store_true",
+                         help="disable the vectorised multi-lane fit kernel")
     p_serve.add_argument("--cache-dir", default=None,
                          help="fit cache directory (default: "
                               "$REPRO_CACHE_DIR or ~/.cache/repro-flexsfu)")

@@ -19,9 +19,11 @@ from .batchfit import (
 )
 from .boundary import ASYMPTOTE, CLAMP, FREE, BoundarySpec, SidePolicy
 from .fit import FitConfig, FitResult, FlexSfuFitter, fit_activation
+from .lanefit import LaneTask, fit_lanes, lane_group_key
 from .loss import (
     GridGradients,
     GridLoss,
+    LaneGridLoss,
     max_abs_error,
     quadrature_aae,
     quadrature_mse,
@@ -48,6 +50,10 @@ __all__ = [
     "make_job",
     "GridLoss",
     "GridGradients",
+    "LaneGridLoss",
+    "LaneTask",
+    "fit_lanes",
+    "lane_group_key",
     "quadrature_mse",
     "quadrature_aae",
     "max_abs_error",

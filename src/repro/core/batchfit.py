@@ -285,6 +285,25 @@ class CachedFit:
                    spec_digest=d.get("spec_digest"))
 
 
+def _entry_meta(doc: Dict) -> Optional[Dict]:
+    """Neighbour metadata of one entry document (what ``nearest``
+    matches against), or None when the entry cannot participate in
+    near-miss lookups.  JSON-native types only: the same dict goes into
+    the in-memory scan result and onto disk in ``index.jsonl``.
+    """
+    cfg = doc.get("config")
+    if (doc.get("schema") != CACHE_SCHEMA_VERSION or cfg is None
+            or cfg.get("interval") is None):
+        return None
+    return {
+        "function": doc["function"],
+        "spec_digest": doc.get("spec_digest"),
+        "n_breakpoints": int(cfg["n_breakpoints"]),
+        "interval": [float(cfg["interval"][0]), float(cfg["interval"][1])],
+        "boundary": [cfg.get("boundary_left"), cfg.get("boundary_right")],
+    }
+
+
 def default_cache_dir() -> Path:
     """Resolve the cache root (``REPRO_CACHE_DIR`` env var or ~/.cache)."""
     env = os.environ.get("REPRO_CACHE_DIR")
@@ -324,10 +343,30 @@ class FitCache:
     The memory layer is FIFO-bounded so a long-running daemon touching
     an unbounded key stream cannot grow without limit (the disk layer
     is bounded separately, via :meth:`prune`).
+
+    Neighbour metadata (what :meth:`nearest` matches against) is served
+    from an on-disk **jsonl index** (``<dir>.index.jsonl`` *beside* the
+    entries directory): every :meth:`put` appends one line, and readers
+    trust the index as long as the entries directory's mtime does not
+    exceed the index's — an entry landing without its index line (an
+    old writer, a crash between the two steps, an append racing a
+    rebuild's ``os.replace``) bumps the directory mtime past the index
+    stamp and forces a full rebuild.  The index lives *outside* the
+    directory precisely so a rebuild can stamp itself with the
+    directory mtime observed before its walk without perturbing that
+    mtime.  Warm-start lookups therefore stay O(1)-ish at 10k+ entries
+    instead of re-stat'ing and re-parsing the whole directory per miss
+    batch.  (Known limit: filesystems with coarse mtime granularity can
+    mask a foreign write landing in the same tick as the index stamp
+    until the next write.)
     """
 
     #: Memory-layer entry cap; identity is only promised within it.
     MEM_ENTRIES_MAX = 4096
+
+    #: Suffix of the jsonl neighbour-metadata manifest (kept beside,
+    #: not inside, the entries directory).
+    INDEX_SUFFIX = ".index.jsonl"
 
     def __init__(self, directory: Optional[Union[str, Path]] = None) -> None:
         self.directory = (Path(directory) if directory is not None
@@ -339,10 +378,20 @@ class FitCache:
         #: inside one fit_all batch; invalidated by this process's own
         #: writes (other writers surface after the short TTL).
         self._scan_cache: Optional[Tuple[float, Dict[str, Dict]]] = None
+        #: ((mtime, size) of index.jsonl, parsed metas) — re-parse only
+        #: when the index file itself changed.
+        self._index_cache: Optional[Tuple[Tuple[float, int],
+                                          Dict[str, Dict]]] = None
 
     def path(self, key: str) -> Path:
         """Disk location of one entry."""
         return self.directory / f"{key}.json"
+
+    @property
+    def index_path(self) -> Path:
+        """Disk location of the neighbour-metadata index."""
+        return self.directory.parent / (self.directory.name
+                                        + self.INDEX_SUFFIX)
 
     def get(self, key: str) -> Optional[CachedFit]:
         """Entry for ``key``, or None.  Corrupt files count as misses."""
@@ -363,10 +412,14 @@ class FitCache:
         self._mem[key] = entry
 
     def put(self, key: str, entry: CachedFit) -> None:
-        """Store an entry in memory and atomically on disk."""
+        """Store an entry in memory, atomically on disk, and in the
+        index (entry first: a crash between the two steps leaves the
+        directory newer than the index, which readers treat as stale)."""
         self._remember(key, entry)
         self._scan_cache = None
-        write_json_atomic(self.path(key), entry.to_dict())
+        doc = entry.to_dict()
+        write_json_atomic(self.path(key), doc)
+        self._index_append(key, _entry_meta(doc))
 
     def clear(self, memory_only: bool = False) -> None:
         """Drop cached fits (memory layer, and the disk files unless told
@@ -376,12 +429,17 @@ class FitCache:
         self._scan_cache = None
         if memory_only:
             return
+        self._index_cache = None
         if self.directory.is_dir():
             for path in self.directory.glob("*.json"):
                 try:
                     path.unlink()
                 except OSError:
                     pass
+            try:
+                self.index_path.unlink()
+            except OSError:
+                pass
 
     def __len__(self) -> int:
         on_disk = (set(p.stem for p in self.directory.glob("*.json"))
@@ -461,6 +519,14 @@ class FitCache:
             self._mem.pop(path.stem, None)
             self._meta.pop(path.stem, None)
         self._scan_cache = None
+        if removed:
+            # Retire the index: the next scan rebuilds it from what
+            # actually survived (pruning is rare; rebuilds are cheap).
+            self._index_cache = None
+            try:
+                self.index_path.unlink()
+            except OSError:
+                pass
         return removed
 
     # ------------------------------------------------------------------ #
@@ -469,21 +535,70 @@ class FitCache:
     def _scan(self, max_age_s: float = 1.0) -> Dict[str, Dict]:
         """Neighbour metadata for every parseable on-disk entry.
 
-        Two-level amortisation: a whole-result TTL (``max_age_s``) so a
-        batch of misses pays for one directory walk instead of one per
-        miss, and mtime-keyed parse caching underneath so even a fresh
-        walk only re-reads files that actually changed.
+        Served from the jsonl index when it is trustworthy (see the
+        class docstring); otherwise from a full directory walk that also
+        rewrites the index.  A whole-result TTL (``max_age_s``) lets a
+        batch of misses pay for one freshness check instead of one per
+        miss.
         """
         now = time.monotonic()
         if (self._scan_cache is not None
                 and now - self._scan_cache[0] < max_age_s):
             return self._scan_cache[1]
+        out = self._scan_index()
+        if out is None:
+            out = self._scan_directory()
+        self._scan_cache = (now, out)
+        return out
+
+    def _scan_index(self) -> Optional[Dict[str, Dict]]:
+        """Metadata from ``index.jsonl``, or None when it cannot be
+        trusted (missing, older than the directory, or corrupt)."""
+        try:
+            st = self.index_path.stat()
+            dir_mtime = self.directory.stat().st_mtime
+        except OSError:
+            return None
+        if dir_mtime > st.st_mtime:
+            return None  # an entry landed after the last index update
+        stamp = (st.st_mtime, st.st_size)
+        if self._index_cache is not None and self._index_cache[0] == stamp:
+            return self._index_cache[1]
+        metas: Dict[str, Dict] = {}
+        try:
+            with open(self.index_path) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    doc = json.loads(line)
+                    key = str(doc["key"])
+                    meta = doc.get("meta")
+                    if meta is None:
+                        metas.pop(key, None)
+                    else:
+                        metas[key] = meta
+        except (OSError, ValueError, KeyError, TypeError):
+            return None  # torn append / corrupt line: rebuild instead
+        self._index_cache = (stamp, metas)
+        return metas
+
+    def _scan_directory(self) -> Dict[str, Dict]:
+        """Full directory walk (mtime-keyed parse caching underneath);
+        rewrites the index so the next scan is O(1) again."""
         fresh: Dict[str, Tuple[float, Optional[Dict]]] = {}
         out: Dict[str, Dict] = {}
         if not self.directory.is_dir():
             self._meta = fresh
-            self._scan_cache = (now, out)
             return out
+        try:
+            # Entries written from here on may be missed by this walk;
+            # stamping the rebuilt index with the PRE-walk directory
+            # mtime guarantees any such write leaves the directory
+            # looking newer, forcing the next scan to rebuild again.
+            walk_stamp = self.directory.stat().st_mtime
+        except OSError:
+            walk_stamp = None
         for path in self.directory.glob("*.json"):
             key = path.stem
             try:
@@ -498,28 +613,64 @@ class FitCache:
                 continue
             meta: Optional[Dict] = None
             try:
-                doc = json.loads(path.read_text())
-                cfg = doc.get("config")
-                if (doc.get("schema") == CACHE_SCHEMA_VERSION
-                        and cfg is not None
-                        and cfg.get("interval") is not None):
-                    meta = {
-                        "function": doc["function"],
-                        "spec_digest": doc.get("spec_digest"),
-                        "n_breakpoints": int(cfg["n_breakpoints"]),
-                        "interval": (float(cfg["interval"][0]),
-                                     float(cfg["interval"][1])),
-                        "boundary": (cfg.get("boundary_left"),
-                                     cfg.get("boundary_right")),
-                    }
+                meta = _entry_meta(json.loads(path.read_text()))
             except (OSError, ValueError, KeyError, TypeError):
                 meta = None
             fresh[key] = (mtime, meta)
             if meta is not None:
                 out[key] = meta
         self._meta = fresh
-        self._scan_cache = (now, out)
+        self._index_rewrite(out, walk_stamp)
         return out
+
+    # ------------------------------------------------------------------ #
+    # Index maintenance
+    # ------------------------------------------------------------------ #
+    def _index_append(self, key: str, meta: Optional[Dict]) -> None:
+        """Append one index line (``meta=None`` records "no neighbour
+        metadata" so rebuilds are not forced by metadata-less entries).
+
+        The index is an accelerator: on any OS error the append is
+        simply skipped, and the staleness check forces a rebuild later.
+        """
+        try:
+            with open(self.index_path, "a") as handle:
+                handle.write(json.dumps({"key": key, "meta": meta},
+                                        sort_keys=True) + "\n")
+        except OSError:
+            pass
+
+    def _index_rewrite(self, metas: Dict[str, Dict],
+                       walk_stamp: Optional[float]) -> None:
+        """Atomically replace the index with the given metadata set.
+
+        The rebuilt index is stamped with ``walk_stamp`` — the entries
+        directory's mtime *before* the walk that produced ``metas`` —
+        so any entry written concurrently (which this walk may have
+        missed, or whose index append raced the replace below and
+        landed on the discarded inode) keeps the directory newer than
+        the index and triggers another rebuild.
+        """
+        if walk_stamp is None or not self.directory.is_dir():
+            return
+        try:
+            fd, tmp = tempfile.mkstemp(dir=self.index_path.parent,
+                                       suffix=".tmp")
+        except OSError:
+            return
+        try:
+            with os.fdopen(fd, "w") as handle:
+                for key, meta in metas.items():
+                    handle.write(json.dumps({"key": key, "meta": meta},
+                                            sort_keys=True) + "\n")
+            os.utime(tmp, (walk_stamp, walk_stamp))
+            os.replace(tmp, self.index_path)
+            self._index_cache = None
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
 
     def nearest(self, job: FitJob, exclude_key: Optional[str] = None,
                 max_distance: float = 1.25) -> Optional[CachedFit]:
@@ -581,7 +732,12 @@ def default_cache() -> FitCache:
 # --------------------------------------------------------------------- #
 @dataclass
 class BatchFitResult:
-    """Outcome of one job within a :meth:`BatchFitter.fit_all` call."""
+    """Outcome of one job within a :meth:`BatchFitter.fit_all` call.
+
+    ``engine`` records how the artifact was produced: ``"cache"`` (read
+    back), ``"native"`` (exact-PWL shortcut), ``"scalar"`` (one
+    :class:`FlexSfuFitter` run) or ``"lane"`` (lane-batched kernel).
+    """
 
     job: FitJob
     key: str
@@ -592,6 +748,30 @@ class BatchFitResult:
     rounds: int
     total_steps: int
     init_used: str
+    engine: str = "scalar"
+
+
+def _lane_task(job: FitJob, warm: Optional[Dict], grid: Optional[Dict]):
+    """Resolve one (job, warm seed, grid ref) into a fit-ready LaneTask."""
+    from .lanefit import LaneTask
+
+    fn = resolve_function(job)
+    loss = None
+    if grid is not None:
+        from ..service.shm import attach_grid
+        loss = attach_grid(grid)  # None when the segment has vanished
+    warm_pwl = PiecewiseLinear.from_dict(warm) if warm is not None else None
+    return LaneTask(fn=fn, config=job.config, warm_start=warm_pwl, loss=loss)
+
+
+def _entry_payload(job: FitJob, res, wall_time_s: float, engine: str) -> Dict:
+    """Wrap a FitResult into the cache/queue payload format."""
+    entry = CachedFit(function=job.function, pwl=res.pwl,
+                      grid_mse=res.grid_mse, rounds=res.rounds,
+                      total_steps=res.total_steps, init_used=res.init_used,
+                      config=job.config, spec_digest=job_spec_digest(job))
+    return {"entry": entry.to_dict(), "wall_time_s": wall_time_s,
+            "engine": engine}
 
 
 def _run_job(job: FitJob, warm: Optional[Dict] = None,
@@ -605,18 +785,39 @@ def _run_job(job: FitJob, warm: Optional[Dict] = None,
     to a cold, locally-built fit when unusable.
     """
     t0 = time.perf_counter()
-    fn = resolve_function(job)
-    loss = None
-    if grid is not None:
-        from ..service.shm import attach_grid
-        loss = attach_grid(grid)  # None when the segment has vanished
-    warm_pwl = PiecewiseLinear.from_dict(warm) if warm is not None else None
-    res = FlexSfuFitter(job.config).fit(fn, warm_start=warm_pwl, loss=loss)
-    entry = CachedFit(function=job.function, pwl=res.pwl,
-                      grid_mse=res.grid_mse, rounds=res.rounds,
-                      total_steps=res.total_steps, init_used=res.init_used,
-                      config=job.config, spec_digest=job_spec_digest(job))
-    return {"entry": entry.to_dict(), "wall_time_s": time.perf_counter() - t0}
+    task = _lane_task(job, warm, grid)
+    res = FlexSfuFitter(job.config).fit(task.fn, warm_start=task.warm_start,
+                                        loss=task.loss)
+    return _entry_payload(job, res, time.perf_counter() - t0, "scalar")
+
+
+def _run_group(tasks: Sequence[Tuple[FitJob, Optional[Dict], Optional[Dict]]]
+               ) -> List[Dict]:
+    """Execute a shape-compatible group of fits as one lane batch.
+
+    Returns one payload per task, in order — either the ``_run_job``
+    shape or ``{"error": repr}``.  If the lane engine cannot run the
+    batch (a hostile target, an incompatibility the grouping missed),
+    every task is retried individually through the scalar path so one
+    bad job cannot poison its batchmates.
+    """
+    from .lanefit import fit_lanes
+
+    t0 = time.perf_counter()
+    try:
+        lane_tasks = [_lane_task(*task) for task in tasks]
+        results = fit_lanes(lane_tasks)
+    except Exception:
+        out: List[Dict] = []
+        for task in tasks:
+            try:
+                out.append(_run_job(*task))
+            except Exception as exc:
+                out.append({"error": repr(exc)})
+        return out
+    wall = (time.perf_counter() - t0) / max(len(tasks), 1)
+    return [_entry_payload(job, res, wall, "lane")
+            for (job, _, _), res in zip(tasks, results)]
 
 
 #: Returns a shared-grid reference for a job about to be fitted, or None
@@ -659,6 +860,15 @@ class BatchFitter:
     neighbouring configuration (see :meth:`FitCache.nearest`);
     ``grid_provider`` lets a caller hand workers shared-memory grid
     references instead of having each rebuild its ``GridLoss``.
+
+    ``lane_batch=True`` (the default) is the preferred execution
+    strategy: misses whose configs share a lane-group key (same budget,
+    grid density and optimizer shape — see
+    :func:`repro.core.lanefit.lane_group_key`) run lock-step through the
+    vectorised multi-lane kernel instead of one scalar fit per task.
+    Groups are chunked so a multi-core pool still gets one task per
+    worker; on a single core the whole group rides one batch.  Results
+    are numerically equivalent to the scalar path either way.
     """
 
     def __init__(self, cache: Optional[FitCache] = None,
@@ -666,7 +876,8 @@ class BatchFitter:
                  use_processes: bool = True,
                  keep_alive: bool = False,
                  warm_start: bool = True,
-                 grid_provider: Optional[GridProvider] = None) -> None:
+                 grid_provider: Optional[GridProvider] = None,
+                 lane_batch: bool = True) -> None:
         self.cache = cache if cache is not None else default_cache()
         if max_workers is not None and max_workers < 1:
             raise FitError(f"max_workers must be >= 1, got {max_workers}")
@@ -675,6 +886,7 @@ class BatchFitter:
         self.keep_alive = keep_alive
         self.warm_start = warm_start
         self.grid_provider = grid_provider
+        self.lane_batch = lane_batch
         self._executor: Optional[concurrent.futures.ProcessPoolExecutor] = None
 
     def _worker_count(self, n_jobs: int) -> int:
@@ -742,10 +954,34 @@ class BatchFitter:
                          rounds=0, total_steps=0, init_used="native",
                          config=job.config, spec_digest=job_spec_digest(job))
 
+    def _units(self, tasks: Dict[str, Tuple[FitJob, Optional[Dict],
+                                            Optional[Dict]]],
+               workers: int) -> List[List[str]]:
+        """Partition miss keys into execution units (ordered key lists).
+
+        With lane batching on, keys are grouped by
+        :func:`~repro.core.lanefit.lane_group_key` and each group is
+        chunked so the pool still sees at least ``workers`` tasks when
+        it has cores to feed; a one-key unit runs the scalar path.
+        """
+        if not self.lane_batch:
+            return [[key] for key in tasks]
+        from .lanefit import lane_group_key
+
+        groups: Dict[FitConfig, List[str]] = {}
+        for key, (job, _, _) in tasks.items():
+            groups.setdefault(lane_group_key(job.config), []).append(key)
+        units: List[List[str]] = []
+        for keys in groups.values():
+            chunk = max(2, -(-len(keys) // max(workers, 1)))
+            units.extend(keys[i:i + chunk]
+                         for i in range(0, len(keys), chunk))
+        return units
+
     def fit_all(self, jobs: Sequence[FitJob]) -> List[BatchFitResult]:
         """Fit every job, returning results in the order given."""
         keys = [fit_cache_key(job) for job in jobs]
-        payloads: Dict[str, Tuple[CachedFit, bool, float]] = {}
+        payloads: Dict[str, Tuple[CachedFit, bool, float, str]] = {}
 
         # Cache pass + dedupe: first job instance per missing key runs.
         misses: Dict[str, FitJob] = {}
@@ -754,12 +990,12 @@ class BatchFitter:
                 continue
             hit = self.cache.get(key)
             if hit is not None:
-                payloads[key] = (hit, True, 0.0)
+                payloads[key] = (hit, True, 0.0, "cache")
                 continue
             native = self._native_entry(job)
             if native is not None:
                 self.cache.put(key, native)
-                payloads[key] = (native, False, 0.0)
+                payloads[key] = (native, False, 0.0, "native")
             else:
                 misses[key] = job
 
@@ -777,39 +1013,67 @@ class BatchFitter:
                 tasks[key] = (job, warm, grid)
 
             workers = self._worker_count(len(misses))
-            pooled = self.use_processes and (
-                self.keep_alive or (workers > 1 and len(misses) > 1))
+            # When no pool can run (in-process mode, or a single worker
+            # without a persistent pool), don't split lane groups at
+            # all: one deep batch beats several shallow ones run
+            # back-to-back.
+            can_pool = self.use_processes and (self.keep_alive
+                                               or workers > 1)
+            units = self._units(tasks, workers if can_pool else 1)
+            pooled = can_pool and (self.keep_alive or len(units) > 1)
             raw: Dict[str, Dict] = {}
             errors: Dict[str, BaseException] = {}
+
+            def absorb(unit: List[str], outs: List[Dict]) -> None:
+                for key, out in zip(unit, outs):
+                    if "error" in out:
+                        errors[key] = FitError(out["error"])
+                    else:
+                        raw[key] = out
+
+            def run_unit(unit: List[str]) -> List[Dict]:
+                if len(unit) == 1:
+                    return [_run_job(*tasks[unit[0]])]
+                return _run_group([tasks[key] for key in unit])
+
             if pooled:
                 pool = (self._pool() if self.keep_alive else
                         concurrent.futures.ProcessPoolExecutor(
                             max_workers=workers,
                             initializer=_pool_worker_init))
                 try:
-                    futures = {key: pool.submit(_run_job, *task)
-                               for key, task in tasks.items()}
-                    for key, fut in futures.items():
+                    futures = [
+                        (unit, pool.submit(_run_job, *tasks[unit[0]])
+                         if len(unit) == 1 else
+                         pool.submit(_run_group,
+                                     [tasks[key] for key in unit]))
+                        for unit in units]
+                    for unit, fut in futures:
                         try:
-                            raw[key] = fut.result()
+                            out = fut.result()
                         except Exception as exc:  # job failures gather;
-                            errors[key] = exc     # interrupts propagate
+                            for key in unit:      # interrupts propagate
+                                errors[key] = exc
+                        else:
+                            absorb(unit, out if len(unit) > 1 else [out])
                 finally:
                     if not self.keep_alive:
                         pool.shutdown(wait=True, cancel_futures=True)
             else:
-                for key, task in tasks.items():
+                for unit in units:
                     try:
-                        raw[key] = _run_job(*task)
+                        absorb(unit, run_unit(unit))
                     except Exception as exc:
-                        errors[key] = exc
+                        for key in unit:
+                            errors[key] = exc
             # Persist every finished fit BEFORE surfacing failures: a
             # single divergent job must not cost its batchmates their
             # results (a retrying caller then hits the cache for them).
             for key, out in raw.items():
                 entry = CachedFit.from_dict(out["entry"])
                 self.cache.put(key, entry)
-                payloads[key] = (entry, False, float(out["wall_time_s"]))
+                payloads[key] = (entry, False, float(out["wall_time_s"]),
+                                 str(out.get("engine", "scalar")))
             if errors:
                 key, exc = next(iter(errors.items()))
                 raise FitError(
@@ -818,9 +1082,10 @@ class BatchFitter:
 
         results: List[BatchFitResult] = []
         for job, key in zip(jobs, keys):
-            entry, from_cache, wall = payloads[key]
+            entry, from_cache, wall, engine = payloads[key]
             results.append(BatchFitResult(
                 job=job, key=key, pwl=entry.pwl, grid_mse=entry.grid_mse,
                 from_cache=from_cache, wall_time_s=wall, rounds=entry.rounds,
-                total_steps=entry.total_steps, init_used=entry.init_used))
+                total_steps=entry.total_steps, init_used=entry.init_used,
+                engine=engine))
         return results

@@ -57,6 +57,15 @@ INIT_WARM = "warm"
 _INITS = (INIT_UNIFORM, INIT_CURVATURE, INIT_AUTO)
 
 
+def init_sequence(init: str) -> List[str]:
+    """The cold-init race a config requests, in evaluation order."""
+    return {
+        INIT_UNIFORM: [INIT_UNIFORM],
+        INIT_CURVATURE: [INIT_CURVATURE],
+        INIT_AUTO: [INIT_UNIFORM, INIT_CURVATURE],
+    }[init]
+
+
 def grid_points_for(config: "FitConfig") -> int:
     """Loss-grid density for a config: >= ~64 samples per segment.
 
@@ -159,6 +168,58 @@ class _State:
         self.mr[...] = other.mr
 
 
+@dataclass
+class FitProblem:
+    """A fully-resolved fit: interval, boundary spec, loss and bounds.
+
+    Single setup path shared by :meth:`FlexSfuFitter.fit` and the
+    lane-batched engine (:mod:`repro.core.lanefit`) so the two can never
+    disagree about what problem a config describes.
+    """
+
+    a: float
+    b: float
+    spec: BoundarySpec
+    loss: GridLoss
+    eps: float   # minimum breakpoint separation
+    lo: float    # edge breakpoints may roam down to here
+    hi: float    # ... and up to here
+
+
+def resolve_problem(fn: ActivationFunction, cfg: FitConfig,
+                    loss: Optional[GridLoss] = None) -> FitProblem:
+    """Resolve a (function, config) pair into a :class:`FitProblem`.
+
+    ``loss`` injects a prebuilt :class:`GridLoss` (e.g. one mapping a
+    shared-memory grid published by the fit service) instead of
+    re-sampling the target; its interval and density must match what the
+    config would build — fits must not silently change with the
+    transport that delivered their grid.
+    """
+    a, b = cfg.interval if cfg.interval is not None else fn.default_interval
+    if not b > a:
+        raise FitError(f"empty fit interval [{a}, {b}]")
+    spec = BoundarySpec.resolve(fn, cfg.boundary_left, cfg.boundary_right)
+    n_grid = grid_points_for(cfg)
+    if loss is None:
+        loss = GridLoss(fn, a, b, n_points=n_grid)
+    else:
+        if (loss.xs.size != n_grid
+                or abs(loss.a - a) > 1e-12 * max(1.0, abs(a))
+                or abs(loss.b - b) > 1e-12 * max(1.0, abs(b))):
+            raise FitError(
+                f"injected loss grid ([{loss.a}, {loss.b}], "
+                f"{loss.xs.size} pts) does not match the config's "
+                f"([{a}, {b}], {n_grid} pts)")
+    eps = cfg.min_separation_rel * (b - a)
+    # The edge breakpoints are learned (paper) and may settle slightly
+    # outside the loss interval — that is where an asymptote-pinned
+    # edge stops distorting the in-interval fit.
+    margin = cfg.edge_margin_rel * (b - a)
+    return FitProblem(a=a, b=b, spec=spec, loss=loss, eps=eps,
+                      lo=a - margin, hi=b + margin)
+
+
 class FlexSfuFitter:
     """Fits a non-uniform PWL to an activation function (paper Section IV)."""
 
@@ -188,33 +249,14 @@ class FlexSfuFitter:
         the transport that delivered their grid.
         """
         cfg = self.config
-        a, b = cfg.interval if cfg.interval is not None else fn.default_interval
-        if not b > a:
-            raise FitError(f"empty fit interval [{a}, {b}]")
-        spec = BoundarySpec.resolve(fn, cfg.boundary_left, cfg.boundary_right)
-        n_grid = grid_points_for(cfg)
-        if loss is None:
-            loss = GridLoss(fn, a, b, n_points=n_grid)
-        else:
-            if (loss.xs.size != n_grid
-                    or abs(loss.a - a) > 1e-12 * max(1.0, abs(a))
-                    or abs(loss.b - b) > 1e-12 * max(1.0, abs(b))):
-                raise FitError(
-                    f"injected loss grid ([{loss.a}, {loss.b}], "
-                    f"{loss.xs.size} pts) does not match the config's "
-                    f"([{a}, {b}], {n_grid} pts)")
-        eps = cfg.min_separation_rel * (b - a)
-        # The edge breakpoints are learned (paper) and may settle slightly
-        # outside the loss interval — that is where an asymptote-pinned
-        # edge stops distorting the in-interval fit.
-        margin = cfg.edge_margin_rel * (b - a)
-        lo, hi = a - margin, b + margin
+        prob = resolve_problem(fn, cfg, loss)
+        a, b = prob.a, prob.b
+        spec = prob.spec
+        loss = prob.loss
+        eps = prob.eps
+        lo, hi = prob.lo, prob.hi
 
-        inits = {
-            INIT_UNIFORM: [INIT_UNIFORM],
-            INIT_CURVATURE: [INIT_CURVATURE],
-            INIT_AUTO: [INIT_UNIFORM, INIT_CURVATURE],
-        }[cfg.init]
+        inits = init_sequence(cfg.init)
         if warm_start is not None:
             inits = [INIT_WARM]
 

@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.batchfit import BatchFitter, FitJob, make_job
+from ..core.batchfit import FitJob, make_job
 from ..core.metrics import evaluate
 from ..core.uniform import uniform_pwl
 from ..functions import registry as fn_registry
@@ -73,9 +73,15 @@ def prefit(specs: Sequence[Tuple]) -> None:
     tuples (interval/boundary may be None for the defaults).  Jobs whose
     function is exactly PWL-representable at the budget are skipped —
     :func:`fit_pwl_cached` short-circuits those without fitting.  The
-    rest run through :class:`BatchFitter` (process pool on multi-core
-    machines), after which the sweeps below are pure cache reads.
+    rest run through :func:`repro.service.fit_many`: when a ``repro
+    serve`` daemon is heartbeating they share its pool, grids and cache;
+    otherwise they fall back transparently to a local
+    :class:`~repro.core.batchfit.BatchFitter` (lane-batched, process
+    pool on multi-core machines).  Either way the sweeps below become
+    pure cache reads afterwards.
     """
+    from ..service.client import fit_many
+
     jobs: List[FitJob] = []
     for name, n_bp, interval, boundary in specs:
         fn = fn_registry.get(name)
@@ -84,7 +90,7 @@ def prefit(specs: Sequence[Tuple]) -> None:
             continue
         jobs.append(make_job(fn, n_bp, interval=interval, boundary=boundary))
     if jobs:
-        BatchFitter().fit_all(jobs)
+        fit_many(jobs)
 
 
 # ----------------------------------------------------------------------- #

@@ -5,13 +5,15 @@ Reimplements the PyTorch optimization semantics the paper relies on
 numpy arrays.
 """
 
-from .adam import Adam
+from .adam import Adam, LaneAdam
 from .runner import LossAndGrad, OptimResult, minimize
-from .schedulers import ReduceLROnPlateau, StepLR
+from .schedulers import LaneReduceLROnPlateau, ReduceLROnPlateau, StepLR
 
 __all__ = [
     "Adam",
+    "LaneAdam",
     "ReduceLROnPlateau",
+    "LaneReduceLROnPlateau",
     "StepLR",
     "minimize",
     "OptimResult",

@@ -126,3 +126,139 @@ class Adam:
         self._m = [np.zeros_like(p) for p in self._params]
         self._v = [np.zeros_like(p) for p in self._params]
         self._t = 0
+
+
+class LaneAdam:
+    """Adam over K lanes stepped lock-step, with a per-lane learning rate.
+
+    Parameters are ``(K, ...)`` arrays whose leading axis indexes the
+    lane; every update is elementwise with the learning rate broadcast
+    per lane, so lane ``k``'s trajectory is **bit-for-bit** the scalar
+    :class:`Adam` trajectory it would follow alone (a zero gradient
+    leaves a parameter and its moments exactly unchanged, which is how
+    non-learnable per-lane parameters ride along).
+
+    The step counter is shared: the lane-batched fitter drops finished
+    lanes from the batch (:meth:`select`) instead of masking them, so
+    every live lane has always taken exactly ``step_count`` steps.
+    """
+
+    def __init__(self, params: Sequence[np.ndarray], lr: np.ndarray,
+                 betas: tuple = (0.9, 0.999), eps: float = 1e-8) -> None:
+        self._params: List[np.ndarray] = [np.asarray(p) for p in params]
+        if not self._params:
+            raise FitError("LaneAdam needs at least one parameter array")
+        lanes = self._params[0].shape[0]
+        for p in self._params:
+            if p.dtype != np.float64:
+                raise FitError("LaneAdam parameters must be float64 arrays")
+            if p.ndim < 2 or p.shape[0] != lanes:
+                raise FitError(
+                    f"parameter shape {p.shape} lacks the {lanes}-lane axis")
+        lr = np.asarray(lr, dtype=np.float64).reshape(-1).copy()
+        if lr.shape != (lanes,):
+            raise FitError(f"need one learning rate per lane, got {lr.shape}")
+        if np.any(lr <= 0):
+            raise FitError("learning rates must be positive")
+        if not (0.0 <= betas[0] < 1.0 and 0.0 <= betas[1] < 1.0):
+            raise FitError(f"betas must be in [0, 1), got {betas}")
+        self.lr = lr  # (K,), mutated by the lane scheduler
+        self.beta1, self.beta2 = float(betas[0]), float(betas[1])
+        self.eps = float(eps)
+        self._m = [np.zeros_like(p) for p in self._params]
+        self._v = [np.zeros_like(p) for p in self._params]
+        self._t = 0
+
+    @property
+    def lanes(self) -> int:
+        """Number of live lanes."""
+        return self._params[0].shape[0]
+
+    @property
+    def step_count(self) -> int:
+        """Number of ``step`` calls so far."""
+        return self._t
+
+    def step(self, grads: Sequence[np.ndarray]) -> None:
+        """One lock-step Adam update across every lane."""
+        if len(grads) != len(self._params):
+            raise FitError(
+                f"got {len(grads)} gradients for {len(self._params)} parameters"
+            )
+        self._t += 1
+        b1, b2, t = self.beta1, self.beta2, self._t
+        bias1 = 1.0 - b1 ** t
+        bias2 = 1.0 - b2 ** t
+        for p, g, m, v in zip(self._params, grads, self._m, self._v):
+            g = np.asarray(g, dtype=np.float64)
+            if g.shape != p.shape:
+                raise FitError(
+                    f"gradient shape {g.shape} != parameter shape {p.shape}")
+            lr = self.lr.reshape((-1,) + (1,) * (p.ndim - 1))
+            m *= b1
+            m += (1.0 - b1) * g
+            v *= b2
+            v += (1.0 - b2) * g * g
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p -= lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def permute_rows(self, param_index: int, order: np.ndarray) -> None:
+        """Apply a per-lane permutation to one parameter's moments.
+
+        ``order`` is ``(K, n)``, row ``k`` being the permutation the
+        caller applied to lane ``k``'s parameter row (the fitter's
+        breakpoint sort).  An identity row is a bitwise no-op, so the
+        caller can apply the full batch unconditionally.
+        """
+        if not 0 <= param_index < len(self._params):
+            raise FitError(
+                f"param_index {param_index} out of range for "
+                f"{len(self._params)} parameters")
+        idx = np.asarray(order, dtype=np.intp)
+        p = self._params[param_index]
+        if idx.shape != p.shape:
+            raise FitError(
+                f"permutation shape {idx.shape} != parameter shape {p.shape}")
+        self._m[param_index] = np.take_along_axis(self._m[param_index], idx,
+                                                  axis=1)
+        self._v[param_index] = np.take_along_axis(self._v[param_index], idx,
+                                                  axis=1)
+
+    def permute_block(self, param_index: int, cols: slice,
+                      order: np.ndarray) -> None:
+        """Per-lane-permute the moments of a column block of one param.
+
+        For callers that pack several logical parameters into one block
+        array (the lane fitter packs breakpoints, values and edge slopes
+        into a single ``(K, 2n+2)`` tensor to cut per-step dispatch):
+        ``cols`` selects the logical sub-parameter whose moments must
+        follow an external permutation of its columns.
+        """
+        idx = np.asarray(order, dtype=np.intp)
+        for buf in (self._m[param_index], self._v[param_index]):
+            block = buf[:, cols]
+            if idx.shape != block.shape:
+                raise FitError(
+                    f"permutation shape {idx.shape} != block {block.shape}")
+            block[...] = np.take_along_axis(block, idx, axis=1)
+
+    def select(self, keep: np.ndarray, params: Sequence[np.ndarray]) -> None:
+        """Compact to the ``keep``-indexed lanes, rebinding parameters.
+
+        The caller compacts its parameter arrays (dropping converged
+        lanes) and hands the new arrays in; moments, learning rates and
+        the step counter carry over unchanged for the surviving lanes.
+        """
+        if len(params) != len(self._params):
+            raise FitError(
+                f"got {len(params)} parameters to rebind, "
+                f"expected {len(self._params)}")
+        self._params = [np.asarray(p) for p in params]
+        self.lr = self.lr[keep]
+        self._m = [m[keep] for m in self._m]
+        self._v = [v[keep] for v in self._v]
+        for p, m in zip(self._params, self._m):
+            if p.shape != m.shape:
+                raise FitError(
+                    f"rebound parameter shape {p.shape} != moment {m.shape}")

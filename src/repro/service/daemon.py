@@ -46,6 +46,7 @@ class ServiceConfig:
     claim_batch: int = 64                  # max jobs claimed per cycle
     use_shared_grids: bool = True
     warm_start: bool = True
+    lane_batch: bool = True                # lane-batch shape-compatible jobs
     requeue_stale_s: float = 600.0         # reclaim age for orphaned claims
     prune_results_s: float = 3600.0        # done/failed marker retention
 
@@ -65,6 +66,7 @@ class FitService:
             warm_start=self.config.warm_start,
             grid_provider=(self._grid_for_job
                            if self.config.use_shared_grids else None),
+            lane_batch=self.config.lane_batch,
         )
         self.processed = 0
         self.failed = 0

@@ -1,0 +1,136 @@
+"""Property tests: lane-batched fits vs sequential ``FlexSfuFitter.fit``.
+
+The lane engine's contract is *numerical equivalence*: for any batch of
+shape-compatible configurations, lane ``k``'s result must match the
+scalar fit of that configuration — same ``grid_mse`` (the acceptance
+bound is 1e-9 relative; the implementation is built to be bitwise),
+same winning init, same step/round counts, same PWL parameters.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fit import FitConfig, FlexSfuFitter
+from repro.core.lanefit import LaneTask, fit_lanes
+from repro.functions import registry as fn_registry
+
+#: Functions with pinned asymptotes on both sides (sigmoid, tanh),
+#: one learnable edge (exp has no right asymptote), and generic shapes.
+_FUNCTIONS = ("gelu", "tanh", "sigmoid", "silu", "exp", "softplus", "elu")
+
+_BOUNDARIES = (None, ("free", "free"), ("asymptote", "free"))
+
+
+def _assert_equivalent(tasks, lane_results, seq_results):
+    for task, lane, seq in zip(tasks, lane_results, seq_results):
+        label = f"{task.fn.name} / {task.config.n_breakpoints}bp"
+        assert lane.init_used == seq.init_used, label
+        assert lane.rounds == seq.rounds, label
+        assert lane.total_steps == seq.total_steps, label
+        assert lane.grid_mse == pytest.approx(seq.grid_mse, rel=1e-9), label
+        np.testing.assert_allclose(lane.pwl.breakpoints,
+                                   seq.pwl.breakpoints, rtol=1e-9,
+                                   err_msg=label)
+        np.testing.assert_allclose(lane.pwl.values, seq.pwl.values,
+                                   rtol=1e-9, atol=1e-12, err_msg=label)
+        assert lane.pwl.left_slope == pytest.approx(seq.pwl.left_slope,
+                                                    rel=1e-9, abs=1e-12)
+        assert lane.pwl.right_slope == pytest.approx(seq.pwl.right_slope,
+                                                     rel=1e-9, abs=1e-12)
+        assert lane.round_losses == pytest.approx(seq.round_losses,
+                                                  rel=1e-9)
+
+
+@st.composite
+def lane_batch(draw):
+    """A random shape-compatible batch of 2-5 lanes.
+
+    The shared shape (budget, steps, scheduler) is drawn once; each lane
+    draws its own function, boundary policy and (sometimes) interval.
+    Small ``min_lr``/``patience`` draws make some lanes converge and
+    freeze rounds before their neighbours.
+    """
+    n_bp = draw(st.integers(4, 8))
+    cfg = FitConfig(
+        n_breakpoints=n_bp,
+        grid_points=256,
+        max_steps=draw(st.integers(20, 90)),
+        refine_steps=draw(st.integers(10, 40)),
+        max_refine_rounds=draw(st.integers(0, 2)),
+        patience=draw(st.integers(3, 12)),
+        min_lr=draw(st.sampled_from([1e-5, 0.02])),  # 0.02 freezes early
+        polish=False,
+        init=draw(st.sampled_from(["uniform", "curvature", "auto"])),
+    )
+    k = draw(st.integers(2, 5))
+    tasks = []
+    for _ in range(k):
+        name = draw(st.sampled_from(_FUNCTIONS))
+        boundary = draw(st.sampled_from(_BOUNDARIES))
+        overrides = {}
+        if boundary is not None:
+            overrides["boundary_left"] = boundary[0]
+            overrides["boundary_right"] = boundary[1]
+        if draw(st.booleans()):
+            lo = draw(st.floats(min_value=-8.0, max_value=-2.0))
+            overrides["interval"] = (lo, lo + draw(
+                st.floats(min_value=4.0, max_value=12.0)))
+        from dataclasses import replace
+        tasks.append(LaneTask(fn=fn_registry.get(name),
+                              config=replace(cfg, **overrides)))
+    return tasks
+
+
+@settings(max_examples=8, deadline=None)
+@given(lane_batch())
+def test_lane_batch_matches_sequential(tasks):
+    lane_results = fit_lanes(tasks)
+    seq_results = [FlexSfuFitter(t.config).fit(t.fn) for t in tasks]
+    _assert_equivalent(tasks, lane_results, seq_results)
+
+
+def test_lane_batch_matches_sequential_with_polish_and_warm():
+    """Deterministic heavier case: polish on, pinned + learnable edges,
+    a warm-started lane, and a lane that freezes rounds early."""
+    from dataclasses import replace
+
+    cfg = FitConfig(n_breakpoints=8, grid_points=512, max_steps=150,
+                    refine_steps=60, max_refine_rounds=3,
+                    polish_maxiter=300)
+    tasks = [
+        LaneTask(fn=fn_registry.get("sigmoid"), config=cfg),  # both pinned
+        LaneTask(fn=fn_registry.get("exp"), config=cfg),      # right free
+        LaneTask(fn=fn_registry.get("gelu"),
+                 config=replace(cfg, boundary_left="free",
+                                boundary_right="free")),      # learnable
+        LaneTask(fn=fn_registry.get("tanh"),
+                 config=replace(cfg, interval=(-3.0, 3.0))),
+    ]
+    warm = FlexSfuFitter(replace(cfg, n_breakpoints=6)).fit(
+        fn_registry.get("tanh")).pwl
+    tasks.append(LaneTask(fn=fn_registry.get("tanh"), config=cfg,
+                          warm_start=warm))
+
+    lane_results = fit_lanes(tasks)
+    seq_results = [FlexSfuFitter(t.config).fit(t.fn,
+                                               warm_start=t.warm_start)
+                   for t in tasks]
+    assert lane_results[-1].init_used == "warm"
+    _assert_equivalent(tasks, lane_results, seq_results)
+
+
+def test_lane_converging_early_matches_sequential():
+    """A high min_lr freezes easy lanes (and compacts them out of the
+    batch) many steps before the hard ones; every lane must still match
+    its sequential twin exactly."""
+    cfg = FitConfig(n_breakpoints=6, grid_points=384, max_steps=400,
+                    refine_steps=80, max_refine_rounds=2, patience=5,
+                    min_lr=0.02, polish=False, init="uniform")
+    names = ("hardsigmoid", "gelu", "mish", "tanh", "relu6")
+    tasks = [LaneTask(fn=fn_registry.get(n), config=cfg) for n in names]
+    lane_results = fit_lanes(tasks)
+    seq_results = [FlexSfuFitter(t.config).fit(t.fn) for t in tasks]
+    # The point of the scenario: convergence happens at different steps.
+    assert len({r.total_steps for r in seq_results}) > 1
+    _assert_equivalent(tasks, lane_results, seq_results)
