@@ -12,23 +12,23 @@
 import numpy as np
 from dataclasses import replace
 
+from repro.api import FitRequest, Session
 from repro.core import build_tables, evaluate, msb_indexed_pwl, quadrature_mse
-from repro.core.batchfit import make_job
 from repro.core.fit import FitConfig
 from repro.eval import fmt_ratio, fmt_sci, format_table
 from repro.functions import GELU, SIGMOID, SILU, TANH
 from repro.hw.dtypes import FP16_T, FP32_T, HwDataType
-from repro.service import fit_many
 
 _CFG = FitConfig(n_breakpoints=16, max_steps=600, refine_steps=200,
                  max_refine_rounds=6, polish_maxiter=800, grid_points=2048)
 
 
-def _fit_batch(jobs):
-    """All ablation fits go through the shared fit service: a running
-    ``repro serve`` daemon picks them up; otherwise they fall back to a
-    local lane-batched ``BatchFitter`` against the same cache."""
-    return [r.pwl for r in fit_many(jobs)]
+def _fit_batch(requests):
+    """All ablation fits go through one auto Session: a running
+    ``repro serve`` daemon picks them up; otherwise they run on the
+    local pool / lane engines against the same cache."""
+    with Session() as session:
+        return [a.pwl for a in session.fit(requests)]
 
 
 def test_ablation_heuristics_and_polish(benchmark, report_writer):
@@ -41,7 +41,7 @@ def test_ablation_heuristics_and_polish(benchmark, report_writer):
             ("+ curvature init + polish (this repro)",
              replace(_CFG, init="auto", polish=True)),
         ]
-        pwls = _fit_batch([make_job(GELU, cfg.n_breakpoints, config=cfg)
+        pwls = _fit_batch([FitRequest.create(GELU, cfg.n_breakpoints, config=cfg)
                            for _, cfg in variants])
         return {name: evaluate(pwl, GELU).mse
                 for (name, _), pwl in zip(variants, pwls)}
@@ -63,7 +63,7 @@ def test_ablation_boundary_pinning(benchmark, report_writer):
     def run():
         variants = [("asymptote-pinned", ("asymptote", "asymptote")),
                     ("free edges", ("free", "free"))]
-        pwls = _fit_batch([make_job(SIGMOID, 8, config=_CFG, boundary=bounds)
+        pwls = _fit_batch([FitRequest.create(SIGMOID, 8, config=_CFG, boundary=bounds)
                            for _, bounds in variants])
         return {name: (quadrature_mse(pwl, SIGMOID, -8, 8),
                        quadrature_mse(pwl, SIGMOID, 8, 64))
@@ -86,7 +86,7 @@ def test_ablation_boundary_pinning(benchmark, report_writer):
 def test_ablation_bst_vs_msb_addressing(benchmark, report_writer):
     def run():
         fns = (TANH, GELU, SILU)
-        bsts = _fit_batch([make_job(fn, 17, config=_CFG) for fn in fns])
+        bsts = _fit_batch([FitRequest.create(fn, 17, config=_CFG) for fn in fns])
         rows = []
         for fn, bst in zip(fns, bsts):
             msb = msb_indexed_pwl(fn, address_bits=4)  # 17 BP, uniform grid
@@ -107,7 +107,7 @@ def test_ablation_bst_vs_msb_addressing(benchmark, report_writer):
 
 
 def test_ablation_table_precision(benchmark, report_writer):
-    [pwl] = _fit_batch([make_job(SILU, 15, config=_CFG)])
+    [pwl] = _fit_batch([FitRequest.create(SILU, 15, config=_CFG)])
     xs = np.linspace(-8, 8, 20001)
     exact = SILU(xs)
 

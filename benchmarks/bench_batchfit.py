@@ -16,11 +16,13 @@ for the perf trajectory; ``--bench-quick`` shrinks the sweep.
 """
 
 import time
+import warnings
 from dataclasses import replace
 
 import numpy as np
 
-from repro.core.batchfit import BatchFitter, FitCache, make_job
+from repro.api import EngineConfig, FitRequest, Session
+from repro.core.batchfit import FitCache
 from repro.core.boundary import BoundarySpec
 from repro.core.fit import FitConfig, fit_activation
 from repro.core.loss import GridLoss
@@ -92,26 +94,32 @@ def test_batch_engine_registry(report_writer, json_report_writer, tmp_path,
     cfg_old = replace(cfg_new, removal_scan="naive")
     n_bp = cfg_new.n_breakpoints
 
-    # Pre-PR behaviour: one process, one function at a time, naive scan.
+    # Pre-PR behaviour: one process, one function at a time, naive
+    # scan (the deprecated path, measured on purpose as the baseline).
     t0 = time.perf_counter()
-    old = {name: fit_activation(fn_registry.get(name), n_bp, config=cfg_old)
-           for name in names}
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        old = {name: fit_activation(fn_registry.get(name), n_bp,
+                                    config=cfg_old)
+               for name in names}
     t_old = time.perf_counter() - t0
 
     # New engine: fast scan, cold persistent cache, pooled when the
-    # machine has cores to spare.
-    jobs = [make_job(name, n_bp, config=cfg_new) for name in names]
-    fitter = BatchFitter(cache=FitCache(tmp_path / "fitcache"))
+    # machine has cores to spare (Session resolves the pool engine).
+    reqs = [FitRequest.create(name, n_bp, config=cfg_new) for name in names]
+    session = Session(EngineConfig(engine="pool"),
+                      cache=FitCache(tmp_path / "fitcache"))
     t0 = time.perf_counter()
-    cold = fitter.fit_all(jobs)
+    cold = session.fit(reqs)
     t_cold = time.perf_counter() - t0
-    assert not any(r.from_cache for r in cold)
+    assert not any(a.from_cache for a in cold)
 
     # Warm pass: everything served from the cache.
     t0 = time.perf_counter()
-    warm = fitter.fit_all(jobs)
+    warm = session.fit(reqs)
     t_warm = time.perf_counter() - t0
-    assert all(r.from_cache for r in warm)
+    session.close()
+    assert all(a.from_cache for a in warm)
 
     per_function = {}
     rows = []

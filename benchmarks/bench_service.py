@@ -26,12 +26,13 @@ from dataclasses import replace
 
 import numpy as np
 
-from repro.core.batchfit import BatchFitter, FitCache, make_job
+from repro.api import EngineConfig, FitRequest, Session
+from repro.core.batchfit import FitCache
 from repro.core.fit import FitConfig, grid_points_for
 from repro.core.loss import GridLoss
 from repro.eval import fmt_ratio, fmt_sci, format_table
 from repro.functions import GELU
-from repro.service import FitService, ServiceConfig, fit_many
+from repro.service import FitService, ServiceConfig
 from repro.service import shm as shm_mod
 from repro.service.shm import SharedGridPool, attach_grid
 
@@ -65,7 +66,7 @@ def test_shared_grid_setup(report_writer, json_report_writer, bench_quick):
     summary = {}
     for n_grid in ((4096, 8192) if bench_quick else (4096, 8192, 32768)):
         cfg = replace(_BENCH_CFG, grid_points=n_grid)
-        job = make_job(fn, 16, config=cfg)
+        job = FitRequest.create(fn, 16, config=cfg).job
         a, b = job.config.interval
         assert grid_points_for(job.config) == n_grid
 
@@ -122,10 +123,12 @@ def _job_plan(bench_quick):
 
 def _independent_client(plan, cache_dir, out_q):
     try:
-        jobs = [make_job(name, n, config=cfg) for name, n, cfg in plan]
-        fitter = BatchFitter(cache=FitCache(cache_dir))
-        results = fitter.fit_all(jobs)
-        out_q.put(("ok", sum(not r.from_cache for r in results)))
+        reqs = [FitRequest.create(name, n, config=cfg)
+                for name, n, cfg in plan]
+        with Session(EngineConfig(engine="pool"),
+                     cache=FitCache(cache_dir)) as session:
+            arts = session.fit(reqs)
+        out_q.put(("ok", sum(not a.from_cache for a in arts)))
     except BaseException as exc:  # a silent death would hang the bench
         out_q.put(("err", repr(exc)))
         raise
@@ -133,10 +136,13 @@ def _independent_client(plan, cache_dir, out_q):
 
 def _service_client(plan, root, cache_dir, out_q):
     try:
-        jobs = [make_job(name, n, config=cfg) for name, n, cfg in plan]
-        results = fit_many(jobs, root=root, cache=FitCache(cache_dir),
-                           fallback="error", timeout_s=600.0)
-        out_q.put(("ok", sum(r.source == "daemon" for r in results)))
+        reqs = [FitRequest.create(name, n, config=cfg)
+                for name, n, cfg in plan]
+        config = EngineConfig(service_root=root, fallback="error",
+                              timeout_s=600.0)
+        with Session(config, cache=FitCache(cache_dir)) as session:
+            arts = session.fit(reqs)
+        out_q.put(("ok", sum(a.engine == "daemon" for a in arts)))
     except BaseException as exc:
         out_q.put(("err", repr(exc)))
         raise
@@ -244,17 +250,17 @@ def test_warm_vs_cold_refit(report_writer, json_report_writer, tmp_path,
     summary = {}
     for seed_bp in seeds:
         refit_bp = seed_bp + 2  # the neighbouring budget of a sweep step
-        warm_fitter = BatchFitter(cache=FitCache(tmp_path / f"w{seed_bp}"),
-                                  use_processes=False)
-        cold_fitter = BatchFitter(cache=FitCache(tmp_path / f"c{seed_bp}"),
-                                  use_processes=False, warm_start=False)
+        # Quality guard off: this bench measures the *raw* warm path.
+        warm_session = Session(
+            EngineConfig(engine="lane", warm_quality_factor=None),
+            cache=FitCache(tmp_path / f"w{seed_bp}"))
+        cold_session = Session(
+            EngineConfig(engine="lane", warm_start=False),
+            cache=FitCache(tmp_path / f"c{seed_bp}"))
         for name in ("gelu", "silu"):
-            [seed] = warm_fitter.fit_all(
-                [make_job(name, seed_bp, config=_WARM_CFG)])
-            [warm] = warm_fitter.fit_all(
-                [make_job(name, refit_bp, config=_WARM_CFG)])
-            [cold] = cold_fitter.fit_all(
-                [make_job(name, refit_bp, config=_WARM_CFG)])
+            seed = warm_session.fit_one(name, seed_bp, config=_WARM_CFG)
+            warm = warm_session.fit_one(name, refit_bp, config=_WARM_CFG)
+            cold = cold_session.fit_one(name, refit_bp, config=_WARM_CFG)
             assert warm.init_used == "warm"
             assert cold.init_used in ("uniform", "curvature")
             # Acceptance: measurably fewer optimizer iterations at

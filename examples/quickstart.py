@@ -1,82 +1,93 @@
 #!/usr/bin/env python3
 """Quickstart: approximate GELU with a non-uniform PWL and inspect it.
 
-Runs the paper's core algorithm (Section IV) on GELU with 16 breakpoints,
-compares against the uniform baseline, and shows how to evaluate and
-serialise the result.
+Runs the paper's core algorithm (Section IV) on GELU through the one
+front door of the library — ``repro.api.Session`` — compares against
+the uniform baseline, and shows the canonical ``FitArtifact`` schema.
 
     python examples/quickstart.py
 
-Batch fitting and the persistent fit cache
-------------------------------------------
-Fitting many (function, budget) combinations one by one is slow.
-``repro.core.batchfit.BatchFitter`` runs a list of jobs through a process
-pool (in-process on single-core machines) and stores every finished fit
-in a persistent on-disk cache, so re-running this script — or any sweep,
-benchmark, or ``python -m repro fit-all`` invocation with the same
-configurations — reloads fits instead of recomputing them.
+Sessions, engines and the persistent fit cache
+----------------------------------------------
+A ``Session`` resolves every request against the persistent on-disk
+cache first (``$REPRO_CACHE_DIR/fits`` when set, else
+``~/.cache/repro-flexsfu/fits``), then executes the misses on a
+pluggable engine: ``inline`` (one scalar fit at a time), ``lane`` (the
+vectorised multi-lane kernel), ``pool`` (a process pool), or ``daemon``
+(the shared ``repro serve`` queue).  ``engine="auto"`` — the default —
+picks deterministically: daemon if one is heartbeating, else pool on
+multi-core machines, else lane.  All engines produce numerically
+identical artifacts, so the choice is purely operational.
 
-The cache lives in ``$REPRO_CACHE_DIR/fits`` when that environment
-variable is set, else ``~/.cache/repro-flexsfu/fits``.  Entries are keyed
-by a hash of the function name and every ``FitConfig`` field, so changing
-any hyper-parameter automatically misses the cache; delete the directory
-(or call ``FitCache.clear()``) to force refits.  See the
-``repro/core/batchfit.py`` module docstring for the full rules.
+Re-running this script reloads every fit from the cache: the second run
+prints ``[cache]`` for each artifact.
 """
 
 import numpy as np
 
-from repro import PiecewiseLinear, evaluate, fit_activation, uniform_pwl
-from repro.core.batchfit import BatchFitter, make_job
+from repro import PiecewiseLinear, evaluate, uniform_pwl
+from repro.api import FitRequest, Session
+from repro.core import FitConfig
 from repro.functions import GELU
+
+# Demo-weight settings so the script stays snappy (drop `config=CFG`
+# everywhere for the paper's full-strength fits).
+CFG = FitConfig(max_steps=400, refine_steps=150, max_refine_rounds=4,
+                polish_maxiter=600, grid_points=2048)
 
 
 def main() -> None:
-    # Fit: Adam (lr=0.1) + plateau scheduler + breakpoint removal/insertion.
-    result = fit_activation(GELU, n_breakpoints=16)
-    pwl = result.pwl
-    print(f"fitted {result.function} with {pwl.n_breakpoints} breakpoints "
-          f"in {result.total_steps} optimizer steps "
-          f"({result.rounds} remove/insert rounds, init={result.init_used})")
+    with Session() as session:   # engine="auto", persistent cache
+        # Fit: Adam (lr=0.1) + plateau scheduler + removal/insertion.
+        art = session.fit_one(GELU, n_breakpoints=16, config=CFG)
+        pwl = art.pwl
+        print(f"fitted {art.function} with {pwl.n_breakpoints} breakpoints "
+              f"in {art.total_steps} optimizer steps "
+              f"({art.rounds} remove/insert rounds, init={art.init_used}, "
+              f"engine={art.engine})")
 
-    # The optimizer concentrates breakpoints where GELU bends.
-    print("\nbreakpoints:")
-    print("  " + "  ".join(f"{p:+.3f}" for p in pwl.breakpoints))
-    gaps = np.diff(pwl.breakpoints)
-    print(f"segment widths: min {gaps.min():.3f}  max {gaps.max():.3f} "
-          f"(non-uniform by design)")
+        # The optimizer concentrates breakpoints where GELU bends.
+        print("\nbreakpoints:")
+        print("  " + "  ".join(f"{p:+.3f}" for p in pwl.breakpoints))
+        gaps = np.diff(pwl.breakpoints)
+        print(f"segment widths: min {gaps.min():.3f}  max {gaps.max():.3f} "
+              f"(non-uniform by design)")
 
-    # Error metrics vs the uniform baseline at the same budget.
-    ours = evaluate(pwl, GELU)
-    base = evaluate(uniform_pwl(GELU, 16), GELU)
-    print(f"\nMSE:  flex-sfu {ours.mse:.3e}   uniform {base.mse:.3e}   "
-          f"improvement {base.mse / ours.mse:.1f}x")
-    print(f"MAE:  flex-sfu {ours.mae:.3e}   uniform {base.mae:.3e}")
-    print(f"MSE in fp16 ULP^2 units: {ours.mse_in_fp16_ulp:.2f} "
-          f"(< 1.0 means below Fig. 5's float16 line)")
+        # Error metrics vs the uniform baseline at the same budget.
+        ours = evaluate(pwl, GELU)
+        base = evaluate(uniform_pwl(GELU, 16), GELU)
+        print(f"\nMSE:  flex-sfu {ours.mse:.3e}   uniform {base.mse:.3e}   "
+              f"improvement {base.mse / ours.mse:.1f}x")
+        print(f"MAE:  flex-sfu {ours.mae:.3e}   uniform {base.mae:.3e}")
+        print(f"MSE in fp16 ULP^2 units: {ours.mse_in_fp16_ulp:.2f} "
+              f"(< 1.0 means below Fig. 5's float16 line)")
 
-    # Evaluate like any callable; outside [-8, 8] the asymptote pinning
-    # keeps the approximation glued to GELU's tails.
-    xs = np.array([-20.0, -1.0, 0.0, 1.0, 20.0])
-    print("\n        x:", "  ".join(f"{v:+8.4f}" for v in xs))
-    print("  gelu(x):", "  ".join(f"{v:+8.4f}" for v in GELU(xs)))
-    print("   pwl(x):", "  ".join(f"{v:+8.4f}" for v in pwl(xs)))
+        # Evaluate like any callable; outside [-8, 8] the asymptote
+        # pinning keeps the approximation glued to GELU's tails.
+        xs = np.array([-20.0, -1.0, 0.0, 1.0, 20.0])
+        print("\n        x:", "  ".join(f"{v:+8.4f}" for v in xs))
+        print("  gelu(x):", "  ".join(f"{v:+8.4f}" for v in GELU(xs)))
+        print("   pwl(x):", "  ".join(f"{v:+8.4f}" for v in pwl(xs)))
 
-    # Serialise / restore.
-    blob = pwl.to_json()
-    restored = PiecewiseLinear.from_json(blob)
-    assert np.array_equal(restored(xs), pwl(xs))
-    print(f"\nserialised to {len(blob)} bytes of JSON and restored losslessly")
+        # The canonical FitArtifact document round-trips losslessly and
+        # is exactly what the cache stores and the daemon publishes.
+        doc = art.to_dict()
+        restored = PiecewiseLinear.from_dict(doc["entry"]["pwl"])
+        assert np.array_equal(restored(xs), pwl(xs))
+        print(f"\nartifact schema v{doc['schema']}: engine={doc['engine']}, "
+              f"grid_mse={doc['entry']['grid_mse']:.3e}, "
+              f"provenance={doc['provenance']}")
 
-    # Batch fitting: several functions at once through the parallel
-    # engine, persisted to the on-disk cache (see module docstring) —
-    # the second run of this script prints three cache hits.
-    jobs = [make_job(name, 8) for name in ("tanh", "sigmoid", "silu")]
-    results = BatchFitter().fit_all(jobs)
-    print("\nbatch fit (8 breakpoints each):")
-    for r in results:
-        source = "cache" if r.from_cache else f"fit in {r.wall_time_s:.1f}s"
-        print(f"  {r.job.function:8s} MSE {r.grid_mse:.3e}  [{source}]")
+        # A budget sweep: requests are canonicalised by FitRequest.create,
+        # deduplicated, lane-batched / pooled by the engine, and cached.
+        sweep = [FitRequest.create(name, 8, config=CFG)
+                 for name in ("tanh", "sigmoid", "silu")]
+        artifacts = session.fit(sweep)
+        print("\nbatch fit (8 breakpoints each):")
+        for a in artifacts:
+            source = "cache" if a.from_cache else \
+                f"{a.engine} in {a.wall_time_s:.1f}s"
+            print(f"  {a.function:8s} MSE {a.grid_mse:.3e}  [{source}]")
 
 
 if __name__ == "__main__":

@@ -12,15 +12,21 @@ experiment harness regenerating every table and figure
 
 Quickstart::
 
-    from repro import fit_activation, functions
+    from repro.api import Session
 
-    result = fit_activation(functions.GELU, n_breakpoints=16)
-    print(result.pwl.breakpoints)      # MSE-optimal knot locations
-    y = result.pwl(x)                  # evaluate the approximation
+    with Session() as s:                       # cached, engine="auto"
+        art = s.fit_one("gelu", n_breakpoints=16)
+    print(art.pwl.breakpoints)         # MSE-optimal knot locations
+    y = art.pwl(x)                     # evaluate the approximation
+
+:mod:`repro.api` is the one front door to the fitting subsystem; the
+older entry points (``fit_activation`` & co) remain as deprecated
+shims — see the migration table in the README.
 """
 
-from . import core, functions, graph, hw, numerics, optim, perf, zoo
+from . import api, core, functions, graph, hw, numerics, optim, perf, zoo
 from . import eval as eval_  # "eval" shadows the builtin; alias available
+from .api import EngineConfig, FitArtifact, FitRequest, Session
 from .core import (
     BatchFitter,
     FitCache,
@@ -47,6 +53,7 @@ from .hw import FlexSfuUnit, HwDataType
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
     "core",
     "functions",
     "numerics",
@@ -56,6 +63,10 @@ __all__ = [
     "zoo",
     "perf",
     "eval_",
+    "Session",
+    "EngineConfig",
+    "FitRequest",
+    "FitArtifact",
     "fit_activation",
     "FlexSfuFitter",
     "FitConfig",

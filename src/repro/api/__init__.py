@@ -1,0 +1,58 @@
+"""``repro.api`` — the one front door to the fitting subsystem.
+
+Three PRs of growth left five ways to fit a PWL approximation with four
+incompatible result types.  This package replaces them all:
+
+* :class:`Session` — the façade: cache lookups, warm seeds + quality
+  guard, engine resolution, artifact persistence;
+* :class:`Engine` (protocol) with :class:`InlineEngine`,
+  :class:`LaneEngine`, :class:`PoolEngine`, :class:`DaemonEngine` —
+  pluggable execution backends producing numerically identical results;
+* :class:`EngineConfig` — the single policy object subsuming the old
+  ``lane_batch`` / ``--no-lane-batch`` / ``REPRO_MAX_WORKERS`` scatter
+  (:meth:`EngineConfig.resolve_workers` is the one worker-count rule);
+* :class:`FitRequest` / :class:`FitArtifact` — the canonical,
+  losslessly-serialisable request/result pair that the cache, the job
+  queue, and the daemon all speak.
+
+The legacy entry points (``fit_activation``, ``FlexSfuFitter.fit``,
+``fit_pwl_cached``, ``BatchFitter.fit_all`` + ``make_job``,
+``repro.service.fit_many``) remain as deprecated shims; the README's
+migration table maps each onto its Session equivalent.
+
+Importing this package is side-effect-light by design: no scipy (or any
+plotting stack) is loaded until a fit actually runs — the public
+surface test enforces it.
+"""
+
+from .artifact import ARTIFACT_SCHEMA_VERSION, FitArtifact
+from .config import (ENGINE_AUTO, ENGINE_DAEMON, ENGINE_INLINE, ENGINE_LANE,
+                     ENGINE_NAMES, ENGINE_POOL, FALLBACK_ERROR,
+                     FALLBACK_LOCAL, EngineConfig)
+from .engines import (DaemonEngine, Engine, InlineEngine, LaneEngine,
+                      PoolEngine, create_engine)
+from .request import FitRequest
+from .session import Session, fit
+
+__all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "DaemonEngine",
+    "ENGINE_AUTO",
+    "ENGINE_DAEMON",
+    "ENGINE_INLINE",
+    "ENGINE_LANE",
+    "ENGINE_NAMES",
+    "ENGINE_POOL",
+    "Engine",
+    "EngineConfig",
+    "FALLBACK_ERROR",
+    "FALLBACK_LOCAL",
+    "FitArtifact",
+    "FitRequest",
+    "InlineEngine",
+    "LaneEngine",
+    "PoolEngine",
+    "Session",
+    "create_engine",
+    "fit",
+]

@@ -1,0 +1,387 @@
+"""``Session`` — the one front door to the fitting subsystem.
+
+A Session owns the policy around fitting: cache lookups (and the
+exact-PWL native shortcut), warm-seed selection, the warm-start quality
+guard, engine resolution, and artifact persistence.  The *execution* of
+cache misses is delegated to a pluggable :class:`~repro.api.engines
+.Engine` — inline scalar, lane-batched, process pool, or the shared
+daemon — all of which produce numerically identical artifacts, so the
+engine choice is purely an operational decision.
+
+Typical use::
+
+    from repro.api import FitRequest, Session
+
+    with Session() as s:                       # engine="auto"
+        art = s.fit_one("gelu", n_breakpoints=16)
+        print(art.grid_mse, art.engine, art.from_cache)
+
+        sweep = [FitRequest.create("tanh", n) for n in (8, 16, 32)]
+        artifacts = s.fit(sweep)
+
+Engine resolution (``engine="auto"``) is deterministic: the daemon when
+one is heartbeating on the configured queue, else the process pool when
+more than one worker resolves (see
+:meth:`EngineConfig.resolve_workers`), else the in-process lane engine
+(or the scalar inline engine with ``lane_batch=False``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.batchfit import FitCache, FitJob, default_cache, native_entry
+from ..errors import FitError, ServiceError
+from ..functions.base import ActivationFunction
+from .artifact import FitArtifact
+from .config import (ENGINE_AUTO, ENGINE_DAEMON, ENGINE_INLINE, ENGINE_LANE,
+                     ENGINE_POOL, FALLBACK_ERROR, FALLBACK_LOCAL,
+                     EngineConfig)
+from .engines import Engine, create_engine
+from .request import FitRequest
+
+#: What :meth:`Session.fit` accepts per element.
+RequestLike = Union[FitRequest, FitJob]
+
+
+class Session:
+    """Facade over caching, engine selection, and artifact provenance.
+
+    ``engine`` is an engine name (``"auto"`` / ``"inline"`` / ``"lane"``
+    / ``"pool"`` / ``"daemon"``) or a full :class:`EngineConfig`.
+    ``cache`` is a :class:`~repro.core.batchfit.FitCache`, a directory
+    path for one, or ``None`` for the process-wide default (which
+    follows ``REPRO_CACHE_DIR``); ``use_cache=False`` disables the
+    persistent cache entirely (every fit runs, nothing is stored).
+    """
+
+    def __init__(self,
+                 engine: Union[str, EngineConfig, None] = None,
+                 cache: Union[FitCache, str, Path, None] = None,
+                 use_cache: bool = True) -> None:
+        if isinstance(engine, EngineConfig):
+            self.config = engine
+        else:
+            self.config = EngineConfig(engine=engine or ENGINE_AUTO)
+        if isinstance(cache, (str, Path)):
+            cache = FitCache(cache)
+        self._cache = cache
+        self.use_cache = use_cache
+        self._engines: Dict[str, Engine] = {}
+
+    # ------------------------------------------------------------------ #
+    # Resources
+    # ------------------------------------------------------------------ #
+    @property
+    def cache(self) -> Optional[FitCache]:
+        """The active cache (``None`` with ``use_cache=False``).
+
+        Resolved lazily so a default-cache Session follows
+        ``REPRO_CACHE_DIR`` changes, like every legacy entry point did.
+        """
+        if not self.use_cache:
+            return None
+        return self._cache if self._cache is not None else default_cache()
+
+    def engine(self, name: Optional[str] = None) -> Engine:
+        """The (memoised) engine instance for ``name``.
+
+        ``None`` resolves the session's configured engine for a
+        single-request batch.
+        """
+        if name is None:
+            name = self.resolve_engine_name(1, strict=False)
+        got = self._engines.get(name)
+        if got is None:
+            got = create_engine(name, self.config)
+            self._engines[name] = got
+        return got
+
+    def resolve_engine_name(self, n_requests: int = 1,
+                            strict: bool = True) -> str:
+        """The concrete engine an ``"auto"`` session would use now.
+
+        With ``strict=True`` and ``fallback="error"``, an unreachable
+        daemon raises :class:`~repro.errors.ServiceError` instead of
+        resolving locally — how deployments assert that nothing ever
+        fits outside the shared pool.
+        """
+        cfg = self.config
+        if cfg.engine != ENGINE_AUTO:
+            return cfg.engine
+        daemon = self.engine(ENGINE_DAEMON)
+        if daemon.alive():
+            return ENGINE_DAEMON
+        if strict and cfg.fallback == FALLBACK_ERROR:
+            raise ServiceError(
+                f"no fit daemon is serving "
+                f"{daemon.capabilities()['root']} and fallback='error' "
+                f"({n_requests} requests unfitted)")
+        return self._local_engine_name(n_requests)
+
+    def _local_engine_name(self, n_requests: int) -> str:
+        cfg = self.config
+        if n_requests > 1 and cfg.resolve_workers(n_requests) > 1:
+            return ENGINE_POOL
+        return ENGINE_LANE if cfg.lane_batch else ENGINE_INLINE
+
+    def capabilities(self) -> Dict:
+        """The resolved engine's capabilities plus session policy."""
+        engine = self.engine(self.resolve_engine_name(1, strict=False))
+        out = dict(engine.capabilities())
+        out.update({
+            "configured_engine": self.config.engine,
+            "cache": (str(self.cache.directory)
+                      if self.cache is not None else None),
+            "warm_start": self.config.warm_start,
+            "warm_quality_factor": self.config.warm_quality_factor,
+        })
+        return out
+
+    def close(self) -> None:
+        """Release every engine this session created (idempotent)."""
+        for engine in self._engines.values():
+            engine.close()
+        self._engines.clear()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Fitting
+    # ------------------------------------------------------------------ #
+    def fit_one(self,
+                fn: Union[RequestLike, str, ActivationFunction],
+                n_breakpoints: int = 16,
+                interval: Optional[Tuple[float, float]] = None,
+                config=None,
+                boundary: Optional[Tuple[str, str]] = None) -> FitArtifact:
+        """Fit a single request (built via :meth:`FitRequest.create`
+        when ``fn`` is a function / name rather than a request)."""
+        if isinstance(fn, (FitRequest, FitJob)):
+            request: RequestLike = fn
+        else:
+            request = FitRequest.create(fn, n_breakpoints, interval=interval,
+                                        config=config, boundary=boundary)
+        [artifact] = self.fit([request])
+        return artifact
+
+    def fit(self, requests: Sequence[RequestLike]) -> List[FitArtifact]:
+        """Fit every request; canonical artifacts in input order.
+
+        Identical requests are deduplicated (and return the same
+        artifact object); cache hits and exact-PWL natives never reach
+        the engine.
+        """
+        reqs = [req if isinstance(req, FitRequest) else
+                FitRequest.from_job(req) for req in requests]
+        keys = [req.key for req in reqs]
+
+        artifacts: Dict[str, FitArtifact] = {}
+        misses: Dict[str, FitRequest] = {}
+        cache = self.cache
+        for req, key in zip(reqs, keys):
+            if key in artifacts or key in misses:
+                continue
+            if cache is not None:
+                hit = cache.get(key)
+                if hit is not None:
+                    artifacts[key] = FitArtifact.from_entry(
+                        hit, key=key, engine="cache", from_cache=True,
+                        provenance={"source": "cache"})
+                    continue
+            native = native_entry(req.job)
+            if native is not None:
+                if cache is not None:
+                    cache.put(key, native)
+                artifacts[key] = FitArtifact.from_entry(
+                    native, key=key, engine="native")
+                continue
+            misses[key] = req
+        if misses:
+            artifacts.update(self._fit_misses(misses))
+        return [artifacts[key] for key in keys]
+
+    # ------------------------------------------------------------------ #
+    # Miss execution
+    # ------------------------------------------------------------------ #
+    def _warm_seeds(self, keys: List[str], reqs: List[FitRequest]
+                    ) -> Tuple[List[Optional[Dict]], List[Optional[str]]]:
+        """Near-miss warm seeds per request, plus each seed's lineage.
+
+        Returns ``(seeds, warm_keys)``: the PWL seed documents
+        (``None`` = cold) and the cache keys of the neighbouring
+        entries they came from (what
+        ``provenance["warm_key"]`` records).
+        """
+        cache = self.cache
+        seeds: List[Optional[Dict]] = [None] * len(reqs)
+        warm_keys: List[Optional[str]] = [None] * len(reqs)
+        if not self.config.warm_start or cache is None:
+            return seeds, warm_keys
+        for i, (key, req) in enumerate(zip(keys, reqs)):
+            near = cache.nearest_with_key(req.job, exclude_key=key)
+            if near is not None:
+                warm_keys[i], entry = near
+                seeds[i] = entry.pwl.to_dict()
+        return seeds, warm_keys
+
+    def _fit_misses(self, misses: Dict[str, FitRequest]
+                    ) -> Dict[str, FitArtifact]:
+        cfg = self.config
+        cache = self.cache
+        keys = list(misses)
+        reqs = list(misses.values())
+
+        name = self.resolve_engine_name(len(reqs))
+        engine = self.engine(name)
+        # The daemon owns its own warm-seed lookup (it sees the whole
+        # shared cache); local engines get seeds picked here.
+        if name == ENGINE_DAEMON:
+            seeds: List[Optional[Dict]] = [None] * len(reqs)
+            warm_keys: List[Optional[str]] = [None] * len(reqs)
+        else:
+            seeds, warm_keys = self._warm_seeds(keys, reqs)
+        errors: Dict[str, str] = {}
+        try:
+            results = engine.fit(reqs, warm=seeds)
+        except ServiceError:
+            if name != ENGINE_DAEMON or cfg.fallback != FALLBACK_LOCAL:
+                raise
+            # Daemon vanished / timed out mid-wait: everything falls
+            # through to the local path below.
+            results = [None] * len(reqs)
+            engine.last_errors.clear()
+        else:
+            for i, reason in engine.last_errors.items():
+                errors[keys[i]] = reason
+
+        pending = [i for i, art in enumerate(results) if art is None]
+        if pending and name == ENGINE_DAEMON:
+            if cfg.fallback != FALLBACK_LOCAL:
+                first = errors.get(keys[pending[0]], "daemon unavailable")
+                raise ServiceError(
+                    f"{len(pending)} fit job(s) failed in the daemon, "
+                    f"e.g. {keys[pending[0]][:16]}…: {first}")
+            errors = {}
+            # The daemon may have finished (and persisted) part of the
+            # batch before dying — serve those from the cache instead
+            # of refitting them locally.
+            still: List[int] = []
+            for i in pending:
+                hit = cache.get(keys[i]) if cache is not None else None
+                if hit is not None:
+                    results[i] = FitArtifact.from_entry(
+                        hit, key=keys[i], engine="cache", from_cache=True,
+                        provenance={"source": "cache"})
+                else:
+                    still.append(i)
+            if still:
+                local = self.engine(self._local_engine_name(len(still)))
+                sub_reqs = [reqs[i] for i in still]
+                sub_keys = [keys[i] for i in still]
+                sub_seeds, sub_warm = self._warm_seeds(sub_keys, sub_reqs)
+                sub = local.fit(sub_reqs, warm=sub_seeds)
+                for j, i in enumerate(still):
+                    results[i] = sub[j]
+                    seeds[i] = sub_seeds[j]
+                    warm_keys[i] = sub_warm[j]
+                    if sub[j] is not None:
+                        results[i].provenance["source"] = "local-fallback"
+                for j, reason in local.last_errors.items():
+                    errors[sub_keys[j]] = reason
+
+        out: Dict[str, FitArtifact] = {}
+        for i, (key, req) in enumerate(zip(keys, reqs)):
+            art = results[i]
+            if art is None:
+                continue
+            if warm_keys[i] is not None and not art.from_cache:
+                art.provenance.setdefault("warm_key", warm_keys[i])
+            art = self._warm_guard(req, art)
+            # Persist before surfacing any batchmate's failure, so a
+            # retrying caller hits the cache for the survivors.  Skip
+            # the write when the daemon already shares this directory
+            # (identical entry) — unless the guard kept a better fit.
+            if cache is not None:
+                forced = art.provenance.get("warm_fallback", {}) \
+                    .get("kept") == "cold"
+                if forced or cache.get(key) is None:
+                    cache.put(key, art.to_entry())
+            out[key] = art
+        if errors:
+            key, reason = next(iter(errors.items()))
+            raise FitError(
+                f"{len(errors)} of {len(reqs)} fit jobs failed; "
+                f"first: {misses[key].function!r} ({reason})")
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Warm-start quality guard
+    # ------------------------------------------------------------------ #
+    def _warm_guard(self, req: FitRequest, art: FitArtifact) -> FitArtifact:
+        """Re-fit cold when a warm-started fit looks suspiciously bad.
+
+        Warm starts skip the cold uniform/curvature init race, so their
+        quality depends mildly on cache contents and sweep order.  When
+        the warm artifact's grid MSE exceeds ``warm_quality_factor``
+        times the free-knot optimal-MSE bound (the same yardstick
+        ``repro.core.analysis.assess_fit`` uses), the better of a cold
+        re-fit and the warm fit is kept; either way the verdict lands
+        in the artifact's provenance.
+        """
+        factor = self.config.warm_quality_factor
+        if factor is None or art.init_used != "warm":
+            return art
+        from ..core.analysis import optimal_mse_bound
+        try:
+            fn = req.resolve()
+            cfg = req.config
+            a, b = (cfg.interval if cfg.interval is not None
+                    else fn.default_interval)
+            bound = optimal_mse_bound(fn, art.pwl.n_segments, (a, b))
+        except Exception:
+            return art  # un-assessable target: keep the warm fit
+        if not np.isfinite(bound) or bound <= 0.0:
+            return art
+        if art.grid_mse <= factor * bound:
+            return art
+
+        local = self.engine(self._local_engine_name(1))
+        [cold] = local.fit([req], warm=[None])
+        verdict = {"warm_mse": art.grid_mse, "bound": bound,
+                   "factor": factor}
+        if cold is None:
+            verdict.update({"kept": "warm",
+                            "cold_error": local.last_errors.get(0, "?")})
+            art.provenance["warm_fallback"] = verdict
+            return art
+        verdict["cold_mse"] = cold.grid_mse
+        if cold.grid_mse < art.grid_mse:
+            verdict["kept"] = "cold"
+            cold.provenance["warm_fallback"] = verdict
+            return cold
+        verdict["kept"] = "warm"
+        art.provenance["warm_fallback"] = verdict
+        return art
+
+
+def fit(fn, n_breakpoints: int = 16,
+        interval: Optional[Tuple[float, float]] = None,
+        config=None,
+        boundary: Optional[Tuple[str, str]] = None,
+        engine: Union[str, EngineConfig, None] = None) -> FitArtifact:
+    """One-shot convenience: fit through a throwaway default Session."""
+    with Session(engine=engine) as session:
+        return session.fit_one(fn, n_breakpoints, interval=interval,
+                               config=config, boundary=boundary)
+
+
+# Re-exported names the module docstring references.
+__all__ = ["ENGINE_INLINE", "RequestLike", "Session", "fit"]

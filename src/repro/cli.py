@@ -27,7 +27,8 @@ import sys
 import time
 from typing import List, Optional
 
-from .core import build_tables, evaluate, fit_activation
+from .api import ENGINE_NAMES, EngineConfig, FitRequest, Session
+from .core import build_tables, evaluate
 from .core.analysis import assess_fit, optimal_mse_bound
 from .eval import fmt_ratio, fmt_sci, format_table
 from .eval.plots import breakpoint_strip, hbar_chart, log_line_chart
@@ -35,23 +36,46 @@ from .functions import registry as fn_registry
 from .hw.dtypes import HwDataType, fixed_for_range
 
 
+def _session_from_args(args: argparse.Namespace) -> Session:
+    """Build the command's Session from the shared engine flags.
+
+    The legacy ``--serial`` / ``--no-lane-batch`` / ``--workers``
+    scatter maps onto one :class:`EngineConfig`; ``--engine`` names a
+    strategy explicitly and wins over the legacy flags.
+    """
+    engine = getattr(args, "engine", None) or "auto"
+    if engine == "auto" and getattr(args, "serial", False):
+        engine = "lane" if not getattr(args, "no_lane_batch", False) \
+            else "inline"
+    config = EngineConfig(
+        engine=engine,
+        max_workers=getattr(args, "workers", None),
+        lane_batch=not getattr(args, "no_lane_batch", False))
+    cache_dir = getattr(args, "cache_dir", None)
+    return Session(config, cache=cache_dir)
+
+
 def _cmd_fit(args: argparse.Namespace) -> int:
     fn = fn_registry.get(args.function)
     interval = (args.lo, args.hi) if args.lo is not None else None
-    result = fit_activation(fn, n_breakpoints=args.breakpoints,
-                            interval=interval)
-    m = evaluate(result.pwl, fn, interval)
+    artifact = _session_from_args(args).fit_one(
+        fn, n_breakpoints=args.breakpoints, interval=interval)
+    if args.json:
+        # The canonical FitArtifact document — the same schema the
+        # cache and the daemon speak, so shell pipelines can consume it.
+        print(json.dumps(artifact.to_dict(), indent=2))
+        return 0
+    m = evaluate(artifact.pwl, fn, interval)
     a, b = m.interval
-    print(f"{fn.name}: {args.breakpoints} breakpoints on [{a:g}, {b:g}]")
+    print(f"{fn.name}: {args.breakpoints} breakpoints on [{a:g}, {b:g}]  "
+          f"[{'cache' if artifact.from_cache else artifact.engine}]")
     print(f"  MSE {fmt_sci(m.mse)}   MAE {fmt_sci(m.mae)}   "
           f"AAE {fmt_sci(m.aae)}")
-    quality = assess_fit(result.pwl, fn, (a, b))
+    quality = assess_fit(artifact.pwl, fn, (a, b))
     print(f"  optimality gap vs free-knot bound: "
           f"{quality.optimality_gap:.2f}x")
-    print(breakpoint_strip(result.pwl.breakpoints, a, b,
+    print(breakpoint_strip(artifact.pwl.breakpoints, a, b,
                            title="  breakpoint placement:"))
-    if args.json:
-        print(result.pwl.to_json())
     return 0
 
 
@@ -66,7 +90,6 @@ def _csv_ints(text: str) -> List[int]:
 
 def _cmd_fit_all(args: argparse.Namespace) -> int:
     from .core import FitConfig
-    from .core.batchfit import BatchFitter, FitCache, make_job
 
     names = (args.functions.split(",") if args.functions
              else list(fn_registry.available()))
@@ -74,35 +97,29 @@ def _cmd_fit_all(args: argparse.Namespace) -> int:
     base = FitConfig(max_steps=150, refine_steps=60, max_refine_rounds=2,
                      polish_maxiter=200, grid_points=1024) \
         if args.quick else None
-    jobs = [make_job(name, n, config=base) for name in names for n in budgets]
-    cache = FitCache(args.cache_dir) if args.cache_dir else None
-    fitter = BatchFitter(cache=cache, max_workers=args.workers,
-                         use_processes=not args.serial,
-                         lane_batch=not args.no_lane_batch)
+    requests = [FitRequest.create(name, n, config=base)
+                for name in names for n in budgets]
+    session = _session_from_args(args)
     t0 = time.perf_counter()
-    results = fitter.fit_all(jobs)
+    artifacts = session.fit(requests)
     elapsed = time.perf_counter() - t0
+    session.close()
 
     if args.json:
-        payload = [{
-            "function": r.job.function,
-            "n_breakpoints": r.job.config.n_breakpoints,
-            "grid_mse": r.grid_mse,
-            "from_cache": r.from_cache,
-            "wall_time_s": r.wall_time_s,
-            "pwl": r.pwl.to_dict(),
-        } for r in results]
-        print(json.dumps({"elapsed_s": elapsed, "results": payload},
+        # One canonical FitArtifact document per job — identical to the
+        # `repro fit --json` schema and to what the cache stores.
+        print(json.dumps({"elapsed_s": elapsed,
+                          "results": [a.to_dict() for a in artifacts]},
                          indent=2))
         return 0
 
-    rows = [[r.job.function, r.job.config.n_breakpoints,
-             fmt_sci(r.grid_mse), "cache" if r.from_cache else "fit",
-             f"{r.wall_time_s:.2f}"] for r in results]
-    hits = sum(r.from_cache for r in results)
+    rows = [[a.function, a.config.n_breakpoints,
+             fmt_sci(a.grid_mse), "cache" if a.from_cache else a.engine,
+             f"{a.wall_time_s:.2f}"] for a in artifacts]
+    hits = sum(a.from_cache for a in artifacts)
     print(format_table(
         ["function", "#BP", "grid MSE", "source", "fit s"], rows,
-        title=f"batch fit: {len(results)} jobs in {elapsed:.1f}s "
+        title=f"batch fit: {len(artifacts)} jobs in {elapsed:.1f}s "
               f"({hits} cache hits)"))
     return 0
 
@@ -176,7 +193,8 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 def _cmd_table(args: argparse.Namespace) -> int:
     fn = fn_registry.get(args.function)
-    result = fit_activation(fn, n_breakpoints=args.breakpoints)
+    with Session() as session:
+        result = session.fit_one(fn, n_breakpoints=args.breakpoints)
     if args.format.startswith("fp"):
         dtype = HwDataType.float(int(args.format[2:]))
     else:
@@ -292,8 +310,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_fit.add_argument("-n", "--breakpoints", type=int, default=16)
     p_fit.add_argument("--lo", type=float, default=None)
     p_fit.add_argument("--hi", type=float, default=None)
+    p_fit.add_argument("--engine", choices=ENGINE_NAMES, default=None,
+                       help="execution engine (default: auto)")
+    p_fit.add_argument("--cache-dir", default=None,
+                       help="fit cache directory (default: "
+                            "$REPRO_CACHE_DIR or ~/.cache/repro-flexsfu)")
     p_fit.add_argument("--json", action="store_true",
-                       help="also print the PWL as JSON")
+                       help="print the canonical FitArtifact document "
+                            "(the cache/daemon schema) instead of text")
     p_fit.set_defaults(func=_cmd_fit)
 
     p_fit_all = sub.add_parser(
@@ -303,10 +327,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_fit_all.add_argument("-n", "--breakpoints", default=[16],
                            type=_csv_ints,
                            help="comma-separated budgets (default: 16)")
+    p_fit_all.add_argument("--engine", choices=ENGINE_NAMES, default=None,
+                           help="execution engine (default: auto; wins "
+                                "over --serial / --no-lane-batch)")
     p_fit_all.add_argument("--workers", type=int, default=None,
-                           help="process-pool size (default: CPU count)")
+                           help="process-pool size (default: "
+                                "$REPRO_MAX_WORKERS or CPU count)")
     p_fit_all.add_argument("--serial", action="store_true",
-                           help="run in-process instead of a process pool")
+                           help="legacy alias: run in-process "
+                                "(engine=lane, or inline with "
+                                "--no-lane-batch)")
     p_fit_all.add_argument("--no-lane-batch", action="store_true",
                            help="disable the vectorised multi-lane fit "
                                 "kernel (one scalar fit per job)")
@@ -316,7 +346,8 @@ def build_parser() -> argparse.ArgumentParser:
                            help="fit cache directory (default: "
                                 "$REPRO_CACHE_DIR or ~/.cache/repro-flexsfu)")
     p_fit_all.add_argument("--json", action="store_true",
-                           help="emit a machine-readable JSON summary")
+                           help="emit one canonical FitArtifact document "
+                                "per job (the cache/daemon schema)")
     p_fit_all.set_defaults(func=_cmd_fit_all)
 
     p_serve = sub.add_parser(

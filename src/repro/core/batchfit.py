@@ -1,5 +1,11 @@
 """Parallel batch fitting with a persistent on-disk fit cache.
 
+(Infrastructure layer: the public front door is
+:class:`repro.api.Session`, whose engines run on this module's job /
+cache / pool machinery.  ``BatchFitter.fit_all`` and ``make_job`` are
+deprecated shims kept for pre-``repro.api`` callers; the daemon still
+drives :meth:`BatchFitter.run` directly.)
+
 The fitting loop (Adam + plateau scheduler + removal/insertion, Section
 IV) is this reproduction's hot path, and every sweep — Fig. 5's budget
 grid, Table II's per-row configurations, Table III's budgets x zoo
@@ -75,6 +81,7 @@ from pathlib import Path
 from typing import (TYPE_CHECKING, Callable, Dict, List, Optional, Sequence,
                     Tuple, Union)
 
+from ..deprecation import warn_legacy
 from ..errors import FitError
 from ..functions.base import ActivationFunction
 from .fit import FitConfig, FlexSfuFitter, grid_points_for
@@ -113,7 +120,27 @@ def make_job(fn: Union[str, ActivationFunction, "FunctionSpec"],
              interval: Optional[Tuple[float, float]] = None,
              config: Optional[FitConfig] = None,
              boundary: Optional[Tuple[str, str]] = None) -> FitJob:
+    """Deprecated; use :meth:`repro.api.FitRequest.create`.
+
+    ``FitRequest.create`` is the one canonical construction path for
+    fit requests (same folding rules, same cache keys); a request's
+    ``.job`` property recovers this function's :class:`FitJob` when a
+    legacy interface still needs one.
+    """
+    warn_legacy("make_job", "repro.api.FitRequest.create")
+    return canonical_job(fn, n_breakpoints, interval=interval,
+                         config=config, boundary=boundary)
+
+
+def canonical_job(fn: Union[str, ActivationFunction, "FunctionSpec"],
+                  n_breakpoints: int,
+                  interval: Optional[Tuple[float, float]] = None,
+                  config: Optional[FitConfig] = None,
+                  boundary: Optional[Tuple[str, str]] = None) -> FitJob:
     """Canonicalise a fit request into a :class:`FitJob`.
+
+    (The engine-room behind :meth:`repro.api.FitRequest.create` — new
+    code should construct requests there.)
 
     ``fn`` may be a registry name, an :class:`ActivationFunction`, or a
     :class:`~repro.service.spec.FunctionSpec`.  Activation objects that
@@ -202,8 +229,16 @@ def fit_cache_key(job: FitJob) -> str:
 
 
 def config_to_dict(config: FitConfig) -> Dict:
-    """JSON-serialisable form of a :class:`FitConfig`."""
-    return asdict(config)
+    """JSON-serialisable form of a :class:`FitConfig`.
+
+    JSON-*native* types only (the interval tuple becomes a list), so a
+    document compares equal before and after a real JSON round-trip —
+    the artifact schema's losslessness test relies on it.
+    """
+    doc = asdict(config)
+    if doc.get("interval") is not None:
+        doc["interval"] = [float(x) for x in doc["interval"]]
+    return doc
 
 
 def config_from_dict(d: Dict) -> FitConfig:
@@ -683,6 +718,18 @@ class FitCache:
         count as distance 1.  Entries further than ``max_distance`` are
         worse seeds than a cold curvature init and are ignored.
         """
+        got = self.nearest_with_key(job, exclude_key=exclude_key,
+                                    max_distance=max_distance)
+        return got[1] if got is not None else None
+
+    def nearest_with_key(self, job: FitJob, exclude_key: Optional[str] = None,
+                         max_distance: float = 1.25
+                         ) -> Optional[Tuple[str, CachedFit]]:
+        """:meth:`nearest` plus the winning entry's cache key.
+
+        The key is the neighbour's identity — what warm-start lineage
+        records in ``FitArtifact.provenance["warm_key"]``.
+        """
         cfg = job.config
         if cfg.interval is None:
             return None
@@ -711,7 +758,8 @@ class FitCache:
                 best_key = key
         if best_key is None:
             return None
-        return self.get(best_key)
+        entry = self.get(best_key)
+        return (best_key, entry) if entry is not None else None
 
 
 _DEFAULT_CACHES: Dict[Path, FitCache] = {}
@@ -786,8 +834,8 @@ def _run_job(job: FitJob, warm: Optional[Dict] = None,
     """
     t0 = time.perf_counter()
     task = _lane_task(job, warm, grid)
-    res = FlexSfuFitter(job.config).fit(task.fn, warm_start=task.warm_start,
-                                        loss=task.loss)
+    res = FlexSfuFitter(job.config)._fit(task.fn, warm_start=task.warm_start,
+                                         loss=task.loss)
     return _entry_payload(job, res, time.perf_counter() - t0, "scalar")
 
 
@@ -823,6 +871,85 @@ def _run_group(tasks: Sequence[Tuple[FitJob, Optional[Dict], Optional[Dict]]]
 #: Returns a shared-grid reference for a job about to be fitted, or None
 #: to let the worker build its own grid (see :mod:`repro.service.shm`).
 GridProvider = Callable[[FitJob], Optional[Dict]]
+
+
+def native_entry(job: FitJob) -> Optional[CachedFit]:
+    """Exact-PWL shortcut shared by every execution engine.
+
+    PWL-native functions (ReLU & co) must not burn a full optimizer
+    run — and must yield the *same* artifact under a key regardless of
+    which engine (batch, session, pass-level cache) produced it.
+    Returns ``None`` when the function is not exactly representable
+    within the job's budget.
+    """
+    from ..graph.passes import native_pwl  # deferred: passes imports us
+    fn = resolve_function(job)
+    native = native_pwl(fn)
+    if native is None or native.n_breakpoints > job.config.n_breakpoints:
+        return None
+    a, b = job.config.interval if job.config.interval is not None \
+        else fn.default_interval
+    from .loss import GridLoss
+    n_grid = grid_points_for(job.config)
+    mse = GridLoss(fn, a, b, n_points=n_grid).loss_pwl(native)
+    return CachedFit(function=job.function, pwl=native, grid_mse=mse,
+                     rounds=0, total_steps=0, init_used="native",
+                     config=job.config, spec_digest=job_spec_digest(job))
+
+
+def pool_map_units(pool: concurrent.futures.Executor,
+                   units: Sequence[Sequence],
+                   task_of: Callable):
+    """Fan execution units out over a pool; yields ``(unit, outcome)``.
+
+    ``outcome`` is the list of per-key payloads (``_run_job`` shape,
+    one per unit element) or the exception the unit's future raised —
+    preserved as an *object* so callers can keep their own error
+    semantics (the daemon inspects ``BrokenExecutor`` causes to decide
+    on a pool rebuild).  One-element units dispatch the scalar
+    ``_run_job``; larger units the lane-batched ``_run_group``.  Shared
+    by :meth:`BatchFitter.run` and the :mod:`repro.api` pool engine so
+    the two can never drift on dispatch rules.
+    """
+    futures = [
+        (unit, pool.submit(_run_job, *task_of(unit[0]))
+         if len(unit) == 1 else
+         pool.submit(_run_group, [task_of(key) for key in unit]))
+        for unit in units]
+    for unit, fut in futures:
+        try:
+            got = fut.result()
+        except Exception as exc:  # job failures gather; interrupts raise
+            yield unit, exc
+        else:
+            yield unit, (got if len(unit) > 1 else [got])
+
+
+def plan_units(configs: Dict[str, FitConfig], lane_batch: bool,
+               workers: int) -> List[List[str]]:
+    """Partition miss keys into execution units (ordered key lists).
+
+    With lane batching on, keys are grouped by
+    :func:`~repro.core.lanefit.lane_group_key` and each group is
+    chunked so a pool still sees at least ``workers`` tasks when it has
+    cores to feed; with ``workers=1`` each group rides one deep batch.
+    A one-key unit runs the scalar path.  Shared by
+    :class:`BatchFitter` and the :mod:`repro.api` engines so both plan
+    identical batches.
+    """
+    if not lane_batch:
+        return [[key] for key in configs]
+    from .lanefit import lane_group_key
+
+    groups: Dict[FitConfig, List[str]] = {}
+    for key, cfg in configs.items():
+        groups.setdefault(lane_group_key(cfg), []).append(key)
+    units: List[List[str]] = []
+    for keys in groups.values():
+        chunk = max(2, -(-len(keys) // max(workers, 1)))
+        units.extend(keys[i:i + chunk]
+                     for i in range(0, len(keys), chunk))
+    return units
 
 
 def _pool_worker_init() -> None:
@@ -890,25 +1017,13 @@ class BatchFitter:
         self._executor: Optional[concurrent.futures.ProcessPoolExecutor] = None
 
     def _worker_count(self, n_jobs: int) -> int:
-        if self.max_workers is not None:
-            return min(self.max_workers, n_jobs)
-        env = os.environ.get("REPRO_MAX_WORKERS")
-        if env:
-            try:
-                cap = int(env)
-            except ValueError:
-                raise FitError(
-                    f"REPRO_MAX_WORKERS must be an integer, got {env!r}"
-                ) from None
-            if cap < 1:
-                raise FitError(
-                    f"REPRO_MAX_WORKERS must be >= 1, got {cap}")
-            return min(cap, n_jobs)
-        try:
-            cpus = len(os.sched_getaffinity(0))
-        except AttributeError:  # pragma: no cover - non-linux
-            cpus = os.cpu_count() or 1
-        return max(1, min(cpus, n_jobs))
+        # One worker-count policy for the whole codebase: an explicit
+        # max_workers (constructor / ServiceConfig.workers), then the
+        # REPRO_MAX_WORKERS environment variable, then the schedulable
+        # CPU count — see EngineConfig.resolve_workers.
+        from ..api.config import EngineConfig
+        return EngineConfig(max_workers=self.max_workers).resolve_workers(
+            n_jobs)
 
     # ------------------------------------------------------------------ #
     # Pool lifecycle
@@ -934,51 +1049,30 @@ class BatchFitter:
         self.close()
 
     def _native_entry(self, job: FitJob) -> Optional[CachedFit]:
-        """Exact-PWL shortcut, mirroring ``fit_pwl_cached``.
-
-        PWL-native functions (ReLU & co) must not burn a full optimizer
-        run — and must yield the *same* artifact under a key regardless
-        of whether the batch engine or the pass-level cache produced it.
-        """
-        from ..graph.passes import native_pwl  # deferred: passes imports us
-        fn = resolve_function(job)
-        native = native_pwl(fn)
-        if native is None or native.n_breakpoints > job.config.n_breakpoints:
-            return None
-        a, b = job.config.interval if job.config.interval is not None \
-            else fn.default_interval
-        from .loss import GridLoss
-        n_grid = grid_points_for(job.config)
-        mse = GridLoss(fn, a, b, n_points=n_grid).loss_pwl(native)
-        return CachedFit(function=job.function, pwl=native, grid_mse=mse,
-                         rounds=0, total_steps=0, init_used="native",
-                         config=job.config, spec_digest=job_spec_digest(job))
+        """Exact-PWL shortcut (see module-level :func:`native_entry`)."""
+        return native_entry(job)
 
     def _units(self, tasks: Dict[str, Tuple[FitJob, Optional[Dict],
                                             Optional[Dict]]],
                workers: int) -> List[List[str]]:
-        """Partition miss keys into execution units (ordered key lists).
-
-        With lane batching on, keys are grouped by
-        :func:`~repro.core.lanefit.lane_group_key` and each group is
-        chunked so the pool still sees at least ``workers`` tasks when
-        it has cores to feed; a one-key unit runs the scalar path.
-        """
-        if not self.lane_batch:
-            return [[key] for key in tasks]
-        from .lanefit import lane_group_key
-
-        groups: Dict[FitConfig, List[str]] = {}
-        for key, (job, _, _) in tasks.items():
-            groups.setdefault(lane_group_key(job.config), []).append(key)
-        units: List[List[str]] = []
-        for keys in groups.values():
-            chunk = max(2, -(-len(keys) // max(workers, 1)))
-            units.extend(keys[i:i + chunk]
-                         for i in range(0, len(keys), chunk))
-        return units
+        """Partition miss keys into units (see :func:`plan_units`)."""
+        return plan_units({key: job.config
+                           for key, (job, _, _) in tasks.items()},
+                          self.lane_batch, workers)
 
     def fit_all(self, jobs: Sequence[FitJob]) -> List[BatchFitResult]:
+        """Deprecated; use :meth:`repro.api.Session.fit`.
+
+        ``Session(engine="pool").fit(requests)`` covers this method's
+        cache-checked, deduplicated, pooled execution and returns
+        canonical :class:`~repro.api.FitArtifact` results.  The body
+        now lives in :meth:`run`, which the service daemon (and this
+        shim) still call.
+        """
+        warn_legacy("BatchFitter.fit_all", "repro.api.Session.fit")
+        return self.run(jobs)
+
+    def run(self, jobs: Sequence[FitJob]) -> List[BatchFitResult]:
         """Fit every job, returning results in the order given."""
         keys = [fit_cache_key(job) for job in jobs]
         payloads: Dict[str, Tuple[CachedFit, bool, float, str]] = {}
@@ -1042,20 +1136,13 @@ class BatchFitter:
                             max_workers=workers,
                             initializer=_pool_worker_init))
                 try:
-                    futures = [
-                        (unit, pool.submit(_run_job, *tasks[unit[0]])
-                         if len(unit) == 1 else
-                         pool.submit(_run_group,
-                                     [tasks[key] for key in unit]))
-                        for unit in units]
-                    for unit, fut in futures:
-                        try:
-                            out = fut.result()
-                        except Exception as exc:  # job failures gather;
-                            for key in unit:      # interrupts propagate
-                                errors[key] = exc
+                    for unit, out in pool_map_units(pool, units,
+                                                    tasks.__getitem__):
+                        if isinstance(out, BaseException):
+                            for key in unit:
+                                errors[key] = out
                         else:
-                            absorb(unit, out if len(unit) > 1 else [out])
+                            absorb(unit, out)
                 finally:
                     if not self.keep_alive:
                         pool.shutdown(wait=True, cancel_futures=True)

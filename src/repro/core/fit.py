@@ -37,8 +37,8 @@ from dataclasses import dataclass, field, replace
 from typing import List, Optional, Tuple
 
 import numpy as np
-from scipy import optimize as _sciopt
 
+from ..deprecation import warn_legacy
 from ..errors import FitError
 from ..functions.base import ActivationFunction
 from ..optim.adam import Adam
@@ -232,6 +232,21 @@ class FlexSfuFitter:
     def fit(self, fn: ActivationFunction,
             warm_start: Optional[PiecewiseLinear] = None,
             loss: Optional[GridLoss] = None) -> FitResult:
+        """Deprecated front door; use :class:`repro.api.Session`.
+
+        ``Session(engine="inline").fit_one(fn, config=cfg)`` runs the
+        same algorithm (this method's body now lives in :meth:`_fit`,
+        which the Session engines call) and returns the canonical
+        :class:`~repro.api.FitArtifact` instead of a bare
+        :class:`FitResult`.
+        """
+        warn_legacy("FlexSfuFitter.fit",
+                    "repro.api.Session.fit_one (engine='inline')")
+        return self._fit(fn, warm_start=warm_start, loss=loss)
+
+    def _fit(self, fn: ActivationFunction,
+             warm_start: Optional[PiecewiseLinear] = None,
+             loss: Optional[GridLoss] = None) -> FitResult:
         """Run the full optimization strategy on ``fn``.
 
         ``warm_start`` seeds the optimizer from a previously fitted PWL
@@ -442,6 +457,11 @@ class FlexSfuFitter:
     def _polish(self, loss: GridLoss, spec: BoundarySpec, state: _State,
                 a: float, b: float, eps: float, maxiter: int) -> float:
         """Bounded L-BFGS descent within the current basin (in place)."""
+        # Deferred so `import repro.api` stays scipy-free (the public
+        # surface test asserts it); the polish is the only scipy use in
+        # the fitting hot path.
+        from scipy import optimize as _sciopt
+
         n = state.p.size
         left_learn = spec.left.slope_learnable
         right_learn = spec.right.slope_learnable
@@ -656,8 +676,16 @@ def _curvature_quantiles(fn: ActivationFunction, a: float, b: float, n: int,
 def fit_activation(fn: ActivationFunction, n_breakpoints: int = 16,
                    interval: Optional[Tuple[float, float]] = None,
                    config: Optional[FitConfig] = None) -> FitResult:
-    """One-call fit: ``fit_activation(GELU, 16)``."""
+    """Deprecated one-call fit; use :meth:`repro.api.Session.fit_one`.
+
+    The Session equivalent of ``fit_activation(GELU, 16)`` is
+    ``Session().fit_one(GELU, n_breakpoints=16)`` — cached, engine-
+    selected, and returning a :class:`~repro.api.FitArtifact`.  This
+    shim keeps the uncached scalar behaviour (and the legacy
+    :class:`FitResult` shape) for existing callers.
+    """
+    warn_legacy("fit_activation", "repro.api.Session.fit_one")
     base = config or FitConfig()
     cfg = replace(base, n_breakpoints=n_breakpoints,
                   interval=interval if interval is not None else base.interval)
-    return FlexSfuFitter(cfg).fit(fn)
+    return FlexSfuFitter(cfg)._fit(fn)

@@ -1,0 +1,35 @@
+"""One shared deprecation channel for the legacy fitting entry points.
+
+PRs 0-3 grew five ways to fit a PWL (``fit_activation``,
+``FlexSfuFitter.fit``, ``fit_pwl_cached``, ``BatchFitter.fit_all`` +
+``make_job``, ``repro.service.fit_many``) returning four incompatible
+result types.  :mod:`repro.api` replaces all of them with one front
+door (``Session``) and one result schema (``FitArtifact``); the legacy
+entry points live on as thin shims that call this module before
+delegating, so every caller gets exactly one actionable warning per
+call site pointing at the Session equivalent (see the migration table
+in the README).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["LegacyAPIWarning", "warn_legacy"]
+
+
+class LegacyAPIWarning(DeprecationWarning):
+    """Raised (as a warning) by the pre-``repro.api`` entry points."""
+
+
+def warn_legacy(old: str, new: str) -> None:
+    """Emit the standard deprecation warning for a legacy entry point.
+
+    ``stacklevel=3`` blames the *caller* of the shim (frame 1 is this
+    function, frame 2 the shim itself), so the warning points at the
+    line that needs migrating rather than at library internals.
+    """
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead "
+        f"(see the 'Migrating to repro.api' table in the README)",
+        LegacyAPIWarning, stacklevel=3)

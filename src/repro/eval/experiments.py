@@ -13,11 +13,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.batchfit import FitJob, make_job
 from ..core.metrics import evaluate
 from ..core.uniform import uniform_pwl
 from ..functions import registry as fn_registry
-from ..graph.passes import fit_pwl_cached, make_pwl_approximators, native_pwl
+from ..graph.passes import make_pwl_approximators, native_pwl, pwl_for
 from ..hw.area import (
     AREA_MODEL,
     TABLE_I_ADU_PCT,
@@ -48,6 +47,23 @@ from . import reference as ref
 # ----------------------------------------------------------------------- #
 _CATALOG: Optional[List[ModelRecord]] = None
 _MINI_ZOO: Dict[Tuple, List[ZooMember]] = {}
+_SESSION = None
+
+
+def fit_session():
+    """The experiments' shared :class:`~repro.api.Session` (auto engine).
+
+    Resolution is dynamic per batch: a heartbeating ``repro serve``
+    daemon wins (shared pool, shared grids, shared cache), else the
+    local pool / lane engines — the same transparent topology the old
+    ``fit_many`` fallback gave every sweep.
+    """
+    from ..api import Session
+
+    global _SESSION
+    if _SESSION is None:
+        _SESSION = Session()
+    return _SESSION
 
 
 def catalog() -> List[ModelRecord]:
@@ -72,25 +88,25 @@ def prefit(specs: Sequence[Tuple]) -> None:
     ``specs`` holds ``(function_name, n_breakpoints, interval, boundary)``
     tuples (interval/boundary may be None for the defaults).  Jobs whose
     function is exactly PWL-representable at the budget are skipped —
-    :func:`fit_pwl_cached` short-circuits those without fitting.  The
-    rest run through :func:`repro.service.fit_many`: when a ``repro
-    serve`` daemon is heartbeating they share its pool, grids and cache;
-    otherwise they fall back transparently to a local
-    :class:`~repro.core.batchfit.BatchFitter` (lane-batched, process
-    pool on multi-core machines).  Either way the sweeps below become
-    pure cache reads afterwards.
+    the Session short-circuits those without fitting.  The rest run
+    through :func:`fit_session` (engine ``auto``): when a ``repro
+    serve`` daemon is heartbeating they share its pool, grids and
+    cache; otherwise they run on the local pool / lane engines against
+    the same cache.  Either way the sweeps below become pure cache
+    reads afterwards.
     """
-    from ..service.client import fit_many
+    from ..api import FitRequest
 
-    jobs: List[FitJob] = []
+    requests: List[FitRequest] = []
     for name, n_bp, interval, boundary in specs:
         fn = fn_registry.get(name)
         native = native_pwl(fn)
         if native is not None and native.n_breakpoints <= n_bp:
             continue
-        jobs.append(make_job(fn, n_bp, interval=interval, boundary=boundary))
-    if jobs:
-        fit_many(jobs)
+        requests.append(FitRequest.create(fn, n_bp, interval=interval,
+                                          boundary=boundary))
+    if requests:
+        fit_session().fit(requests)
 
 
 # ----------------------------------------------------------------------- #
@@ -145,14 +161,14 @@ def run_figure2() -> Fig2Result:
     from ..core.loss import quadrature_mse
 
     uni = uniform_pwl(gelu, 5, interval=interval)
-    flex = fit_pwl_cached(gelu, 5, interval=interval)
+    flex = pwl_for(gelu, 5, interval=interval)
     mse_u = quadrature_mse(uni, gelu, *interval)
     mse_f = quadrature_mse(flex, gelu, *interval)
 
     uni_fr = uniform_pwl(gelu, 5, interval=interval,
                          boundary_left="free", boundary_right="free")
-    flex_fr = fit_pwl_cached(gelu, 5, interval=interval,
-                             boundary=("free", "free"))
+    flex_fr = pwl_for(gelu, 5, interval=interval,
+                      boundary=("free", "free"))
     mse_uf = quadrature_mse(uni_fr, gelu, *interval)
     mse_ff = quadrature_mse(flex_fr, gelu, *interval)
     return Fig2Result(
@@ -286,7 +302,7 @@ def run_figure5(functions: Sequence[str] = ref.FIG5_FUNCTIONS,
     for name in functions:
         fn = fn_registry.get(name)
         for n in budgets:
-            pwl = fit_pwl_cached(fn, n)
+            pwl = pwl_for(fn, n)
             m = evaluate(pwl, fn)
             points.append(Fig5Point(function=name, n_breakpoints=n,
                                     mse=m.mse, mae=m.mae))
@@ -341,7 +357,7 @@ class Tab2Result:
 def _table2_error(fn_name: str, interval: Tuple[float, float], n_bp: int,
                   metric: str, boundary: Tuple[str, str]) -> float:
     fn = fn_registry.get(fn_name)
-    pwl = fit_pwl_cached(fn, n_bp, interval=interval, boundary=boundary)
+    pwl = pwl_for(fn, n_bp, interval=interval, boundary=boundary)
     m = evaluate(pwl, fn, interval)
     return m.sq_aae if metric == ref.SQ_AAE else m.mse
 

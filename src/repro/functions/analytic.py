@@ -10,12 +10,22 @@ intervals used by the paper and well beyond.
 from __future__ import annotations
 
 import numpy as np
-from scipy import special
 
 from .base import ActivationFunction
 
 _SQRT2 = float(np.sqrt(2.0))
 _INV_SQRT_2PI = float(1.0 / np.sqrt(2.0 * np.pi))
+
+
+def _erf(x: np.ndarray) -> np.ndarray:
+    """Gauss error function (scipy imported on first use).
+
+    Deferred so that importing :mod:`repro` / :mod:`repro.api` stays
+    scipy-free — the public-surface test asserts the import has no
+    scipy side effects; only *evaluating* exact GELU needs it.
+    """
+    from scipy import special
+    return special.erf(x)
 
 
 # --------------------------------------------------------------------- #
@@ -49,12 +59,12 @@ def _tanh_d(x: np.ndarray) -> np.ndarray:
 def gelu_exact(x: np.ndarray) -> np.ndarray:
     """GELU using the exact Gauss error function (not the tanh fit)."""
     x = np.asarray(x, dtype=np.float64)
-    return 0.5 * x * (1.0 + special.erf(x / _SQRT2))
+    return 0.5 * x * (1.0 + _erf(x / _SQRT2))
 
 
 def _gelu_d(x: np.ndarray) -> np.ndarray:
     x = np.asarray(x, dtype=np.float64)
-    cdf = 0.5 * (1.0 + special.erf(x / _SQRT2))
+    cdf = 0.5 * (1.0 + _erf(x / _SQRT2))
     pdf = _INV_SQRT_2PI * np.exp(-0.5 * x * x)
     return cdf + x * pdf
 

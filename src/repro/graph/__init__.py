@@ -16,6 +16,7 @@ from .passes import (
     fit_pwl_cached,
     make_pwl_approximators,
     native_pwl,
+    pwl_for,
     replace_activations,
     restore_exact_activations,
 )
@@ -37,5 +38,6 @@ __all__ = [
     "make_pwl_approximators",
     "fit_pwl_cached",
     "native_pwl",
+    "pwl_for",
     "clear_fit_cache",
 ]

@@ -5,10 +5,11 @@ with a custom ONNX operator" before compilation.  The same rewrite here:
 :func:`replace_activations` switches every matching ``activation`` /
 ``softmax`` node to its PWL implementation, attaching the fitted
 approximator.  Approximators are built by :func:`make_pwl_approximators`
-and are exact for PWL-native functions like ReLU; expensive fits are
-served from the persistent cache of :mod:`repro.core.batchfit` (seedable
-in parallel via :class:`~repro.core.batchfit.BatchFitter`), with a thin
-in-process layer preserving object identity for repeated lookups.
+and are exact for PWL-native functions like ReLU; expensive fits run
+through a pass-level :class:`repro.api.Session` (:func:`pwl_for`), so
+they are served from the persistent cache — seedable in parallel by any
+other Session engine — with the cache's memory layer preserving object
+identity for repeated lookups.
 """
 
 from __future__ import annotations
@@ -17,19 +18,36 @@ from typing import Callable, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
-from ..core.batchfit import (CachedFit, default_cache, fit_cache_key,
-                             job_spec_digest, make_job)
-from ..core.fit import FitConfig, FlexSfuFitter
+from ..core.batchfit import default_cache
+# FlexSfuFitter is unused here since the Session migration but stays
+# importable as `passes.FlexSfuFitter`: tests monkeypatch its `fit`
+# AND `_fit` (the engines' internal path) through this module to
+# assert cache hits never re-fit.
+from ..core.fit import FitConfig, FlexSfuFitter  # noqa: F401
 from ..core.pwl import PiecewiseLinear
+from ..deprecation import warn_legacy
 from ..functions import registry as fn_registry
 from ..functions.base import ActivationFunction
 from ..functions.softmax import SoftmaxApproximator
 from .ir import Graph
 
-#: In-process identity layer over the persistent cache.  Native-PWL
-#: shortcuts are resolved before the disk lookup, so they live here
-#: (and possibly on disk, if a BatchFitter produced the same key).
-_FIT_CACHE: Dict[str, PiecewiseLinear] = {}
+#: Lazily-built Session serving the pass-level fits.  Inline engine
+#: with warm starts off: the pass layer historically cold-fits misses
+#: one at a time, and keeping that behaviour means a cache entry is
+#: identical whether this module or a cold batch sweep produced it.
+#: Identity of repeated lookups is preserved by the cache's memory
+#: layer (cleared via :func:`clear_fit_cache`).
+_SESSION = None
+
+
+def _session():
+    from ..api import EngineConfig, Session
+
+    global _SESSION
+    if _SESSION is None:
+        _SESSION = Session(EngineConfig(engine="inline", warm_start=False,
+                                        warm_quality_factor=None))
+    return _SESSION
 
 
 def native_pwl(fn: ActivationFunction) -> Optional[PiecewiseLinear]:
@@ -49,42 +67,32 @@ def native_pwl(fn: ActivationFunction) -> Optional[PiecewiseLinear]:
     return PiecewiseLinear.create(p, v, fn.left_asymptote[0], fn.right_asymptote[0])
 
 
+def pwl_for(fn: ActivationFunction, n_breakpoints: int,
+            interval: Optional[Tuple[float, float]] = None,
+            config: Optional[FitConfig] = None,
+            boundary: Tuple[str, str] = ("asymptote", "asymptote")
+            ) -> PiecewiseLinear:
+    """Fit (or reuse) a PWL for ``fn`` at the given budget.
+
+    A thin convenience over the pass-level :class:`~repro.api.Session`:
+    served from the persistent on-disk cache (exact-PWL natives short-
+    circuit without fitting), so fits survive across processes and batch
+    sweeps can pre-seed the same keys through any Session engine.
+    """
+    return _session().fit_one(fn, n_breakpoints, interval=interval,
+                              config=config, boundary=tuple(boundary)).pwl
+
+
 def fit_pwl_cached(fn: ActivationFunction, n_breakpoints: int,
                    interval: Optional[Tuple[float, float]] = None,
                    config: Optional[FitConfig] = None,
                    boundary: Tuple[str, str] = ("asymptote", "asymptote")
                    ) -> PiecewiseLinear:
-    """Fit (or reuse) a PWL for ``fn`` at the given budget.
-
-    Served from the persistent on-disk cache keyed by function name plus
-    the fully-resolved :class:`FitConfig` (see :mod:`repro.core.batchfit`
-    for location/invalidation rules), so fits survive across processes.
-    Batch sweeps can pre-seed the same keys in parallel with
-    :class:`~repro.core.batchfit.BatchFitter`.
-    """
-    job = make_job(fn, n_breakpoints, interval=interval, config=config,
-                   boundary=tuple(boundary))
-    key = fit_cache_key(job)
-    hit = _FIT_CACHE.get(key)
-    if hit is not None:
-        return hit
-    native = native_pwl(fn)
-    if native is not None and native.n_breakpoints <= n_breakpoints:
-        _FIT_CACHE[key] = native
-        return native
-    cache = default_cache()
-    entry = cache.get(key)
-    if entry is None:
-        res = FlexSfuFitter(job.config).fit(fn)
-        entry = CachedFit(function=fn.name, pwl=res.pwl,
-                          grid_mse=res.grid_mse, rounds=res.rounds,
-                          total_steps=res.total_steps,
-                          init_used=res.init_used,
-                          config=job.config,
-                          spec_digest=job_spec_digest(job))
-        cache.put(key, entry)
-    _FIT_CACHE[key] = entry.pwl
-    return entry.pwl
+    """Deprecated; use :meth:`repro.api.Session.fit_one` (or
+    :func:`pwl_for`, the pass layer's own Session-backed helper)."""
+    warn_legacy("fit_pwl_cached", "repro.api.Session.fit_one")
+    return pwl_for(fn, n_breakpoints, interval=interval, config=config,
+                   boundary=boundary)
 
 
 def make_pwl_approximators(function_names, n_breakpoints: int,
@@ -98,11 +106,11 @@ def make_pwl_approximators(function_names, n_breakpoints: int,
     out: Dict[str, Callable[[np.ndarray], np.ndarray]] = {}
     for name in function_names:
         if name == "softmax":
-            exp_pwl = fit_pwl_cached(fn_registry.get("exp"), n_breakpoints)
+            exp_pwl = pwl_for(fn_registry.get("exp"), n_breakpoints)
             out[name] = SoftmaxApproximator(exp_pwl)
         else:
-            out[name] = fit_pwl_cached(fn_registry.get(name), n_breakpoints,
-                                       config=config)
+            out[name] = pwl_for(fn_registry.get(name), n_breakpoints,
+                                config=config)
     return out
 
 
@@ -160,10 +168,10 @@ def restore_exact_activations(graph: Graph) -> Graph:
 def clear_fit_cache(disk: bool = False) -> None:
     """Drop the in-process fit layer (tests use this for isolation).
 
-    ``disk=True`` also wipes the persistent cache directory, forcing
-    genuine refits rather than disk reloads.
+    The identity layer is the default cache's in-memory tier (the
+    Session reads through it); ``disk=True`` also wipes the persistent
+    cache directory, forcing genuine refits rather than disk reloads.
     """
-    _FIT_CACHE.clear()
     if disk:
         default_cache().clear()
     else:

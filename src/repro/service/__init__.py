@@ -11,9 +11,10 @@ subsystem centralises that:
   shared-memory target grids, and the shared on-disk fit cache;
 * :mod:`~repro.service.queue` — the durable job queue (atomic claim via
   ``os.replace``, deduplicated by fit-cache key);
-* :mod:`~repro.service.client` — ``submit`` / ``wait`` /
-  :func:`~repro.service.client.fit_many` for benchmark and CLI
-  processes, with transparent local fallback when no daemon is serving;
+* :mod:`~repro.service.client` — ``submit`` / ``wait`` (the primitives
+  :class:`repro.api.DaemonEngine` builds on) plus the deprecated
+  :func:`~repro.service.client.fit_many` shim, with transparent local
+  fallback when no daemon is serving;
 * :mod:`~repro.service.spec` — :class:`FunctionSpec`, the serialisable
   function description that lets unregistered (``make_custom``-built)
   activations travel to worker processes and be cache-keyed by content;

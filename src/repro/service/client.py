@@ -1,12 +1,12 @@
-"""Thin client API over the fit service: submit / wait / fit_many.
+"""Thin client primitives over the fit service: submit / wait.
 
 A client process never fits anything itself when a daemon is serving:
 it checks the shared on-disk cache, enqueues the misses, and waits for
-``done`` markers.  When no daemon is alive (or one dies mid-wait), the
-default policy transparently falls back to a local
-:class:`~repro.core.batchfit.BatchFitter` against the same cache, so
-code written against :func:`fit_many` works identically on a laptop
-with no daemon and on a machine where ``repro serve`` owns the pool.
+``done`` markers.  :class:`repro.api.DaemonEngine` builds on
+:func:`submit`/:func:`wait`; :func:`fit_many` is the deprecated
+pre-``repro.api`` front end (now a shim over an auto
+:class:`~repro.api.Session`, which reproduces its transparent
+local-fallback topology).
 
 All coordination is file-based (queue directory + cache directory), so
 "client" and "daemon" only need a filesystem in common.
@@ -19,9 +19,10 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
-from ..core.batchfit import (BatchFitResult, BatchFitter, CachedFit, FitCache,
-                             FitJob, default_cache, fit_cache_key, job_to_dict)
+from ..core.batchfit import (BatchFitResult, CachedFit, FitCache, FitJob,
+                             fit_cache_key, job_to_dict)
 from ..core.pwl import PiecewiseLinear
+from ..deprecation import warn_legacy
 from ..errors import ReproError, ServiceError
 from .queue import JobQueue
 
@@ -62,6 +63,19 @@ class ServiceResult:
                    grid_mse=res.grid_mse, from_cache=res.from_cache,
                    rounds=res.rounds, total_steps=res.total_steps,
                    init_used=res.init_used, source=source)
+
+    @classmethod
+    def _from_artifact(cls, job: FitJob, artifact) -> "ServiceResult":
+        """Legacy view of a canonical :class:`~repro.api.FitArtifact`."""
+        if artifact.engine in (SOURCE_CACHE, SOURCE_DAEMON):
+            source = artifact.engine
+        else:
+            source = SOURCE_LOCAL
+        return cls(job=job, key=artifact.key, pwl=artifact.pwl,
+                   grid_mse=artifact.grid_mse,
+                   from_cache=artifact.from_cache, rounds=artifact.rounds,
+                   total_steps=artifact.total_steps,
+                   init_used=artifact.init_used, source=source)
 
 
 def submit(job: FitJob, root: Optional[Union[str, Path]] = None) -> str:
@@ -137,80 +151,27 @@ def fit_many(jobs: Sequence[FitJob],
              timeout_s: float = 300.0,
              poll_s: float = 0.05,
              fallback: str = FALLBACK_LOCAL) -> List[ServiceResult]:
-    """Fit every job through the shared service; results in input order.
+    """Deprecated; use :meth:`repro.api.Session.fit` (engine ``auto``).
 
-    The cheap paths are tried in order: the shared on-disk cache, then
-    the daemon (when one is heartbeating), then — per ``fallback`` — a
-    local :class:`BatchFitter` against the same cache.  With
-    ``fallback="error"`` a missing/dying daemon raises instead, which is
-    how deployments assert that nothing ever fits outside the pool.
+    An auto Session reproduces this function's exact topology — shared
+    on-disk cache first, then the daemon when one is heartbeating, then
+    (per ``fallback``) the local pool against the same cache — and
+    returns canonical :class:`~repro.api.FitArtifact` s instead of
+    :class:`ServiceResult` s.  This shim builds that Session and maps
+    the artifacts back.
     """
+    warn_legacy("repro.service.fit_many",
+                "repro.api.Session.fit (engine='auto')")
+    from ..api import EngineConfig, FitRequest, Session
+
     if fallback not in (FALLBACK_LOCAL, FALLBACK_ERROR):
         raise ServiceError(f"unknown fallback policy {fallback!r}")
-    cache = cache if cache is not None else default_cache()
-    queue = JobQueue(Path(root) if root is not None else None)
-
-    keys = [fit_cache_key(job) for job in jobs]
-    found: Dict[str, ServiceResult] = {}
-    misses: Dict[str, FitJob] = {}
-    for job, key in zip(jobs, keys):
-        if key in found or key in misses:
-            continue
-        hit = cache.get(key)
-        if hit is not None:
-            found[key] = ServiceResult._from_entry(job, key, hit, True,
-                                                   SOURCE_CACHE)
-        else:
-            misses[key] = job
-
-    if misses and queue.daemon_alive():
-        for key, job in misses.items():
-            # A leftover failure from an earlier episode (broken pool,
-            # killed daemon) must not veto a fresh attempt: drop it so
-            # submit() enqueues instead of no-op'ing against the marker.
-            got = queue.result(key)
-            if got is not None and got[0] == "failed":
-                queue.forget(key)
-            queue.submit(key, {"job": job_to_dict(job)})
-        try:
-            entries, failures = wait(list(misses), root=root,
-                                     timeout_s=timeout_s, poll_s=poll_s,
-                                     require_daemon=True,
-                                     return_failures=True)
-        except ServiceError:
-            # Daemon vanished / timed out mid-wait: everything still
-            # outstanding falls through to the local path below.
-            if fallback != FALLBACK_LOCAL:
-                raise
-        else:
-            for key, entry in entries.items():
-                # Serve this process's reruns from the local cache; in
-                # the default topology the daemon already persisted the
-                # same file, so only write when it isn't there.
-                if cache.get(key) is None:
-                    cache.put(key, entry)
-                found[key] = ServiceResult._from_entry(
-                    misses.pop(key), key, entry, False, SOURCE_DAEMON)
-            if failures and fallback != FALLBACK_LOCAL:
-                key, doc = next(iter(failures.items()))
-                raise ServiceError(
-                    f"{len(failures)} fit job(s) failed in the daemon, "
-                    f"e.g. {key[:16]}…: "
-                    f"{doc.get('error', 'unknown error')}")
-            # With the local fallback, daemon-failed jobs stay in
-            # `misses` and are retried below (clearing their markers so
-            # a later run isn't vetoed either); a deterministic failure
-            # then surfaces as the fitter's own exception.
-            for key in failures:
-                queue.forget(key)
-
-    if misses:
-        if fallback == FALLBACK_ERROR:
-            raise ServiceError(
-                f"no fit daemon is serving {queue.root} and "
-                f"fallback='error' ({len(misses)} jobs unfitted)")
-        local = BatchFitter(cache=cache)
-        for res in local.fit_all(list(misses.values())):
-            found[res.key] = ServiceResult._from_batch(res, SOURCE_LOCAL)
-
-    return [found[key] for key in keys]
+    config = EngineConfig(
+        service_root=Path(root) if root is not None else None,
+        timeout_s=timeout_s, poll_s=poll_s, fallback=fallback,
+        # The legacy call never second-guessed warm-started results.
+        warm_quality_factor=None)
+    with Session(config, cache=cache) as session:
+        artifacts = session.fit([FitRequest.from_job(job) for job in jobs])
+    return [ServiceResult._from_artifact(job, artifact)
+            for job, artifact in zip(jobs, artifacts)]

@@ -106,7 +106,7 @@ class FitService:
 
         pairs = list(jobs.items())
         try:
-            results = self.fitter.fit_all([job for _, job in pairs])
+            results = self.fitter.run([job for _, job in pairs])
             for (key, _), res in zip(pairs, results):
                 self._publish(key, res)
         except Exception as exc:
@@ -118,7 +118,7 @@ class FitService:
             self._drop_pool_if_broken(exc)
             for key, job in pairs:
                 try:
-                    [res] = self.fitter.fit_all([job])
+                    [res] = self.fitter.run([job])
                 except Exception as job_exc:
                     self.queue.fail(key, str(job_exc))
                     self.failed += 1

@@ -17,11 +17,14 @@ class TestPrefitServesPasses:
         job = make_job(TANH, 5, config=fast_fit_config)
         [seeded] = BatchFitter().fit_all([job])
 
-        # After prefitting, fit_pwl_cached must not fit again.
-        def _no_refit(self, fn):  # pragma: no cover - fails the test
+        # After prefitting, fit_pwl_cached must not fit again.  Both
+        # the legacy entry point and the Session engines' internal
+        # path are patched, so any cache-lookup regression trips this.
+        def _no_refit(self, fn, **kwargs):  # pragma: no cover
             pytest.fail("fit_pwl_cached refitted a prefitted configuration")
 
         monkeypatch.setattr(passes.FlexSfuFitter, "fit", _no_refit)
+        monkeypatch.setattr(passes.FlexSfuFitter, "_fit", _no_refit)
         pwl = fit_pwl_cached(TANH, 5, config=fast_fit_config)
         assert pwl.to_json() == seeded.pwl.to_json()
 

@@ -1,0 +1,85 @@
+"""Property: Session artifacts are bitwise-equal across local engines.
+
+The engine choice is an operational decision, never a numerical one:
+for any shape-compatible sweep, ``inline`` (sequential scalar fits),
+``lane`` (one lock-step batch), and ``pool`` (lane-batched units on a
+process pool) must produce byte-identical PWLs and identical
+``grid_mse`` / step counts.  This leans on — and end-to-end re-checks —
+the lane kernel's bit-for-bit equivalence contract
+(:mod:`repro.core.lanefit`).
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import EngineConfig, FitRequest, Session
+from repro.core.batchfit import FitCache
+from repro.core.fit import FitConfig
+
+_ENGINES = ("inline", "lane", "pool")
+
+#: Cheap but non-trivial: two budgets (two lane groups), mixed boundary
+#: policies, warm starts off so every engine sees identical cold work.
+_CFG = FitConfig(n_breakpoints=5, max_steps=60, refine_steps=25,
+                 max_refine_rounds=2, polish_maxiter=80, grid_points=320)
+
+
+def _sweep():
+    reqs = [FitRequest.create(name, 5, config=_CFG)
+            for name in ("tanh", "sigmoid", "silu", "gelu")]
+    reqs.append(FitRequest.create("tanh", 5, config=_CFG,
+                                  boundary=("free", "free")))
+    reqs.append(FitRequest.create("sigmoid", 6, config=_CFG))
+    return reqs
+
+
+@pytest.fixture(scope="module")
+def per_engine_artifacts(tmp_path_factory):
+    out = {}
+    for engine in _ENGINES:
+        cache = FitCache(tmp_path_factory.mktemp(f"cache-{engine}"))
+        config = EngineConfig(engine=engine, warm_start=False)
+        with Session(config, cache=cache) as session:
+            out[engine] = session.fit(_sweep())
+    return out
+
+
+class TestEngineEquivalence:
+    def test_every_engine_reports_itself(self, per_engine_artifacts):
+        for engine, arts in per_engine_artifacts.items():
+            assert all(a.engine == engine for a in arts)
+            assert not any(a.from_cache for a in arts)
+
+    def test_artifacts_bitwise_equal_across_engines(self,
+                                                    per_engine_artifacts):
+        reference = per_engine_artifacts["inline"]
+        for engine in _ENGINES[1:]:
+            arts = per_engine_artifacts[engine]
+            for ref, art in zip(reference, arts):
+                label = f"{engine}:{art.function}@" \
+                        f"{art.config.n_breakpoints}"
+                assert art.key == ref.key, label
+                assert art.grid_mse == ref.grid_mse, label
+                assert art.total_steps == ref.total_steps, label
+                assert art.rounds == ref.rounds, label
+                assert art.init_used == ref.init_used, label
+                assert np.array_equal(art.pwl.breakpoints,
+                                      ref.pwl.breakpoints), label
+                assert np.array_equal(art.pwl.values,
+                                      ref.pwl.values), label
+                assert art.pwl.left_slope == ref.pwl.left_slope, label
+                assert art.pwl.right_slope == ref.pwl.right_slope, label
+
+    def test_artifact_documents_differ_only_in_provenance(
+            self, per_engine_artifacts):
+        reference = per_engine_artifacts["inline"]
+        for engine in _ENGINES[1:]:
+            for ref, art in zip(reference, per_engine_artifacts[engine]):
+                a, b = ref.to_dict(), art.to_dict()
+                # wall time and engine lineage are allowed to differ...
+                for doc in (a, b):
+                    doc.pop("engine")
+                    doc.pop("wall_time_s")
+                    doc.pop("provenance")
+                # ...the canonical payload is not.
+                assert a == b

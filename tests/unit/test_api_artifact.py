@@ -1,0 +1,95 @@
+"""FitArtifact / FitRequest schema tests: lossless, versioned, canonical."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import (ARTIFACT_SCHEMA_VERSION, EngineConfig, FitArtifact,
+                       FitRequest, Session)
+from repro.core.batchfit import fit_cache_key
+from repro.core.fit import FitConfig
+from repro.errors import FitError
+from repro.functions import TANH, make_custom
+
+_TINY = FitConfig(n_breakpoints=4, max_steps=40, refine_steps=20,
+                  max_refine_rounds=1, polish_maxiter=60, grid_points=256)
+
+
+def _an_artifact(tmp_path, **session_kwargs) -> FitArtifact:
+    with Session(EngineConfig(engine="inline"), cache=tmp_path,
+                 **session_kwargs) as s:
+        return s.fit_one(TANH, 4, config=_TINY)
+
+
+class TestArtifactRoundtrip:
+    def test_to_dict_from_dict_is_lossless(self, tmp_path):
+        art = _an_artifact(tmp_path)
+        art.provenance["warm_fallback"] = {"kept": "warm", "warm_mse": 1.0}
+        doc = json.loads(json.dumps(art.to_dict()))  # through real JSON
+        back = FitArtifact.from_dict(doc)
+        assert back.function == art.function
+        assert back.config == art.config
+        assert back.key == art.key
+        assert back.engine == art.engine
+        assert back.from_cache == art.from_cache
+        assert back.wall_time_s == art.wall_time_s
+        assert back.grid_mse == art.grid_mse
+        assert back.rounds == art.rounds
+        assert back.total_steps == art.total_steps
+        assert back.init_used == art.init_used
+        assert back.provenance == art.provenance
+        assert np.array_equal(back.pwl.breakpoints, art.pwl.breakpoints)
+        assert np.array_equal(back.pwl.values, art.pwl.values)
+        assert back.pwl.left_slope == art.pwl.left_slope
+        assert back.pwl.right_slope == art.pwl.right_slope
+        # And the round-trip is a fixed point.
+        assert back.to_dict() == art.to_dict()
+
+    def test_schema_version_recorded_and_checked(self, tmp_path):
+        doc = _an_artifact(tmp_path).to_dict()
+        assert doc["schema"] == ARTIFACT_SCHEMA_VERSION
+        doc["schema"] = ARTIFACT_SCHEMA_VERSION + 1
+        with pytest.raises(FitError):
+            FitArtifact.from_dict(doc)
+
+    def test_entry_view_matches_cache_document(self, tmp_path):
+        """The embedded entry is exactly what the cache stores on disk."""
+        from repro.core.batchfit import FitCache
+
+        art = _an_artifact(tmp_path)
+        on_disk = json.loads(FitCache(tmp_path).path(art.key).read_text())
+        assert art.to_dict()["entry"] == on_disk
+
+
+class TestFitRequest:
+    def test_create_matches_legacy_make_job_keys(self):
+        import warnings
+
+        from repro.core.batchfit import make_job
+
+        req = FitRequest.create(TANH, 6, interval=(-3.0, 3.0), config=_TINY)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            job = make_job(TANH, 6, interval=(-3.0, 3.0), config=_TINY)
+        assert req.job == job
+        assert req.key == fit_cache_key(job)
+
+    def test_request_roundtrips_through_wire_format(self):
+        req = FitRequest.create("sigmoid", 5, config=_TINY)
+        back = FitRequest.from_dict(json.loads(json.dumps(req.to_dict())))
+        assert back == req
+        assert back.key == req.key
+
+    def test_custom_functions_ride_as_specs(self):
+        bump = make_custom("api_bump", lambda x: np.tanh(x) * np.exp(-x * x),
+                           interval=(-3.0, 3.0), register_fn=False)
+        req = FitRequest.create(bump, 5, config=_TINY)
+        assert req.spec is not None
+        back = FitRequest.from_dict(req.to_dict())
+        assert back.key == req.key
+        xs = np.linspace(-2, 2, 64)
+        assert np.allclose(back.resolve()(xs), bump(xs), atol=1e-6)
+
+    def test_resolve_returns_registry_instance(self):
+        assert FitRequest.create("tanh", 4).resolve() is TANH

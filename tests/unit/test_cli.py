@@ -24,14 +24,30 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "MSE" in out and "breakpoint placement" in out
 
-    def test_fit_json_roundtrips(self, capsys):
+    def test_fit_json_emits_canonical_artifact(self, capsys):
         assert main(["fit", "relu", "-n", "4", "--json"]) == 0
         out = capsys.readouterr().out
-        blob = out.strip().splitlines()[-1]
-        from repro.core.pwl import PiecewiseLinear
+        from repro.api import FitArtifact
 
-        pwl = PiecewiseLinear.from_json(blob)
-        assert pwl.n_breakpoints >= 2
+        artifact = FitArtifact.from_dict(json.loads(out))
+        assert artifact.function == "relu"
+        assert artifact.pwl.n_breakpoints >= 2
+        assert artifact.engine in ("native", "cache")
+
+    def test_fit_engine_flag(self, capsys, tmp_path):
+        assert main(["fit", "tanh", "-n", "4", "--engine", "inline",
+                     "--cache-dir", str(tmp_path), "--json"]) == 0
+        from repro.api import FitArtifact
+
+        artifact = FitArtifact.from_dict(
+            json.loads(capsys.readouterr().out))
+        assert artifact.engine == "inline"
+        # Second run of the same request is a cache read.
+        assert main(["fit", "tanh", "-n", "4", "--engine", "inline",
+                     "--cache-dir", str(tmp_path), "--json"]) == 0
+        again = FitArtifact.from_dict(json.loads(capsys.readouterr().out))
+        assert again.from_cache and again.engine == "cache"
+        assert again.pwl.to_json() == artifact.pwl.to_json()
 
     def test_table_emits_valid_json(self, capsys):
         assert main(["table", "relu", "-n", "4", "-f", "fp16"]) == 0
@@ -63,9 +79,12 @@ class TestCommands:
         assert main(["fit-all", "--functions", "relu", "-n", "3", "--serial",
                      "--quick", "--cache-dir", str(tmp_path), "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["results"][0]["function"] == "relu"
-        assert payload["results"][0]["n_breakpoints"] == 3
-        assert payload["results"][0]["pwl"]["breakpoints"]
+        from repro.api import FitArtifact
+
+        artifact = FitArtifact.from_dict(payload["results"][0])
+        assert artifact.function == "relu"
+        assert artifact.config.n_breakpoints == 3
+        assert artifact.pwl.breakpoints.size >= 2
 
     def test_fig_unknown_name(self, capsys):
         assert main(["fig", "fig99"]) == 2

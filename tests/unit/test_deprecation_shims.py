@@ -1,0 +1,142 @@
+"""The five legacy entry points: warn once, delegate, match the Session.
+
+Each shim must (a) emit exactly one DeprecationWarning per call and
+(b) produce output bitwise-equal (``grid_mse``, params) to the same
+request through :class:`repro.api.Session`.
+"""
+
+import warnings
+from contextlib import contextmanager
+
+import pytest
+
+from repro.api import EngineConfig, FitRequest, Session
+from repro.core.batchfit import BatchFitter, FitCache, make_job
+from repro.core.fit import FitConfig, FlexSfuFitter, fit_activation
+from repro.deprecation import LegacyAPIWarning
+from repro.functions import SIGMOID, TANH
+from repro.graph.passes import fit_pwl_cached
+from repro.service import fit_many
+
+_TINY = FitConfig(n_breakpoints=4, max_steps=40, refine_steps=20,
+                  max_refine_rounds=1, polish_maxiter=60, grid_points=256)
+
+
+def _one_warning(record):
+    legacy = [w for w in record if issubclass(w.category, LegacyAPIWarning)]
+    assert len(legacy) == 1, [str(w.message) for w in record]
+    assert issubclass(legacy[0].category, DeprecationWarning)
+    assert "repro.api" in str(legacy[0].message)
+
+
+class TestShimsWarnOnce:
+    def test_fit_activation(self):
+        with pytest.warns(DeprecationWarning) as record:
+            fit_activation(TANH, 4, config=_TINY)
+        _one_warning(record)
+
+    def test_fitter_fit(self):
+        with pytest.warns(DeprecationWarning) as record:
+            FlexSfuFitter(_TINY).fit(TANH)
+        _one_warning(record)
+
+    def test_make_job(self):
+        with pytest.warns(DeprecationWarning) as record:
+            make_job(TANH, 4, config=_TINY)
+        _one_warning(record)
+
+    def test_batchfitter_fit_all(self, tmp_path):
+        fitter = BatchFitter(cache=FitCache(tmp_path), use_processes=False)
+        with pytest.warns(DeprecationWarning) as record:
+            fitter.fit_all([FitRequest.create(TANH, 4, config=_TINY).job])
+        _one_warning(record)
+
+    def test_fit_pwl_cached(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        with pytest.warns(DeprecationWarning) as record:
+            fit_pwl_cached(TANH, 4, config=_TINY)
+        _one_warning(record)
+
+    def test_fit_many(self, tmp_path):
+        with pytest.warns(DeprecationWarning) as record:
+            fit_many([FitRequest.create(TANH, 4, config=_TINY).job],
+                     root=tmp_path / "q", cache=FitCache(tmp_path / "f"))
+        _one_warning(record)
+
+
+@contextmanager
+def _quiet_ctx():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        yield
+
+
+class TestShimsMatchSession:
+    """Bitwise equality between each legacy path and its Session twin."""
+
+    def _quiet(self):
+        return _quiet_ctx()
+
+    def test_fit_activation_matches_inline_session(self):
+        with self._quiet():
+            legacy = fit_activation(TANH, 4, config=_TINY)
+        art = Session(engine="inline",
+                      use_cache=False).fit_one(TANH, 4, config=_TINY)
+        assert legacy.grid_mse == art.grid_mse
+        assert legacy.pwl.to_json() == art.pwl.to_json()
+
+    def test_fitter_fit_matches_inline_session(self):
+        with self._quiet():
+            legacy = FlexSfuFitter(_TINY).fit(SIGMOID)
+        art = Session(engine="inline",
+                      use_cache=False).fit_one(SIGMOID, 4, config=_TINY)
+        assert legacy.grid_mse == art.grid_mse
+        assert legacy.pwl.to_json() == art.pwl.to_json()
+
+    def test_make_job_matches_fitrequest_create(self):
+        with self._quiet():
+            job = make_job(TANH, 6, interval=(-2.0, 2.0), config=_TINY,
+                           boundary=("free", "asymptote"))
+        req = FitRequest.create(TANH, 6, interval=(-2.0, 2.0), config=_TINY,
+                                boundary=("free", "asymptote"))
+        assert req.job == job
+        assert req.key == req.from_job(job).key
+
+    def test_fit_all_matches_pool_session(self, tmp_path):
+        jobs = [FitRequest.create(name, 4, config=_TINY).job
+                for name in ("tanh", "sigmoid")]
+        fitter = BatchFitter(cache=FitCache(tmp_path / "legacy"),
+                             use_processes=False)
+        with self._quiet():
+            legacy = fitter.fit_all(jobs)
+        with Session(EngineConfig(engine="pool"),
+                     cache=tmp_path / "session") as s:
+            arts = s.fit(jobs)
+        for res, art in zip(legacy, arts):
+            assert res.grid_mse == art.grid_mse
+            assert res.pwl.to_json() == art.pwl.to_json()
+
+    def test_fit_pwl_cached_matches_session(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "legacy"))
+        with self._quiet():
+            legacy = fit_pwl_cached(SIGMOID, 5, config=_TINY)
+        cfg = EngineConfig(engine="inline", warm_start=False,
+                           warm_quality_factor=None)
+        with Session(cfg, cache=tmp_path / "session") as s:
+            art = s.fit_one(SIGMOID, 5, config=_TINY)
+        assert legacy.to_json() == art.pwl.to_json()
+
+    def test_fit_many_matches_auto_session(self, tmp_path):
+        jobs = [FitRequest.create(name, 4, config=_TINY).job
+                for name in ("tanh", "sigmoid")]
+        with self._quiet():
+            legacy = fit_many(jobs, root=tmp_path / "q",
+                              cache=FitCache(tmp_path / "legacy"))
+        cfg = EngineConfig(service_root=tmp_path / "q",
+                           warm_quality_factor=None)
+        with Session(cfg, cache=tmp_path / "session") as s:
+            arts = s.fit([FitRequest.from_job(j) for j in jobs])
+        for res, art in zip(legacy, arts):
+            assert res.source == "local"
+            assert res.grid_mse == art.grid_mse
+            assert res.pwl.to_json() == art.pwl.to_json()
