@@ -33,6 +33,7 @@ from .engines import (DaemonEngine, Engine, InlineEngine, LaneEngine,
                       PoolEngine, create_engine)
 from .request import FitRequest
 from .session import Session, fit
+from .telemetry import aggregate_provenance
 
 __all__ = [
     "ARTIFACT_SCHEMA_VERSION",
@@ -53,6 +54,7 @@ __all__ = [
     "LaneEngine",
     "PoolEngine",
     "Session",
+    "aggregate_provenance",
     "create_engine",
     "fit",
 ]

@@ -28,6 +28,7 @@ more than one worker resolves (see
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -212,25 +213,37 @@ class Session:
     # Miss execution
     # ------------------------------------------------------------------ #
     def _warm_seeds(self, keys: List[str], reqs: List[FitRequest]
-                    ) -> Tuple[List[Optional[Dict]], List[Optional[str]]]:
+                    ) -> Tuple[List[Optional[Dict]], List[Optional[Dict]]]:
         """Near-miss warm seeds per request, plus each seed's lineage.
 
-        Returns ``(seeds, warm_keys)``: the PWL seed documents
-        (``None`` = cold) and the cache keys of the neighbouring
-        entries they came from (what
-        ``provenance["warm_key"]`` records).
+        Returns ``(seeds, warm_meta)``: the PWL seed documents
+        (``None`` = cold) and, per warm seed, the lineage dict that
+        lands in provenance — the neighbour's cache key
+        (``warm_key``) and its configuration distance
+        (``warm_distance``, the :func:`~repro.core.batchfit
+        .config_distance` metric the telemetry report buckets by).
         """
+        from ..core.batchfit import config_distance
+
         cache = self.cache
         seeds: List[Optional[Dict]] = [None] * len(reqs)
-        warm_keys: List[Optional[str]] = [None] * len(reqs)
+        warm_meta: List[Optional[Dict]] = [None] * len(reqs)
         if not self.config.warm_start or cache is None:
-            return seeds, warm_keys
+            return seeds, warm_meta
         for i, (key, req) in enumerate(zip(keys, reqs)):
             near = cache.nearest_with_key(req.job, exclude_key=key)
             if near is not None:
-                warm_keys[i], entry = near
+                warm_key, entry = near
                 seeds[i] = entry.pwl.to_dict()
-        return seeds, warm_keys
+                meta: Dict = {"warm_key": warm_key}
+                if entry.config is not None and \
+                        entry.config.interval is not None and \
+                        req.config.interval is not None:
+                    meta["warm_distance"] = config_distance(
+                        req.config, entry.config.n_breakpoints,
+                        entry.config.interval)
+                warm_meta[i] = meta
+        return seeds, warm_meta
 
     def _fit_misses(self, misses: Dict[str, FitRequest]
                     ) -> Dict[str, FitArtifact]:
@@ -245,9 +258,9 @@ class Session:
         # shared cache); local engines get seeds picked here.
         if name == ENGINE_DAEMON:
             seeds: List[Optional[Dict]] = [None] * len(reqs)
-            warm_keys: List[Optional[str]] = [None] * len(reqs)
+            warm_meta: List[Optional[Dict]] = [None] * len(reqs)
         else:
-            seeds, warm_keys = self._warm_seeds(keys, reqs)
+            seeds, warm_meta = self._warm_seeds(keys, reqs)
         errors: Dict[str, str] = {}
         try:
             results = engine.fit(reqs, warm=seeds)
@@ -291,7 +304,7 @@ class Session:
                 for j, i in enumerate(still):
                     results[i] = sub[j]
                     seeds[i] = sub_seeds[j]
-                    warm_keys[i] = sub_warm[j]
+                    warm_meta[i] = sub_warm[j]
                     if sub[j] is not None:
                         results[i].provenance["source"] = "local-fallback"
                 for j, reason in local.last_errors.items():
@@ -302,8 +315,9 @@ class Session:
             art = results[i]
             if art is None:
                 continue
-            if warm_keys[i] is not None and not art.from_cache:
-                art.provenance.setdefault("warm_key", warm_keys[i])
+            if warm_meta[i] is not None and not art.from_cache:
+                for field, value in warm_meta[i].items():
+                    art.provenance.setdefault(field, value)
             art = self._warm_guard(req, art)
             # Persist before surfacing any batchmate's failure, so a
             # retrying caller hits the cache for the survivors.  Skip
@@ -314,6 +328,12 @@ class Session:
                     .get("kept") == "cold"
                 if forced or cache.get(key) is None:
                     cache.put(key, art.to_entry())
+                if not art.from_cache:
+                    # Telemetry: one line per fit that actually ran —
+                    # what `repro cache report` aggregates.  (The
+                    # guard's discarded fit, if any, was logged inside
+                    # _warm_guard.)
+                    self._log_fit(key, art)
             out[key] = art
         if errors:
             key, reason = next(iter(errors.items()))
@@ -321,6 +341,59 @@ class Session:
                 f"{len(errors)} of {len(reqs)} fit jobs failed; "
                 f"first: {misses[key].function!r} ({reason})")
         return out
+
+    # ------------------------------------------------------------------ #
+    # Graph compilation (serving front door)
+    # ------------------------------------------------------------------ #
+    def compile(self, graph, batch_size: int = 1,
+                n_breakpoints: Optional[int] = None,
+                config=None):
+        """Compile a :class:`~repro.graph.ir.Graph` into a hot-runnable
+        :class:`~repro.graph.program.Program`.
+
+        With ``n_breakpoints`` set, every activation / softmax node is
+        first rewritten to a PWL fitted *through this session* (cache,
+        warm starts, engine policy and all) — the paper's deployment
+        flow behind one front door: fit the approximations, bake them
+        into kernels, serve the compiled plan.  ``batch_size``
+        parameterises the static cost profile only; the returned
+        program runs feeds of any batch size.
+        """
+        from ..graph.passes import (collect_activation_names,
+                                    make_pwl_approximators,
+                                    replace_activations)
+        from ..graph.program import compile_graph
+
+        if n_breakpoints is not None:
+            names = sorted(collect_activation_names(graph))
+            approx = make_pwl_approximators(names, n_breakpoints,
+                                            config=config, session=self)
+            graph, _ = replace_activations(graph, approx)
+        return compile_graph(graph, batch_size=batch_size)
+
+    # ------------------------------------------------------------------ #
+    # Telemetry
+    # ------------------------------------------------------------------ #
+    def _log_fit(self, key: str, art: FitArtifact, **extra) -> None:
+        """Append one provenance line for a fit that actually executed."""
+        cache = self.cache
+        if cache is None:
+            return
+        record = {
+            "ts": time.time(),
+            "key": key,
+            "function": art.function,
+            "n_breakpoints": art.config.n_breakpoints,
+            "engine": art.engine,
+            "init_used": art.init_used,
+            "rounds": art.rounds,
+            "total_steps": art.total_steps,
+            "grid_mse": art.grid_mse,
+            "wall_time_s": art.wall_time_s,
+            "provenance": dict(art.provenance),
+        }
+        record.update(extra)
+        cache.log_provenance(record)
 
     # ------------------------------------------------------------------ #
     # Warm-start quality guard
@@ -363,12 +436,17 @@ class Session:
             art.provenance["warm_fallback"] = verdict
             return art
         verdict["cold_mse"] = cold.grid_mse
+        # Both fits executed; the kept one is logged by the caller, so
+        # the discarded one must be logged here or the telemetry would
+        # undercount executed fits whenever the guard fires.
         if cold.grid_mse < art.grid_mse:
             verdict["kept"] = "cold"
             cold.provenance["warm_fallback"] = verdict
+            self._log_fit(req.key, art, discarded_by_guard=True)
             return cold
         verdict["kept"] = "warm"
         art.provenance["warm_fallback"] = verdict
+        self._log_fit(req.key, cold, discarded_by_guard=True)
         return art
 
 

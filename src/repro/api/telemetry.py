@@ -1,0 +1,103 @@
+"""Warm-start telemetry: aggregate fit provenance across the cache.
+
+Every fit a :class:`~repro.api.Session` actually executes appends one
+JSON line to the cache's provenance log (see
+:meth:`~repro.core.batchfit.FitCache.log_provenance`).  This module
+turns that log into the ROADMAP's warm-start policy telemetry: how
+often fits start warm, how often the quality guard fires (and which fit
+it keeps), and how many optimizer steps warm seeds save as a function
+of neighbour distance.  ``repro cache report`` prints the result.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.batchfit import FitCache
+
+
+def _distance_bucket(distance: Optional[float]) -> str:
+    """Histogram bucket for a neighbour distance (budget doublings +
+    interval shifts; see :func:`~repro.core.batchfit.config_distance`)."""
+    if distance is None:
+        return "unknown"
+    edges = (0.25, 0.5, 1.0)
+    lo = 0.0
+    for hi in edges:
+        if distance <= hi:
+            return f"{lo:g}-{hi:g}"
+        lo = hi
+    return f">{edges[-1]:g}"
+
+
+def aggregate_provenance(cache: FitCache) -> Dict:
+    """Summarise the cache's provenance log (empty log => zero counts).
+
+    Returns a JSON-native document with:
+
+    * ``fits`` — executed-fit count, per-engine and per-init breakdowns,
+      and the warm-hit rate (share of executed fits that started from a
+      neighbouring cached configuration);
+    * ``guard`` — warm-quality-guard verdicts: how often it fired and
+      whether the cold re-fit or the warm fit was kept;
+    * ``steps_by_distance`` — mean optimizer steps of warm fits
+      bucketed by neighbour distance, next to the cold baseline, plus
+      the implied per-fit step saving.
+    """
+    records = cache.iter_provenance()
+    engines: Dict[str, int] = {}
+    inits: Dict[str, int] = {}
+    cold_steps: List[int] = []
+    warm: List[Dict] = []
+    guard_fired = 0
+    guard_kept: Dict[str, int] = {}
+    for rec in records:
+        engines[str(rec.get("engine"))] = \
+            engines.get(str(rec.get("engine")), 0) + 1
+        init = str(rec.get("init_used", "?"))
+        inits[init] = inits.get(init, 0) + 1
+        prov = rec.get("provenance") or {}
+        fallback = prov.get("warm_fallback")
+        if fallback:
+            guard_fired += 1
+            kept = str(fallback.get("kept", "?"))
+            guard_kept[kept] = guard_kept.get(kept, 0) + 1
+        if init == "warm":
+            warm.append(rec)
+        elif "total_steps" in rec:
+            cold_steps.append(int(rec["total_steps"]))
+
+    cold_mean = float(np.mean(cold_steps)) if cold_steps else None
+    by_bucket: Dict[str, List[int]] = {}
+    for rec in warm:
+        prov = rec.get("provenance") or {}
+        bucket = _distance_bucket(prov.get("warm_distance"))
+        by_bucket.setdefault(bucket, []).append(int(rec.get("total_steps", 0)))
+    steps_by_distance = {}
+    for bucket, steps in sorted(by_bucket.items()):
+        mean = float(np.mean(steps))
+        steps_by_distance[bucket] = {
+            "fits": len(steps),
+            "mean_steps": mean,
+            "saving_vs_cold": (cold_mean - mean
+                               if cold_mean is not None else None),
+        }
+
+    n = len(records)
+    return {
+        "log": str(cache.provenance_path),
+        "fits": {
+            "executed": n,
+            "engines": dict(sorted(engines.items())),
+            "init_used": dict(sorted(inits.items())),
+            "warm_rate": (len(warm) / n) if n else 0.0,
+        },
+        "guard": {
+            "fired": guard_fired,
+            "kept": dict(sorted(guard_kept.items())),
+        },
+        "steps_by_distance": steps_by_distance,
+        "cold_mean_steps": cold_mean,
+    }

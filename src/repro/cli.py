@@ -5,7 +5,10 @@ Commands
 ``fit``     fit one activation and print the PWL + metrics;
 ``fit-all`` batch-fit many activations through the parallel engine;
 ``serve``   run the long-running fit daemon over the shared job queue;
-``cache``   inspect / clear / prune the persistent fit cache;
+``cache``   inspect / clear / prune the persistent fit cache and report
+            warm-start telemetry (``cache report``);
+``compile`` compile a zoo model graph (optionally PWL-rewritten through
+            the session) and print its *static* cost profile;
 ``table``   emit quantised hardware tables as JSON;
 ``fig``     regenerate one of the paper's figures/tables in the terminal;
 ``zoo``     summarise the synthetic catalog and its speedups;
@@ -165,6 +168,43 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     from .core.batchfit import FitCache
 
     cache = FitCache(args.cache_dir) if args.cache_dir else FitCache()
+    if args.action == "report":
+        from .api import aggregate_provenance
+
+        report = aggregate_provenance(cache)
+        if args.json:
+            print(json.dumps(report, indent=2))
+            return 0
+        fits = report["fits"]
+        print(f"fit telemetry from {report['log']}")
+        print(f"  executed fits: {fits['executed']}  "
+              f"(warm rate {fits['warm_rate'] * 100:.1f}%)")
+        if fits["engines"]:
+            print("  engines: " + "  ".join(
+                f"{k}={v}" for k, v in fits["engines"].items()))
+        if fits["init_used"]:
+            print("  init:    " + "  ".join(
+                f"{k}={v}" for k, v in fits["init_used"].items()))
+        guard = report["guard"]
+        kept = "  ".join(f"{k}={v}" for k, v in guard["kept"].items())
+        print(f"  warm-quality guard fired {guard['fired']}x"
+              + (f" (kept: {kept})" if kept else ""))
+        if report["steps_by_distance"]:
+            rows = []
+            for bucket, row in report["steps_by_distance"].items():
+                saving = row["saving_vs_cold"]
+                rows.append([bucket, row["fits"],
+                             f"{row['mean_steps']:.0f}",
+                             "-" if saving is None else f"{saving:+.0f}"])
+            cold = report["cold_mean_steps"]
+            print(format_table(
+                ["neighbour distance", "fits", "mean steps", "vs cold"],
+                rows,
+                title="warm-start step savings by neighbour distance"
+                      + (f" (cold mean {cold:.0f})" if cold else "")))
+        elif fits["executed"]:
+            print("  no warm-started fits logged yet")
+        return 0
     if args.action == "stats":
         stats = cache.stats()
         if args.json:
@@ -267,6 +307,54 @@ def _cmd_fig(args: argparse.Namespace) -> int:
         print(f"unknown figure {args.name!r}; try fig2/fig4/fig5/tab1/tab2",
               file=sys.stderr)
         return 2
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from .perf import AcceleratorConfig, model_cycles, model_speedup, \
+        program_to_record
+    from .zoo.builders import BUILDERS
+
+    builder = BUILDERS.get(args.model)
+    if builder is None:
+        print(f"unknown model {args.model!r}; known: {sorted(BUILDERS)}",
+              file=sys.stderr)
+        return 2
+    graph = builder(act=args.act, scale=args.scale, seed=args.seed)
+    session = _session_from_args(args)
+    program = session.compile(graph, batch_size=args.batch,
+                              n_breakpoints=args.pwl)
+    # Static pricing: no forward pass behind either of these.
+    record = program_to_record(program, name=graph.name, family=args.model)
+    prof = program.profile
+    cfg = AcceleratorConfig()
+    if args.json:
+        print(json.dumps({
+            "model": graph.name,
+            "nodes": len(program.nodes),
+            "arena_slots": program.n_slots,
+            "batch_size": program.batch_size,
+            "pwl_breakpoints": args.pwl,
+            "macs": prof.total_macs,
+            "vector_ops": prof.total_vector_ops,
+            "act_elements": prof.act_elements_by_fn(),
+            "flexsfu_speedup": model_speedup(record, cfg),
+        }, indent=2))
+        return 0
+    pwl_nodes = sum(1 for cn in program.nodes
+                    if cn.attrs.get("impl") == "pwl")
+    print(f"{graph.name}: compiled {len(program.nodes)} nodes into "
+          f"{program.n_slots} arena slots (batch {program.batch_size}"
+          + (f", {pwl_nodes} PWL kernels at {args.pwl} breakpoints"
+             if args.pwl else "") + ")")
+    print(f"  static profile: {prof.total_macs:,} MACs   "
+          f"{prof.total_vector_ops:,} vector ops   "
+          f"{prof.total_act_elements:,} activation elements "
+          f"{prof.act_elements_by_fn()}")
+    base = model_cycles(record, cfg, use_flexsfu=False)
+    print(f"  cost model ({cfg.name}): {base.total:,.0f} baseline cycles, "
+          f"{base.act_share * 100:.1f}% in activations, "
+          f"flex-sfu speedup {model_speedup(record, cfg):.2f}x")
     return 0
 
 
@@ -373,8 +461,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.set_defaults(func=_cmd_serve)
 
     p_cache = sub.add_parser(
-        "cache", help="inspect / clear / prune the persistent fit cache")
-    p_cache.add_argument("action", choices=("stats", "clear", "prune"))
+        "cache", help="inspect / clear / prune the persistent fit cache, "
+                      "or report warm-start telemetry")
+    p_cache.add_argument("action", choices=("stats", "clear", "prune",
+                                            "report"))
     p_cache.add_argument("--cache-dir", default=None,
                          help="fit cache directory (default: "
                               "$REPRO_CACHE_DIR or ~/.cache/repro-flexsfu)")
@@ -383,7 +473,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache.add_argument("--max-age-s", type=float, default=None,
                          help="prune: drop entries older than this age")
     p_cache.add_argument("--json", action="store_true",
-                         help="stats: emit machine-readable JSON")
+                         help="stats/report: emit machine-readable JSON")
     p_cache.set_defaults(func=_cmd_cache)
 
     p_table = sub.add_parser("table", help="emit hardware tables as JSON")
@@ -396,6 +486,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig = sub.add_parser("fig", help="regenerate a figure/table")
     p_fig.add_argument("name", help="fig2|fig4|fig5|tab1|tab2")
     p_fig.set_defaults(func=_cmd_fig)
+
+    p_compile = sub.add_parser(
+        "compile", help="compile a zoo model graph and print its static "
+                        "profile (no forward pass)")
+    p_compile.add_argument("model", help="builder name (e.g. vit, resnet)")
+    p_compile.add_argument("--act", default="gelu",
+                           help="activation the builder uses (default: gelu)")
+    p_compile.add_argument("--scale", type=float, default=1.0,
+                           help="width multiplier (default: 1.0)")
+    p_compile.add_argument("--seed", type=int, default=0)
+    p_compile.add_argument("--batch", type=int, default=1,
+                           help="batch size of the static profile")
+    p_compile.add_argument("--pwl", type=int, default=None, metavar="N",
+                           help="rewrite activations to N-breakpoint PWLs "
+                                "(fitted through the session) before "
+                                "compiling")
+    p_compile.add_argument("--engine", choices=ENGINE_NAMES, default=None,
+                           help="fit engine for --pwl (default: auto)")
+    p_compile.add_argument("--cache-dir", default=None,
+                           help="fit cache directory for --pwl fits")
+    p_compile.add_argument("--json", action="store_true",
+                           help="emit a machine-readable summary")
+    p_compile.set_defaults(func=_cmd_compile)
 
     p_zoo = sub.add_parser("zoo", help="catalog speedup summary")
     p_zoo.set_defaults(func=_cmd_zoo)

@@ -339,6 +339,23 @@ def _entry_meta(doc: Dict) -> Optional[Dict]:
     }
 
 
+def config_distance(cfg: FitConfig, other_n_breakpoints: int,
+                    other_interval: Sequence[float]) -> float:
+    """Neighbour distance between a job's config and a cached entry's.
+
+    ``|log2(budget ratio)| + interval mismatch / width`` — one budget
+    doubling or shifting the interval by its own width both count as
+    distance 1.  The one metric shared by :meth:`FitCache.nearest` and
+    the warm-start telemetry (``provenance["warm_distance"]``).
+    """
+    a, b = cfg.interval
+    width = max(b - a, 1e-12)
+    oa, ob = float(other_interval[0]), float(other_interval[1])
+    return (abs(math.log2(max(int(other_n_breakpoints), 1)
+                          / max(cfg.n_breakpoints, 1)))
+            + (abs(a - oa) + abs(b - ob)) / max(width, ob - oa, 1e-12))
+
+
 def default_cache_dir() -> Path:
     """Resolve the cache root (``REPRO_CACHE_DIR`` env var or ~/.cache)."""
     env = os.environ.get("REPRO_CACHE_DIR")
@@ -402,6 +419,15 @@ class FitCache:
     #: Suffix of the jsonl neighbour-metadata manifest (kept beside,
     #: not inside, the entries directory).
     INDEX_SUFFIX = ".index.jsonl"
+
+    #: Suffix of the fit-provenance telemetry log (one line per fit a
+    #: Session actually executed; see :meth:`log_provenance`).
+    PROVENANCE_SUFFIX = ".provenance.jsonl"
+
+    #: Rotation threshold for the provenance log: past this size an
+    #: append first compacts the log to its newest half, bounding a
+    #: long-running service's telemetry sidecar.
+    PROVENANCE_MAX_BYTES = 8 * 1024 * 1024
 
     def __init__(self, directory: Optional[Union[str, Path]] = None) -> None:
         self.directory = (Path(directory) if directory is not None
@@ -471,8 +497,9 @@ class FitCache:
                     path.unlink()
                 except OSError:
                     pass
+        for sidecar in (self.index_path, self.provenance_path):
             try:
-                self.index_path.unlink()
+                sidecar.unlink()
             except OSError:
                 pass
 
@@ -503,10 +530,15 @@ class FitCache:
                                                                 st.st_mtime)
                 newest = st.st_mtime if newest is None else max(newest,
                                                                 st.st_mtime)
+        try:
+            provenance_bytes = self.provenance_path.stat().st_size
+        except OSError:
+            provenance_bytes = 0
         return {
             "directory": str(self.directory),
             "entries": entries,
             "bytes": total_bytes,
+            "provenance_bytes": provenance_bytes,
             "oldest_age_s": (now - oldest) if oldest is not None else None,
             "newest_age_s": (now - newest) if newest is not None else None,
         }
@@ -563,6 +595,76 @@ class FitCache:
             except OSError:
                 pass
         return removed
+
+    # ------------------------------------------------------------------ #
+    # Fit-provenance telemetry
+    # ------------------------------------------------------------------ #
+    @property
+    def provenance_path(self) -> Path:
+        """Disk location of the provenance telemetry log."""
+        return self.directory.parent / (self.directory.name
+                                        + self.PROVENANCE_SUFFIX)
+
+    def log_provenance(self, record: Dict) -> None:
+        """Append one fit-provenance record (best-effort, like the index).
+
+        Sessions call this once per fit that actually *executed* — the
+        payload is the JSON-native slice of the
+        :class:`~repro.api.artifact.FitArtifact` (engine, init lineage,
+        warm-guard verdicts, step counts).  ``repro cache report``
+        aggregates the log into the warm-start telemetry the ROADMAP
+        asks for.  The log self-rotates past
+        :attr:`PROVENANCE_MAX_BYTES` (newest half kept), so a
+        long-running daemon cannot grow it without bound.  Telemetry
+        must never break a fit: any OS error is swallowed.
+        """
+        try:
+            self.directory.parent.mkdir(parents=True, exist_ok=True)
+            self._provenance_rotate()
+            with open(self.provenance_path, "a") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        except OSError:
+            pass
+
+    def _provenance_rotate(self) -> None:
+        """Compact the log to its newest half once it outgrows the cap."""
+        path = self.provenance_path
+        try:
+            if path.stat().st_size <= self.PROVENANCE_MAX_BYTES:
+                return
+            lines = path.read_text().splitlines(keepends=True)
+        except OSError:
+            return
+        keep = lines[len(lines) // 2:]
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.writelines(keep)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def iter_provenance(self) -> List[Dict]:
+        """Parsed provenance records, oldest first (corrupt lines skipped)."""
+        out: List[Dict] = []
+        try:
+            with open(self.provenance_path) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        doc = json.loads(line)
+                    except ValueError:
+                        continue
+                    if isinstance(doc, dict):
+                        out.append(doc)
+        except OSError:
+            pass
+        return out
 
     # ------------------------------------------------------------------ #
     # Near-miss lookup (warm starts)
@@ -733,8 +835,6 @@ class FitCache:
         cfg = job.config
         if cfg.interval is None:
             return None
-        a, b = cfg.interval
-        width = max(b - a, 1e-12)
         digest = job_spec_digest(job)
         boundary = (cfg.boundary_left, cfg.boundary_right)
 
@@ -749,10 +849,7 @@ class FitCache:
                 continue
             if tuple(meta["boundary"]) != boundary:
                 continue
-            oa, ob = meta["interval"]
-            d = (abs(math.log2(max(meta["n_breakpoints"], 1)
-                               / max(cfg.n_breakpoints, 1)))
-                 + (abs(a - oa) + abs(b - ob)) / max(width, ob - oa, 1e-12))
+            d = config_distance(cfg, meta["n_breakpoints"], meta["interval"])
             if d <= best_d:
                 best_d = d
                 best_key = key

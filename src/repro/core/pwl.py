@@ -106,8 +106,15 @@ class PiecewiseLinear:
 
         Region ``r``'s coefficients are valid for inputs whose
         :meth:`region_index` is ``r``; this is the table the hardware's
-        lookup-table cluster stores.
+        lookup-table cluster stores.  The table is computed once per
+        instance and memoised (the dataclass is frozen, so it can never
+        go stale); every consumer — :meth:`__call__`, the hardware table
+        quantiser, the compiled graph kernels — shares the same
+        read-only arrays.
         """
+        cached = self.__dict__.get("_coefficients")
+        if cached is not None:
+            return cached
         p, v = self.breakpoints, self.values
         n = self.n_breakpoints
         m = np.empty(n + 1, dtype=np.float64)
@@ -119,6 +126,9 @@ class PiecewiseLinear:
         q[1:n] = v[:-1] - inner * p[:-1]
         m[n] = self.right_slope
         q[n] = v[-1] - self.right_slope * p[-1]
+        m.setflags(write=False)
+        q.setflags(write=False)
+        object.__setattr__(self, "_coefficients", (m, q))
         return m, q
 
     def __call__(self, x: np.ndarray) -> np.ndarray:

@@ -57,6 +57,11 @@ def fit_session():
     daemon wins (shared pool, shared grids, shared cache), else the
     local pool / lane engines — the same transparent topology the old
     ``fit_many`` fallback gave every sweep.
+
+    Only the *batched prefits* run here; the per-key ``pwl_for`` reads
+    below stay on the pass-level cold inline session so that a figure
+    regenerated against an empty cache fits deterministically (no
+    warm seeding from whatever neighbouring entries happen to exist).
     """
     from ..api import Session
 
@@ -418,7 +423,14 @@ class Fig6Result:
 
 
 def run_figure6(config: Optional[AcceleratorConfig] = None) -> Fig6Result:
-    """Regenerate Fig. 6 over the profiled catalog."""
+    """Regenerate Fig. 6 over the statically-compiled catalog.
+
+    Since the compiled-execution migration this is a pure compile-side
+    pass: every catalog record's workload statistics come from
+    :attr:`~repro.graph.program.Program.profile` (shapes inferred at
+    compile time), so no model runs a forward pass anywhere in the
+    Fig. 6 pipeline.
+    """
     return Fig6Result(evaluation=evaluate_zoo(catalog(), config))
 
 

@@ -7,9 +7,12 @@ workload numbers the end-to-end evaluation needs.
 """
 
 from .builder import GraphBuilder
-from .executor import Executor, GraphProfile, NodeProfile
+from .executor import Executor, GraphProfile, NodeProfile, interpret
 from .ir import Graph, Node
-from .ops import CostRecord, OP_REGISTRY, get_op, register_op
+from .ops import (CostRecord, OP_REGISTRY, get_op, infer_node_shapes,
+                  register_op, register_shape)
+from .program import (CompiledNode, Program, PwlKernel, SoftmaxPwlKernel,
+                      compile_graph)
 from .passes import (
     clear_fit_cache,
     collect_activation_names,
@@ -32,6 +35,14 @@ __all__ = [
     "OP_REGISTRY",
     "get_op",
     "register_op",
+    "register_shape",
+    "infer_node_shapes",
+    "interpret",
+    "CompiledNode",
+    "Program",
+    "PwlKernel",
+    "SoftmaxPwlKernel",
+    "compile_graph",
     "replace_activations",
     "restore_exact_activations",
     "collect_activation_names",

@@ -1,123 +1,94 @@
-"""Numpy executor and profiler for the graph IR.
+"""Eager executor — now a thin shim over the compiled :class:`Program`.
 
-``Executor.run`` evaluates a graph on concrete inputs (exact float64
-semantics).  ``Executor.profile`` additionally collects per-node
-:class:`~repro.graph.ops.CostRecord` entries — the workload statistics
-(MACs, vector ops, activation elements per function) the end-to-end
-performance model consumes.
+``Executor.run`` compiles the graph once at construction (validation,
+scheduling, op resolution, PWL kernel baking — see
+:mod:`repro.graph.program`) and every forward pass executes the cached
+plan; ``Executor.profile`` runs the same plan while collecting per-node
+:class:`~repro.graph.ops.CostRecord` entries from runtime shapes.
+
+:func:`interpret` preserves the original per-run interpreter verbatim.
+It is the *reference semantics*: the property suite asserts
+``Program.run`` is bitwise-equal to it across op/activation sweeps, and
+benchmarks use it as the seed baseline.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 
 from ..errors import GraphError
 from .ir import Graph
-from .ops import CostRecord, get_op
+from .ops import get_op
+from .program import GraphProfile, NodeProfile, Program, compile_graph
+
+__all__ = ["Executor", "GraphProfile", "NodeProfile", "interpret"]
 
 
-@dataclass
-class NodeProfile:
-    """Cost record of one executed node."""
+def interpret(graph: Graph, feeds: Dict[str, np.ndarray],
+              profile: GraphProfile | None = None) -> Dict[str, np.ndarray]:
+    """Reference interpreter: resolve and execute every node per run.
 
-    name: str
-    op_type: str
-    cost: CostRecord
+    This is the seed executor's ``_execute`` body, kept as the
+    semantics oracle for the compiled path (and as the eager baseline
+    in ``benchmarks/bench_graph_exec.py``).  Returns the full value
+    environment, not just the graph outputs.
+    """
+    values: Dict[str, np.ndarray] = {}
+    for name, shape in graph.inputs:
+        if name not in feeds:
+            raise GraphError(f"missing graph input {name!r}")
+        arr = np.asarray(feeds[name])
+        if shape and tuple(arr.shape[1:]) != tuple(shape[1:]):
+            raise GraphError(
+                f"input {name!r} shape {arr.shape} incompatible with {shape}"
+            )
+        values[name] = arr
+    values.update(graph.initializers)
 
-
-@dataclass
-class GraphProfile:
-    """Aggregated workload statistics of one forward pass."""
-
-    nodes: List[NodeProfile] = field(default_factory=list)
-
-    @property
-    def total_macs(self) -> int:
-        """All multiply-accumulates (tensor-core work)."""
-        return sum(p.cost.macs for p in self.nodes)
-
-    @property
-    def total_vector_ops(self) -> int:
-        """All generic VPU operations."""
-        return sum(p.cost.vector_ops for p in self.nodes)
-
-    @property
-    def total_act_elements(self) -> int:
-        """All elements that pass through an activation function."""
-        return sum(p.cost.act_elements for p in self.nodes)
-
-    def act_elements_by_fn(self) -> Dict[str, int]:
-        """Activation elements split per function name."""
-        out: Dict[str, int] = {}
-        for p in self.nodes:
-            if p.cost.act_elements:
-                out[p.cost.act_fn] = out.get(p.cost.act_fn, 0) + p.cost.act_elements
-        return out
-
-    def dominant_activation(self) -> str:
-        """Most frequent activation by element count ('' if none)."""
-        by_fn = self.act_elements_by_fn()
-        if not by_fn:
-            return ""
-        return max(by_fn.items(), key=lambda kv: kv[1])[0]
+    for node in graph.topological_order():
+        op = get_op(node.op_type)
+        inputs = [values[v] for v in node.inputs]
+        outputs = op.execute(inputs, node.attrs)
+        if len(outputs) != len(node.outputs):
+            raise GraphError(
+                f"node {node.name} produced {len(outputs)} outputs, "
+                f"declared {len(node.outputs)}"
+            )
+        for value_name, arr in zip(node.outputs, outputs):
+            values[value_name] = arr
+        if profile is not None:
+            cost = op.cost([tuple(np.shape(v)) for v in inputs],
+                           [tuple(np.shape(o)) for o in outputs],
+                           node.attrs)
+            profile.nodes.append(NodeProfile(name=node.name,
+                                             op_type=node.op_type,
+                                             cost=cost))
+    return values
 
 
 class Executor:
-    """Evaluates a :class:`Graph` with numpy semantics."""
+    """Evaluates a :class:`Graph` with numpy semantics.
+
+    Construction compiles the graph (one-time validation + planning);
+    ``run``/``profile`` execute the compiled program.  The results are
+    bitwise-identical to the historical per-run interpreter — callers
+    that rebuilt an Executor per forward pass keep working, they just
+    stop paying per-run resolution.
+    """
 
     def __init__(self, graph: Graph) -> None:
-        graph.validate()
         self.graph = graph
-        self._order = graph.topological_order()
+        self.program: Program = compile_graph(graph)
+        self._order = self.program.order
 
     # ------------------------------------------------------------------ #
     def run(self, feeds: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
         """Forward pass; returns the graph outputs by name."""
-        values = self._execute(feeds, profile=None)
-        return {name: values[name] for name in self.graph.outputs}
+        return self.program.run(feeds)
 
     def profile(self, feeds: Dict[str, np.ndarray]
                 ) -> Tuple[Dict[str, np.ndarray], GraphProfile]:
-        """Forward pass plus per-node cost records."""
-        prof = GraphProfile()
-        values = self._execute(feeds, profile=prof)
-        outputs = {name: values[name] for name in self.graph.outputs}
-        return outputs, prof
-
-    # ------------------------------------------------------------------ #
-    def _execute(self, feeds: Dict[str, np.ndarray],
-                 profile: GraphProfile | None) -> Dict[str, np.ndarray]:
-        values: Dict[str, np.ndarray] = {}
-        for name, shape in self.graph.inputs:
-            if name not in feeds:
-                raise GraphError(f"missing graph input {name!r}")
-            arr = np.asarray(feeds[name])
-            if shape and tuple(arr.shape[1:]) != tuple(shape[1:]):
-                raise GraphError(
-                    f"input {name!r} shape {arr.shape} incompatible with {shape}"
-                )
-            values[name] = arr
-        values.update(self.graph.initializers)
-
-        for node in self._order:
-            op = get_op(node.op_type)
-            inputs = [values[v] for v in node.inputs]
-            outputs = op.execute(inputs, node.attrs)
-            if len(outputs) != len(node.outputs):
-                raise GraphError(
-                    f"node {node.name} produced {len(outputs)} outputs, "
-                    f"declared {len(node.outputs)}"
-                )
-            for value_name, arr in zip(node.outputs, outputs):
-                values[value_name] = arr
-            if profile is not None:
-                cost = op.cost([tuple(np.shape(v)) for v in inputs],
-                               [tuple(np.shape(o)) for o in outputs],
-                               node.attrs)
-                profile.nodes.append(NodeProfile(name=node.name,
-                                                 op_type=node.op_type,
-                                                 cost=cost))
-        return values
+        """Forward pass plus per-node cost records (runtime shapes)."""
+        return self.program.run_profiled(feeds)

@@ -17,8 +17,8 @@ the ONNX graphs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Tuple
+from dataclasses import dataclass, replace as dc_replace
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -49,10 +49,18 @@ class CostRecord:
 
 @dataclass(frozen=True)
 class OpImpl:
-    """Executable semantics + cost model of one operator type."""
+    """Executable semantics + cost model of one operator type.
+
+    ``infer`` is the operator's *static shape rule* — output shapes from
+    input shapes without touching data — which is what lets
+    :func:`repro.graph.program.compile_graph` schedule buffers and price
+    a whole graph at compile time.  Ops registered without one still
+    execute; they just cannot participate in static profiling.
+    """
 
     execute: Callable[[List[np.ndarray], Dict[str, Any]], List[np.ndarray]]
     cost: Callable[[List[Shape], List[Shape], Dict[str, Any]], CostRecord]
+    infer: Optional[Callable[[List[Shape], Dict[str, Any]], List[Shape]]] = None
 
 
 OP_REGISTRY: Dict[str, OpImpl] = {}
@@ -69,6 +77,15 @@ def register_op(name: str):
     return wrap
 
 
+def register_shape(name: str):
+    """Decorator attaching a static shape rule to a registered op."""
+
+    def wrap(infer):
+        OP_REGISTRY[name] = dc_replace(OP_REGISTRY[name], infer=infer)
+        return infer
+    return wrap
+
+
 def get_op(name: str) -> OpImpl:
     """Look up an operator implementation."""
     try:
@@ -77,6 +94,17 @@ def get_op(name: str) -> OpImpl:
         raise GraphError(
             f"unknown op {name!r}; known: {sorted(OP_REGISTRY)}"
         ) from None
+
+
+def infer_node_shapes(op_type: str, in_shapes: List[Shape],
+                      attrs: Dict[str, Any]) -> List[Shape]:
+    """Static output shapes of one node (raises on shapeless ops)."""
+    op = get_op(op_type)
+    if op.infer is None:
+        raise GraphError(
+            f"op {op_type!r} has no static shape rule; register one with "
+            f"register_shape() to compile graphs containing it")
+    return [tuple(int(d) for d in s) for s in op.infer(in_shapes, attrs)]
 
 
 def _elements(shape: Shape) -> int:
@@ -349,3 +377,137 @@ def _exec_mean_seq(inputs: List[np.ndarray], attrs: Dict[str, Any]) -> List[np.n
 @register_op("mean_pool_seq")(_exec_mean_seq)
 def _cost_mean_seq(in_shapes, out_shapes, attrs) -> CostRecord:
     return CostRecord(vector_ops=_elements(in_shapes[0]))
+
+
+# --------------------------------------------------------------------- #
+# Static shape rules — one per op, mirroring the execute semantics.
+# Compile-time counterparts of the numpy behaviour above: they must
+# produce exactly the shape execute() would, or the static profile
+# would drift from the runtime-profiled one.
+# --------------------------------------------------------------------- #
+def _broadcast(a: Shape, b: Shape) -> Shape:
+    try:
+        return tuple(np.broadcast_shapes(a, b))
+    except ValueError:
+        raise GraphError(f"shapes {a} and {b} do not broadcast") from None
+
+
+@register_shape("conv2d")
+def _shape_conv2d(in_shapes: List[Shape], attrs: Dict[str, Any]) -> List[Shape]:
+    n, c, h, w = in_shapes[0]
+    c_out, c_in_g, kh, kw = in_shapes[1]
+    stride = int(attrs.get("stride", 1))
+    padding = int(attrs.get("padding", 0))
+    groups = int(attrs.get("groups", 1))
+    if c != c_in_g * groups:
+        raise GraphError(
+            f"conv2d channel mismatch: input {c}, weight {c_in_g}x{groups} groups"
+        )
+    h_out = (h + 2 * padding - kh) // stride + 1
+    w_out = (w + 2 * padding - kw) // stride + 1
+    if h_out < 1 or w_out < 1:
+        raise GraphError(
+            f"conv2d kernel {kh}x{kw} does not fit input {h}x{w} "
+            f"(padding {padding}, stride {stride})")
+    return [(n, c_out, h_out, w_out)]
+
+
+@register_shape("linear")
+def _shape_linear(in_shapes: List[Shape], attrs: Dict[str, Any]) -> List[Shape]:
+    x, w = in_shapes[0], in_shapes[1]
+    if not x or x[-1] != w[0]:
+        raise GraphError(f"linear contraction mismatch: {x} @ {w}")
+    return [x[:-1] + (w[1],)]
+
+
+@register_shape("matmul")
+def _shape_matmul(in_shapes: List[Shape], attrs: Dict[str, Any]) -> List[Shape]:
+    a, b = in_shapes[0], in_shapes[1]
+    if len(a) < 2 or len(b) < 2 or a[-1] != b[-2]:
+        raise GraphError(f"matmul contraction mismatch: {a} @ {b}")
+    return [_broadcast(a[:-2], b[:-2]) + (a[-2], b[-1])]
+
+
+def _shape_identity(in_shapes: List[Shape], attrs: Dict[str, Any]) -> List[Shape]:
+    return [in_shapes[0]]
+
+
+register_shape("batchnorm")(_shape_identity)
+register_shape("layernorm")(_shape_identity)
+register_shape("activation")(_shape_identity)
+register_shape("softmax")(_shape_identity)
+
+
+def _shape_broadcast_pair(in_shapes: List[Shape],
+                          attrs: Dict[str, Any]) -> List[Shape]:
+    return [_broadcast(in_shapes[0], in_shapes[1])]
+
+
+register_shape("add")(_shape_broadcast_pair)
+register_shape("mul")(_shape_broadcast_pair)
+
+
+def _shape_pool2d(in_shapes: List[Shape], attrs: Dict[str, Any]) -> List[Shape]:
+    n, c, h, w = in_shapes[0]
+    kernel = int(attrs.get("kernel", 2))
+    stride = int(attrs.get("stride", 2))
+    h_out = (h - kernel) // stride + 1
+    w_out = (w - kernel) // stride + 1
+    if h_out < 1 or w_out < 1:
+        raise GraphError(f"pool kernel {kernel} does not fit input {h}x{w}")
+    return [(n, c, h_out, w_out)]
+
+
+register_shape("maxpool2d")(_shape_pool2d)
+register_shape("avgpool2d")(_shape_pool2d)
+
+
+@register_shape("global_avgpool")
+def _shape_gap(in_shapes: List[Shape], attrs: Dict[str, Any]) -> List[Shape]:
+    return [in_shapes[0][:2]]
+
+
+@register_shape("reshape")
+def _shape_reshape(in_shapes: List[Shape], attrs: Dict[str, Any]) -> List[Shape]:
+    src = in_shapes[0]
+    target = tuple(int(d) for d in attrs["shape"])
+    total = _elements(src)
+    if target.count(-1) > 1:
+        raise GraphError(f"reshape target {target} has multiple -1 dims")
+    if -1 in target:
+        known = _elements(tuple(d for d in target if d != -1))
+        if known == 0 or total % known:
+            raise GraphError(f"cannot reshape {src} into {target}")
+        target = tuple(total // known if d == -1 else d for d in target)
+    if _elements(target) != total:
+        raise GraphError(f"cannot reshape {src} into {target}")
+    return [target]
+
+
+@register_shape("transpose")
+def _shape_transpose(in_shapes: List[Shape], attrs: Dict[str, Any]) -> List[Shape]:
+    src = in_shapes[0]
+    perm = tuple(int(p) for p in attrs["perm"])
+    if sorted(perm) != list(range(len(src))):
+        raise GraphError(f"transpose perm {perm} invalid for shape {src}")
+    return [tuple(src[p] for p in perm)]
+
+
+@register_shape("flatten")
+def _shape_flatten(in_shapes: List[Shape], attrs: Dict[str, Any]) -> List[Shape]:
+    src = in_shapes[0]
+    return [(src[0], _elements(src[1:]))]
+
+
+@register_shape("embedding")
+def _shape_embedding(in_shapes: List[Shape], attrs: Dict[str, Any]) -> List[Shape]:
+    ids, table = in_shapes[0], in_shapes[1]
+    return [ids + table[1:]]
+
+
+@register_shape("mean_pool_seq")
+def _shape_mean_seq(in_shapes: List[Shape], attrs: Dict[str, Any]) -> List[Shape]:
+    src = in_shapes[0]
+    if len(src) < 2:
+        raise GraphError(f"mean_pool_seq needs a sequence axis, got {src}")
+    return [src[:1] + src[2:]]

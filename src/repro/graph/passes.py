@@ -70,17 +70,20 @@ def native_pwl(fn: ActivationFunction) -> Optional[PiecewiseLinear]:
 def pwl_for(fn: ActivationFunction, n_breakpoints: int,
             interval: Optional[Tuple[float, float]] = None,
             config: Optional[FitConfig] = None,
-            boundary: Tuple[str, str] = ("asymptote", "asymptote")
-            ) -> PiecewiseLinear:
+            boundary: Tuple[str, str] = ("asymptote", "asymptote"),
+            session=None) -> PiecewiseLinear:
     """Fit (or reuse) a PWL for ``fn`` at the given budget.
 
-    A thin convenience over the pass-level :class:`~repro.api.Session`:
-    served from the persistent on-disk cache (exact-PWL natives short-
-    circuit without fitting), so fits survive across processes and batch
-    sweeps can pre-seed the same keys through any Session engine.
+    A thin convenience over the pass-level :class:`~repro.api.Session`
+    (or an explicit ``session`` — e.g. the one behind
+    :meth:`repro.api.Session.compile`): served from the persistent
+    on-disk cache (exact-PWL natives short-circuit without fitting), so
+    fits survive across processes and batch sweeps can pre-seed the
+    same keys through any Session engine.
     """
-    return _session().fit_one(fn, n_breakpoints, interval=interval,
-                              config=config, boundary=tuple(boundary)).pwl
+    s = session if session is not None else _session()
+    return s.fit_one(fn, n_breakpoints, interval=interval,
+                     config=config, boundary=tuple(boundary)).pwl
 
 
 def fit_pwl_cached(fn: ActivationFunction, n_breakpoints: int,
@@ -96,21 +99,26 @@ def fit_pwl_cached(fn: ActivationFunction, n_breakpoints: int,
 
 
 def make_pwl_approximators(function_names, n_breakpoints: int,
-                           config: Optional[FitConfig] = None
+                           config: Optional[FitConfig] = None,
+                           session=None
                            ) -> Dict[str, Callable[[np.ndarray], np.ndarray]]:
     """Fitted PWL evaluators for each named activation.
 
     The special name ``"softmax"`` yields a PWL of ``exp`` on the paper's
     ``[-10, 0.1]`` interval wrapped in the max-subtract decomposition.
+    ``session`` routes the fits through an explicit
+    :class:`~repro.api.Session` (otherwise the pass-level one serves
+    them).
     """
     out: Dict[str, Callable[[np.ndarray], np.ndarray]] = {}
     for name in function_names:
         if name == "softmax":
-            exp_pwl = pwl_for(fn_registry.get("exp"), n_breakpoints)
+            exp_pwl = pwl_for(fn_registry.get("exp"), n_breakpoints,
+                              session=session)
             out[name] = SoftmaxApproximator(exp_pwl)
         else:
             out[name] = pwl_for(fn_registry.get(name), n_breakpoints,
-                                config=config)
+                                config=config, session=session)
     return out
 
 

@@ -14,6 +14,7 @@ from .costs import (
     model_cycles,
     model_speedup,
     profile_to_record,
+    program_to_record,
 )
 from .endtoend import (
     FamilySummary,
@@ -31,6 +32,7 @@ __all__ = [
     "model_speedup",
     "inference_time_us",
     "profile_to_record",
+    "program_to_record",
     "evaluate_zoo",
     "ZooEvaluation",
     "FamilySummary",

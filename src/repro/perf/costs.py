@@ -50,10 +50,14 @@ FLEXSFU_ACT_OPS = 1
 def profile_to_record(profile, name: str, family: str = "custom",
                       domain: str = "cv", year: int = 2023,
                       primary_activation: str = "") -> ModelRecord:
-    """Wrap a live :class:`~repro.graph.executor.GraphProfile` as a record.
+    """Wrap a :class:`~repro.graph.program.GraphProfile` as a record.
 
     Lets user graphs flow through the same cost model as the catalog:
-    ``model_speedup(profile_to_record(prof, "mynet"), cfg)``.
+    ``model_speedup(profile_to_record(prof, "mynet"), cfg)``.  The
+    profile may be a compile-time static one
+    (:attr:`~repro.graph.program.Program.profile` — see
+    :func:`program_to_record`) or a runtime-collected one; both carry
+    identical records.
     """
     by_fn = profile.act_elements_by_fn()
     primary = primary_activation or profile.dominant_activation()
@@ -64,6 +68,19 @@ def profile_to_record(profile, name: str, family: str = "custom",
         macs=profile.total_macs, vector_ops=profile.total_vector_ops,
         act_elements=tuple(sorted(by_fn.items())), act_layers=act_layers,
     )
+
+
+def program_to_record(program, name: str, family: str = "custom",
+                      domain: str = "cv", year: int = 2023,
+                      primary_activation: str = "") -> ModelRecord:
+    """Price a compiled :class:`~repro.graph.program.Program` statically.
+
+    Pure compile-side: uses the program's static profile, so a model can
+    be costed under the accelerator model without ever executing.
+    """
+    return profile_to_record(program.profile, name, family=family,
+                             domain=domain, year=year,
+                             primary_activation=primary_activation)
 
 
 def model_cycles(record: ModelRecord, cfg: AcceleratorConfig,

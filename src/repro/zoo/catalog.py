@@ -2,10 +2,14 @@
 
 Each :class:`ModelRecord` carries the workload statistics the end-to-end
 performance model needs — MAC count, generic vector ops, activation
-elements per function, activation layer count — **profiled from real
-forward passes** of the family's executable builder at a sampled size,
-plus the metadata (publication year, primary activation) that drives
-Fig. 1.  Record generation is deterministic in the seed.
+elements per function, activation layer count — derived from the
+family's executable builder at a sampled size via **static compilation**
+(:func:`repro.graph.program.compile_graph`): shapes are inferred and
+costs priced without executing a single forward pass, so building the
+whole Fig. 6 catalog is a pure compile-side sweep.  The static profile
+is node-for-node identical to what a real forward pass would report
+(the property suite enforces it).  Record generation is deterministic
+in the seed.
 """
 
 from __future__ import annotations
@@ -15,7 +19,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from ..graph.executor import Executor, GraphProfile
+from ..graph.program import GraphProfile, compile_graph
 from .builders import BUILDERS
 from .families import FAMILIES, FamilySpec
 
@@ -57,7 +61,8 @@ class ModelRecord:
 
 
 # ----------------------------------------------------------------------- #
-# Profiling (one forward pass per (builder, scale), cached)
+# Profiling (one static compile per (builder, scale), cached — no
+# forward pass: costs are priced from the inferred shapes)
 # ----------------------------------------------------------------------- #
 _PROFILE_CACHE: Dict[Tuple[str, float], GraphProfile] = {}
 
@@ -70,16 +75,7 @@ def _profile(builder_key: str, scale: float) -> GraphProfile:
     key = (builder_key, float(scale))
     if key not in _PROFILE_CACHE:
         graph = BUILDERS[builder_key](act=_CANONICAL_ACT, scale=scale, seed=7)
-        executor = Executor(graph)
-        if ("ids", graph.inputs[0][1]) == graph.inputs[0] or \
-                graph.inputs[0][0] == "ids":
-            seqlen = graph.inputs[0][1][1]
-            feed = {"ids": np.zeros((1, seqlen), dtype=np.int64)}
-        else:
-            shape = (1,) + tuple(graph.inputs[0][1][1:])
-            feed = {"x": np.zeros(shape)}
-        _, prof = executor.profile(feed)
-        _PROFILE_CACHE[key] = prof
+        _PROFILE_CACHE[key] = compile_graph(graph, batch_size=1).profile
     return _PROFILE_CACHE[key]
 
 

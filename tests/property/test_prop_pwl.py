@@ -54,6 +54,47 @@ def test_values_interpolated_at_breakpoints(pwl):
     assert np.allclose(got, pwl.values, rtol=1e-9, atol=1e-9)
 
 
+def _uncached_coefficients(pwl):
+    """The pre-memoization coefficient computation, reproduced verbatim."""
+    p, v = pwl.breakpoints, pwl.values
+    n = pwl.n_breakpoints
+    m = np.empty(n + 1, dtype=np.float64)
+    q = np.empty(n + 1, dtype=np.float64)
+    m[0] = pwl.left_slope
+    q[0] = v[0] - pwl.left_slope * p[0]
+    inner = pwl.inner_slopes()
+    m[1:n] = inner
+    q[1:n] = v[:-1] - inner * p[:-1]
+    m[n] = pwl.right_slope
+    q[n] = v[-1] - pwl.right_slope * p[-1]
+    return m, q
+
+
+@settings(max_examples=80)
+@given(pwl_strategy())
+def test_memoised_coefficients_match_uncached_bitwise(pwl):
+    m_ref, q_ref = _uncached_coefficients(pwl)
+    m, q = pwl.coefficients()
+    # Bitwise: the memoised table is the same computation, cached.
+    assert np.array_equal(m, m_ref) and np.array_equal(q, q_ref)
+    assert m.tobytes() == m_ref.tobytes()
+    assert q.tobytes() == q_ref.tobytes()
+    # Repeated calls serve the identical (read-only) arrays.
+    m2, q2 = pwl.coefficients()
+    assert m2 is m and q2 is q
+    assert not m.flags.writeable and not q.flags.writeable
+
+
+@settings(max_examples=40)
+@given(pwl_strategy())
+def test_memoisation_survives_serialisation_roundtrip(pwl):
+    pwl.coefficients()  # populate the cache before the round-trip
+    clone = PiecewiseLinear.from_json(pwl.to_json())
+    m, q = clone.coefficients()
+    m_ref, q_ref = _uncached_coefficients(pwl)
+    assert np.array_equal(m, m_ref) and np.array_equal(q, q_ref)
+
+
 @settings(max_examples=60)
 @given(pwl_strategy())
 def test_coefficients_consistent_with_eval(pwl):

@@ -28,6 +28,7 @@ EXPECTED_ALL = [
     "LaneEngine",
     "PoolEngine",
     "Session",
+    "aggregate_provenance",
     "create_engine",
     "fit",
 ]

@@ -94,6 +94,30 @@ class TestCommands:
         assert "Table I" in capsys.readouterr().out
 
 
+class TestCompileCommand:
+    def test_unknown_model(self, capsys):
+        assert main(["compile", "nosuchnet"]) == 2
+
+    def test_static_profile_text(self, capsys):
+        assert main(["compile", "vit", "--scale", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "static profile" in out and "MACs" in out
+
+    def test_json_summary(self, capsys):
+        assert main(["compile", "resnet", "--act", "relu",
+                     "--scale", "0.25", "--batch", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["batch_size"] == 2
+        assert payload["macs"] > 0 and payload["nodes"] > 0
+        assert "relu" in payload["act_elements"]
+
+    def test_pwl_rewrite_bakes_kernels(self, capsys, tmp_path):
+        assert main(["compile", "generic_cnn", "--act", "relu6",
+                     "--scale", "0.25", "--pwl", "4", "--engine", "inline",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert "PWL kernels at 4 breakpoints" in capsys.readouterr().out
+
+
 class TestServeCommand:
     def test_serve_once_on_empty_queue(self, capsys, tmp_path):
         assert main(["serve", "--once", "--dir", str(tmp_path / "q"),

@@ -52,6 +52,59 @@ class TestRun:
             Executor(g).run({"x": np.zeros((1, 2))})
 
 
+class TestErrorPaths:
+    @staticmethod
+    def _two_input_graph():
+        g = Graph(name="pair")
+        g.inputs.append(("a", (0, 3)))
+        g.inputs.append(("b", (0, 3)))
+        g.add_node(Node("add", ["a", "b"], ["y"]))
+        g.outputs.append("y")
+        return g
+
+    def test_batch_dim_mismatch_across_inputs(self):
+        g = self._two_input_graph()
+        with pytest.raises(GraphError, match="batch-dim mismatch"):
+            Executor(g).run({"a": np.zeros((2, 3)), "b": np.zeros((4, 3))})
+
+    def test_consistent_batch_accepted(self):
+        g = self._two_input_graph()
+        out = Executor(g).run({"a": np.ones((2, 3)), "b": np.ones((2, 3))})
+        assert out["y"].shape == (2, 3)
+
+    def test_missing_feed_names_the_input(self):
+        g = self._two_input_graph()
+        with pytest.raises(GraphError, match="missing graph input 'b'"):
+            Executor(g).run({"a": np.zeros((1, 3))})
+
+    def test_arity_mismatch_names_the_node(self):
+        g = Graph(name="bad")
+        g.inputs.append(("x", (0, 2)))
+        g.add_node(Node("add", ["x", "x"], ["y", "z"], name="offender"))
+        g.outputs.append("y")
+        with pytest.raises(GraphError, match="offender"):
+            Executor(g).run({"x": np.zeros((1, 2))})
+
+    def test_validate_rejects_cycle(self):
+        g = Graph(name="cyclic")
+        g.inputs.append(("x", (0, 2)))
+        g.add_node(Node("add", ["x", "b"], ["a"]))
+        g.add_node(Node("add", ["a", "x"], ["b"]))
+        g.outputs.append("b")
+        with pytest.raises(GraphError, match="cycle or missing"):
+            g.validate()
+        with pytest.raises(GraphError):
+            Executor(g)
+
+    def test_validate_rejects_unproduced_output(self):
+        g = Graph(name="dangling")
+        g.inputs.append(("x", (0, 2)))
+        g.add_node(Node("add", ["x", "x"], ["y"]))
+        g.outputs.append("ghost")
+        with pytest.raises(GraphError, match="never produced"):
+            g.validate()
+
+
 class TestProfile:
     def test_profile_counts_macs(self, tiny_cnn_graph, rng):
         ex = Executor(tiny_cnn_graph)

@@ -1,0 +1,158 @@
+"""Unit tests for fit-provenance telemetry (log + aggregation + CLI)."""
+
+import json
+
+import pytest
+
+from repro.api import EngineConfig, Session
+from repro.api.telemetry import aggregate_provenance
+from repro.cli import main
+from repro.core.batchfit import FitCache
+from repro.core.fit import FitConfig
+
+FAST = FitConfig(max_steps=60, refine_steps=25, max_refine_rounds=1,
+                 polish=False, grid_points=512)
+
+
+class TestProvenanceLog:
+    def test_roundtrip(self, tmp_path):
+        cache = FitCache(tmp_path / "fits")
+        cache.log_provenance({"key": "a", "engine": "lane"})
+        cache.log_provenance({"key": "b", "engine": "inline"})
+        got = cache.iter_provenance()
+        assert [r["key"] for r in got] == ["a", "b"]
+
+    def test_corrupt_lines_skipped(self, tmp_path):
+        cache = FitCache(tmp_path / "fits")
+        cache.log_provenance({"key": "a"})
+        with open(cache.provenance_path, "a") as handle:
+            handle.write("{torn json\n\n[1, 2]\n")
+        cache.log_provenance({"key": "b"})
+        assert [r["key"] for r in cache.iter_provenance()] == ["a", "b"]
+
+    def test_missing_log_is_empty(self, tmp_path):
+        assert FitCache(tmp_path / "fits").iter_provenance() == []
+
+    def test_clear_drops_the_log(self, tmp_path):
+        cache = FitCache(tmp_path / "fits")
+        cache.log_provenance({"key": "a"})
+        cache.clear()
+        assert cache.iter_provenance() == []
+
+    def test_session_logs_executed_fits_only(self, tmp_path):
+        cache = FitCache(tmp_path / "fits")
+        with Session(EngineConfig(engine="inline", warm_start=False),
+                     cache=cache) as s:
+            s.fit_one("tanh", 4, config=FAST)
+            s.fit_one("tanh", 4, config=FAST)   # cache hit: not logged
+            s.fit_one("relu", 4, config=FAST)   # native: not logged
+        records = cache.iter_provenance()
+        assert len(records) == 1
+        rec = records[0]
+        assert rec["function"] == "tanh" and rec["engine"] == "inline"
+        assert rec["init_used"] != "warm" and rec["total_steps"] > 0
+
+    def test_warm_fit_logs_distance_lineage(self, tmp_path):
+        cache = FitCache(tmp_path / "fits")
+        with Session(EngineConfig(engine="inline", warm_start=True,
+                                  warm_quality_factor=None),
+                     cache=cache) as s:
+            s.fit_one("tanh", 4, config=FAST)
+            s.fit_one("tanh", 6, config=FAST)   # warm-seeded neighbour
+        warm = [r for r in cache.iter_provenance()
+                if r["init_used"] == "warm"]
+        assert len(warm) == 1
+        prov = warm[0]["provenance"]
+        assert "warm_key" in prov
+        assert prov["warm_distance"] == pytest.approx(
+            abs(__import__("math").log2(4 / 6)))
+
+
+    def test_guard_refit_logs_both_fits(self, tmp_path):
+        cache = FitCache(tmp_path / "fits")
+        # A vanishing quality factor forces the guard's cold re-fit on
+        # every warm start.
+        with Session(EngineConfig(engine="inline",
+                                  warm_quality_factor=1e-12),
+                     cache=cache) as s:
+            s.fit_one("tanh", 4, config=FAST)
+            s.fit_one("tanh", 6, config=FAST)
+        records = cache.iter_provenance()
+        # seed fit + warm attempt + cold re-fit: all three executed.
+        assert len(records) == 3
+        discarded = [r for r in records if r.get("discarded_by_guard")]
+        assert len(discarded) == 1
+        kept = [r for r in records
+                if r["provenance"].get("warm_fallback")]
+        assert len(kept) == 1
+        verdicts = {discarded[0]["init_used"],
+                    kept[0]["init_used"]}
+        assert "warm" in verdicts  # one side of the race was warm
+
+    def test_log_rotates_past_the_size_cap(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(FitCache, "PROVENANCE_MAX_BYTES", 2048)
+        cache = FitCache(tmp_path / "fits")
+        for i in range(200):
+            cache.log_provenance({"key": f"k{i}", "pad": "x" * 64})
+        assert cache.provenance_path.stat().st_size < 3 * 2048
+        records = cache.iter_provenance()
+        # Newest records survive the compactions.
+        assert records[-1]["key"] == "k199"
+        assert len(records) < 200
+
+
+class TestAggregation:
+    def test_empty_cache(self, tmp_path):
+        report = aggregate_provenance(FitCache(tmp_path / "fits"))
+        assert report["fits"]["executed"] == 0
+        assert report["fits"]["warm_rate"] == 0.0
+
+    def test_aggregates_warm_guard_and_steps(self, tmp_path):
+        cache = FitCache(tmp_path / "fits")
+        cache.log_provenance({"engine": "lane", "init_used": "uniform",
+                              "total_steps": 100, "provenance": {}})
+        cache.log_provenance({"engine": "lane", "init_used": "curvature",
+                              "total_steps": 200, "provenance": {}})
+        cache.log_provenance({
+            "engine": "inline", "init_used": "warm", "total_steps": 40,
+            "provenance": {"warm_key": "k", "warm_distance": 0.4}})
+        cache.log_provenance({
+            "engine": "inline", "init_used": "warm", "total_steps": 80,
+            "provenance": {"warm_distance": 2.0,
+                           "warm_fallback": {"kept": "cold"}}})
+        report = aggregate_provenance(cache)
+        assert report["fits"]["executed"] == 4
+        assert report["fits"]["warm_rate"] == pytest.approx(0.5)
+        assert report["fits"]["engines"] == {"inline": 2, "lane": 2}
+        assert report["guard"] == {"fired": 1, "kept": {"cold": 1}}
+        assert report["cold_mean_steps"] == pytest.approx(150.0)
+        buckets = report["steps_by_distance"]
+        assert buckets["0.25-0.5"]["fits"] == 1
+        assert buckets["0.25-0.5"]["mean_steps"] == pytest.approx(40.0)
+        assert buckets["0.25-0.5"]["saving_vs_cold"] == pytest.approx(110.0)
+        assert buckets[">1"]["fits"] == 1
+
+
+class TestCacheReportCli:
+    def test_report_json(self, capsys, tmp_path):
+        cache = FitCache(tmp_path)
+        cache.log_provenance({"engine": "lane", "init_used": "uniform",
+                              "total_steps": 10, "provenance": {}})
+        assert main(["cache", "report", "--cache-dir", str(tmp_path),
+                     "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["fits"]["executed"] == 1
+
+    def test_report_human(self, capsys, tmp_path):
+        cache = FitCache(tmp_path)
+        cache.log_provenance({
+            "engine": "lane", "init_used": "warm", "total_steps": 10,
+            "provenance": {"warm_distance": 0.1}})
+        assert main(["cache", "report", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "warm rate 100.0%" in out
+        assert "neighbour distance" in out
+
+    def test_report_empty(self, capsys, tmp_path):
+        assert main(["cache", "report", "--cache-dir", str(tmp_path)]) == 0
+        assert "executed fits: 0" in capsys.readouterr().out
