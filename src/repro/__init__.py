@@ -24,7 +24,8 @@ older entry points (``fit_activation`` & co) remain as deprecated
 shims — see the migration table in the README.
 """
 
-from . import api, core, functions, graph, hw, numerics, optim, perf, zoo
+from . import analysis, api, core, functions, graph, hw, numerics, optim, \
+    perf, zoo
 from . import eval as eval_  # "eval" shadows the builtin; alias available
 from .api import EngineConfig, FitArtifact, FitRequest, Session
 from .core import (
@@ -53,6 +54,7 @@ from .hw import FlexSfuUnit, HwDataType
 __version__ = "1.0.0"
 
 __all__ = [
+    "analysis",
     "api",
     "core",
     "functions",

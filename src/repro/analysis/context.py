@@ -1,0 +1,54 @@
+"""Shared, lazily-computed facts the checks read.
+
+One :class:`AnalysisContext` wraps the graph (and optionally its
+compiled :class:`~repro.graph.program.Program`) under analysis.  The
+expensive derived structures — topological order, producer map — are
+computed once and memoised, and they *never raise*: a graph too broken
+to order returns ``None`` so structural checks can report the problem
+as diagnostics instead of exceptions.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from ..errors import GraphError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..graph.ir import Graph, Node
+    from ..graph.program import Program
+
+
+class AnalysisContext:
+    """Everything a :class:`~repro.analysis.checks.Check` may inspect."""
+
+    def __init__(self, graph: "Graph", batch_size: int = 1,
+                 program: Optional["Program"] = None) -> None:
+        self.graph = graph
+        self.batch_size = int(batch_size)
+        self.program = program
+        self._order: Optional[List["Node"]] = None
+        self._order_done = False
+        self._producers: Optional[Dict[str, "Node"]] = None
+
+    @property
+    def order(self) -> Optional[List["Node"]]:
+        """Topological order, or ``None`` when the graph cannot be ordered."""
+        if not self._order_done:
+            self._order_done = True
+            try:
+                self._order = self.graph.topological_order()
+            except GraphError:
+                self._order = None
+        return self._order
+
+    @property
+    def producers(self) -> Dict[str, "Node"]:
+        """Value name -> producing node (first producer wins, never raises)."""
+        if self._producers is None:
+            out: Dict[str, "Node"] = {}
+            for node in self.graph.nodes:
+                for value in node.outputs:
+                    out.setdefault(value, node)
+            self._producers = out
+        return self._producers

@@ -1,0 +1,65 @@
+"""Rendering diagnostics for humans and machines (``repro check``)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from .diagnostics import CODES, Diagnostic, Severity
+
+
+def count_by_severity(diagnostics: Sequence[Diagnostic]) -> Dict[str, int]:
+    """``{"error": n, "warning": n, "info": n}`` for one finding list."""
+    counts = {"error": 0, "warning": 0, "info": 0}
+    for d in diagnostics:
+        counts[str(d.severity)] += 1
+    return counts
+
+
+def format_diagnostics(diagnostics: Sequence[Diagnostic], *,
+                       source: str = "", show_hints: bool = True) -> str:
+    """Multi-line human rendering of one verification run."""
+    lines: List[str] = []
+    header = source or "verify"
+    if not diagnostics:
+        lines.append(f"{header}: clean (no findings)")
+        return "\n".join(lines)
+    counts = count_by_severity(diagnostics)
+    lines.append(f"{header}: {counts['error']} error(s), "
+                 f"{counts['warning']} warning(s)")
+    for d in diagnostics:
+        lines.append(f"  {d.format()}")
+        if show_hints and d.hint:
+            lines.append(f"      hint: {d.hint}")
+    return "\n".join(lines)
+
+
+def diagnostics_payload(diagnostics: Sequence[Diagnostic], *,
+                        source: str = "") -> Dict[str, Any]:
+    """JSON-ready document for one verification run."""
+    return {
+        "source": source,
+        "counts": count_by_severity(diagnostics),
+        "ok": not any(d.is_error for d in diagnostics),
+        "diagnostics": [d.to_dict() for d in diagnostics],
+    }
+
+
+def format_code_table() -> str:
+    """The full stable-code reference as an aligned text table."""
+    rows = [(info.code, str(info.severity), info.title)
+            for info in sorted(CODES.values(), key=lambda i: i.code)]
+    width = max(len(r[2]) for r in rows)
+    lines = [f"{'code':<8} {'severity':<8} {'title':<{width}}",
+             f"{'-' * 8} {'-' * 8} {'-' * width}"]
+    for code, severity, title in rows:
+        lines.append(f"{code:<8} {severity:<8} {title:<{width}}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "Severity",
+    "count_by_severity",
+    "format_diagnostics",
+    "diagnostics_payload",
+    "format_code_table",
+]

@@ -1,0 +1,72 @@
+"""``verify(graph | program) -> list[Diagnostic]`` — the front door.
+
+Runs every registered :class:`~repro.analysis.checks.Check` whose scope
+applies (graph-scope checks on a bare :class:`~repro.graph.ir.Graph`,
+graph- *and* program-scope checks on a compiled
+:class:`~repro.graph.program.Program`) and returns the findings sorted
+most-severe first.  Nothing is executed and nothing raises; callers
+that want fatality use :func:`raise_on_errors` — which is exactly what
+:func:`~repro.graph.program.compile_graph` does with errors while
+parking warnings on ``Program.diagnostics``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from .checks import CHECK_REGISTRY
+from .context import AnalysisContext
+from .diagnostics import Diagnostic, DiagnosticError
+
+
+def run_checks(ctx: AnalysisContext, scope: str,
+               checks: Optional[Sequence[str]] = None) -> List[Diagnostic]:
+    """Run the registered checks of one scope against ``ctx``.
+
+    ``checks`` optionally restricts to a subset of check names
+    (unknown names raise ``KeyError`` — a misspelled restriction must
+    not silently verify nothing).
+    """
+    selected = []
+    for name in (checks if checks is not None else CHECK_REGISTRY):
+        check = CHECK_REGISTRY[name]
+        if check.scope == scope:
+            selected.append(check)
+    out: List[Diagnostic] = []
+    for check in selected:
+        out.extend(check.run(ctx))
+    return out
+
+
+def verify(obj: Union["AnalysisContext", object], *,
+           batch_size: int = 1,
+           checks: Optional[Sequence[str]] = None) -> List[Diagnostic]:
+    """Statically verify a graph or a compiled program.
+
+    Accepts a :class:`~repro.graph.ir.Graph` (graph-scope checks) or a
+    :class:`~repro.graph.program.Program` (graph- and program-scope
+    checks at the program's compiled batch size).  Returns every
+    finding, errors first; an empty list means the object is clean.
+    """
+    from ..graph.ir import Graph
+    from ..graph.program import Program
+
+    if isinstance(obj, Program):
+        ctx = AnalysisContext(obj.graph, batch_size=obj.batch_size,
+                              program=obj)
+        diags = run_checks(ctx, "graph", checks)
+        diags += run_checks(ctx, "program", checks)
+    elif isinstance(obj, Graph):
+        ctx = AnalysisContext(obj, batch_size=batch_size)
+        diags = run_checks(ctx, "graph", checks)
+    else:
+        raise TypeError(
+            f"verify() needs a Graph or a Program, got {type(obj).__name__}")
+    return sorted(diags, key=lambda d: -int(d.severity))
+
+
+def raise_on_errors(diagnostics: Sequence[Diagnostic]) -> None:
+    """Raise the first error-severity finding as a coded exception."""
+    errors = [d for d in diagnostics if d.is_error]
+    if errors:
+        raise DiagnosticError(errors[0], tuple(errors[1:]))

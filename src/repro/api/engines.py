@@ -33,7 +33,11 @@ batchmates their results.
 from __future__ import annotations
 
 import concurrent.futures
-from typing import Any, Dict, List, Optional, Protocol, Sequence
+from typing import (TYPE_CHECKING, Any, Dict, List, Optional, Protocol,
+                    Sequence)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..service.queue import JobQueue
 
 from ..core.batchfit import (CachedFit, _pool_worker_init, _run_group,
                              _run_job, plan_units, pool_map_units)
@@ -236,7 +240,7 @@ class DaemonEngine:
         self.config = config or EngineConfig()
         self.last_errors: Dict[int, str] = {}
 
-    def _queue(self):
+    def _queue(self) -> JobQueue:
         from ..service.queue import JobQueue
         return JobQueue(self.config.service_root)
 

@@ -30,9 +30,15 @@ from __future__ import annotations
 
 import time
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import (TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple,
+                    Union)
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.fit import FitConfig
+    from ..graph.ir import Graph
+    from ..graph.program import Program
 
 from ..core.batchfit import FitCache, FitJob, default_cache, native_entry
 from ..errors import FitError, ServiceError
@@ -151,7 +157,7 @@ class Session:
     def __enter__(self) -> "Session":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------ #
@@ -161,7 +167,7 @@ class Session:
                 fn: Union[RequestLike, str, ActivationFunction],
                 n_breakpoints: int = 16,
                 interval: Optional[Tuple[float, float]] = None,
-                config=None,
+                config: Optional[FitConfig] = None,
                 boundary: Optional[Tuple[str, str]] = None) -> FitArtifact:
         """Fit a single request (built via :meth:`FitRequest.create`
         when ``fn`` is a function / name rather than a request)."""
@@ -345,36 +351,47 @@ class Session:
     # ------------------------------------------------------------------ #
     # Graph compilation (serving front door)
     # ------------------------------------------------------------------ #
-    def compile(self, graph, batch_size: int = 1,
-                n_breakpoints: Optional[int] = None,
-                config=None):
-        """Compile a :class:`~repro.graph.ir.Graph` into a hot-runnable
-        :class:`~repro.graph.program.Program`.
-
-        With ``n_breakpoints`` set, every activation / softmax node is
-        first rewritten to a PWL fitted *through this session* (cache,
-        warm starts, engine policy and all) — the paper's deployment
-        flow behind one front door: fit the approximations, bake them
-        into kernels, serve the compiled plan.  ``batch_size``
-        parameterises the static cost profile only; the returned
-        program runs feeds of any batch size.
-        """
+    def rewrite(self, graph: "Graph", n_breakpoints: int,
+                config: Optional["FitConfig"] = None) -> "Graph":
+        """Clone ``graph`` with every activation / softmax node rewired
+        to a PWL fitted *through this session* (cache, warm starts,
+        engine policy and all) — the paper's activation-replacement
+        pass behind the front door, without compiling."""
         from ..graph.passes import (collect_activation_names,
                                     make_pwl_approximators,
                                     replace_activations)
+
+        names = sorted(collect_activation_names(graph))
+        approx = make_pwl_approximators(names, n_breakpoints,
+                                        config=config, session=self)
+        rewritten, _ = replace_activations(graph, approx)
+        return rewritten
+
+    def compile(self, graph: "Graph", batch_size: int = 1,
+                n_breakpoints: Optional[int] = None,
+                config: Optional["FitConfig"] = None,
+                verify: bool = True) -> "Program":
+        """Compile a :class:`~repro.graph.ir.Graph` into a hot-runnable
+        :class:`~repro.graph.program.Program`.
+
+        With ``n_breakpoints`` set, the graph first goes through
+        :meth:`rewrite` — the paper's deployment flow behind one front
+        door: fit the approximations, bake them into kernels, serve the
+        compiled plan.  ``batch_size`` parameterises the static cost
+        profile only; the returned program runs feeds of any batch
+        size.  ``verify`` gates the compile-time static checks (see
+        :func:`repro.graph.program.compile_graph`).
+        """
         from ..graph.program import compile_graph
 
         if n_breakpoints is not None:
-            names = sorted(collect_activation_names(graph))
-            approx = make_pwl_approximators(names, n_breakpoints,
-                                            config=config, session=self)
-            graph, _ = replace_activations(graph, approx)
-        return compile_graph(graph, batch_size=batch_size)
+            graph = self.rewrite(graph, n_breakpoints, config=config)
+        return compile_graph(graph, batch_size=batch_size, verify=verify)
 
     # ------------------------------------------------------------------ #
     # Telemetry
     # ------------------------------------------------------------------ #
-    def _log_fit(self, key: str, art: FitArtifact, **extra) -> None:
+    def _log_fit(self, key: str, art: FitArtifact, **extra: object) -> None:
         """Append one provenance line for a fit that actually executed."""
         cache = self.cache
         if cache is None:
@@ -450,9 +467,10 @@ class Session:
         return art
 
 
-def fit(fn, n_breakpoints: int = 16,
+def fit(fn: Union[RequestLike, str, ActivationFunction],
+        n_breakpoints: int = 16,
         interval: Optional[Tuple[float, float]] = None,
-        config=None,
+        config: Optional[FitConfig] = None,
         boundary: Optional[Tuple[str, str]] = None,
         engine: Union[str, EngineConfig, None] = None) -> FitArtifact:
     """One-shot convenience: fit through a throwaway default Session."""

@@ -9,6 +9,8 @@ Commands
             warm-start telemetry (``cache report``);
 ``compile`` compile a zoo model graph (optionally PWL-rewritten through
             the session) and print its *static* cost profile;
+``check``   statically verify zoo model graphs (shape rules, liveness,
+            PWL domain coverage, ...) and print the diagnostics;
 ``table``   emit quantised hardware tables as JSON;
 ``fig``     regenerate one of the paper's figures/tables in the terminal;
 ``zoo``     summarise the synthetic catalog and its speedups;
@@ -358,6 +360,64 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .analysis.report import (diagnostics_payload, format_code_table,
+                                  format_diagnostics)
+    from .analysis.verify import verify
+    from .errors import GraphError
+    from .graph.program import compile_graph
+    from .zoo.builders import BUILDERS
+
+    if args.list_codes:
+        print(format_code_table())
+        return 0
+    models = sorted(BUILDERS) if args.all_zoo else list(args.models)
+    if not models:
+        print("check: name at least one zoo model or pass --all-zoo "
+              "(or --list-codes)", file=sys.stderr)
+        return 2
+    unknown = [m for m in models if m not in BUILDERS]
+    if unknown:
+        print(f"unknown model(s) {unknown}; known: {sorted(BUILDERS)}",
+              file=sys.stderr)
+        return 2
+
+    session = _session_from_args(args) if args.pwl else None
+    reports = []
+    for name in models:
+        graph = BUILDERS[name](act=args.act, scale=args.scale,
+                               seed=args.seed)
+        if session is not None:
+            # Same rewrite `repro compile --pwl` applies: fitted PWL
+            # activations are what the domain-coverage check inspects.
+            graph = session.rewrite(graph, n_breakpoints=args.pwl)
+        try:
+            # Verification is the point here, so compile with verify
+            # off and run the full check set (graph + program scope)
+            # over the result — errors become report lines, not raises.
+            program = compile_graph(graph, batch_size=args.batch,
+                                    verify=False)
+            diags = verify(program)
+        except GraphError:
+            # Too broken to plan (cycle, unknown op, ...): the
+            # graph-scope findings explain why.
+            diags = verify(graph, batch_size=args.batch)
+        reports.append((name, graph, diags))
+
+    if args.json:
+        docs = [dict(diagnostics_payload(diags, source=graph.name),
+                     model=name)
+                for name, graph, diags in reports]
+        ok = all(doc["ok"] for doc in docs)
+        print(json.dumps({"ok": ok, "models": docs}, indent=2))
+    else:
+        ok = True
+        for name, graph, diags in reports:
+            print(format_diagnostics(diags, source=graph.name))
+            ok = ok and not any(d.is_error for d in diags)
+    return 0 if ok else 1
+
+
 def _cmd_zoo(args: argparse.Namespace) -> int:
     from .perf import evaluate_zoo
     from .zoo import build_catalog
@@ -509,6 +569,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile.add_argument("--json", action="store_true",
                            help="emit a machine-readable summary")
     p_compile.set_defaults(func=_cmd_compile)
+
+    p_check = sub.add_parser(
+        "check",
+        help="static analysis: verify zoo graphs and report diagnostics")
+    p_check.add_argument("models", nargs="*",
+                         help="builder names (e.g. vit resnet)")
+    p_check.add_argument("--all-zoo", action="store_true",
+                         help="check every zoo builder")
+    p_check.add_argument("--act", default="gelu",
+                         help="activation for parameterisable builders")
+    p_check.add_argument("--scale", type=float, default=1.0,
+                         help="width multiplier for the builders")
+    p_check.add_argument("--seed", type=int, default=0)
+    p_check.add_argument("--batch", type=int, default=1,
+                         help="batch size for the static cost profile")
+    p_check.add_argument("--pwl", type=int, default=None, metavar="N",
+                         help="rewrite activations to N-breakpoint PWL "
+                              "before checking (exercises the domain-"
+                              "coverage checks)")
+    p_check.add_argument("--engine", choices=ENGINE_NAMES, default=None,
+                         help="fitting engine for --pwl rewrites")
+    p_check.add_argument("--cache-dir", default=None,
+                         help="fit cache directory for --pwl rewrites")
+    p_check.add_argument("--json", action="store_true",
+                         help="emit diagnostics as JSON")
+    p_check.add_argument("--list-codes", action="store_true",
+                         help="print the diagnostic code table and exit")
+    p_check.set_defaults(func=_cmd_check)
 
     p_zoo = sub.add_parser("zoo", help="catalog speedup summary")
     p_zoo.set_defaults(func=_cmd_zoo)

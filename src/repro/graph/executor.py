@@ -18,7 +18,7 @@ from typing import Dict, Tuple
 
 import numpy as np
 
-from ..errors import GraphError
+from ..analysis.diagnostics import fail
 from .ir import Graph
 from .ops import get_op
 from .program import GraphProfile, NodeProfile, Program, compile_graph
@@ -38,12 +38,14 @@ def interpret(graph: Graph, feeds: Dict[str, np.ndarray],
     values: Dict[str, np.ndarray] = {}
     for name, shape in graph.inputs:
         if name not in feeds:
-            raise GraphError(f"missing graph input {name!r}")
+            fail("RPR201", f"missing graph input {name!r}",
+                 graph=graph.name)
         arr = np.asarray(feeds[name])
         if shape and tuple(arr.shape[1:]) != tuple(shape[1:]):
-            raise GraphError(
-                f"input {name!r} shape {arr.shape} incompatible with {shape}"
-            )
+            fail("RPR202",
+                 f"input {name!r} shape {arr.shape} incompatible "
+                 f"with {shape}",
+                 graph=graph.name)
         values[name] = arr
     values.update(graph.initializers)
 
@@ -52,10 +54,10 @@ def interpret(graph: Graph, feeds: Dict[str, np.ndarray],
         inputs = [values[v] for v in node.inputs]
         outputs = op.execute(inputs, node.attrs)
         if len(outputs) != len(node.outputs):
-            raise GraphError(
-                f"node {node.name} produced {len(outputs)} outputs, "
-                f"declared {len(node.outputs)}"
-            )
+            fail("RPR204",
+                 f"node {node.name} produced {len(outputs)} outputs, "
+                 f"declared {len(node.outputs)}",
+                 node=node.name, graph=graph.name)
         for value_name, arr in zip(node.outputs, outputs):
             values[value_name] = arr
         if profile is not None:

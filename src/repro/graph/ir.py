@@ -15,7 +15,10 @@ from typing import Any, Dict, List, Tuple
 
 import numpy as np
 
-from ..errors import GraphError
+# Coded diagnostics (RPR1xx): the analysis package's diagnostics core
+# is import-light by design, so the IR can raise stable-coded errors
+# without a cycle through the checks.
+from ..analysis.diagnostics import fail
 
 
 @dataclass
@@ -34,7 +37,9 @@ class Node:
 
     def __post_init__(self) -> None:
         if not self.outputs:
-            raise GraphError(f"node {self.name or self.op_type} has no outputs")
+            fail("RPR114",
+                 f"node {self.name or self.op_type} has no outputs",
+                 node=self.name or self.op_type)
         if not self.name:
             self.name = f"{self.op_type}:{self.outputs[0]}"
 
@@ -60,7 +65,8 @@ class Graph:
     def add_initializer(self, name: str, value: np.ndarray) -> str:
         """Register a weight tensor; returns its value name."""
         if name in self.initializers:
-            raise GraphError(f"initializer {name!r} already present")
+            fail("RPR115", f"initializer {name!r} already present",
+                 graph=self.name)
         self.initializers[name] = np.asarray(value, dtype=np.float64)
         return name
 
@@ -73,7 +79,8 @@ class Graph:
         for node in self.nodes:
             for value in node.outputs:
                 if value in out:
-                    raise GraphError(f"value {value!r} produced twice")
+                    fail("RPR111", f"value {value!r} produced twice",
+                         node=node.name, graph=self.name)
                 out[value] = node
         return out
 
@@ -101,10 +108,10 @@ class Graph:
                 missing = {
                     v for node in still for v in node.inputs if v not in available
                 }
-                raise GraphError(
-                    f"graph {self.name!r} has a cycle or missing values: "
-                    f"{sorted(missing)[:5]}"
-                )
+                fail("RPR112",
+                     f"graph {self.name!r} has a cycle or missing values: "
+                     f"{sorted(missing)[:5]}",
+                     graph=self.name)
             remaining = still
         return ordered
 
@@ -114,7 +121,8 @@ class Graph:
         for out in self.outputs:
             if out not in produced and out not in self.initializers \
                     and out not in {n for n, _ in self.inputs}:
-                raise GraphError(f"graph output {out!r} is never produced")
+                fail("RPR113", f"graph output {out!r} is never produced",
+                     graph=self.name)
         self.topological_order()
 
     def clone(self) -> "Graph":

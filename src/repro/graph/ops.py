@@ -22,6 +22,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..analysis.diagnostics import fail
 from ..errors import GraphError
 from ..functions import registry as fn_registry
 from ..functions.softmax import softmax as exact_softmax
@@ -91,9 +92,7 @@ def get_op(name: str) -> OpImpl:
     try:
         return OP_REGISTRY[name]
     except KeyError:
-        raise GraphError(
-            f"unknown op {name!r}; known: {sorted(OP_REGISTRY)}"
-        ) from None
+        fail("RPR101", f"unknown op {name!r}; known: {sorted(OP_REGISTRY)}")
 
 
 def infer_node_shapes(op_type: str, in_shapes: List[Shape],
@@ -101,9 +100,9 @@ def infer_node_shapes(op_type: str, in_shapes: List[Shape],
     """Static output shapes of one node (raises on shapeless ops)."""
     op = get_op(op_type)
     if op.infer is None:
-        raise GraphError(
-            f"op {op_type!r} has no static shape rule; register one with "
-            f"register_shape() to compile graphs containing it")
+        fail("RPR103",
+             f"op {op_type!r} has no static shape rule; register one with "
+             f"register_shape() to compile graphs containing it")
     return [tuple(int(d) for d in s) for s in op.infer(in_shapes, attrs)]
 
 
@@ -297,9 +296,10 @@ def _exec_activation(inputs: List[np.ndarray], attrs: Dict[str, Any]) -> List[np
     if impl == "pwl":
         approx = attrs.get("approximator")
         if approx is None:
-            raise GraphError("pwl activation node has no approximator attached")
+            fail("RPR120",
+                 "pwl activation node has no approximator attached")
         return [np.asarray(approx(inputs[0]), dtype=np.float64)]
-    raise GraphError(f"unknown activation impl {impl!r}")
+    fail("RPR122", f"unknown activation impl {impl!r}")
 
 
 @register_op("activation")(_exec_activation)
@@ -316,9 +316,10 @@ def _exec_softmax(inputs: List[np.ndarray], attrs: Dict[str, Any]) -> List[np.nd
     if impl == "pwl":
         approx = attrs.get("approximator")
         if approx is None:
-            raise GraphError("pwl softmax node has no approximator attached")
+            fail("RPR120",
+                 "pwl softmax node has no approximator attached")
         return [np.asarray(approx(inputs[0], axis=axis), dtype=np.float64)]
-    raise GraphError(f"unknown softmax impl {impl!r}")
+    fail("RPR122", f"unknown softmax impl {impl!r}")
 
 
 @register_op("softmax")(_exec_softmax)

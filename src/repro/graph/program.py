@@ -38,6 +38,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..analysis.diagnostics import Diagnostic, fail
 from ..core.pwl import PiecewiseLinear
 from ..errors import GraphError
 from ..functions import registry as fn_registry
@@ -178,11 +179,13 @@ def _activation_kernel(node: Node) -> Optional[Callable]:
     if impl == "pwl":
         approx = node.attrs.get("approximator")
         if approx is None:
-            raise GraphError("pwl activation node has no approximator attached")
+            fail("RPR120",
+                 "pwl activation node has no approximator attached",
+                 node=node.name)
         if isinstance(approx, PiecewiseLinear):
             return PwlKernel.from_pwl(approx)
         return lambda x: np.asarray(approx(x), dtype=np.float64)
-    raise GraphError(f"unknown activation impl {impl!r}")
+    fail("RPR122", f"unknown activation impl {impl!r}", node=node.name)
 
 
 def _softmax_kernel(node: Node) -> Optional[Callable]:
@@ -193,12 +196,14 @@ def _softmax_kernel(node: Node) -> Optional[Callable]:
     if impl == "pwl":
         approx = node.attrs.get("approximator")
         if approx is None:
-            raise GraphError("pwl softmax node has no approximator attached")
+            fail("RPR120",
+                 "pwl softmax node has no approximator attached",
+                 node=node.name)
         if isinstance(approx, SoftmaxApproximator) and \
                 isinstance(approx._exp_fn, PiecewiseLinear):
             return SoftmaxPwlKernel.from_approximator(approx, axis)
         return lambda x: np.asarray(approx(x, axis=axis), dtype=np.float64)
-    raise GraphError(f"unknown softmax impl {impl!r}")
+    fail("RPR122", f"unknown softmax impl {impl!r}", node=node.name)
 
 
 def _linear_kernel(node: Node, consts: Dict[str, np.ndarray]
@@ -349,7 +354,8 @@ class Program:
                  output_plan: List[Tuple[str, int]],
                  shapes: Optional[Dict[str, Shape]],
                  static_profile: Optional[GraphProfile],
-                 static_error: Optional[GraphError]) -> None:
+                 static_error: Optional[GraphError],
+                 slot_map: Optional[Dict[str, int]] = None) -> None:
         self.graph = graph
         self.batch_size = batch_size
         self.nodes = nodes
@@ -360,6 +366,12 @@ class Program:
         self._shapes = shapes
         self._static_profile = static_profile
         self._static_error = static_error
+        #: Full value-name -> arena-slot assignment (the arena-liveness
+        #: verifier replays the plan from it).
+        self._slot_map: Dict[str, int] = dict(slot_map or {})
+        #: Non-fatal verifier findings collected at compile time
+        #: (errors raise instead; see ``compile_graph``).
+        self.diagnostics: List[Diagnostic] = []
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -390,7 +402,8 @@ class Program:
         try:
             return self._shapes[name]
         except KeyError:
-            raise GraphError(f"unknown value {name!r}") from None
+            fail("RPR205", f"unknown value {name!r}",
+                 graph=self.graph.name)
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -401,12 +414,14 @@ class Program:
         batch: Optional[int] = None
         for name, slot, shape in self._input_plan:
             if name not in feeds:
-                raise GraphError(f"missing graph input {name!r}")
+                fail("RPR201", f"missing graph input {name!r}",
+                     graph=self.graph.name)
             arr = np.asarray(feeds[name])
             if shape and tuple(arr.shape[1:]) != tuple(shape[1:]):
-                raise GraphError(
-                    f"input {name!r} shape {arr.shape} incompatible with {shape}"
-                )
+                fail("RPR202",
+                     f"input {name!r} shape {arr.shape} incompatible "
+                     f"with {shape}",
+                     graph=self.graph.name)
             if shape and not shape[0]:  # leading dim free = stacked batch
                 n = arr.shape[0] if arr.ndim else 0
                 if batch is None or batch == 1:
@@ -414,9 +429,10 @@ class Program:
                 elif n != batch and n != 1:
                     # Size-1 leading dims broadcast (the eager numpy
                     # semantics); anything else is a genuine mismatch.
-                    raise GraphError(
-                        f"batch-dim mismatch on graph inputs: {name!r} "
-                        f"carries {n} samples, earlier inputs {batch}")
+                    fail("RPR203",
+                         f"batch-dim mismatch on graph inputs: {name!r} "
+                         f"carries {n} samples, earlier inputs {batch}",
+                         graph=self.graph.name)
             values[slot] = arr
         return values
 
@@ -433,9 +449,10 @@ class Program:
                 outs = cn.op.execute([values[s] for s in cn.in_slots],
                                      cn.attrs)
                 if len(outs) != cn.n_out:
-                    raise GraphError(
-                        f"node {cn.name} produced {len(outs)} outputs, "
-                        f"declared {cn.n_out}")
+                    fail("RPR204",
+                         f"node {cn.name} produced {len(outs)} outputs, "
+                         f"declared {cn.n_out}",
+                         node=cn.name, graph=self.graph.name)
                 for slot, arr in zip(cn.out_slots, outs):
                     values[slot] = arr
             for slot in cn.frees:
@@ -465,16 +482,18 @@ class Program:
             n_samples: Optional[int] = None
             for name, _, _ in self._input_plan:
                 if name not in feeds:
-                    raise GraphError(f"missing graph input {name!r}")
+                    fail("RPR201", f"missing graph input {name!r}",
+                         graph=self.graph.name)
                 arr = np.asarray(feeds[name])
                 n = arr.shape[0] if arr.ndim else 0
                 if n_samples is None:
                     n_samples = n
                 elif n != n_samples:
-                    raise GraphError(
-                        f"batch-dim mismatch within request {i}: input "
-                        f"{name!r} carries {n} samples, earlier inputs "
-                        f"{n_samples}")
+                    fail("RPR203",
+                         f"batch-dim mismatch within request {i}: input "
+                         f"{name!r} carries {n} samples, earlier inputs "
+                         f"{n_samples}",
+                         graph=self.graph.name)
                 arrays[name].append(arr)
             counts.append(n_samples or 0)
         stacked = {name: np.concatenate(parts, axis=0)
@@ -500,9 +519,10 @@ class Program:
             inputs = [values[s] for s in cn.in_slots]
             outs = cn.op.execute(inputs, cn.attrs)
             if len(outs) != cn.n_out:
-                raise GraphError(
-                    f"node {cn.name} produced {len(outs)} outputs, "
-                    f"declared {cn.n_out}")
+                fail("RPR204",
+                     f"node {cn.name} produced {len(outs)} outputs, "
+                     f"declared {cn.n_out}",
+                     node=cn.name, graph=self.graph.name)
             for slot, arr in zip(cn.out_slots, outs):
                 values[slot] = arr
             cost = cn.op.cost([tuple(np.shape(v)) for v in inputs],
@@ -557,18 +577,38 @@ def _static_profile(order: List[Node],
     return prof
 
 
-def compile_graph(graph: Graph, batch_size: int = 1) -> Program:
+def compile_graph(graph: Graph, batch_size: int = 1,
+                  verify: bool = True) -> Program:
     """Compile ``graph`` into a :class:`Program` (see module docstring).
 
     ``batch_size`` only parameterises the *static* shapes and cost
     profile; the returned plan executes feeds of any batch size.
     Raises :class:`~repro.errors.GraphError` on structural problems
     (cycles, missing values, duplicate producers) at compile time.
+
+    With ``verify`` on (the default) the registered static checks run
+    over the graph before planning and over the finished program after:
+    error-severity findings raise a coded
+    :class:`~repro.analysis.diagnostics.DiagnosticError`, warnings are
+    collected on :attr:`Program.diagnostics`.  ``verify=False`` skips
+    the analysis entirely (the structural ``validate()`` still runs).
     """
     if batch_size < 1:
-        raise GraphError(f"batch_size must be >= 1, got {batch_size}")
+        fail("RPR207", f"batch_size must be >= 1, got {batch_size}",
+             graph=graph.name)
     graph.validate()
     order = graph.topological_order()
+
+    diagnostics: List[Diagnostic] = []
+    if verify:
+        # Deferred import: the checks read the op registry from this
+        # package, so they cannot be imported at module load time.
+        from ..analysis.context import AnalysisContext
+        from ..analysis.verify import raise_on_errors, run_checks
+
+        diagnostics = run_checks(
+            AnalysisContext(graph, batch_size=batch_size), scope="graph")
+        raise_on_errors(diagnostics)
 
     # Static shapes + profile.  Failure (an op without a shape rule, an
     # input without a declared shape) is recorded, not raised: the plan
@@ -665,8 +705,18 @@ def compile_graph(graph: Graph, batch_size: int = 1) -> Program:
         template[slots[name]] = arr
 
     output_plan = [(name, slots[name]) for name in graph.outputs]
-    return Program(graph=graph, batch_size=batch_size, nodes=compiled,
-                   n_slots=n_slots, template=template,
-                   input_plan=input_plan, output_plan=output_plan,
-                   shapes=shapes, static_profile=profile,
-                   static_error=static_error)
+    program = Program(graph=graph, batch_size=batch_size, nodes=compiled,
+                      n_slots=n_slots, template=template,
+                      input_plan=input_plan, output_plan=output_plan,
+                      shapes=shapes, static_profile=profile,
+                      static_error=static_error, slot_map=slots)
+    if verify:
+        from ..analysis.context import AnalysisContext
+        from ..analysis.verify import raise_on_errors, run_checks
+
+        program_diags = run_checks(
+            AnalysisContext(graph, batch_size=batch_size, program=program),
+            scope="program")
+        raise_on_errors(program_diags)
+        program.diagnostics = diagnostics + program_diags
+    return program

@@ -35,7 +35,7 @@ from .queue import JobQueue
 from .shm import SharedGridPool
 
 
-@dataclass
+@dataclass(frozen=True)
 class ServiceConfig:
     """Tunables of one daemon instance."""
 

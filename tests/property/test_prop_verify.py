@@ -1,0 +1,48 @@
+"""Property: the static verifier is clean on every zoo model.
+
+The zoo builders are the repo's ground truth for "well-formed graph";
+any checker finding on them is a bug in either the builder or the
+check.  Runs at graph scope, after compilation at program scope, and
+with the PWL activation rewrite applied.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import verify
+from repro.core.fit import FitConfig
+from repro.graph.passes import make_pwl_approximators, replace_activations
+from repro.graph.program import compile_graph
+from repro.zoo.builders import BUILDERS
+
+_CFG = FitConfig(n_breakpoints=8, max_steps=60, refine_steps=30,
+                 max_refine_rounds=1, polish_maxiter=60, grid_points=512)
+
+
+@pytest.mark.parametrize("name", sorted(BUILDERS))
+def test_zoo_graph_verifies_clean(name):
+    graph = BUILDERS[name](scale=0.5, seed=0)
+    assert verify(graph) == []
+
+
+@pytest.mark.parametrize("name", sorted(BUILDERS))
+def test_zoo_program_verifies_clean(name):
+    graph = BUILDERS[name](scale=0.5, seed=0)
+    program = compile_graph(graph, batch_size=2)
+    assert verify(program) == []
+    assert program.diagnostics == []
+
+
+def test_zoo_pwl_rewrite_verifies_clean():
+    # One representative end-to-end: fitted PWL activations (the
+    # paper's deployment form) must satisfy the domain-coverage and
+    # table-health checks too.
+    graph = BUILDERS["vit"](scale=0.5, seed=0)
+    from repro.graph.passes import collect_activation_names
+
+    names = sorted(collect_activation_names(graph))
+    approx = make_pwl_approximators(names, 8, config=_CFG)
+    rewritten, _ = replace_activations(graph, approx)
+    program = compile_graph(rewritten)
+    assert verify(program) == []

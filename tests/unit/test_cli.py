@@ -184,3 +184,31 @@ class TestCacheCommand:
                      "--max-entries", "1"]) == 0
         assert "pruned 3 entries" in capsys.readouterr().out
         assert len(list(tmp_path.glob("*.json"))) == 1
+
+
+class TestCheck:
+    def test_clean_model_exits_zero(self, capsys):
+        assert main(["check", "vit"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_json_payload(self, capsys):
+        assert main(["check", "vit", "resnet", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert [m["model"] for m in payload["models"]] == ["vit", "resnet"]
+        for report in payload["models"]:
+            assert report["counts"]["error"] == 0
+            assert report["diagnostics"] == []
+
+    def test_list_codes(self, capsys):
+        assert main(["check", "--list-codes"]) == 0
+        out = capsys.readouterr().out
+        assert "RPR102" in out and "RPR140" in out
+
+    def test_unknown_model_is_usage_error(self, capsys):
+        assert main(["check", "nosuchmodel"]) == 2
+        assert "unknown model" in capsys.readouterr().err
+
+    def test_no_models_is_usage_error(self, capsys):
+        assert main(["check"]) == 2
+        assert "--all-zoo" in capsys.readouterr().err

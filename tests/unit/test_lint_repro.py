@@ -1,0 +1,234 @@
+"""The repo-invariant linter: the checkout is clean, and every rule
+actually fires on a synthetic violation."""
+
+from __future__ import annotations
+
+import ast
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+if str(REPO_ROOT) not in sys.path:  # tools/ is not an installed package
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.lint_repro import (  # noqa: E402
+    Violation,
+    check_bitwise_tolerance,
+    check_engine_protocol,
+    check_frozen_configs,
+    check_lazy_scipy,
+    collect_modules,
+    lint_repo,
+    main,
+    parse_module,
+)
+
+
+def mod(name, source, path="synth.py"):
+    return parse_module(name, Path(path), source=textwrap.dedent(source))
+
+
+def tree(source):
+    return ast.parse(textwrap.dedent(source))
+
+
+class TestRepoIsClean:
+    def test_lint_repo_clean(self):
+        violations = lint_repo(REPO_ROOT)
+        assert violations == [], "\n".join(v.format() for v in violations)
+
+    def test_main_exit_zero(self, capsys):
+        assert main([]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_main_json(self, capsys):
+        import json
+
+        assert main(["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True and payload["violations"] == []
+
+
+class TestLazyScipy:
+    def test_eager_scipy_reachable_is_flagged(self):
+        modules = {
+            "repro.api": mod("repro.api", "from ..core import fit\n",
+                             "repro/api/__init__.py"),
+            "repro.core.fit": mod("repro.core.fit",
+                                  "import scipy.optimize\n",
+                                  "repro/core/fit.py"),
+            "repro.core": mod("repro.core", "", "repro/core/__init__.py"),
+        }
+        violations = check_lazy_scipy(modules)
+        assert len(violations) == 1
+        assert violations[0].rule == "RPL001"
+        assert "scipy.optimize" in violations[0].message
+
+    def test_function_local_scipy_is_fine(self):
+        modules = {
+            "repro.api": mod("repro.api", """
+                def fit():
+                    import scipy.optimize
+                    return scipy.optimize
+                """, "repro/api/__init__.py"),
+        }
+        assert check_lazy_scipy(modules) == []
+
+    def test_type_checking_block_is_skipped(self):
+        modules = {
+            "repro.api": mod("repro.api", """
+                from typing import TYPE_CHECKING
+                if TYPE_CHECKING:
+                    import scipy
+                """, "repro/api/__init__.py"),
+        }
+        assert check_lazy_scipy(modules) == []
+
+    def test_unreachable_scipy_is_fine(self):
+        modules = {
+            "repro.api": mod("repro.api", "", "repro/api/__init__.py"),
+            "repro.eval": mod("repro.eval", "import scipy\n",
+                              "repro/eval/__init__.py"),
+        }
+        assert check_lazy_scipy(modules) == []
+
+    def test_repo_modules_collected(self):
+        modules = collect_modules(REPO_ROOT / "src")
+        assert "repro.api.session" in modules
+        assert "repro.graph.ir" in modules
+
+
+class TestEngineProtocol:
+    GOOD = """
+        class Engine(Protocol):
+            name: str
+
+        class _Base:
+            def fit(self, requests, warm=None): ...
+            def capabilities(self): ...
+            def close(self): ...
+
+        class ShinyEngine(_Base):
+            name = "shiny"
+
+            def __init__(self):
+                self.last_errors = {}
+        """
+
+    def test_conforming_engine_passes(self):
+        assert check_engine_protocol(tree(self.GOOD), "engines.py") == []
+
+    def test_missing_method_flagged(self):
+        src = """
+            class BrokenEngine:
+                name = "broken"
+                last_errors = {}
+
+                def fit(self, requests, warm=None): ...
+                def capabilities(self): ...
+            """
+        violations = check_engine_protocol(tree(src), "engines.py")
+        assert [v.rule for v in violations] == ["RPL002"]
+        assert "close" in violations[0].message
+
+    def test_missing_attr_flagged(self):
+        src = """
+            class NamelessEngine:
+                def fit(self, requests, warm=None): ...
+                def capabilities(self): ...
+                def close(self): ...
+            """
+        violations = check_engine_protocol(tree(src), "engines.py")
+        assert {"name", "last_errors"} == \
+            {v.message.split("'")[1] for v in violations}
+
+    def test_protocol_and_private_classes_exempt(self):
+        src = """
+            class Engine(Protocol):
+                pass
+
+            class _HelperEngine:
+                pass
+            """
+        assert check_engine_protocol(tree(src), "engines.py") == []
+
+    def test_real_engines_module_is_clean(self):
+        path = REPO_ROOT / "src" / "repro" / "api" / "engines.py"
+        assert check_engine_protocol(
+            ast.parse(path.read_text()), str(path)) == []
+
+
+class TestFrozenConfigs:
+    def test_unfrozen_config_flagged(self):
+        src = """
+            from dataclasses import dataclass
+
+            @dataclass
+            class RunConfig:
+                x: int = 0
+            """
+        violations = check_frozen_configs(tree(src), "m.py")
+        assert [v.rule for v in violations] == ["RPL003"]
+
+    def test_frozen_config_passes(self):
+        src = """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class RunConfig:
+                x: int = 0
+            """
+        assert check_frozen_configs(tree(src), "m.py") == []
+
+    def test_non_dataclass_config_ignored(self):
+        src = """
+            class LegacyConfig(dict):
+                pass
+            """
+        assert check_frozen_configs(tree(src), "m.py") == []
+
+
+class TestBitwiseTolerance:
+    def test_allclose_in_bitwise_test_flagged(self):
+        src = """
+            import numpy as np
+
+            def test_matches_bitwise():
+                assert np.allclose([1.0], [1.0])
+            """
+        violations = check_bitwise_tolerance(tree(src), "t.py")
+        assert [v.rule for v in violations] == ["RPL004"]
+
+    def test_imported_approx_flagged(self):
+        src = """
+            from pytest import approx
+
+            def test_roundtrip_bitwise():
+                assert 1.0 == approx(1.0)
+            """
+        assert len(check_bitwise_tolerance(tree(src), "t.py")) == 1
+
+    def test_local_variable_named_approx_is_fine(self):
+        src = """
+            def test_kernel_matches_bitwise(approx):
+                assert approx(1.0) == 1.0
+            """
+        assert check_bitwise_tolerance(tree(src), "t.py") == []
+
+    def test_tolerance_outside_bitwise_test_is_fine(self):
+        src = """
+            import numpy as np
+
+            def test_roughly_equal():
+                assert np.allclose([1.0], [1.0])
+            """
+        assert check_bitwise_tolerance(tree(src), "t.py") == []
+
+
+def test_violation_format():
+    v = Violation(rule="RPL999", path="a.py", line=3, message="boom")
+    assert v.format() == "a.py:3: RPL999 boom"
+    assert v.to_dict()["line"] == 3

@@ -1,0 +1,1 @@
+"""Repo-level developer tooling (not shipped with the package)."""

@@ -1,0 +1,460 @@
+"""Repo-invariant linter: AST-level rules the test suite can't express.
+
+The graph verifier (:mod:`repro.analysis`) checks *models*; this module
+checks the *repository* — structural invariants that hold the codebase
+to its own architectural promises:
+
+``RPL001``
+    No eager ``scipy`` import reachable from ``repro.api``.  The front
+    door must import fast on machines without scipy; every scipy use is
+    function-local behind a capability gate.
+``RPL002``
+    Every concrete ``*Engine`` in ``repro/api/engines.py`` structurally
+    conforms to the ``Engine`` protocol (``fit`` / ``capabilities`` /
+    ``close``, a ``name`` attribute and a ``last_errors`` mapping) —
+    runtime duck typing won't catch a missing method until a user hits
+    it.
+``RPL003``
+    ``*Config`` dataclasses are ``frozen=True``.  Configs are hashed
+    into cache keys and shared across threads; mutability is a bug
+    farm.
+``RPL004``
+    Tests whose name claims *bitwise* equality may not hide behind
+    float tolerances (``allclose`` / ``isclose`` / ``approx`` /
+    ``assert_allclose``).
+
+Run as ``python -m tools.lint_repro`` (``--json`` for machine output);
+``tests/unit/test_lint_repro.py`` runs the same rules under pytest.
+Each rule is a plain function over parsed ASTs so tests can feed it
+synthetic modules.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Violation",
+    "ModuleInfo",
+    "parse_module",
+    "collect_modules",
+    "check_lazy_scipy",
+    "check_engine_protocol",
+    "check_frozen_configs",
+    "check_bitwise_tolerance",
+    "lint_repo",
+    "main",
+]
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+ENGINE_PROTOCOL_METHODS = ("fit", "capabilities", "close")
+ENGINE_PROTOCOL_ATTRS = ("name", "last_errors")
+TOLERANCE_CALLS = ("allclose", "isclose", "approx", "assert_allclose")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding; ``rule`` is the stable RPL code."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "message": self.message}
+
+
+# --------------------------------------------------------------------- #
+# module discovery + import graph
+# --------------------------------------------------------------------- #
+
+@dataclass
+class ModuleInfo:
+    """A source module and the imports its import *executes* eagerly."""
+
+    name: str                       # dotted module name, e.g. repro.api.session
+    path: Path
+    tree: ast.Module
+    # (imported dotted name, line) for every module-level import that
+    # runs at import time (TYPE_CHECKING blocks excluded).
+    imports: List[Tuple[str, int]] = field(default_factory=list)
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name) and test.id == "TYPE_CHECKING":
+        return True
+    if isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING":
+        return True
+    return False
+
+
+def _eager_statements(body: Iterable[ast.stmt]) -> Iterable[ast.stmt]:
+    """Yield statements executed at import time, recursing into if/try
+    bodies but not into function or class definitions' code paths that
+    only run when called.  ``if TYPE_CHECKING:`` bodies are skipped
+    (their ``orelse`` still runs)."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, ast.If):
+            if not _is_type_checking_test(stmt.test):
+                yield from _eager_statements(stmt.body)
+            yield from _eager_statements(stmt.orelse)
+        elif isinstance(stmt, ast.Try):
+            yield from _eager_statements(stmt.body)
+            for handler in stmt.handlers:
+                yield from _eager_statements(handler.body)
+            yield from _eager_statements(stmt.orelse)
+            yield from _eager_statements(stmt.finalbody)
+        elif isinstance(stmt, (ast.With, ast.For, ast.While)):
+            yield from _eager_statements(stmt.body)
+
+
+def _resolve_relative(module: str, level: int, target: Optional[str]) -> str:
+    """Resolve ``from ..x import y`` inside ``module`` to a dotted name."""
+    parts = module.split(".")
+    # level=1 → current package: drop the module's own leaf name.
+    base = parts[: len(parts) - level] if level <= len(parts) else []
+    if target:
+        base = base + target.split(".")
+    return ".".join(base)
+
+
+def parse_module(name: str, path: Path,
+                 source: Optional[str] = None) -> ModuleInfo:
+    text = source if source is not None else path.read_text()
+    tree = ast.parse(text, filename=str(path))
+    info = ModuleInfo(name=name, path=path, tree=tree)
+    # ``from ..x import y`` drops ``level`` components counted from a
+    # virtual leaf: a module's leaf is itself, a package's is its
+    # ``__init__`` — appending a sentinel makes both cases uniform.
+    rel_base = name + ".__leaf__"
+    for stmt in _eager_statements(tree.body):
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                info.imports.append((alias.name, stmt.lineno))
+        elif isinstance(stmt, ast.ImportFrom):
+            if stmt.level == 0:
+                base = stmt.module or ""
+                info.imports.append((base, stmt.lineno))
+                # ``from pkg import sub`` may import pkg.sub the module.
+                for alias in stmt.names:
+                    info.imports.append((f"{base}.{alias.name}",
+                                         stmt.lineno))
+            else:
+                base = _resolve_relative(rel_base, stmt.level, stmt.module)
+                if base:
+                    info.imports.append((base, stmt.lineno))
+                for alias in stmt.names:
+                    sub = _resolve_relative(rel_base, stmt.level,
+                                            stmt.module)
+                    full = f"{sub}.{alias.name}" if sub else alias.name
+                    info.imports.append((full, stmt.lineno))
+    return info
+
+
+def collect_modules(src_root: Path) -> Dict[str, ModuleInfo]:
+    """Parse every module under ``src_root`` (the directory containing
+    the ``repro`` package) into a name→info map."""
+    modules: Dict[str, ModuleInfo] = {}
+    for path in sorted(src_root.rglob("*.py")):
+        rel = path.relative_to(src_root)
+        if rel.name == "__init__.py":
+            name = ".".join(rel.parent.parts) or rel.parent.name
+        else:
+            name = ".".join(rel.with_suffix("").parts)
+        if not name:
+            continue
+        modules[name] = parse_module(name, path)
+    return modules
+
+
+# --------------------------------------------------------------------- #
+# RPL001 — no eager scipy reachable from repro.api
+# --------------------------------------------------------------------- #
+
+def check_lazy_scipy(modules: Dict[str, ModuleInfo],
+                     roots: Sequence[str] = ("repro.api",),
+                     banned: str = "scipy") -> List[Violation]:
+    """BFS the eager-import graph from ``roots``; flag any edge into
+    ``banned``.  Importing a submodule executes its ancestor packages,
+    so those count as reachable too."""
+    violations: List[Violation] = []
+    start = [m for m in modules
+             if any(m == r or m.startswith(r + ".") for r in roots)]
+    seen: Set[str] = set()
+    queue = list(start)
+    while queue:
+        name = queue.pop()
+        if name in seen or name not in modules:
+            continue
+        seen.add(name)
+        info = modules[name]
+        for target, line in info.imports:
+            if target == banned or target.startswith(banned + "."):
+                violations.append(Violation(
+                    rule="RPL001",
+                    path=str(info.path),
+                    line=line,
+                    message=f"eager import of {target!r} reachable from "
+                            f"{roots[0]} via {name}; move it inside the "
+                            f"function that needs it",
+                ))
+                continue
+            # Walk the dotted name down: importing a.b.c executes a,
+            # a.b and a.b.c.
+            parts = target.split(".")
+            for i in range(1, len(parts) + 1):
+                prefix = ".".join(parts[:i])
+                if prefix in modules and prefix not in seen:
+                    queue.append(prefix)
+    return sorted(violations, key=lambda v: (v.path, v.line))
+
+
+# --------------------------------------------------------------------- #
+# RPL002 — Engine implementations conform to the protocol
+# --------------------------------------------------------------------- #
+
+def _class_map(tree: ast.Module) -> Dict[str, ast.ClassDef]:
+    return {node.name: node for node in tree.body
+            if isinstance(node, ast.ClassDef)}
+
+
+def _own_and_inherited(cls: ast.ClassDef,
+                       classes: Dict[str, ast.ClassDef]
+                       ) -> List[ast.ClassDef]:
+    """The class plus every base resolvable within the same file."""
+    chain: List[ast.ClassDef] = []
+    stack = [cls]
+    while stack:
+        cur = stack.pop()
+        if cur in chain:
+            continue
+        chain.append(cur)
+        for base in cur.bases:
+            if isinstance(base, ast.Name) and base.id in classes:
+                stack.append(classes[base.id])
+    return chain
+
+
+def _defines_method(chain: Iterable[ast.ClassDef], method: str) -> bool:
+    for cls in chain:
+        for node in cls.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and node.name == method:
+                return True
+    return False
+
+
+def _defines_attr(chain: Iterable[ast.ClassDef], attr: str) -> bool:
+    for cls in chain:
+        for node in cls.body:
+            # class-level ``attr = ...`` / ``attr: T = ...``
+            if isinstance(node, ast.Assign):
+                for tgt in node.targets:
+                    if isinstance(tgt, ast.Name) and tgt.id == attr:
+                        return True
+            if isinstance(node, ast.AnnAssign) and \
+                    isinstance(node.target, ast.Name) and \
+                    node.target.id == attr:
+                return True
+            # ``self.attr = ...`` anywhere in a method body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.Assign):
+                        for tgt in sub.targets:
+                            if isinstance(tgt, ast.Attribute) and \
+                                    tgt.attr == attr and \
+                                    isinstance(tgt.value, ast.Name) and \
+                                    tgt.value.id == "self":
+                                return True
+    return False
+
+
+def _is_protocol(cls: ast.ClassDef) -> bool:
+    for base in cls.bases:
+        if isinstance(base, ast.Name) and base.id == "Protocol":
+            return True
+        if isinstance(base, ast.Attribute) and base.attr == "Protocol":
+            return True
+        if isinstance(base, ast.Subscript):
+            inner = base.value
+            if isinstance(inner, ast.Name) and inner.id == "Protocol":
+                return True
+    return False
+
+
+def check_engine_protocol(tree: ast.Module, path: str) -> List[Violation]:
+    """Every concrete ``*Engine`` class must structurally satisfy the
+    ``Engine`` protocol.  Protocols, private bases (``_Foo``) and the
+    protocol class itself are exempt; methods/attrs inherited from a
+    base *defined in the same file* count."""
+    violations: List[Violation] = []
+    classes = _class_map(tree)
+    for name, cls in classes.items():
+        if not name.endswith("Engine"):
+            continue
+        if name == "Engine" or name.startswith("_") or _is_protocol(cls):
+            continue
+        chain = _own_and_inherited(cls, classes)
+        for method in ENGINE_PROTOCOL_METHODS:
+            if not _defines_method(chain, method):
+                violations.append(Violation(
+                    rule="RPL002", path=path, line=cls.lineno,
+                    message=f"class {name} does not define Engine "
+                            f"protocol method {method!r}"))
+        for attr in ENGINE_PROTOCOL_ATTRS:
+            if not _defines_attr(chain, attr) and \
+                    not _defines_method(chain, attr):
+                violations.append(Violation(
+                    rule="RPL002", path=path, line=cls.lineno,
+                    message=f"class {name} does not define Engine "
+                            f"protocol attribute {attr!r}"))
+    return violations
+
+
+# --------------------------------------------------------------------- #
+# RPL003 — *Config dataclasses must be frozen
+# --------------------------------------------------------------------- #
+
+def _dataclass_decorator(cls: ast.ClassDef) -> Optional[ast.expr]:
+    for dec in cls.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return dec
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return dec
+    return None
+
+
+def check_frozen_configs(tree: ast.Module, path: str) -> List[Violation]:
+    """``*Config`` dataclasses are hashed into cache keys and shared
+    across threads — they must be declared ``frozen=True``."""
+    violations: List[Violation] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if not node.name.endswith("Config"):
+            continue
+        dec = _dataclass_decorator(node)
+        if dec is None:
+            continue
+        frozen = False
+        if isinstance(dec, ast.Call):
+            for kw in dec.keywords:
+                if kw.arg == "frozen" and \
+                        isinstance(kw.value, ast.Constant) and \
+                        kw.value.value is True:
+                    frozen = True
+        if not frozen:
+            violations.append(Violation(
+                rule="RPL003", path=path, line=node.lineno,
+                message=f"config dataclass {node.name} must be "
+                        f"@dataclass(frozen=True)"))
+    return violations
+
+
+# --------------------------------------------------------------------- #
+# RPL004 — no float tolerances in bitwise-equality tests
+# --------------------------------------------------------------------- #
+
+def check_bitwise_tolerance(tree: ast.Module, path: str) -> List[Violation]:
+    """A test named ``*bitwise*`` promises exact equality; tolerance
+    helpers inside it silently weaken the contract.
+
+    Attribute calls (``np.allclose``, ``pytest.approx``) always count;
+    a bare name only counts when the module actually imports it (so a
+    local variable that happens to be called ``approx`` is fine)."""
+    imported: Set[str] = set()
+    for stmt in ast.walk(tree):
+        if isinstance(stmt, ast.ImportFrom):
+            for alias in stmt.names:
+                imported.add(alias.asname or alias.name)
+    violations: List[Violation] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if "bitwise" not in node.name:
+            continue
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            func = sub.func
+            called = None
+            if isinstance(func, ast.Name) and func.id in imported:
+                called = func.id
+            elif isinstance(func, ast.Attribute):
+                called = func.attr
+            if called in TOLERANCE_CALLS:
+                violations.append(Violation(
+                    rule="RPL004", path=path, line=sub.lineno,
+                    message=f"{called}() inside bitwise-equality test "
+                            f"{node.name}; use array_equal / == instead"))
+    return violations
+
+
+# --------------------------------------------------------------------- #
+# driver
+# --------------------------------------------------------------------- #
+
+def lint_repo(root: Path = REPO_ROOT) -> List[Violation]:
+    violations: List[Violation] = []
+
+    modules = collect_modules(root / "src")
+    violations += check_lazy_scipy(modules)
+
+    engines = root / "src" / "repro" / "api" / "engines.py"
+    if engines.exists():
+        violations += check_engine_protocol(
+            ast.parse(engines.read_text(), filename=str(engines)),
+            str(engines))
+
+    for info in modules.values():
+        violations += check_frozen_configs(info.tree, str(info.path))
+
+    tests_dir = root / "tests"
+    if tests_dir.exists():
+        for path in sorted(tests_dir.rglob("test_*.py")):
+            tree = ast.parse(path.read_text(), filename=str(path))
+            violations += check_bitwise_tolerance(tree, str(path))
+
+    return sorted(violations, key=lambda v: (v.rule, v.path, v.line))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="lint_repro", description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: the checkout containing "
+                             "this file)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit violations as JSON")
+    args = parser.parse_args(argv)
+
+    root = Path(args.root).resolve() if args.root else REPO_ROOT
+    violations = lint_repo(root)
+    if args.json:
+        print(json.dumps({"ok": not violations,
+                          "violations": [v.to_dict() for v in violations]},
+                         indent=2))
+    else:
+        for v in violations:
+            print(v.format())
+        print(f"lint_repro: {len(violations)} violation(s)"
+              if violations else "lint_repro: clean")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
