@@ -42,6 +42,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 from ..core.batchfit import (CachedFit, _pool_worker_init, _run_group,
                              _run_job, plan_units, pool_map_units)
 from ..errors import FitError, ServiceError
+from ..obs.trace import get_tracer
 from .artifact import FitArtifact
 from .config import ENGINE_DAEMON, ENGINE_INLINE, ENGINE_LANE, ENGINE_POOL, \
     EngineConfig
@@ -128,15 +129,21 @@ class _LocalEngine:
                            f"{len(requests)} requests")
         tasks = [(req.job, seed, None)
                  for req, seed in zip(requests, seeds)]
-        payloads = self._run_units(self._units(tasks), tasks)
-        results: List[Optional[FitArtifact]] = []
-        for i, req in enumerate(requests):
-            payload = payloads.get(i, {"error": "no result produced"})
-            if "error" in payload:
-                self.last_errors[i] = str(payload["error"])
-                results.append(None)
-            else:
-                results.append(_wrap_payload(req, payload, self.name))
+        with get_tracer().span("fit.engine", engine=self.name,
+                               n_requests=len(requests)) as sp:
+            units = self._units(tasks)
+            sp.set(units=len(units))
+            payloads = self._run_units(units, tasks)
+            results: List[Optional[FitArtifact]] = []
+            for i, req in enumerate(requests):
+                payload = payloads.get(i, {"error": "no result produced"})
+                if "error" in payload:
+                    self.last_errors[i] = str(payload["error"])
+                    results.append(None)
+                else:
+                    results.append(_wrap_payload(req, payload, self.name))
+            if self.last_errors:
+                sp.set(failed=len(self.last_errors))
         return results
 
     def capabilities(self) -> Dict[str, Any]:
@@ -264,17 +271,19 @@ class DaemonEngine:
             raise ServiceError(f"no fit daemon is serving {queue.root} "
                                f"({len(requests)} requests unsubmitted)")
         keys = [req.key for req in requests]
-        for key, req in zip(keys, requests):
-            # A leftover failure from an earlier episode (broken pool,
-            # killed daemon) must not veto a fresh attempt.
-            got = queue.result(key)
-            if got is not None and got[0] == "failed":
-                queue.forget(key)
-            queue.submit(key, {"job": req.to_dict()})
-        entries, failures = wait(
-            sorted(set(keys)), root=self.config.service_root,
-            timeout_s=self.config.timeout_s, poll_s=self.config.poll_s,
-            require_daemon=True, return_failures=True)
+        with get_tracer().span("fit.engine", engine=self.name,
+                               n_requests=len(requests)):
+            for key, req in zip(keys, requests):
+                # A leftover failure from an earlier episode (broken
+                # pool, killed daemon) must not veto a fresh attempt.
+                got = queue.result(key)
+                if got is not None and got[0] == "failed":
+                    queue.forget(key)
+                queue.submit(key, {"job": req.to_dict()})
+            entries, failures = wait(
+                sorted(set(keys)), root=self.config.service_root,
+                timeout_s=self.config.timeout_s, poll_s=self.config.poll_s,
+                require_daemon=True, return_failures=True)
         results: List[Optional[FitArtifact]] = []
         for i, (key, req) in enumerate(zip(keys, requests)):
             entry = entries.get(key)

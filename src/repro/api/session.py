@@ -43,6 +43,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 from ..core.batchfit import FitCache, FitJob, default_cache, native_entry
 from ..errors import FitError, ServiceError
 from ..functions.base import ActivationFunction
+from ..obs.metrics import get_metrics
+from ..obs.trace import get_tracer
 from .artifact import FitArtifact
 from .config import (ENGINE_AUTO, ENGINE_DAEMON, ENGINE_INLINE, ENGINE_LANE,
                      ENGINE_POOL, FALLBACK_ERROR, FALLBACK_LOCAL,
@@ -193,26 +195,38 @@ class Session:
         artifacts: Dict[str, FitArtifact] = {}
         misses: Dict[str, FitRequest] = {}
         cache = self.cache
-        for req, key in zip(reqs, keys):
-            if key in artifacts or key in misses:
-                continue
-            if cache is not None:
-                hit = cache.get(key)
-                if hit is not None:
-                    artifacts[key] = FitArtifact.from_entry(
-                        hit, key=key, engine="cache", from_cache=True,
-                        provenance={"source": "cache"})
+        metrics = get_metrics()
+        with get_tracer().span("fit.session", n_requests=len(reqs)) as sp:
+            hits = natives = 0
+            for req, key in zip(reqs, keys):
+                if key in artifacts or key in misses:
                     continue
-            native = native_entry(req.job)
-            if native is not None:
                 if cache is not None:
-                    cache.put(key, native)
-                artifacts[key] = FitArtifact.from_entry(
-                    native, key=key, engine="native")
-                continue
-            misses[key] = req
-        if misses:
-            artifacts.update(self._fit_misses(misses))
+                    hit = cache.get(key)
+                    if hit is not None:
+                        hits += 1
+                        artifacts[key] = FitArtifact.from_entry(
+                            hit, key=key, engine="cache", from_cache=True,
+                            provenance={"source": "cache"})
+                        continue
+                native = native_entry(req.job)
+                if native is not None:
+                    natives += 1
+                    if cache is not None:
+                        cache.put(key, native)
+                    artifacts[key] = FitArtifact.from_entry(
+                        native, key=key, engine="native")
+                    continue
+                misses[key] = req
+            if hits:
+                metrics.counter("session.cache.hit").inc(hits)
+            if natives:
+                metrics.counter("session.cache.native").inc(natives)
+            if misses:
+                metrics.counter("session.cache.miss").inc(len(misses))
+                artifacts.update(self._fit_misses(misses))
+            sp.set(dedup=len(reqs) - len(set(keys)), hits=hits,
+                   native=natives, misses=len(misses))
         return [artifacts[key] for key in keys]
 
     # ------------------------------------------------------------------ #
@@ -316,6 +330,7 @@ class Session:
                 for j, reason in local.last_errors.items():
                     errors[sub_keys[j]] = reason
 
+        metrics = get_metrics()
         out: Dict[str, FitArtifact] = {}
         for i, (key, req) in enumerate(zip(keys, reqs)):
             art = results[i]
@@ -325,6 +340,10 @@ class Session:
                 for field, value in warm_meta[i].items():
                     art.provenance.setdefault(field, value)
             art = self._warm_guard(req, art)
+            if not art.from_cache:
+                warm = "warm" if art.init_used == "warm" else "cold"
+                metrics.counter("session.fit.executed", engine=art.engine,
+                                init=warm).inc()
             # Persist before surfacing any batchmate's failure, so a
             # retrying caller hits the cache for the survivors.  Skip
             # the write when the daemon already shares this directory
@@ -451,6 +470,8 @@ class Session:
             verdict.update({"kept": "warm",
                             "cold_error": local.last_errors.get(0, "?")})
             art.provenance["warm_fallback"] = verdict
+            get_metrics().counter("session.guard.verdict",
+                                  kept="warm_cold_failed").inc()
             return art
         verdict["cold_mse"] = cold.grid_mse
         # Both fits executed; the kept one is logged by the caller, so
@@ -459,10 +480,12 @@ class Session:
         if cold.grid_mse < art.grid_mse:
             verdict["kept"] = "cold"
             cold.provenance["warm_fallback"] = verdict
+            get_metrics().counter("session.guard.verdict", kept="cold").inc()
             self._log_fit(req.key, art, discarded_by_guard=True)
             return cold
         verdict["kept"] = "warm"
         art.provenance["warm_fallback"] = verdict
+        get_metrics().counter("session.guard.verdict", kept="warm").inc()
         self._log_fit(req.key, cold, discarded_by_guard=True)
         return art
 

@@ -23,6 +23,10 @@ def _distance_bucket(distance: Optional[float]) -> str:
     interval shifts; see :func:`~repro.core.batchfit.config_distance`)."""
     if distance is None:
         return "unknown"
+    try:
+        distance = float(distance)
+    except (TypeError, ValueError):
+        return "unknown"
     edges = (0.25, 0.5, 1.0)
     lo = 0.0
     for hi in edges:
@@ -46,7 +50,7 @@ def aggregate_provenance(cache: FitCache) -> Dict:
       bucketed by neighbour distance, next to the cold baseline, plus
       the implied per-fit step saving.
     """
-    records = cache.iter_provenance()
+    records, malformed = cache.read_provenance()
     engines: Dict[str, int] = {}
     inits: Dict[str, int] = {}
     cold_steps: List[int] = []
@@ -58,23 +62,33 @@ def aggregate_provenance(cache: FitCache) -> Dict:
             engines.get(str(rec.get("engine")), 0) + 1
         init = str(rec.get("init_used", "?"))
         inits[init] = inits.get(init, 0) + 1
-        prov = rec.get("provenance") or {}
+        prov = rec.get("provenance")
+        prov = prov if isinstance(prov, dict) else {}
         fallback = prov.get("warm_fallback")
-        if fallback:
+        if isinstance(fallback, dict):
             guard_fired += 1
             kept = str(fallback.get("kept", "?"))
             guard_kept[kept] = guard_kept.get(kept, 0) + 1
         if init == "warm":
             warm.append(rec)
         elif "total_steps" in rec:
-            cold_steps.append(int(rec["total_steps"]))
+            try:
+                cold_steps.append(int(rec["total_steps"]))
+            except (TypeError, ValueError):
+                malformed += 1
 
     cold_mean = float(np.mean(cold_steps)) if cold_steps else None
     by_bucket: Dict[str, List[int]] = {}
     for rec in warm:
-        prov = rec.get("provenance") or {}
+        prov = rec.get("provenance")
+        prov = prov if isinstance(prov, dict) else {}
         bucket = _distance_bucket(prov.get("warm_distance"))
-        by_bucket.setdefault(bucket, []).append(int(rec.get("total_steps", 0)))
+        try:
+            steps_val = int(rec.get("total_steps", 0))
+        except (TypeError, ValueError):
+            malformed += 1
+            continue
+        by_bucket.setdefault(bucket, []).append(steps_val)
     steps_by_distance = {}
     for bucket, steps in sorted(by_bucket.items()):
         mean = float(np.mean(steps))
@@ -88,6 +102,7 @@ def aggregate_provenance(cache: FitCache) -> Dict:
     n = len(records)
     return {
         "log": str(cache.provenance_path),
+        "malformed_lines": malformed,
         "fits": {
             "executed": n,
             "engines": dict(sorted(engines.items())),

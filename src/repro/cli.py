@@ -14,14 +14,22 @@ Commands
 ``table``   emit quantised hardware tables as JSON;
 ``fig``     regenerate one of the paper's figures/tables in the terminal;
 ``zoo``     summarise the synthetic catalog and its speedups;
-``bound``   print the theoretical optimal-MSE bound for a budget sweep.
+``bound``   print the theoretical optimal-MSE bound for a budget sweep;
+``profile`` run a compiled zoo model with the per-kernel timer and
+            (``--compare-static``) hold the observed time against the
+            static cost model, node for node;
+``trace``   show or summarise a JSONL trace written via ``REPRO_TRACE``;
+``metrics`` print the metrics snapshot a running daemon exports.
 
 Environment
 -----------
 ``REPRO_CACHE_DIR``   root of the persistent fit cache (and the default
                       service queue directory, ``<root>/service``);
 ``REPRO_MAX_WORKERS`` default process-pool size for batch fitting when
-                      no explicit ``--workers`` is given.
+                      no explicit ``--workers`` is given;
+``REPRO_TRACE``       path of a shared JSONL trace sink; setting it
+                      enables tracing in every repro process that
+                      inherits the variable.
 """
 
 from __future__ import annotations
@@ -181,6 +189,9 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"fit telemetry from {report['log']}")
         print(f"  executed fits: {fits['executed']}  "
               f"(warm rate {fits['warm_rate'] * 100:.1f}%)")
+        if report.get("malformed_lines"):
+            print(f"  malformed log lines skipped: "
+                  f"{report['malformed_lines']}")
         if fits["engines"]:
             print("  engines: " + "  ".join(
                 f"{k}={v}" for k, v in fits["engines"].items()))
@@ -418,6 +429,241 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _profile_feeds(graph, batch: int, seed: int):
+    """Deterministic feed arrays for every free graph input.
+
+    Inputs consumed by an ``embedding`` node are token ids: they get
+    integers drawn below the embedding table's vocabulary size, not
+    gaussian floats (which would index out of the table).
+    """
+    import numpy as np
+
+    vocab_for = {}
+    for node in graph.nodes:
+        if node.op_type == "embedding" and len(node.inputs) > 1:
+            table = graph.initializers.get(node.inputs[1])
+            if table is not None:
+                vocab_for[node.inputs[0]] = int(table.shape[0])
+    rng = np.random.default_rng(seed)
+    feeds = {}
+    for name, shape in graph.inputs:
+        if name in graph.initializers:
+            continue
+        dims = tuple(batch if d == 0 else int(d) for d in shape)
+        if name in vocab_for:
+            feeds[name] = rng.integers(0, vocab_for[name], size=dims)
+        else:
+            feeds[name] = rng.standard_normal(dims)
+    return feeds
+
+
+def _profile_one(args: argparse.Namespace, model: str):
+    """Compile one zoo model and run the per-kernel timer over it."""
+    from .obs import compare_profiles
+    from .zoo.builders import BUILDERS
+
+    graph = BUILDERS[model](act=args.act, scale=args.scale, seed=args.seed)
+    session = _session_from_args(args)
+    program = session.compile(graph, batch_size=args.batch,
+                              n_breakpoints=args.pwl)
+    feeds = _profile_feeds(graph, args.batch, args.seed)
+    _, runtime = program.run_timed(feeds, repeats=args.repeats)
+    comparison = (compare_profiles(program.profile, runtime)
+                  if args.compare_static else None)
+    return graph, program, runtime, comparison
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .zoo.builders import BUILDERS
+
+    models = sorted(BUILDERS) if args.all_zoo else list(args.models)
+    if not models:
+        print("profile: name at least one zoo model or pass --all-zoo",
+              file=sys.stderr)
+        return 2
+    unknown = [m for m in models if m not in BUILDERS]
+    if unknown:
+        print(f"unknown model(s) {unknown}; known: {sorted(BUILDERS)}",
+              file=sys.stderr)
+        return 2
+
+    if args.capture:
+        from .obs import enable_capture
+        enable_capture(clear=True)
+
+    docs = {}
+    for model in models:
+        graph, program, runtime, comparison = _profile_one(args, model)
+        if args.json:
+            doc = {"model": graph.name, "nodes": len(program.nodes),
+                   "batch_size": args.batch, "repeats": args.repeats,
+                   "pwl_breakpoints": args.pwl,
+                   "runtime": runtime.to_dict()}
+            if comparison is not None:
+                doc["comparison"] = comparison.to_dict()
+            docs[model] = doc
+            continue
+        print(f"{graph.name}: {len(program.nodes)} nodes, "
+              f"{runtime.total_s * 1e3 / args.repeats:.2f} ms/run "
+              f"(batch {args.batch}, {args.repeats} repeats"
+              + (f", PWL {args.pwl}" if args.pwl else "") + ")")
+        if comparison is None:
+            for op, total in sorted(runtime.by_op_type().items(),
+                                    key=lambda kv: -kv[1]):
+                print(f"  {op:<12} {total * 1e3:8.2f} ms  "
+                      f"{total / runtime.total_s * 100:5.1f}%")
+            continue
+        rows = []
+        for nc in comparison.nodes:
+            rows.append([
+                nc.name, nc.op_type,
+                f"{nc.predicted_share * 100:.1f}%",
+                f"{nc.observed_share * 100:.1f}%",
+                "-" if nc.ratio is None else f"{nc.ratio:.2f}",
+            ])
+        print(format_table(
+            ["node", "op", "predicted", "observed", "obs/pred"], rows,
+            title="observed wall-time share vs static cost-model share"))
+        hist = comparison.ratio_histogram()
+        if hist:
+            print("  log2(obs/pred) histogram: "
+                  + "  ".join(f"{k}:{v}" for k, v in hist.items()))
+        worst = comparison.worst(3)
+        if worst:
+            names = ", ".join(f"{n.name} ({n.ratio:.2f}x)" for n in worst)
+            print(f"  worst-priced nodes: {names}")
+    if args.json:
+        payload = docs[models[0]] if len(models) == 1 else docs
+        print(json.dumps(payload, indent=2))
+    if args.capture:
+        from .obs import disable_capture, get_capture
+        disable_capture()
+        path = get_capture().save(args.capture)
+        if not args.json:
+            print(f"PWL input histograms written to {path}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import os
+
+    from .obs import ENV_TRACE, read_trace
+
+    path = args.file or os.environ.get(ENV_TRACE)
+    if not path:
+        print(f"trace: no trace file (pass --file or set {ENV_TRACE})",
+              file=sys.stderr)
+        return 2
+    records = list(read_trace(path))
+    if args.action == "summary":
+        by_name = {}
+        for rec in records:
+            name = str(rec.get("name", "?"))
+            row = by_name.setdefault(name, {"count": 0, "total_s": 0.0,
+                                            "max_s": 0.0, "errors": 0})
+            dur = float(rec.get("dur_s", 0.0) or 0.0)
+            row["count"] += 1
+            row["total_s"] += dur
+            row["max_s"] = max(row["max_s"], dur)
+            row["errors"] += 1 if rec.get("error") else 0
+        if args.json:
+            print(json.dumps({"file": str(path), "spans": len(records),
+                              "by_name": by_name}, indent=2))
+            return 0
+        rows = [[name, row["count"], f"{row['total_s'] * 1e3:.1f}",
+                 f"{row['total_s'] / row['count'] * 1e3:.2f}",
+                 f"{row['max_s'] * 1e3:.2f}", row["errors"]]
+                for name, row in sorted(by_name.items())]
+        print(format_table(
+            ["span", "count", "total ms", "mean ms", "max ms", "errors"],
+            rows, title=f"{len(records)} spans in {path}"))
+        return 0
+    # show: most recent spans, parents indented within their process
+    records = records[-args.limit:] if args.limit else records
+    if args.json:
+        print(json.dumps(records, indent=2))
+        return 0
+    depth_of = {}
+    for rec in records:
+        parent = rec.get("parent_id")
+        depth = depth_of.get(parent, -1) + 1 if parent else 0
+        depth_of[rec.get("span_id")] = depth
+        attrs = rec.get("attrs") or {}
+        extra = ("  " + " ".join(f"{k}={v}" for k, v in attrs.items())
+                 if attrs else "")
+        err = f"  ERROR={rec['error']}" if rec.get("error") else ""
+        print(f"{rec.get('ts', 0.0):.3f} {'  ' * depth}"
+              f"{rec.get('name', '?')}  "
+              f"{float(rec.get('dur_s', 0.0) or 0.0) * 1e3:.2f} ms"
+              f"{extra}{err}")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .obs import MetricsRegistry
+    from .service.daemon import METRICS_NAME
+    from .service.queue import JobQueue, default_service_dir
+
+    root = Path(args.dir) if args.dir else default_service_dir()
+    queue = JobQueue(root)
+    snap_path = root / METRICS_NAME
+    try:
+        doc = json.loads(snap_path.read_text())
+    except (OSError, ValueError):
+        print(f"metrics: no daemon snapshot at {snap_path} "
+              f"(is a daemon serving this queue?)", file=sys.stderr)
+        return 1
+    beat = queue.heartbeat() or {}
+    age = None
+    if "time" in beat:
+        age = max(0.0, time.time() - float(beat["time"]))
+    if args.json:
+        print(json.dumps({"snapshot": doc, "heartbeat": beat,
+                          "heartbeat_age_s": age, "alive":
+                          queue.daemon_alive()}, indent=2))
+        return 0
+    if args.format == "prom":
+        # Rehydrate into a registry so one renderer owns the format.
+        registry = MetricsRegistry()
+        for name, family in doc.get("metrics", {}).items():
+            for series in family.get("series", []):
+                labels = series.get("labels", {})
+                if family["kind"] == "counter":
+                    registry.counter(name, **labels).inc(series["value"])
+                elif family["kind"] == "gauge":
+                    registry.gauge(name, **labels).set(series["value"])
+                else:
+                    hist = registry.histogram(
+                        name, buckets=tuple(series["bounds"]), **labels)
+                    hist.count = series["count"]
+                    hist.sum = series["sum"]
+                    hist.min = series["min"]
+                    hist.max = series["max"]
+                    hist.buckets = list(series["buckets"])
+        print(registry.render_prometheus(), end="")
+        return 0
+    alive = "alive" if queue.daemon_alive() else "STALE"
+    print(f"daemon metrics from {snap_path} "
+          f"(pid {doc.get('pid')}, heartbeat {alive}"
+          + (f", {age:.1f}s old" if age is not None else "") + ")")
+    for name, family in sorted(doc.get("metrics", {}).items()):
+        for series in family.get("series", []):
+            labels = series.get("labels", {})
+            suffix = ("{" + ",".join(f"{k}={v}"
+                                     for k, v in sorted(labels.items()))
+                      + "}") if labels else ""
+            if family["kind"] == "histogram":
+                mean = series.get("mean")
+                print(f"  {name}{suffix}  count={series['count']} "
+                      f"sum={series['sum']:.3f}"
+                      + (f" mean={mean:.3f}" if mean is not None else ""))
+            else:
+                print(f"  {name}{suffix}  {series['value']:g}")
+    return 0
+
+
 def _cmd_zoo(args: argparse.Namespace) -> int:
     from .perf import evaluate_zoo
     from .zoo import build_catalog
@@ -597,6 +843,65 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("--list-codes", action="store_true",
                          help="print the diagnostic code table and exit")
     p_check.set_defaults(func=_cmd_check)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="run a compiled zoo model with the per-kernel timer and "
+             "compare observed time against the static cost model")
+    p_profile.add_argument("models", nargs="*",
+                           help="builder names (e.g. vit resnet)")
+    p_profile.add_argument("--all-zoo", action="store_true",
+                           help="profile every zoo builder")
+    p_profile.add_argument("--act", default="gelu",
+                           help="activation the builders use")
+    p_profile.add_argument("--scale", type=float, default=1.0,
+                           help="width multiplier (default: 1.0)")
+    p_profile.add_argument("--seed", type=int, default=0)
+    p_profile.add_argument("--batch", type=int, default=1,
+                           help="batch size of the profiled run")
+    p_profile.add_argument("--repeats", type=int, default=3,
+                           help="timed executions to accumulate "
+                                "(default: 3)")
+    p_profile.add_argument("--pwl", type=int, default=None, metavar="N",
+                           help="rewrite activations to N-breakpoint PWLs "
+                                "(fitted through the session) first")
+    p_profile.add_argument("--compare-static", action="store_true",
+                           help="align the runtime profile with the "
+                                "static cost model, node for node")
+    p_profile.add_argument("--capture", default=None, metavar="PATH",
+                           help="capture PWL input histograms during the "
+                                "run and write them to PATH (JSON)")
+    p_profile.add_argument("--engine", choices=ENGINE_NAMES, default=None,
+                           help="fit engine for --pwl (default: auto)")
+    p_profile.add_argument("--cache-dir", default=None,
+                           help="fit cache directory for --pwl fits")
+    p_profile.add_argument("--json", action="store_true",
+                           help="emit the runtime profile (and the "
+                                "comparison) as JSON")
+    p_profile.set_defaults(func=_cmd_profile)
+
+    p_trace = sub.add_parser(
+        "trace", help="show or summarise a JSONL trace file")
+    p_trace.add_argument("action", choices=("show", "summary"))
+    p_trace.add_argument("--file", default=None,
+                         help="trace path (default: $REPRO_TRACE)")
+    p_trace.add_argument("--limit", type=int, default=50,
+                         help="show: newest N spans (default: 50; 0=all)")
+    p_trace.add_argument("--json", action="store_true",
+                         help="emit machine-readable JSON")
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="print the metrics snapshot a daemon exports")
+    p_metrics.add_argument("--dir", default=None,
+                           help="queue directory (default: "
+                                "$REPRO_CACHE_DIR/service)")
+    p_metrics.add_argument("--format", choices=("text", "prom"),
+                           default="text",
+                           help="text summary or Prometheus exposition")
+    p_metrics.add_argument("--json", action="store_true",
+                           help="emit snapshot + heartbeat as JSON")
+    p_metrics.set_defaults(func=_cmd_metrics)
 
     p_zoo = sub.add_parser("zoo", help="catalog speedup summary")
     p_zoo.set_defaults(func=_cmd_zoo)

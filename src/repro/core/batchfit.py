@@ -649,7 +649,19 @@ class FitCache:
 
     def iter_provenance(self) -> List[Dict]:
         """Parsed provenance records, oldest first (corrupt lines skipped)."""
+        return self.read_provenance()[0]
+
+    def read_provenance(self) -> Tuple[List[Dict], int]:
+        """``(records, malformed)``: parsed lines plus the skip count.
+
+        Malformed lines happen legitimately — a writer killed mid-append
+        leaves a truncated tail, and the self-rotation may cut a line in
+        half — so readers skip them; the *count* matters because a
+        growing one points at a corrupted log or a misbehaving writer,
+        which ``repro cache report`` surfaces instead of hiding.
+        """
         out: List[Dict] = []
+        malformed = 0
         try:
             with open(self.provenance_path) as handle:
                 for line in handle:
@@ -659,12 +671,15 @@ class FitCache:
                     try:
                         doc = json.loads(line)
                     except ValueError:
+                        malformed += 1
                         continue
                     if isinstance(doc, dict):
                         out.append(doc)
+                    else:
+                        malformed += 1
         except OSError:
             pass
-        return out
+        return out, malformed
 
     # ------------------------------------------------------------------ #
     # Near-miss lookup (warm starts)

@@ -41,6 +41,8 @@ import numpy as np
 
 from ..errors import FitError
 from ..functions.base import ActivationFunction
+from ..obs.metrics import get_metrics
+from ..obs.trace import get_tracer
 from ..optim.adam import LaneAdam
 from ..optim.schedulers import LaneReduceLROnPlateau
 from .boundary import ASYMPTOTE
@@ -122,8 +124,18 @@ def fit_lanes(tasks: Sequence[LaneTask]) -> List[FitResult]:
     lanes = [_Lane(task=t, prob=resolve_problem(t.fn, t.config, t.loss),
                    fitter=FlexSfuFitter(t.config)) for t in tasks]
 
-    _phase_a(lanes, cfg)
-    _phase_b(lanes, cfg)
+    metrics = get_metrics()
+    metrics.counter("lane.batches").inc()
+    metrics.counter("lane.lanes").inc(len(lanes))
+    with get_tracer().span("fit.lane_batch", lanes=len(lanes)) as sp:
+        _phase_a(lanes, cfg)
+        _phase_b(lanes, cfg)
+        sp.set(rounds=sum(lane.rounds for lane in lanes),
+               steps=sum(lane.total_steps for lane in lanes))
+    metrics.counter("lane.steps").inc(
+        sum(lane.total_steps for lane in lanes))
+    metrics.counter("lane.rounds").inc(
+        sum(lane.rounds for lane in lanes))
 
     results: List[FitResult] = []
     for lane in lanes:
@@ -220,6 +232,7 @@ def _phase_b(lanes: List[_Lane], cfg: FitConfig) -> None:
     refining = list(range(len(lanes)))
     last_edit: List[Optional[Tuple[int, int]]] = [None] * len(lanes)
     stale_rounds = [0] * len(lanes)
+    tracer = get_tracer()
     for _ in range(cfg.max_refine_rounds):
         edited: List[Tuple[int, Tuple[int, int]]] = []
         for i in refining:
@@ -234,10 +247,12 @@ def _phase_b(lanes: List[_Lane], cfg: FitConfig) -> None:
         if not edited:
             break
         idx = [i for i, _ in edited]
-        losses, steps = _lane_adam(
-            [lanes[i] for i in idx], [lanes[i].live_state for i in idx],
-            np.full(len(idx), cfg.refine_lr), cfg,
-            max_steps=cfg.refine_steps)
+        with tracer.span("fit.lane_round", lanes=len(idx)) as rsp:
+            losses, steps = _lane_adam(
+                [lanes[i] for i in idx], [lanes[i].live_state for i in idx],
+                np.full(len(idx), cfg.refine_lr), cfg,
+                max_steps=cfg.refine_steps)
+            rsp.set(steps=int(np.sum(steps)))
         refining = []
         for (i, edit), cur, n_steps in zip(edited, losses, steps):
             lane = lanes[i]
@@ -354,6 +369,9 @@ def _lane_adam(lanes: Sequence[_Lane], states: Sequence[_State],
         done = ~finite | ((opt.lr <= cfg.min_lr * (1 + 1e-12))
                           & (stale > 2 * cfg.patience))
         if done.any():
+            # Cold branch: runs once per finishing candidate, so the
+            # metrics call costs nothing on the steady-state step path.
+            get_metrics().counter("lane.compactions").inc(int(done.sum()))
             out_steps[ids[done]] = steps_done
             keep = ~done
             ids = ids[keep]

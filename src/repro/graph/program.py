@@ -34,9 +34,13 @@ the property suite enforces it op-by-op.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (TYPE_CHECKING, Callable, Dict, List, Optional,
+                    Sequence, Tuple)
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.profile import ExecutionProfile
 
 from ..analysis.diagnostics import Diagnostic, fail
 from ..core.pwl import PiecewiseLinear
@@ -44,8 +48,15 @@ from ..errors import GraphError
 from ..functions import registry as fn_registry
 from ..functions.softmax import SoftmaxApproximator
 from ..functions.softmax import softmax as exact_softmax
+from ..obs.capture import get_capture
 from .ir import Graph, Node
 from .ops import CostRecord, OpImpl, Shape, get_op, infer_node_shapes
+
+# The process-wide PWL input-histogram accumulator.  Kernels check one
+# attribute (`enabled`, False by default) per call; when off, outputs
+# and the run loop are untouched — the property suite and the graph-exec
+# quick bench both enforce it.
+_capture = get_capture()
 
 
 # --------------------------------------------------------------------- #
@@ -120,15 +131,22 @@ class PwlKernel:
     m: np.ndarray
     q: np.ndarray
     source: PiecewiseLinear
+    #: Activation-function name for observability (histogram capture).
+    label: str = ""
 
     @classmethod
-    def from_pwl(cls, pwl: PiecewiseLinear) -> "PwlKernel":
+    def from_pwl(cls, pwl: PiecewiseLinear, label: str = "") -> "PwlKernel":
         m, q = pwl.coefficients()
-        return cls(breakpoints=pwl.breakpoints, m=m, q=q, source=pwl)
+        return cls(breakpoints=pwl.breakpoints, m=m, q=q, source=pwl,
+                   label=label)
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
         r = np.searchsorted(self.breakpoints, x, side="right")
+        if _capture.enabled:
+            # The segment indices already in hand ARE the input
+            # histogram — capture only reads them, never the output.
+            _capture.record(self.label or "pwl", self.breakpoints, r)
         return self.m[r] * x + self.q[r]
 
 
@@ -147,6 +165,8 @@ class SoftmaxPwlKernel:
     clip_lo: float
     axis: int
     source: PiecewiseLinear
+    #: Observability label of the inner exp table.
+    label: str = "softmax.exp"
 
     @classmethod
     def from_approximator(cls, approx: SoftmaxApproximator,
@@ -161,6 +181,8 @@ class SoftmaxPwlKernel:
         x = np.asarray(x, dtype=np.float64)
         shifted = x - np.max(x, axis=self.axis, keepdims=True)
         r = np.searchsorted(self.breakpoints, shifted, side="right")
+        if _capture.enabled:
+            _capture.record(self.label, self.breakpoints, r)
         e = np.where(shifted < self.clip_lo, 0.0,
                      self.m[r] * shifted + self.q[r])
         e = np.maximum(e, 0.0)
@@ -183,7 +205,8 @@ def _activation_kernel(node: Node) -> Optional[Callable]:
                  "pwl activation node has no approximator attached",
                  node=node.name)
         if isinstance(approx, PiecewiseLinear):
-            return PwlKernel.from_pwl(approx)
+            return PwlKernel.from_pwl(approx,
+                                      label=str(node.attrs.get("fn", "")))
         return lambda x: np.asarray(approx(x), dtype=np.float64)
     fail("RPR122", f"unknown activation impl {impl!r}", node=node.name)
 
@@ -534,6 +557,53 @@ class Program:
                 values[slot] = None
         outputs = {name: values[slot] for name, slot in self._output_plan}
         return outputs, prof
+
+    def run_timed(self, feeds: Dict[str, np.ndarray], repeats: int = 1
+                  ) -> Tuple[Dict[str, np.ndarray], "ExecutionProfile"]:
+        """Execute with an opt-in per-kernel timer.
+
+        Returns the (last run's) outputs plus a runtime
+        :class:`~repro.obs.profile.ExecutionProfile` — node-for-node
+        aligned with the static :attr:`profile`, which is what
+        :func:`repro.obs.profile.compare_profiles` consumes.  The exact
+        same kernels as :meth:`run` execute (outputs are bitwise
+        identical); the only addition is two clock reads per node, so
+        ``repeats > 1`` is the cheap way to average out timer noise.
+        """
+        from ..obs.clock import tick
+        from ..obs.profile import ExecutionProfile, KernelTiming
+
+        timings = [KernelTiming(name=cn.name, op_type=cn.op_type)
+                   for cn in self.nodes]
+        outputs: Dict[str, np.ndarray] = {}
+        for _ in range(max(1, int(repeats))):
+            values = self._load_feeds(feeds)
+            for cn, timing in zip(self.nodes, timings):
+                t0 = tick()
+                if cn.kernel1 is not None:
+                    values[cn.out_slots[0]] = \
+                        cn.kernel1(values[cn.in_slots[0]])
+                elif cn.kernel2 is not None:
+                    values[cn.out_slots[0]] = \
+                        cn.kernel2(values[cn.in_slots[0]],
+                                   values[cn.in_slots[1]])
+                else:
+                    outs = cn.op.execute([values[s] for s in cn.in_slots],
+                                         cn.attrs)
+                    if len(outs) != cn.n_out:
+                        fail("RPR204",
+                             f"node {cn.name} produced {len(outs)} outputs, "
+                             f"declared {cn.n_out}",
+                             node=cn.name, graph=self.graph.name)
+                    for slot, arr in zip(cn.out_slots, outs):
+                        values[slot] = arr
+                timing.total_s += tick() - t0
+                timing.calls += 1
+                for slot in cn.frees:
+                    values[slot] = None
+            outputs = {name: values[slot]
+                       for name, slot in self._output_plan}
+        return outputs, ExecutionProfile(nodes=timings)
 
 
 # --------------------------------------------------------------------- #

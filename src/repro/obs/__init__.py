@@ -1,0 +1,62 @@
+"""Runtime observability: tracing spans, metrics, profiles, histograms.
+
+Four small, zero-dependency pieces:
+
+* :mod:`repro.obs.trace` — nested spans with structured attributes,
+  collected in process and appendable to a shared JSONL sink
+  (``REPRO_TRACE``) so workers and the daemon can join one trace.
+* :mod:`repro.obs.metrics` — process-wide counters / gauges /
+  histograms with JSON and Prometheus-text export.
+* :mod:`repro.obs.profile` — runtime :class:`ExecutionProfile` from
+  ``Program.run_timed`` and :func:`compare_profiles` against the static
+  compile-time cost profile.
+* :mod:`repro.obs.capture` — opt-in PWL input histograms reusing the
+  segment indices the baked kernels already compute.
+
+Everything here is off by default and costs (near) nothing while off;
+the graph-exec quick bench enforces that.  This package must stay
+import-light: :mod:`repro.graph.program` imports it, so nothing at
+module scope may import ``repro.graph`` or ``repro.perf``.
+"""
+
+from .capture import (HistogramCapture, capture_enabled, disable_capture,
+                      enable_capture, get_capture)
+from .clock import mono, tick, wall
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                      get_metrics, reset_metrics)
+from .profile import (ExecutionProfile, KernelTiming, NodeComparison,
+                      ProfileComparison, compare_profiles, predicted_cycles)
+from .trace import (ENV_TRACE, NullTracer, Span, Tracer, disable_tracing,
+                    enable_tracing, get_tracer, read_trace, tracing_enabled)
+
+__all__ = [
+    "ENV_TRACE",
+    "Counter",
+    "ExecutionProfile",
+    "Gauge",
+    "Histogram",
+    "HistogramCapture",
+    "KernelTiming",
+    "MetricsRegistry",
+    "NodeComparison",
+    "NullTracer",
+    "ProfileComparison",
+    "Span",
+    "Tracer",
+    "capture_enabled",
+    "compare_profiles",
+    "disable_capture",
+    "disable_tracing",
+    "enable_capture",
+    "enable_tracing",
+    "get_capture",
+    "get_metrics",
+    "get_tracer",
+    "mono",
+    "predicted_cycles",
+    "read_trace",
+    "reset_metrics",
+    "tick",
+    "tracing_enabled",
+    "wall",
+]

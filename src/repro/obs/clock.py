@@ -1,0 +1,42 @@
+"""The one clock seam of the observability layer.
+
+Every instrumented hot path (the tracer, the per-kernel profiler, the
+lane-fit spans, the service queue/daemon) reads time through this
+module instead of calling :mod:`time` directly — ``RPL005`` in
+``tools/lint_repro.py`` enforces it.  One seam buys three things:
+
+* a single place that documents *which* clock each measurement uses
+  (``wall`` for persisted records, ``tick`` for durations, ``mono``
+  for liveness/staleness decisions that must survive wall-clock jumps);
+* tests can monkeypatch one function to simulate clock jumps without
+  reaching into :mod:`time` (which would perturb the whole process);
+* disabled-observability overhead stays auditable: the shim is a plain
+  function alias, not a wrapper stack.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["wall", "tick", "mono"]
+
+
+def wall() -> float:
+    """Wall-clock epoch seconds — only for *persisted* records
+    (trace timestamps, heartbeat payloads, provenance lines) that must
+    be meaningful across processes and reboots."""
+    return time.time()
+
+
+def tick() -> float:
+    """High-resolution monotonic seconds for measuring durations
+    (span lengths, per-kernel timings).  Differences only; the absolute
+    value is meaningless."""
+    return time.perf_counter()
+
+
+def mono() -> float:
+    """Coarse monotonic seconds for liveness / staleness decisions
+    (idle-exit, stale-claim requeue) that must not mis-trigger when the
+    wall clock jumps."""
+    return time.monotonic()

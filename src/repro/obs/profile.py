@@ -1,0 +1,214 @@
+"""Runtime execution profiles and their comparison to the static model.
+
+PR 5 made :attr:`Program.profile` a *static* cost profile — per-node
+MAC / vector-op / activation-element counts derived from compile-time
+shapes.  :meth:`Program.run_timed` produces this module's
+:class:`ExecutionProfile`: the same node list with *measured* wall time
+per kernel.  :func:`compare_profiles` aligns the two node-for-node and
+prices the static records under the baseline-VPU cost model, yielding
+an observed/predicted ratio per node — the runtime evidence behind the
+paper's Fig. 6 speedup story, and the report ``repro profile
+--compare-static`` prints.
+
+The comparison is *share-based*: predicted cycles and observed seconds
+live in different units, so each node's predicted share of total cycles
+is compared against its observed share of total wall time.  A ratio of
+1.0 means the cost model prices that node's relative weight exactly;
+the distribution of log2 ratios (:meth:`ProfileComparison
+.ratio_histogram`) summarises model quality in one line.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..graph.program import GraphProfile
+
+__all__ = [
+    "ExecutionProfile",
+    "KernelTiming",
+    "NodeComparison",
+    "ProfileComparison",
+    "compare_profiles",
+    "predicted_cycles",
+]
+
+
+@dataclass
+class KernelTiming:
+    """Measured execution of one scheduled node."""
+
+    name: str
+    op_type: str
+    calls: int = 0
+    total_s: float = 0.0
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.calls if self.calls else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "op_type": self.op_type,
+                "calls": self.calls, "total_s": self.total_s,
+                "mean_s": self.mean_s}
+
+
+@dataclass
+class ExecutionProfile:
+    """Per-kernel wall time of one (or ``calls`` repeated) executions.
+
+    Node order matches the program schedule, which is what makes it
+    node-for-node comparable to the static
+    :class:`~repro.graph.program.GraphProfile`.
+    """
+
+    nodes: List[KernelTiming] = field(default_factory=list)
+
+    @property
+    def total_s(self) -> float:
+        return sum(t.total_s for t in self.nodes)
+
+    @property
+    def calls(self) -> int:
+        return max((t.calls for t in self.nodes), default=0)
+
+    def by_op_type(self) -> Dict[str, float]:
+        """Total seconds aggregated per op type."""
+        out: Dict[str, float] = {}
+        for t in self.nodes:
+            out[t.op_type] = out.get(t.op_type, 0.0) + t.total_s
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"total_s": self.total_s, "calls": self.calls,
+                "nodes": [t.to_dict() for t in self.nodes]}
+
+
+def predicted_cycles(cost: Any, cfg: Optional[Any] = None) -> float:
+    """Baseline-VPU cycle estimate of one node's static CostRecord.
+
+    Prices exactly like :func:`repro.perf.costs.model_cycles` prices a
+    whole model without Flex-SFU: MACs on the tensor core, vector ops
+    and the per-function activation expansion on the VPU.
+    """
+    # Function-local import: obs stays import-light and cycle-free
+    # (graph.program imports obs.capture; perf imports graph).
+    from ..perf.accelerator import AcceleratorConfig
+    from ..perf.costs import baseline_act_ops
+
+    if cfg is None:
+        cfg = AcceleratorConfig()
+    cycles = cost.macs / cfg.macs_per_cycle
+    cycles += cost.vector_ops / cfg.vpu_lanes
+    if cost.act_elements and cost.act_fn:
+        cycles += (cost.act_elements * baseline_act_ops(cost.act_fn)
+                   / cfg.vpu_lanes)
+    return float(cycles)
+
+
+@dataclass
+class NodeComparison:
+    """One node: static prediction next to runtime measurement."""
+
+    name: str
+    op_type: str
+    predicted_cycles: float
+    predicted_share: float
+    observed_s: float
+    observed_share: float
+    #: observed_share / predicted_share; ``None`` for nodes the static
+    #: model prices at zero cycles (reshape/transpose bookkeeping).
+    ratio: Optional[float]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "op_type": self.op_type,
+                "predicted_cycles": self.predicted_cycles,
+                "predicted_share": self.predicted_share,
+                "observed_s": self.observed_s,
+                "observed_share": self.observed_share,
+                "ratio": self.ratio}
+
+
+@dataclass
+class ProfileComparison:
+    """Node-aligned static-vs-runtime report."""
+
+    nodes: List[NodeComparison]
+    total_predicted_cycles: float
+    total_observed_s: float
+
+    @property
+    def implied_cycle_time_s(self) -> Optional[float]:
+        """Observed seconds per predicted cycle across the whole run."""
+        if self.total_predicted_cycles <= 0:
+            return None
+        return self.total_observed_s / self.total_predicted_cycles
+
+    def priced_nodes(self) -> List[NodeComparison]:
+        return [n for n in self.nodes if n.ratio is not None]
+
+    def ratio_histogram(self, bin_width: float = 1.0) -> Dict[str, int]:
+        """Counts of priced nodes bucketed by log2(observed/predicted)."""
+        out: Dict[str, int] = {}
+        for n in self.priced_nodes():
+            if n.ratio <= 0:
+                key = "-inf"
+            else:
+                lo = math.floor(math.log2(n.ratio) / bin_width) * bin_width
+                key = f"[{lo:g},{lo + bin_width:g})"
+            out[key] = out.get(key, 0) + 1
+        return dict(sorted(out.items()))
+
+    def worst(self, k: int = 5) -> List[NodeComparison]:
+        """The k priced nodes the model mis-prices hardest (|log2|)."""
+        priced = [n for n in self.priced_nodes() if n.ratio and n.ratio > 0]
+        priced.sort(key=lambda n: abs(math.log2(n.ratio)), reverse=True)
+        return priced[:k]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "total_predicted_cycles": self.total_predicted_cycles,
+            "total_observed_s": self.total_observed_s,
+            "implied_cycle_time_s": self.implied_cycle_time_s,
+            "ratio_histogram_log2": self.ratio_histogram(),
+            "nodes": [n.to_dict() for n in self.nodes],
+        }
+
+
+def compare_profiles(static: "GraphProfile", runtime: ExecutionProfile,
+                     cfg: Optional[Any] = None) -> ProfileComparison:
+    """Align a static cost profile with a runtime execution profile.
+
+    Both must cover the same schedule: node names and op types are
+    matched positionally and any disagreement raises ``ValueError``
+    (a profile from a different compile of the "same" graph is not
+    comparable node-for-node).
+    """
+    if len(static.nodes) != len(runtime.nodes):
+        raise ValueError(
+            f"profiles cover different schedules: {len(static.nodes)} "
+            f"static vs {len(runtime.nodes)} runtime nodes")
+    for sp, rt in zip(static.nodes, runtime.nodes):
+        if sp.name != rt.name or sp.op_type != rt.op_type:
+            raise ValueError(
+                f"profiles diverge at node {sp.name!r}/{sp.op_type} vs "
+                f"{rt.name!r}/{rt.op_type}")
+
+    cycles = [predicted_cycles(sp.cost, cfg) for sp in static.nodes]
+    total_cycles = float(sum(cycles))
+    total_s = runtime.total_s
+    nodes: List[NodeComparison] = []
+    for sp, rt, cyc in zip(static.nodes, runtime.nodes, cycles):
+        pred_share = (cyc / total_cycles) if total_cycles > 0 else 0.0
+        obs_share = (rt.total_s / total_s) if total_s > 0 else 0.0
+        ratio = (obs_share / pred_share) if pred_share > 0 else None
+        nodes.append(NodeComparison(
+            name=sp.name, op_type=sp.op_type, predicted_cycles=cyc,
+            predicted_share=pred_share, observed_s=rt.total_s,
+            observed_share=obs_share, ratio=ratio))
+    return ProfileComparison(nodes=nodes,
+                             total_predicted_cycles=total_cycles,
+                             total_observed_s=total_s)

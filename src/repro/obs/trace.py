@@ -1,0 +1,282 @@
+"""Tracing spans: nested, attributed, exportable as JSONL.
+
+A :class:`Tracer` hands out context-managed spans::
+
+    with tracer.span("fit.session", n_requests=4):
+        with tracer.span("fit.lane_round", lanes=3) as sp:
+            ...
+            sp.set(steps=128)
+
+Finished spans land in a bounded in-process collector (newest kept) and,
+when a sink path is configured, are appended to a JSONL file — one
+``json.dumps`` line per span, written with a single ``write`` call, the
+same multi-process append discipline the fit cache's provenance log
+uses.  Engine worker pools and the service daemon inherit the sink
+through the ``REPRO_TRACE`` environment variable, so one trace file can
+interleave spans from every process that served a request.
+
+Disabled (the default) costs almost nothing: :func:`get_tracer` returns
+a singleton :class:`NullTracer` whose ``span()`` hands back a shared
+no-op context manager — no allocation, no clock read.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+from collections import deque
+from pathlib import Path
+from typing import Any, Deque, Dict, Iterator, List, Optional, Union
+
+from . import clock
+
+__all__ = [
+    "ENV_TRACE",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "get_tracer",
+    "read_trace",
+    "tracing_enabled",
+]
+
+#: Environment variable naming the shared JSONL sink.  Setting it
+#: enables tracing process-wide (checked lazily on first use), which is
+#: how pool workers and the daemon join a client's trace.
+ENV_TRACE = "REPRO_TRACE"
+
+#: Default collector capacity (spans kept in memory, newest first out).
+DEFAULT_CAPACITY = 4096
+
+
+class Span:
+    """One live span; records itself to the tracer on ``__exit__``."""
+
+    __slots__ = ("name", "attrs", "_tracer", "_parent_id", "span_id",
+                 "_t_wall", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attrs: Dict[str, Any]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self._tracer = tracer
+        self._parent_id: Optional[str] = None
+        self.span_id = tracer._next_id()
+        self._t_wall = 0.0
+        self._t0 = 0.0
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach (or overwrite) structured attributes."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._parent_id = self._tracer._push(self.span_id)
+        self._t_wall = clock.wall()
+        self._t0 = clock.tick()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        dur = clock.tick() - self._t0
+        self._tracer._pop()
+        record: Dict[str, Any] = {
+            "name": self.name,
+            "ts": self._t_wall,
+            "dur_s": dur,
+            "span_id": self.span_id,
+            "parent_id": self._parent_id,
+            "pid": os.getpid(),
+        }
+        if exc_type is not None:
+            record["error"] = exc_type.__name__
+        if self.attrs:
+            record["attrs"] = self.attrs
+        self._tracer._record(record)
+
+
+class _NullSpan:
+    """The shared no-op span of the disabled path."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Tracer of the disabled state: every span is the shared no-op."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def records(self) -> List[Dict[str, Any]]:
+        return []
+
+    def clear(self) -> None:
+        return None
+
+
+class Tracer:
+    """Thread-safe span collector with an optional JSONL sink.
+
+    ``sink`` is a file path finished spans are appended to (parents
+    created on first write); ``capacity`` bounds the in-memory record
+    deque.  Span nesting is tracked per thread, so concurrent threads
+    build independent span stacks over one collector.
+    """
+
+    enabled = True
+
+    def __init__(self, sink: Optional[Union[str, Path]] = None,
+                 capacity: int = DEFAULT_CAPACITY) -> None:
+        self.sink = Path(sink) if sink is not None else None
+        self._records: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._counter = itertools.count(1)
+        self._sink_ready = False
+
+    # -- span lifecycle ------------------------------------------------ #
+    def span(self, name: str, **attrs: Any) -> Span:
+        """A new (context-managed) span under the current thread's
+        innermost open span."""
+        return Span(self, name, attrs)
+
+    def _next_id(self) -> str:
+        return f"{os.getpid():x}-{next(self._counter)}"
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _push(self, span_id: str) -> Optional[str]:
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        stack.append(span_id)
+        return parent
+
+    def _pop(self) -> None:
+        stack = self._stack()
+        if stack:
+            stack.pop()
+
+    def _record(self, record: Dict[str, Any]) -> None:
+        with self._lock:
+            self._records.append(record)
+        if self.sink is not None:
+            self._append_sink(record)
+
+    def _append_sink(self, record: Dict[str, Any]) -> None:
+        # Tracing must never take a request down: sink failures are
+        # swallowed (same contract as FitCache.log_provenance).  The
+        # one-write append keeps concurrent processes' lines whole.
+        try:
+            if not self._sink_ready:
+                self.sink.parent.mkdir(parents=True, exist_ok=True)
+                self._sink_ready = True
+            line = json.dumps(record, sort_keys=True, default=str) + "\n"
+            with open(self.sink, "a") as handle:
+                handle.write(line)
+        except (OSError, TypeError, ValueError):
+            pass
+
+    # -- introspection ------------------------------------------------- #
+    def records(self) -> List[Dict[str, Any]]:
+        """Finished spans currently held in memory, oldest first."""
+        with self._lock:
+            return list(self._records)
+
+    def clear(self) -> None:
+        """Drop the in-memory records (the sink file is untouched)."""
+        with self._lock:
+            self._records.clear()
+
+
+# --------------------------------------------------------------------- #
+# Process-wide tracer state
+# --------------------------------------------------------------------- #
+_NULL_TRACER = NullTracer()
+_tracer: Optional[Tracer] = None
+_env_checked = False
+_state_lock = threading.Lock()
+
+
+def get_tracer() -> Union[Tracer, NullTracer]:
+    """The active tracer, or the shared :class:`NullTracer`.
+
+    The first call honours ``REPRO_TRACE``: when the variable names a
+    sink path, tracing is enabled against it — this is how spawned
+    worker processes and daemons join the trace of the process that
+    launched them.  After that first check the call is one global read.
+    """
+    global _env_checked
+    if _tracer is not None:
+        return _tracer
+    if not _env_checked:
+        with _state_lock:
+            if not _env_checked:
+                _env_checked = True
+                sink = os.environ.get(ENV_TRACE)
+                if sink:
+                    return enable_tracing(sink)
+    return _tracer if _tracer is not None else _NULL_TRACER
+
+
+def enable_tracing(sink: Optional[Union[str, Path]] = None,
+                   capacity: int = DEFAULT_CAPACITY) -> Tracer:
+    """Install (and return) a process-wide :class:`Tracer`."""
+    global _tracer, _env_checked
+    tracer = Tracer(sink=sink, capacity=capacity)
+    _tracer = tracer
+    _env_checked = True
+    return tracer
+
+
+def disable_tracing() -> None:
+    """Return to the no-op tracer (``REPRO_TRACE`` is not re-read)."""
+    global _tracer, _env_checked
+    _tracer = None
+    _env_checked = True
+
+
+def tracing_enabled() -> bool:
+    """Whether spans are currently being collected."""
+    return get_tracer().enabled
+
+
+def read_trace(path: Union[str, Path]) -> Iterator[Dict[str, Any]]:
+    """Parsed span records from a JSONL trace file, malformed lines
+    skipped (concurrent appenders may leave a truncated tail)."""
+    try:
+        handle = open(path)
+    except OSError:
+        return
+    with handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(doc, dict):
+                yield doc

@@ -29,10 +29,18 @@ from pathlib import Path
 from typing import Dict, Optional
 
 from ..core.batchfit import (BatchFitResult, BatchFitter, FitCache, FitJob,
-                             job_from_dict)
+                             job_from_dict, write_json_atomic)
 from ..errors import ServiceError
+from ..obs import clock
+from ..obs.metrics import get_metrics
+from ..obs.trace import get_tracer
 from .queue import JobQueue
 from .shm import SharedGridPool
+
+#: Metrics snapshot the daemon exports next to its heartbeat — what a
+#: fresh `repro metrics` process reads (its own in-process registry
+#: cannot see the daemon's counters).
+METRICS_NAME = "metrics.json"
 
 
 @dataclass(frozen=True)
@@ -94,37 +102,42 @@ class FitService:
         # Refresh liveness before a potentially long fit batch: clients
         # treat a stale heartbeat as a dead daemon and fail over.
         self._write_heartbeat()
-        jobs: Dict[str, FitJob] = {}
-        for key, payload in claimed:
-            try:
-                jobs[key] = job_from_dict(payload["job"])
-            except Exception as exc:
-                self.queue.fail(key, f"undecodable job: {exc}")
-                self.failed += 1
-        if not jobs:
-            return len(claimed)
-
-        pairs = list(jobs.items())
-        try:
-            results = self.fitter.run([job for _, job in pairs])
-            for (key, _), res in zip(pairs, results):
-                self._publish(key, res)
-        except Exception as exc:
-            # Batch path poisoned (one divergent fit killing the gather,
-            # or a dead pool worker) — isolate per job so one bad fit
-            # fails alone.  Only an actually-broken executor forces a
-            # pool rebuild; an ordinary FitError must not cost the
-            # workers their attached grids and resolved functions.
-            self._drop_pool_if_broken(exc)
-            for key, job in pairs:
+        with get_tracer().span("service.batch", claimed=len(claimed)) as sp:
+            before_failed = self.failed
+            jobs: Dict[str, FitJob] = {}
+            for key, payload in claimed:
                 try:
-                    [res] = self.fitter.run([job])
-                except Exception as job_exc:
-                    self.queue.fail(key, str(job_exc))
+                    jobs[key] = job_from_dict(payload["job"])
+                except Exception as exc:
+                    self.queue.fail(key, f"undecodable job: {exc}")
                     self.failed += 1
-                    self._drop_pool_if_broken(job_exc)
-                else:
-                    self._publish(key, res)
+            if jobs:
+                pairs = list(jobs.items())
+                try:
+                    results = self.fitter.run([job for _, job in pairs])
+                    for (key, _), res in zip(pairs, results):
+                        self._publish(key, res)
+                except Exception as exc:
+                    # Batch path poisoned (one divergent fit killing the
+                    # gather, or a dead pool worker) — isolate per job so
+                    # one bad fit fails alone.  Only an actually-broken
+                    # executor forces a pool rebuild; an ordinary
+                    # FitError must not cost the workers their attached
+                    # grids and resolved functions.
+                    self._drop_pool_if_broken(exc)
+                    for key, job in pairs:
+                        try:
+                            [res] = self.fitter.run([job])
+                        except Exception as job_exc:
+                            self.queue.fail(key, str(job_exc))
+                            self.failed += 1
+                            self._drop_pool_if_broken(job_exc)
+                        else:
+                            self._publish(key, res)
+            new_failed = self.failed - before_failed
+            sp.set(failed=new_failed)
+            if new_failed:
+                get_metrics().counter("service.jobs.failed").inc(new_failed)
         return len(claimed)
 
     def _drop_pool_if_broken(self, exc: BaseException) -> None:
@@ -147,15 +160,40 @@ class FitService:
             "wall_time_s": res.wall_time_s,
         })
         self.processed += 1
+        get_metrics().counter(
+            "service.jobs.done",
+            from_cache="yes" if res.from_cache else "no").inc()
 
     def _write_heartbeat(self) -> None:
+        # The heartbeat payload is a persisted cross-process record:
+        # wall clock by design (see repro.obs.clock).
         self.queue.write_heartbeat({
             "pid": os.getpid(),
             "processed": self.processed,
             "failed": self.failed,
             "shared_grids": len(self.grids),
-            "time": time.time(),
+            "time": clock.wall(),
         })
+        self._export_metrics()
+
+    def _export_metrics(self) -> None:
+        """Publish a metrics snapshot next to the heartbeat.
+
+        `repro metrics` runs in its own process whose registry is
+        empty; this file is how it sees the daemon's counters.  Queue
+        depths are re-gauged at export time so the snapshot is
+        self-consistent.
+        """
+        metrics = get_metrics()
+        try:
+            for state, n in self.queue.counts().items():
+                metrics.gauge("service.queue.depth", state=state).set(n)
+            metrics.gauge("service.shared_grids").set(len(self.grids))
+            write_json_atomic(self.queue.root / METRICS_NAME,
+                              {"pid": os.getpid(), "time": clock.wall(),
+                               "metrics": metrics.snapshot()})
+        except OSError:  # pragma: no cover - transient fs issue
+            pass
 
     def _start_heartbeat_thread(self) -> None:
         """Keep the heartbeat fresh *during* long fit batches.
@@ -192,9 +230,9 @@ class FitService:
         self.queue.prune_results(cfg.prune_results_s)
         self._write_heartbeat()
         self._start_heartbeat_thread()
-        idle_since = time.monotonic()
-        last_prune = time.monotonic()
-        last_requeue = time.monotonic()
+        idle_since = clock.mono()
+        last_prune = clock.mono()
+        last_requeue = clock.mono()
         # Orphaned claims become reclaimable at age requeue_stale_s, so
         # sweep for them a few times per staleness window; result-marker
         # pruning only bounds disk growth and can run on its own period.
@@ -203,7 +241,7 @@ class FitService:
             n = self.run_once()
             if n:  # idle refreshes belong to the heartbeat thread
                 self._write_heartbeat()
-            now = time.monotonic()
+            now = clock.mono()
             if now - last_requeue > requeue_every:
                 self.queue.requeue_stale(cfg.requeue_stale_s)
                 last_requeue = now

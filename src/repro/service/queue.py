@@ -29,12 +29,13 @@ from __future__ import annotations
 
 import json
 import os
-import time
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from ..core.batchfit import default_cache_dir, write_json_atomic
 from ..errors import ServiceError
+from ..obs import clock
+from ..obs.metrics import get_metrics
 
 PENDING = "pending"
 CLAIMED = "claimed"
@@ -63,6 +64,10 @@ class JobQueue:
 
     def __init__(self, root: Optional[Path] = None) -> None:
         self.root = Path(root) if root is not None else default_service_dir()
+        # First-observation times (monotonic) of claimed files, so
+        # staleness decisions made by a long-lived daemon survive
+        # wall-clock jumps; see requeue_stale().
+        self._claim_seen: Dict[str, float] = {}
 
     def _dir(self, state: str) -> Path:
         return self.root / state
@@ -82,8 +87,10 @@ class JobQueue:
         """
         for state in (DONE, FAILED, CLAIMED, PENDING):
             if self._path(state, key).exists():
+                get_metrics().counter("service.submit", outcome="dedup").inc()
                 return False
         write_json_atomic(self._path(PENDING, key), payload)
+        get_metrics().counter("service.submit", outcome="accepted").inc()
         return True
 
     def result(self, key: str) -> Optional[Tuple[str, Dict]]:
@@ -148,6 +155,8 @@ class JobQueue:
                 self.fail(key, "unparseable job payload")
                 continue
             out.append((key, doc))
+        if out:
+            get_metrics().counter("service.jobs.claimed").inc(len(out))
         return out
 
     def finish(self, key: str, result: Dict) -> None:
@@ -171,25 +180,61 @@ class JobQueue:
             pass
 
     def requeue_stale(self, max_age_s: float = 600.0) -> int:
-        """Return crashed daemons' claims to pending; returns the count."""
+        """Return crashed daemons' claims to pending; returns the count.
+
+        Staleness is judged on the *monotonic* clock for claims this
+        queue object has watched age (a long-running daemon polling
+        here must not mass-requeue live work because the wall clock
+        jumped forward, nor hold genuinely stale claims forever because
+        it jumped back).  A claim seen for the first time falls back to
+        its file mtime — the only evidence available across processes,
+        e.g. on daemon startup after a crash.
+        """
         claimed = self._dir(CLAIMED)
         if not claimed.is_dir():
+            self._claim_seen.clear()
             return 0
-        cutoff = time.time() - max_age_s
+        now_mono = clock.mono()
+        cutoff_wall = clock.wall() - max_age_s
         moved = 0
+        live = set()
         for path in claimed.glob("*.json"):
-            try:
-                if path.stat().st_mtime >= cutoff:
+            key = path.stem
+            live.add(key)
+            first_seen = self._claim_seen.get(key)
+            if first_seen is None:
+                self._claim_seen[key] = now_mono
+                try:
+                    stale = path.stat().st_mtime < cutoff_wall
+                except OSError:
                     continue
-                os.replace(path, self._path(PENDING, path.stem))
+            else:
+                stale = (now_mono - first_seen) >= max_age_s
+            if not stale:
+                continue
+            try:
+                os.replace(path, self._path(PENDING, key))
             except OSError:
                 continue
+            self._claim_seen.pop(key, None)
+            live.discard(key)
             moved += 1
+        # Claims that finished (or were requeued by someone else) stop
+        # being tracked, so a re-claim of the same key restarts its age.
+        for key in [k for k in self._claim_seen if k not in live]:
+            del self._claim_seen[key]
+        if moved:
+            get_metrics().counter("service.jobs.requeued").inc(moved)
         return moved
 
     def prune_results(self, max_age_s: float = 3600.0) -> int:
-        """Drop done/failed markers older than ``max_age_s``."""
-        cutoff = time.time() - max_age_s
+        """Drop done/failed markers older than ``max_age_s``.
+
+        Marker mtimes are persisted wall-clock facts shared across
+        processes, so this comparison stays wall-based by design — a
+        jump can at worst prune early/late, never wedge the queue.
+        """
+        cutoff = clock.wall() - max_age_s
         removed = 0
         for state in (DONE, FAILED):
             directory = self._dir(state)
@@ -225,9 +270,15 @@ class JobQueue:
         write_json_atomic(self.heartbeat_path, doc)
 
     def daemon_alive(self, max_age_s: float = 10.0) -> bool:
-        """Whether a daemon refreshed its heartbeat recently."""
+        """Whether a daemon refreshed its heartbeat recently.
+
+        Necessarily wall-based: the heartbeat mtime is written by a
+        *different* process, and wall time is the only clock the two
+        share.  A one-shot freshness check cannot accumulate monotonic
+        observations the way :meth:`requeue_stale` does.
+        """
         try:
-            age = time.time() - self.heartbeat_path.stat().st_mtime
+            age = clock.wall() - self.heartbeat_path.stat().st_mtime
         except OSError:
             return False
         return age <= max_age_s

@@ -1,0 +1,94 @@
+"""Property tests: observability never changes program outputs.
+
+The obs layer's core contract is *observation without perturbation*:
+with tracing and PWL histogram capture enabled (or timing via
+``run_timed``), a compiled program's outputs are bitwise identical to
+the plain disabled-path ``run``.  Capture only reads the segment-index
+array the kernel computes anyway, and tracing never touches kernel
+data; this suite holds both claims across the zoo builders with PWL
+kernels baked in.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fit import FitConfig
+from repro.graph.passes import make_pwl_approximators, replace_activations
+from repro.graph.program import compile_graph
+from repro.obs.capture import disable_capture, enable_capture, get_capture
+from repro.obs.trace import disable_tracing, enable_tracing
+from repro.zoo.builders import BUILDERS
+
+_CFG = FitConfig(max_steps=60, refine_steps=25, max_refine_rounds=1,
+                 polish=False, grid_points=512)
+
+_CASES = [
+    ("generic_cnn", "gelu"),
+    ("resnet", "silu"),
+    ("vit", "gelu"),
+    ("mixer", "tanh"),
+]
+
+
+def _feed(graph, batch, rng):
+    name, shape = graph.inputs[0]
+    if name == "ids":
+        return {name: rng.integers(0, 16, size=(batch,) + tuple(shape[1:]))}
+    return {name: rng.normal(size=(batch,) + tuple(shape[1:]))}
+
+
+def _pwl_program(builder, act):
+    graph = BUILDERS[builder](act=act, scale=0.25, seed=7)
+    approx = make_pwl_approximators(
+        sorted({act, "sigmoid", "hardsigmoid", "softmax"}), 4, config=_CFG)
+    graph, _ = replace_activations(graph, approx)
+    return graph, compile_graph(graph)
+
+
+@settings(max_examples=12, deadline=None)
+@given(case=st.sampled_from(_CASES),
+       batch=st.integers(min_value=1, max_value=2),
+       seed=st.integers(min_value=0, max_value=2 ** 16))
+def test_capture_and_tracing_leave_outputs_bitwise_identical(case, batch,
+                                                             seed):
+    builder, act = case
+    graph, prog = _pwl_program(builder, act)
+    rng = np.random.default_rng(seed)
+    feeds = _feed(graph, batch, rng)
+
+    disable_tracing()
+    disable_capture()
+    ref = prog.run(feeds)
+
+    enable_tracing()
+    enable_capture(clear=True)
+    try:
+        observed = prog.run(feeds)
+        captured = get_capture().labels()
+    finally:
+        disable_tracing()
+        disable_capture()
+        get_capture().clear()
+
+    for name in ref:
+        assert observed[name].dtype == ref[name].dtype
+        assert np.array_equal(observed[name], ref[name])
+    # The PWL kernels did feed the capture while it was on.
+    assert captured
+
+
+@settings(max_examples=8, deadline=None)
+@given(case=st.sampled_from(_CASES),
+       batch=st.integers(min_value=1, max_value=2),
+       seed=st.integers(min_value=0, max_value=2 ** 16))
+def test_run_timed_outputs_bitwise_equal_run(case, batch, seed):
+    builder, act = case
+    graph, prog = _pwl_program(builder, act)
+    rng = np.random.default_rng(seed)
+    feeds = _feed(graph, batch, rng)
+    ref = prog.run(feeds)
+    timed, prof = prog.run_timed(feeds)
+    for name in ref:
+        assert np.array_equal(timed[name], ref[name])
+    assert len(prof.nodes) == len(prog.profile.nodes)

@@ -212,3 +212,128 @@ class TestCheck:
     def test_no_models_is_usage_error(self, capsys):
         assert main(["check"]) == 2
         assert "--all-zoo" in capsys.readouterr().err
+
+
+class TestProfileCommand:
+    def test_no_models_is_usage_error(self, capsys):
+        assert main(["profile"]) == 2
+        assert "--all-zoo" in capsys.readouterr().err
+
+    def test_unknown_model_is_usage_error(self, capsys):
+        assert main(["profile", "nosuchnet"]) == 2
+        assert "unknown model" in capsys.readouterr().err
+
+    def test_text_report(self, capsys):
+        assert main(["profile", "generic_cnn", "--scale", "0.25",
+                     "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "ms/run" in out and "nodes" in out
+
+    def test_compare_static_json_aligns_nodes(self, capsys):
+        assert main(["profile", "vit", "--scale", "0.25", "--repeats", "1",
+                     "--compare-static", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["model"].startswith("vit")
+        assert len(doc["comparison"]["nodes"]) == doc["nodes"]
+        assert doc["comparison"]["total_observed_s"] > 0
+        assert "ratio_histogram_log2" in doc["comparison"]
+
+    def test_pwl_with_capture_writes_histograms(self, capsys, tmp_path):
+        hist_path = tmp_path / "hist.json"
+        assert main(["profile", "generic_cnn", "--scale", "0.25",
+                     "--repeats", "1", "--pwl", "4", "--engine", "inline",
+                     "--cache-dir", str(tmp_path / "fits"),
+                     "--capture", str(hist_path)]) == 0
+        assert "histograms written" in capsys.readouterr().out
+        from repro.obs import HistogramCapture, capture_enabled
+
+        assert not capture_enabled()  # switched back off afterwards
+        doc = HistogramCapture.load(hist_path)
+        assert doc  # the baked PWL kernels fed the capture
+        for hist in doc.values():
+            assert hist["total"] > 0
+
+
+class TestTraceCommand:
+    def _write_trace(self, tmp_path):
+        from repro.obs import disable_tracing, enable_tracing
+
+        sink = tmp_path / "trace.jsonl"
+        tracer = enable_tracing(sink)
+        with tracer.span("fit.session", n_requests=2):
+            with tracer.span("fit.lane_round", lanes=1):
+                pass
+        disable_tracing()
+        return sink
+
+    def test_no_file_is_usage_error(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        assert main(["trace", "summary"]) == 2
+        assert "REPRO_TRACE" in capsys.readouterr().err
+
+    def test_summary_aggregates_spans(self, capsys, tmp_path):
+        sink = self._write_trace(tmp_path)
+        assert main(["trace", "summary", "--file", str(sink)]) == 0
+        out = capsys.readouterr().out
+        assert "fit.session" in out and "fit.lane_round" in out
+
+    def test_summary_json(self, capsys, tmp_path):
+        sink = self._write_trace(tmp_path)
+        assert main(["trace", "summary", "--file", str(sink),
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["spans"] == 2
+        assert doc["by_name"]["fit.session"]["count"] == 1
+
+    def test_show_prints_spans(self, capsys, tmp_path):
+        sink = self._write_trace(tmp_path)
+        assert main(["trace", "show", "--file", str(sink)]) == 0
+        out = capsys.readouterr().out
+        assert "fit.lane_round" in out and "n_requests=2" in out
+
+    def test_env_var_names_the_file(self, capsys, tmp_path, monkeypatch):
+        sink = self._write_trace(tmp_path)
+        monkeypatch.setenv("REPRO_TRACE", str(sink))
+        assert main(["trace", "summary"]) == 0
+        assert "fit.session" in capsys.readouterr().out
+
+
+class TestMetricsCommand:
+    def _export(self, tmp_path):
+        # A one-shot drain exports metrics.json next to the heartbeat.
+        from repro.service.daemon import FitService, ServiceConfig
+        from repro.core.batchfit import FitCache
+
+        root = tmp_path / "q"
+        with FitService(ServiceConfig(root=root, max_workers=1),
+                        cache=FitCache(tmp_path / "fits")) as svc:
+            svc.drain()
+        return root
+
+    def test_missing_snapshot_errors(self, capsys, tmp_path):
+        assert main(["metrics", "--dir", str(tmp_path / "empty")]) == 1
+        assert "no daemon snapshot" in capsys.readouterr().err
+
+    def test_text_output(self, capsys, tmp_path):
+        root = self._export(tmp_path)
+        assert main(["metrics", "--dir", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "daemon metrics" in out
+        assert "service.queue.depth" in out
+
+    def test_json_output(self, capsys, tmp_path):
+        root = self._export(tmp_path)
+        assert main(["metrics", "--dir", str(root), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "service.queue.depth" in doc["snapshot"]["metrics"]
+        assert doc["snapshot"]["pid"]
+        # The one-shot service closed cleanly, retiring its heartbeat.
+        assert doc["alive"] is False
+
+    def test_prometheus_format(self, capsys, tmp_path):
+        root = self._export(tmp_path)
+        assert main(["metrics", "--dir", str(root),
+                     "--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_service_queue_depth gauge" in out
+        assert 'repro_service_queue_depth{state="pending"} 0' in out

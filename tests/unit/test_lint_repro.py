@@ -8,8 +8,6 @@ import sys
 import textwrap
 from pathlib import Path
 
-import pytest
-
 REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 if str(REPO_ROOT) not in sys.path:  # tools/ is not an installed package
     sys.path.insert(0, str(REPO_ROOT))
@@ -17,6 +15,7 @@ if str(REPO_ROOT) not in sys.path:  # tools/ is not an installed package
 from tools.lint_repro import (  # noqa: E402
     Violation,
     check_bitwise_tolerance,
+    check_clock_seam,
     check_engine_protocol,
     check_frozen_configs,
     check_lazy_scipy,
@@ -226,6 +225,76 @@ class TestBitwiseTolerance:
                 assert np.allclose([1.0], [1.0])
             """
         assert check_bitwise_tolerance(tree(src), "t.py") == []
+
+
+class TestClockSeam:
+    def test_direct_time_time_flagged(self):
+        src = """
+            import time
+
+            def age():
+                return time.time() - 10.0
+            """
+        violations = check_clock_seam(tree(src), "m.py")
+        assert [v.rule for v in violations] == ["RPL005"]
+        assert "time.time()" in violations[0].message
+
+    def test_aliased_module_flagged(self):
+        src = """
+            import time as t
+
+            def now():
+                return t.perf_counter()
+            """
+        assert len(check_clock_seam(tree(src), "m.py")) == 1
+
+    def test_from_import_flagged(self):
+        src = """
+            from time import monotonic as mono_clock
+
+            def now():
+                return mono_clock()
+            """
+        violations = check_clock_seam(tree(src), "m.py")
+        assert len(violations) == 1
+        assert "time.monotonic()" in violations[0].message
+
+    def test_sleep_is_exempt(self):
+        src = """
+            import time
+
+            def nap():
+                time.sleep(0.2)
+            """
+        assert check_clock_seam(tree(src), "m.py") == []
+
+    def test_shim_calls_are_fine(self):
+        src = """
+            from repro.obs import clock
+
+            def now():
+                return clock.mono() + clock.wall() + clock.tick()
+            """
+        assert check_clock_seam(tree(src), "m.py") == []
+
+    def test_unrelated_names_are_fine(self):
+        src = """
+            class Widget:
+                def monotonic(self):
+                    return 1
+
+            def use(w):
+                return w.monotonic()
+            """
+        assert check_clock_seam(tree(src), "m.py") == []
+
+    def test_instrumented_file_set_excludes_the_shim(self):
+        from tools.lint_repro import _clock_seam_files
+
+        files = {p.name for p in _clock_seam_files(REPO_ROOT)}
+        assert "clock.py" not in files
+        assert {"trace.py", "program.py", "lanefit.py", "queue.py",
+                "daemon.py"} <= files
 
 
 def test_violation_format():

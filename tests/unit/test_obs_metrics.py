@@ -1,0 +1,91 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.obs.metrics import (DEFAULT_BUCKETS, MetricsRegistry, get_metrics,
+                               reset_metrics)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits")
+        c.inc()
+        c.inc(3)
+        assert reg.counter("hits").value == 4.0
+
+    def test_gauge_set_and_add(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(7)
+        g.add(-2)
+        assert reg.gauge("depth").value == 5.0
+
+    def test_histogram_buckets_and_stats(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.buckets == [1, 2, 1]  # <=0.1, <=1.0, +inf
+        assert h.min == 0.05 and h.max == 5.0
+        assert h.mean == pytest.approx(6.05 / 4)
+
+    def test_histogram_value_on_bound_goes_low(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1.0, 2.0))
+        h.observe(1.0)
+        assert h.buckets == [1, 0, 0]
+
+    def test_handles_are_memoised(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a", k="x") is reg.counter("a", k="x")
+        assert reg.counter("a", k="x") is not reg.counter("a", k="y")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("n")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("n")
+
+
+class TestExport:
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("cache.hit", engine="lane").inc(2)
+        reg.gauge("depth").set(3)
+        snap = reg.snapshot()
+        assert snap["cache.hit"]["kind"] == "counter"
+        (series,) = snap["cache.hit"]["series"]
+        assert series["labels"] == {"engine": "lane"}
+        assert series["value"] == 2.0
+        assert snap["depth"]["series"][0]["value"] == 3.0
+
+    def test_prometheus_rendering(self):
+        reg = MetricsRegistry()
+        reg.counter("session.cache.hit", engine="lane").inc(2)
+        reg.histogram("fit.wall_s", buckets=(0.5, 2.0)).observe(0.3)
+        text = reg.render_prometheus()
+        assert "# TYPE repro_session_cache_hit counter" in text
+        assert 'repro_session_cache_hit{engine="lane"} 2' in text
+        # Cumulative le buckets with an explicit +Inf terminal.
+        assert 'repro_fit_wall_s_bucket{le="0.5"} 1' in text
+        assert 'repro_fit_wall_s_bucket{le="+Inf"} 1' in text
+        assert "repro_fit_wall_s_count 1" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+        assert MetricsRegistry().snapshot() == {}
+
+
+class TestProcessRegistry:
+    def test_get_metrics_is_singleton(self):
+        assert get_metrics() is get_metrics()
+
+    def test_reset_metrics_drops_instruments(self):
+        get_metrics().counter("test.only.ephemeral").inc()
+        reset_metrics()
+        assert "test.only.ephemeral" not in get_metrics().snapshot()
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)

@@ -1,0 +1,138 @@
+"""Unit tests for runtime profiles vs the static cost model
+(repro.obs.profile + Program.run_timed)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.program import GraphProfile, NodeProfile, compile_graph
+from repro.graph.ops import CostRecord
+from repro.obs.profile import (ExecutionProfile, KernelTiming,
+                               compare_profiles, predicted_cycles)
+from repro.perf.accelerator import AcceleratorConfig
+from repro.perf.costs import baseline_act_ops
+
+
+def _static(*nodes):
+    return GraphProfile(nodes=[NodeProfile(name=n, op_type=op, cost=cost)
+                               for n, op, cost in nodes])
+
+
+def _runtime(*nodes):
+    return ExecutionProfile(nodes=[
+        KernelTiming(name=n, op_type=op, calls=1, total_s=s)
+        for n, op, s in nodes])
+
+
+class TestKernelTiming:
+    def test_mean(self):
+        t = KernelTiming(name="n", op_type="conv2d", calls=4, total_s=2.0)
+        assert t.mean_s == 0.5
+        assert KernelTiming(name="n", op_type="conv2d").mean_s == 0.0
+
+    def test_execution_profile_totals(self):
+        prof = _runtime(("a", "conv2d", 1.0), ("b", "activation", 0.5),
+                        ("c", "conv2d", 0.25))
+        assert prof.total_s == pytest.approx(1.75)
+        assert prof.calls == 1
+        assert prof.by_op_type() == {"conv2d": 1.25, "activation": 0.5}
+        doc = prof.to_dict()
+        assert [n["name"] for n in doc["nodes"]] == ["a", "b", "c"]
+
+
+class TestPredictedCycles:
+    def test_prices_like_the_baseline_vpu(self):
+        cfg = AcceleratorConfig()
+        cost = CostRecord(macs=1024, vector_ops=64, act_elements=32,
+                          act_fn="gelu")
+        want = (1024 / cfg.macs_per_cycle + 64 / cfg.vpu_lanes
+                + 32 * baseline_act_ops("gelu") / cfg.vpu_lanes)
+        assert predicted_cycles(cost) == pytest.approx(want)
+
+    def test_zero_cost_node_is_free(self):
+        assert predicted_cycles(CostRecord()) == 0.0
+
+
+class TestCompareProfiles:
+    def test_share_based_ratios(self):
+        heavy = CostRecord(macs=AcceleratorConfig().macs_per_cycle * 300)
+        light = CostRecord(macs=AcceleratorConfig().macs_per_cycle * 100)
+        static = _static(("a", "conv2d", heavy), ("b", "linear", light))
+        # Observed shares match predicted shares exactly: 75% / 25%.
+        runtime = _runtime(("a", "conv2d", 3.0), ("b", "linear", 1.0))
+        cmp = compare_profiles(static, runtime)
+        assert [n.ratio for n in cmp.nodes] == \
+            [pytest.approx(1.0), pytest.approx(1.0)]
+        assert cmp.total_predicted_cycles == pytest.approx(400.0)
+        assert cmp.implied_cycle_time_s == pytest.approx(4.0 / 400.0)
+        assert cmp.ratio_histogram() == {"[0,1)": 2}
+
+    def test_zero_predicted_node_has_no_ratio(self):
+        static = _static(("a", "conv2d", CostRecord(macs=256)),
+                         ("r", "reshape", CostRecord()))
+        runtime = _runtime(("a", "conv2d", 1.0), ("r", "reshape", 0.1))
+        cmp = compare_profiles(static, runtime)
+        assert cmp.nodes[1].ratio is None
+        assert [n.name for n in cmp.priced_nodes()] == ["a"]
+
+    def test_worst_ranks_by_mispricing(self):
+        base = CostRecord(macs=AcceleratorConfig().macs_per_cycle * 100)
+        static = _static(("ok", "conv2d", base), ("slow", "linear", base),
+                         ("fast", "linear", base))
+        # Predicted shares are equal; observed shares 1:8:1/8 relative.
+        runtime = _runtime(("ok", "conv2d", 1.0), ("slow", "linear", 8.0),
+                           ("fast", "linear", 0.125))
+        import math
+
+        cmp = compare_profiles(static, runtime)
+        want = sorted(cmp.priced_nodes(),
+                      key=lambda n: abs(math.log2(n.ratio)), reverse=True)
+        assert [n.name for n in cmp.worst(2)] == [n.name for n in want[:2]]
+        assert cmp.worst(1)[0].name == "fast"  # 1/8 of an equal share
+        assert len(cmp.worst(10)) == 3
+
+    def test_schedule_length_mismatch_raises(self):
+        static = _static(("a", "conv2d", CostRecord(macs=1)))
+        runtime = _runtime(("a", "conv2d", 1.0), ("b", "linear", 1.0))
+        with pytest.raises(ValueError, match="different schedules"):
+            compare_profiles(static, runtime)
+
+    def test_node_divergence_raises(self):
+        static = _static(("a", "conv2d", CostRecord(macs=1)))
+        runtime = _runtime(("other", "conv2d", 1.0))
+        with pytest.raises(ValueError, match="diverge"):
+            compare_profiles(static, runtime)
+
+    def test_to_dict_is_json_native(self):
+        import json
+
+        static = _static(("a", "conv2d", CostRecord(macs=256)))
+        runtime = _runtime(("a", "conv2d", 1.0))
+        doc = compare_profiles(static, runtime).to_dict()
+        json.dumps(doc)
+        assert doc["nodes"][0]["name"] == "a"
+        assert "ratio_histogram_log2" in doc
+
+
+class TestRunTimed:
+    def test_outputs_bitwise_equal_run(self, tiny_cnn_graph, rng):
+        prog = compile_graph(tiny_cnn_graph)
+        feeds = {"x": rng.normal(size=(2, 3, 8, 8))}
+        ref = prog.run(feeds)
+        out, prof = prog.run_timed(feeds)
+        for name in ref:
+            assert np.array_equal(out[name], ref[name])
+        assert prof.total_s > 0.0
+
+    def test_aligns_with_static_profile(self, tiny_cnn_graph, rng):
+        prog = compile_graph(tiny_cnn_graph, batch_size=2)
+        _, runtime = prog.run_timed({"x": rng.normal(size=(2, 3, 8, 8))})
+        cmp = compare_profiles(prog.profile, runtime)
+        assert len(cmp.nodes) == len(prog.profile.nodes)
+        assert cmp.total_observed_s == pytest.approx(runtime.total_s)
+
+    def test_repeats_accumulate_calls(self, tiny_cnn_graph, rng):
+        prog = compile_graph(tiny_cnn_graph)
+        _, prof = prog.run_timed({"x": rng.normal(size=(1, 3, 8, 8))},
+                                 repeats=3)
+        assert prof.calls == 3
+        assert all(t.calls == 3 for t in prof.nodes)

@@ -1,0 +1,165 @@
+"""Unit tests for tracing spans (repro.obs.trace)."""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.obs.trace import (ENV_TRACE, NullTracer, Tracer, disable_tracing,
+                             enable_tracing, get_tracer, read_trace,
+                             tracing_enabled)
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer_state():
+    """Every test starts and ends with tracing disabled."""
+    disable_tracing()
+    yield
+    disable_tracing()
+
+
+class TestSpans:
+    def test_span_records_on_exit(self):
+        tracer = Tracer()
+        with tracer.span("fit.session", n_requests=3):
+            pass
+        (rec,) = tracer.records()
+        assert rec["name"] == "fit.session"
+        assert rec["attrs"] == {"n_requests": 3}
+        assert rec["dur_s"] >= 0.0
+        assert rec["pid"] == os.getpid()
+        assert rec["parent_id"] is None
+
+    def test_nesting_links_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        inner_rec, outer_rec = tracer.records()
+        assert inner_rec["name"] == "inner"
+        assert inner_rec["parent_id"] == outer.span_id
+        assert outer_rec["parent_id"] is None
+        assert inner.span_id != outer.span_id
+
+    def test_set_attaches_attributes(self):
+        tracer = Tracer()
+        with tracer.span("fit.lane_round", lanes=2) as sp:
+            sp.set(steps=128)
+        (rec,) = tracer.records()
+        assert rec["attrs"] == {"lanes": 2, "steps": 128}
+
+    def test_exception_marks_span_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("no")
+        (rec,) = tracer.records()
+        assert rec["error"] == "ValueError"
+
+    def test_capacity_bounds_collector(self):
+        tracer = Tracer(capacity=4)
+        for i in range(10):
+            with tracer.span(f"s{i}"):
+                pass
+        names = [r["name"] for r in tracer.records()]
+        assert names == ["s6", "s7", "s8", "s9"]
+
+    def test_clear_drops_records(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.clear()
+        assert tracer.records() == []
+
+    def test_threads_nest_independently(self):
+        tracer = Tracer()
+        ready = threading.Barrier(2)
+
+        def work(name):
+            ready.wait()
+            with tracer.span(name):
+                pass
+
+        threads = [threading.Thread(target=work, args=(f"t{i}",))
+                   for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        recs = tracer.records()
+        assert len(recs) == 2
+        # Neither thread's span should have adopted the other as parent.
+        assert all(r["parent_id"] is None for r in recs)
+
+
+class TestSink:
+    def test_spans_append_jsonl(self, tmp_path):
+        sink = tmp_path / "trace" / "spans.jsonl"
+        tracer = Tracer(sink=sink)
+        with tracer.span("a", k=1):
+            with tracer.span("b"):
+                pass
+        lines = sink.read_text().splitlines()
+        assert len(lines) == 2
+        docs = [json.loads(line) for line in lines]
+        assert [d["name"] for d in docs] == ["b", "a"]
+
+    def test_read_trace_skips_malformed_lines(self, tmp_path):
+        sink = tmp_path / "spans.jsonl"
+        tracer = Tracer(sink=sink)
+        with tracer.span("good"):
+            pass
+        with open(sink, "a") as handle:
+            handle.write("{torn\n\n[1,2]\n")
+        with tracer.span("also_good"):
+            pass
+        names = [d["name"] for d in read_trace(sink)]
+        assert names == ["good", "also_good"]
+
+    def test_read_trace_missing_file_is_empty(self, tmp_path):
+        assert list(read_trace(tmp_path / "nope.jsonl")) == []
+
+    def test_sink_failure_never_raises(self, tmp_path):
+        # A directory where the sink file should be: open() fails.
+        sink = tmp_path / "spans.jsonl"
+        sink.mkdir()
+        tracer = Tracer(sink=sink)
+        with tracer.span("a"):
+            pass
+        assert len(tracer.records()) == 1  # collector unaffected
+
+
+class TestProcessState:
+    def test_disabled_default_is_null_tracer(self, monkeypatch):
+        monkeypatch.delenv(ENV_TRACE, raising=False)
+        disable_tracing()
+        tracer = get_tracer()
+        assert isinstance(tracer, NullTracer)
+        assert not tracing_enabled()
+        sp = tracer.span("anything", k=1)
+        assert tracer.span("other") is sp  # shared no-op span
+        with sp as inner:
+            inner.set(more=2)
+        assert tracer.records() == []
+
+    def test_enable_disable_roundtrip(self):
+        tracer = enable_tracing()
+        assert tracing_enabled()
+        assert get_tracer() is tracer
+        disable_tracing()
+        assert not tracing_enabled()
+
+    def test_env_var_enables_with_sink(self, tmp_path, monkeypatch):
+        sink = tmp_path / "env.jsonl"
+        monkeypatch.setenv(ENV_TRACE, str(sink))
+        # Force the lazy env check to re-run as a fresh process would.
+        import repro.obs.trace as trace_mod
+
+        monkeypatch.setattr(trace_mod, "_env_checked", False)
+        monkeypatch.setattr(trace_mod, "_tracer", None)
+        tracer = get_tracer()
+        assert tracer.enabled and tracer.sink == sink
+        with tracer.span("from_env"):
+            pass
+        assert [d["name"] for d in read_trace(sink)] == ["from_env"]

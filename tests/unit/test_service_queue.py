@@ -102,6 +102,53 @@ class TestMaintenance:
         assert key == "k"
         assert q.requeue_stale(max_age_s=600.0) == 0  # freshly claimed
 
+    def test_wall_jump_does_not_requeue_observed_claims(self, tmp_path,
+                                                        monkeypatch):
+        # A daemon that has been watching a claim judges staleness on
+        # the monotonic clock: a forward wall-clock jump (here simulated
+        # by backdating the mtime out from under a known claim) must not
+        # mass-requeue live work.
+        from repro.obs import clock
+
+        q = JobQueue(tmp_path)
+        q.submit("k", {"job": 1})
+        q.claim()
+        now = {"mono": 50.0}
+        monkeypatch.setattr(clock, "mono", lambda: now["mono"])
+        assert q.requeue_stale(max_age_s=600.0) == 0  # first observation
+        old = time.time() - 10_000.0
+        os.utime(tmp_path / CLAIMED / "k.json", (old, old))
+        now["mono"] = 51.0
+        assert q.requeue_stale(max_age_s=600.0) == 0  # mono age ~1s
+        # A *fresh* queue instance has no observations and falls back to
+        # the mtime evidence — the crashed-daemon recovery path.
+        assert JobQueue(tmp_path).requeue_stale(max_age_s=600.0) == 1
+
+    def test_monotonic_age_requeues_without_mtime_help(self, tmp_path,
+                                                       monkeypatch):
+        from repro.obs import clock
+
+        q = JobQueue(tmp_path)
+        q.submit("k", {"job": 1})
+        q.claim()
+        now = {"mono": 100.0}
+        monkeypatch.setattr(clock, "mono", lambda: now["mono"])
+        assert q.requeue_stale(max_age_s=600.0) == 0  # observed at 100
+        now["mono"] = 100.0 + 601.0
+        # mtime is fresh; only the accumulated monotonic age says stale.
+        assert q.requeue_stale(max_age_s=600.0) == 1
+        assert q.counts()[PENDING] == 1
+
+    def test_finished_claims_drop_out_of_tracking(self, tmp_path):
+        q = JobQueue(tmp_path)
+        q.submit("k", {"job": 1})
+        q.claim()
+        assert q.requeue_stale(max_age_s=600.0) == 0
+        assert "k" in q._claim_seen
+        q.finish("k", {"r": 1})
+        q.requeue_stale(max_age_s=600.0)
+        assert "k" not in q._claim_seen
+
     def test_prune_results_drops_old_markers(self, tmp_path):
         q = JobQueue(tmp_path)
         q.submit("k", {"job": 1})

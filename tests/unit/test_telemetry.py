@@ -132,6 +132,42 @@ class TestAggregation:
         assert buckets["0.25-0.5"]["saving_vs_cold"] == pytest.approx(110.0)
         assert buckets[">1"]["fits"] == 1
 
+    def test_malformed_lines_counted_not_fatal(self, tmp_path):
+        cache = FitCache(tmp_path / "fits")
+        cache.log_provenance({"engine": "lane", "init_used": "uniform",
+                              "total_steps": 100, "provenance": {}})
+        with open(cache.provenance_path, "a") as handle:
+            handle.write("{torn json, a truncated tail\n")
+            handle.write("[1, 2, 3]\n")          # parses but not a record
+        cache.log_provenance({"engine": "lane", "init_used": "uniform",
+                              "total_steps": 200, "provenance": {}})
+        report = aggregate_provenance(cache)
+        assert report["fits"]["executed"] == 2
+        assert report["malformed_lines"] == 2
+        assert report["cold_mean_steps"] == pytest.approx(150.0)
+
+    def test_malformed_field_values_counted(self, tmp_path):
+        cache = FitCache(tmp_path / "fits")
+        cache.log_provenance({"engine": "lane", "init_used": "uniform",
+                              "total_steps": "not-a-number",
+                              "provenance": {}})
+        cache.log_provenance({"engine": "lane", "init_used": "warm",
+                              "total_steps": None,
+                              "provenance": {"warm_distance": "bogus"}})
+        report = aggregate_provenance(cache)
+        assert report["fits"]["executed"] == 2
+        assert report["malformed_lines"] == 2
+        assert report["cold_mean_steps"] is None
+        # The bogus distance degrades to the "unknown" bucket rather
+        # than crashing the aggregation.
+        assert set(report["steps_by_distance"]) <= {"unknown"}
+
+    def test_clean_log_reports_zero_malformed(self, tmp_path):
+        cache = FitCache(tmp_path / "fits")
+        cache.log_provenance({"engine": "lane", "init_used": "uniform",
+                              "total_steps": 10, "provenance": {}})
+        assert aggregate_provenance(cache)["malformed_lines"] == 0
+
 
 class TestCacheReportCli:
     def test_report_json(self, capsys, tmp_path):
@@ -156,3 +192,12 @@ class TestCacheReportCli:
     def test_report_empty(self, capsys, tmp_path):
         assert main(["cache", "report", "--cache-dir", str(tmp_path)]) == 0
         assert "executed fits: 0" in capsys.readouterr().out
+
+    def test_report_mentions_malformed_lines(self, capsys, tmp_path):
+        cache = FitCache(tmp_path)
+        cache.log_provenance({"engine": "lane", "init_used": "uniform",
+                              "total_steps": 10, "provenance": {}})
+        with open(cache.provenance_path, "a") as handle:
+            handle.write("{torn\n")
+        assert main(["cache", "report", "--cache-dir", str(tmp_path)]) == 0
+        assert "malformed log lines skipped: 1" in capsys.readouterr().out

@@ -22,6 +22,13 @@ to its own architectural promises:
     Tests whose name claims *bitwise* equality may not hide behind
     float tolerances (``allclose`` / ``isclose`` / ``approx`` /
     ``assert_allclose``).
+``RPL005``
+    Obs-instrumented hot paths take timestamps only through the
+    tracer's clock shim (:mod:`repro.obs.clock`).  Direct
+    ``time.time()`` / ``perf_counter()`` / ``monotonic()`` calls in
+    those modules re-open the wall-vs-monotonic confusion the shim
+    exists to close (``time.sleep`` is fine — it is a delay, not a
+    measurement).
 
 Run as ``python -m tools.lint_repro`` (``--json`` for machine output);
 ``tests/unit/test_lint_repro.py`` runs the same rules under pytest.
@@ -48,6 +55,7 @@ __all__ = [
     "check_engine_protocol",
     "check_frozen_configs",
     "check_bitwise_tolerance",
+    "check_clock_seam",
     "lint_repo",
     "main",
 ]
@@ -57,6 +65,21 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 ENGINE_PROTOCOL_METHODS = ("fit", "capabilities", "close")
 ENGINE_PROTOCOL_ATTRS = ("name", "last_errors")
 TOLERANCE_CALLS = ("allclose", "isclose", "approx", "assert_allclose")
+
+# RPL005: direct clock reads banned in instrumented modules; the shim
+# (repro/obs/clock.py) is the one place allowed to touch them.
+CLOCK_BANNED_CALLS = ("time", "perf_counter", "perf_counter_ns",
+                      "monotonic", "monotonic_ns")
+# Module paths (relative to the repo root) holding obs-instrumented hot
+# paths.  A directory entry covers every module under it.
+CLOCK_SEAM_PATHS = (
+    "src/repro/obs",
+    "src/repro/graph/program.py",
+    "src/repro/core/lanefit.py",
+    "src/repro/service/queue.py",
+    "src/repro/service/daemon.py",
+)
+CLOCK_SHIM_PATH = "src/repro/obs/clock.py"
 
 
 @dataclass(frozen=True)
@@ -405,6 +428,67 @@ def check_bitwise_tolerance(tree: ast.Module, path: str) -> List[Violation]:
 
 
 # --------------------------------------------------------------------- #
+# RPL005 — instrumented modules route timestamps through the clock shim
+# --------------------------------------------------------------------- #
+
+def check_clock_seam(tree: ast.Module, path: str) -> List[Violation]:
+    """Flag direct stdlib clock reads in an obs-instrumented module.
+
+    Both spellings count: ``time.time()`` / ``time.perf_counter()``
+    (attribute calls on any alias of the ``time`` module) and bare
+    ``perf_counter()`` when the module does ``from time import
+    perf_counter``.  ``time.sleep`` is exempt — a delay is not a
+    measurement and the shim deliberately does not wrap it."""
+    # Aliases under which the time module itself is visible.
+    time_aliases: Set[str] = set()
+    # Bare name → clock function it aliases (from-imports only).
+    from_time: Dict[str, str] = {}
+    for stmt in ast.walk(tree):
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                if alias.name == "time":
+                    time_aliases.add(alias.asname or "time")
+        elif isinstance(stmt, ast.ImportFrom):
+            if stmt.level == 0 and stmt.module == "time":
+                for alias in stmt.names:
+                    if alias.name in CLOCK_BANNED_CALLS:
+                        from_time[alias.asname or alias.name] = alias.name
+    violations: List[Violation] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        called: Optional[str] = None
+        if isinstance(func, ast.Attribute) and \
+                isinstance(func.value, ast.Name) and \
+                func.value.id in time_aliases and \
+                func.attr in CLOCK_BANNED_CALLS:
+            called = f"time.{func.attr}"
+        elif isinstance(func, ast.Name) and func.id in from_time:
+            called = f"time.{from_time[func.id]}"
+        if called is not None:
+            violations.append(Violation(
+                rule="RPL005", path=path, line=node.lineno,
+                message=f"direct {called}() in an obs-instrumented "
+                        f"module; route it through repro.obs.clock "
+                        f"(wall/tick/mono)"))
+    return violations
+
+
+def _clock_seam_files(root: Path) -> List[Path]:
+    """Instrumented source files subject to RPL005 (shim excluded)."""
+    shim = (root / CLOCK_SHIM_PATH).resolve()
+    out: List[Path] = []
+    for rel in CLOCK_SEAM_PATHS:
+        target = root / rel
+        if target.is_dir():
+            out.extend(sorted(target.rglob("*.py")))
+        elif target.exists():
+            out.append(target)
+    return [p for p in out if p.resolve() != shim]
+
+
+# --------------------------------------------------------------------- #
 # driver
 # --------------------------------------------------------------------- #
 
@@ -428,6 +512,10 @@ def lint_repo(root: Path = REPO_ROOT) -> List[Violation]:
         for path in sorted(tests_dir.rglob("test_*.py")):
             tree = ast.parse(path.read_text(), filename=str(path))
             violations += check_bitwise_tolerance(tree, str(path))
+
+    for path in _clock_seam_files(root):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        violations += check_clock_seam(tree, str(path))
 
     return sorted(violations, key=lambda v: (v.rule, v.path, v.line))
 
