@@ -1,0 +1,125 @@
+"""Per-engine circuit breakers for the ``auto`` failover chain.
+
+A breaker gives the engine chain *memory*: after
+``failure_threshold`` consecutive engine-level failures the breaker
+**opens** and the Session stops attempting that engine at all — a
+flapping daemon no longer costs every ``Session.fit`` a preflight,
+submit, and timeout.  After ``cooldown_s`` on the *monotonic* clock
+(wall jumps must not flap breakers) the breaker goes **half-open** and
+admits exactly one probe; the probe's outcome closes it again or
+re-opens it for another cooldown.
+
+State transitions land on the metrics registry
+(``session.breaker.state`` gauge per engine: 0 closed / 1 half-open /
+2 open, and a ``session.breaker.opened`` counter), and the Session
+records every skipped-over engine in the produced artifacts'
+``provenance["degraded_from"]``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Union
+
+from ..obs import clock
+from ..obs.metrics import get_metrics
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+_STATE_GAUGE = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitBreaker:
+    """Closed / open / half-open with monotonic cooldown and one probe.
+
+    Thread-safe; designed for one instance per engine per Session.
+    ``allow()`` is the admission check (it consumes the half-open
+    probe slot); callers report back through ``record_success`` /
+    ``record_failure``.
+    """
+
+    def __init__(self, name: str, failure_threshold: int = 3,
+                 cooldown_s: float = 30.0) -> None:
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._state = CLOSED
+        self._opened_at = 0.0
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        """Current state, cooldown expiry applied."""
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if self._state == OPEN and \
+                clock.mono() - self._opened_at >= self.cooldown_s:
+            self._set_state(HALF_OPEN)
+            self._probing = False
+        return self._state
+
+    def _set_state(self, state: str) -> None:
+        if state != self._state:
+            self._state = state
+            get_metrics().gauge("session.breaker.state",
+                                engine=self.name).set(_STATE_GAUGE[state])
+
+    def allow(self) -> bool:
+        """May the caller attempt the engine now?
+
+        Closed: yes.  Open: no, until the cooldown elapses.  Half-open:
+        yes for exactly one caller (the probe); concurrent callers are
+        refused until the probe reports.
+        """
+        with self._lock:
+            state = self._state_locked()
+            if state == CLOSED:
+                return True
+            if state == HALF_OPEN and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """The attempt worked: close and reset the failure count."""
+        with self._lock:
+            self._failures = 0
+            self._probing = False
+            self._set_state(CLOSED)
+
+    def record_failure(self) -> None:
+        """The attempt failed at the engine level.
+
+        A failed half-open probe re-opens immediately; in the closed
+        state the threshold applies.
+        """
+        with self._lock:
+            self._failures += 1
+            state = self._state_locked()
+            reopen = state == HALF_OPEN or (
+                state == CLOSED and
+                self._failures >= self.failure_threshold)
+            self._probing = False
+            if reopen:
+                self._opened_at = clock.mono()
+                if self._state != OPEN:
+                    get_metrics().counter("session.breaker.opened",
+                                          engine=self.name).inc()
+                self._set_state(OPEN)
+
+    def snapshot(self) -> Dict[str, Union[str, int, float]]:
+        """State + counters for capabilities() / debugging."""
+        with self._lock:
+            return {"name": self.name, "state": self._state_locked(),
+                    "failures": self._failures,
+                    "threshold": self.failure_threshold,
+                    "cooldown_s": self.cooldown_s}
+
+
+__all__ = ["CLOSED", "HALF_OPEN", "OPEN", "CircuitBreaker"]

@@ -77,6 +77,16 @@ class EngineConfig:
     #: Daemon engine: overall wait bound and poll cadence.
     timeout_s: float = 300.0
     poll_s: float = 0.05
+    #: Retry budget for transient queue I/O (daemon engine submits,
+    #: client waits); see :class:`repro.service.retry.RetryPolicy`.
+    retry_max_attempts: int = 3
+    retry_base_delay_s: float = 0.05
+    #: Per-engine circuit breaker (``auto`` failover chain): the
+    #: breaker opens after ``breaker_threshold`` consecutive
+    #: engine-level failures and admits one half-open probe after
+    #: ``breaker_cooldown_s`` on the monotonic clock.
+    breaker_threshold: int = 3
+    breaker_cooldown_s: float = 30.0
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINE_NAMES:
@@ -88,6 +98,15 @@ class EngineConfig:
         if self.max_workers is not None and self.max_workers < 1:
             raise FitError(
                 f"max_workers must be >= 1, got {self.max_workers}")
+        if self.retry_max_attempts < 1:
+            raise FitError(f"retry_max_attempts must be >= 1, "
+                           f"got {self.retry_max_attempts}")
+        if self.breaker_threshold < 1:
+            raise FitError(f"breaker_threshold must be >= 1, "
+                           f"got {self.breaker_threshold}")
+        if self.breaker_cooldown_s < 0:
+            raise FitError(f"breaker_cooldown_s must be >= 0, "
+                           f"got {self.breaker_cooldown_s}")
 
     def resolve_workers(self, n_jobs: Optional[int] = None) -> int:
         """The effective worker count, by fixed precedence.

@@ -41,8 +41,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 from ..core.batchfit import (CachedFit, _pool_worker_init, _run_group,
                              _run_job, plan_units, pool_map_units)
-from ..errors import FitError, ServiceError
+from ..errors import FitError, ServiceError, TransientError
+from ..faults import get_faults
+from ..obs.metrics import get_metrics
 from ..obs.trace import get_tracer
+from ..service.retry import RetryPolicy
 from .artifact import FitArtifact
 from .config import ENGINE_DAEMON, ENGINE_INLINE, ENGINE_LANE, ENGINE_POOL, \
     EngineConfig
@@ -107,10 +110,18 @@ class _LocalEngine:
         out: Dict[int, Dict] = {}
         for unit in units:
             try:
+                get_faults().check("engine.fit")
                 if len(unit) == 1:
                     payloads = [_run_job(*tasks[unit[0]])]
                 else:
                     payloads = _run_group([tasks[i] for i in unit])
+            except TransientError:
+                # Engine-level by definition: a transient failure is a
+                # property of the moment, not of the jobs, so the whole
+                # call reports it and the Session's failover chain
+                # retries elsewhere (per-unit strings would read as
+                # deterministic job failures and poison the batch).
+                raise
             except Exception as exc:
                 payloads = [{"error": repr(exc)}] * len(unit)
             for i, payload in zip(unit, payloads):
@@ -209,6 +220,10 @@ class PoolEngine(_LocalEngine):
             sum(len(u) for u in units))
         if workers == 1 or len(units) == 1:
             return super()._run_units(units, tasks)
+        # Engine-level failure site: a BrokenProcessPool raised here is
+        # what a worker dying at dispatch looks like; the Session's
+        # failover chain (not this engine) owns the recovery.
+        get_faults().check("engine.pool")
         out: Dict[int, Dict] = {}
         pool = concurrent.futures.ProcessPoolExecutor(
             max_workers=min(workers, len(units)),
@@ -246,6 +261,9 @@ class DaemonEngine:
     def __init__(self, config: Optional[EngineConfig] = None) -> None:
         self.config = config or EngineConfig()
         self.last_errors: Dict[int, str] = {}
+        self.retry = RetryPolicy(
+            max_attempts=self.config.retry_max_attempts,
+            base_delay_s=self.config.retry_base_delay_s)
 
     def _queue(self) -> JobQueue:
         from ..service.queue import JobQueue
@@ -254,6 +272,14 @@ class DaemonEngine:
     def alive(self) -> bool:
         """Is a daemon heartbeating on the configured queue?"""
         return self._queue().daemon_alive()
+
+    def heartbeat_status(self) -> str:
+        """``"alive"``, ``"stale"`` (heartbeat exists but old — a
+        daemon died or wedged), or ``"absent"`` (never served)."""
+        queue = self._queue()
+        if queue.daemon_alive():
+            return "alive"
+        return "absent" if queue.heartbeat() is None else "stale"
 
     def fit(self, requests: Sequence[FitRequest],
             warm: Optional[Sequence[WarmSeed]] = None
@@ -271,6 +297,8 @@ class DaemonEngine:
             raise ServiceError(f"no fit daemon is serving {queue.root} "
                                f"({len(requests)} requests unsubmitted)")
         keys = [req.key for req in requests]
+        on_retry = (lambda attempt, exc:
+                    get_metrics().counter("service.client.retries").inc())
         with get_tracer().span("fit.engine", engine=self.name,
                                n_requests=len(requests)):
             for key, req in zip(keys, requests):
@@ -279,7 +307,18 @@ class DaemonEngine:
                 got = queue.result(key)
                 if got is not None and got[0] == "failed":
                     queue.forget(key)
-                queue.submit(key, {"job": req.to_dict()})
+                # Transient submit I/O retries under the budget; a key
+                # that stays unsubmittable raises ServiceError so the
+                # Session's failover chain takes over.
+                try:
+                    self.retry.call(
+                        lambda key=key, req=req: queue.submit(
+                            key, {"job": req.to_dict()}),
+                        on_retry=on_retry)
+                except OSError as exc:
+                    raise ServiceError(
+                        f"cannot submit fit job {key[:16]}… to "
+                        f"{queue.root}: {exc}") from exc
             entries, failures = wait(
                 sorted(set(keys)), root=self.config.service_root,
                 timeout_s=self.config.timeout_s, poll_s=self.config.poll_s,

@@ -29,6 +29,7 @@ more than one worker resolves (see
 from __future__ import annotations
 
 import time
+from concurrent.futures import BrokenExecutor
 from pathlib import Path
 from typing import (TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple,
                     Union)
@@ -41,16 +42,24 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..graph.program import Program
 
 from ..core.batchfit import FitCache, FitJob, default_cache, native_entry
-from ..errors import FitError, ServiceError
+from ..errors import FitError, ServiceError, TransientError
 from ..functions.base import ActivationFunction
 from ..obs.metrics import get_metrics
 from ..obs.trace import get_tracer
 from .artifact import FitArtifact
+from .breaker import OPEN as BREAKER_OPEN
+from .breaker import CircuitBreaker
 from .config import (ENGINE_AUTO, ENGINE_DAEMON, ENGINE_INLINE, ENGINE_LANE,
                      ENGINE_POOL, FALLBACK_ERROR, FALLBACK_LOCAL,
                      EngineConfig)
 from .engines import Engine, create_engine
 from .request import FitRequest
+
+#: Exceptions that indicate the *engine* (not an individual job) failed:
+#: the failover chain records a breaker failure and tries the next
+#: engine.  Per-job failures are deterministic properties of the job and
+#: never advance the chain.
+_ENGINE_FAILURES = (ServiceError, TransientError, OSError, BrokenExecutor)
 
 #: What :meth:`Session.fit` accepts per element.
 RequestLike = Union[FitRequest, FitJob]
@@ -80,6 +89,7 @@ class Session:
         self._cache = cache
         self.use_cache = use_cache
         self._engines: Dict[str, Engine] = {}
+        self._breakers: Dict[str, CircuitBreaker] = {}
 
     # ------------------------------------------------------------------ #
     # Resources
@@ -116,13 +126,16 @@ class Session:
         With ``strict=True`` and ``fallback="error"``, an unreachable
         daemon raises :class:`~repro.errors.ServiceError` instead of
         resolving locally — how deployments assert that nothing ever
-        fits outside the shared pool.
+        fits outside the shared pool.  A daemon whose circuit breaker
+        is open (see :class:`~repro.api.breaker.CircuitBreaker`) counts
+        as unreachable until its cooldown elapses.
         """
         cfg = self.config
         if cfg.engine != ENGINE_AUTO:
             return cfg.engine
         daemon = self.engine(ENGINE_DAEMON)
-        if daemon.alive():
+        if daemon.alive() and \
+                self._breaker(ENGINE_DAEMON).state != BREAKER_OPEN:
             return ENGINE_DAEMON
         if strict and cfg.fallback == FALLBACK_ERROR:
             raise ServiceError(
@@ -137,6 +150,45 @@ class Session:
             return ENGINE_POOL
         return ENGINE_LANE if cfg.lane_batch else ENGINE_INLINE
 
+    def _breaker(self, name: str) -> CircuitBreaker:
+        """The (memoised) circuit breaker guarding engine ``name``."""
+        got = self._breakers.get(name)
+        if got is None:
+            got = CircuitBreaker(name,
+                                 failure_threshold=self.config
+                                 .breaker_threshold,
+                                 cooldown_s=self.config.breaker_cooldown_s)
+            self._breakers[name] = got
+        return got
+
+    def _failover_chain(self, n_requests: int) -> List[str]:
+        """Engines to try, in order, for this batch of misses.
+
+        Explicit engines get no failover (the caller asked for exactly
+        that engine); the one legacy exception is ``engine="daemon"``
+        with ``fallback="local"``, which has always fallen back to a
+        local engine.  ``auto`` produces the full health-tracked chain
+        daemon → pool → lane → inline (pool only when the batch and the
+        worker budget both exceed one; lane only with ``lane_batch``).
+        ``fallback="error"`` pins the chain to the daemon alone so
+        failures raise instead of degrading.
+        """
+        cfg = self.config
+        if cfg.engine != ENGINE_AUTO:
+            if cfg.engine == ENGINE_DAEMON and \
+                    cfg.fallback == FALLBACK_LOCAL:
+                return [ENGINE_DAEMON, self._local_engine_name(n_requests)]
+            return [cfg.engine]
+        if cfg.fallback == FALLBACK_ERROR:
+            return [ENGINE_DAEMON]
+        chain = [ENGINE_DAEMON]
+        if n_requests > 1 and cfg.resolve_workers(n_requests) > 1:
+            chain.append(ENGINE_POOL)
+        if cfg.lane_batch:
+            chain.append(ENGINE_LANE)
+        chain.append(ENGINE_INLINE)
+        return chain
+
     def capabilities(self) -> Dict:
         """The resolved engine's capabilities plus session policy."""
         engine = self.engine(self.resolve_engine_name(1, strict=False))
@@ -147,6 +199,8 @@ class Session:
                       if self.cache is not None else None),
             "warm_start": self.config.warm_start,
             "warm_quality_factor": self.config.warm_quality_factor,
+            "breakers": {name: br.snapshot()
+                         for name, br in sorted(self._breakers.items())},
         })
         return out
 
@@ -271,71 +325,141 @@ class Session:
         cache = self.cache
         keys = list(misses)
         reqs = list(misses.values())
+        metrics = get_metrics()
 
-        name = self.resolve_engine_name(len(reqs))
-        engine = self.engine(name)
-        # The daemon owns its own warm-seed lookup (it sees the whole
-        # shared cache); local engines get seeds picked here.
-        if name == ENGINE_DAEMON:
-            seeds: List[Optional[Dict]] = [None] * len(reqs)
-            warm_meta: List[Optional[Dict]] = [None] * len(reqs)
-        else:
-            seeds, warm_meta = self._warm_seeds(keys, reqs)
+        chain = self._failover_chain(len(reqs))
+        results: List[Optional[FitArtifact]] = [None] * len(reqs)
+        seeds: List[Optional[Dict]] = [None] * len(reqs)
+        warm_meta: List[Optional[Dict]] = [None] * len(reqs)
+        #: Engine that produced results[i] (``None`` = cache re-check).
+        produced_by: List[Optional[str]] = [None] * len(reqs)
+        #: Degradations visible when results[i] was produced.
+        degraded_at: List[List[str]] = [[] for _ in reqs]
         errors: Dict[str, str] = {}
-        try:
-            results = engine.fit(reqs, warm=seeds)
-        except ServiceError:
-            if name != ENGINE_DAEMON or cfg.fallback != FALLBACK_LOCAL:
-                raise
-            # Daemon vanished / timed out mid-wait: everything falls
-            # through to the local path below.
-            results = [None] * len(reqs)
-            engine.last_errors.clear()
-        else:
-            for i, reason in engine.last_errors.items():
-                errors[keys[i]] = reason
+        degraded: List[str] = []
+        attempted_daemon = False
+        remaining = list(range(len(reqs)))
 
-        pending = [i for i, art in enumerate(results) if art is None]
-        if pending and name == ENGINE_DAEMON:
-            if cfg.fallback != FALLBACK_LOCAL:
-                first = errors.get(keys[pending[0]], "daemon unavailable")
-                raise ServiceError(
-                    f"{len(pending)} fit job(s) failed in the daemon, "
-                    f"e.g. {keys[pending[0]][:16]}…: {first}")
-            errors = {}
-            # The daemon may have finished (and persisted) part of the
-            # batch before dying — serve those from the cache instead
-            # of refitting them locally.
-            still: List[int] = []
-            for i in pending:
-                hit = cache.get(keys[i]) if cache is not None else None
-                if hit is not None:
-                    results[i] = FitArtifact.from_entry(
-                        hit, key=keys[i], engine="cache", from_cache=True,
-                        provenance={"source": "cache"})
-                else:
-                    still.append(i)
-            if still:
-                local = self.engine(self._local_engine_name(len(still)))
-                sub_reqs = [reqs[i] for i in still]
-                sub_keys = [keys[i] for i in still]
+        for step, name in enumerate(chain):
+            if not remaining:
+                break
+            last = step == len(chain) - 1
+            if name == ENGINE_DAEMON and cfg.engine == ENGINE_AUTO:
+                status = self.engine(ENGINE_DAEMON).heartbeat_status()
+                if status != "alive":
+                    if last:  # fallback="error": strict daemon-only chain
+                        daemon = self.engine(ENGINE_DAEMON)
+                        raise ServiceError(
+                            f"no fit daemon is serving "
+                            f"{daemon.capabilities()['root']} and "
+                            f"fallback='error' ({len(remaining)} requests "
+                            f"unfitted)")
+                    if status == "stale":
+                        # A daemon died recently (heartbeat file exists
+                        # but is old): record the degradation even
+                        # though nothing was attempted.
+                        degraded.append(ENGINE_DAEMON)
+                    continue
+            breaker = self._breaker(name)
+            # The final engine is attempted regardless of its breaker:
+            # every fit must terminate with an artifact or a typed
+            # error, never "all breakers open".
+            if not last and not breaker.allow():
+                degraded.append(name)
+                metrics.counter("session.breaker.skipped",
+                                engine=name).inc()
+                continue
+            if step > 0 and cache is not None:
+                # A failed engine may have persisted part of the batch
+                # (the daemon publishes per job) — serve those from the
+                # cache instead of refitting.
+                still = []
+                for i in remaining:
+                    hit = cache.get(keys[i])
+                    if hit is not None:
+                        results[i] = FitArtifact.from_entry(
+                            hit, key=keys[i], engine="cache",
+                            from_cache=True,
+                            provenance={"source": "cache"})
+                    else:
+                        still.append(i)
+                remaining = still
+                if not remaining:
+                    break
+            sub_keys = [keys[i] for i in remaining]
+            sub_reqs = [reqs[i] for i in remaining]
+            # The daemon owns its own warm-seed lookup (it sees the
+            # whole shared cache); local engines get seeds picked here.
+            if name == ENGINE_DAEMON:
+                attempted_daemon = True
+                sub_seeds: List[Optional[Dict]] = [None] * len(remaining)
+                sub_warm: List[Optional[Dict]] = [None] * len(remaining)
+            else:
                 sub_seeds, sub_warm = self._warm_seeds(sub_keys, sub_reqs)
-                sub = local.fit(sub_reqs, warm=sub_seeds)
-                for j, i in enumerate(still):
-                    results[i] = sub[j]
+            engine = self.engine(name)
+            try:
+                sub = engine.fit(sub_reqs, warm=sub_seeds)
+            except _ENGINE_FAILURES:
+                breaker.record_failure()
+                if last or (name == ENGINE_DAEMON and
+                            cfg.fallback != FALLBACK_LOCAL):
+                    raise
+                degraded.append(name)
+                metrics.counter("session.engine.failover",
+                                engine=name).inc()
+                continue
+            pending = [j for j, art in enumerate(sub) if art is None]
+            if name == ENGINE_DAEMON and pending:
+                breaker.record_failure()
+                if cfg.fallback != FALLBACK_LOCAL:
+                    first = engine.last_errors.get(pending[0],
+                                                   "daemon unavailable")
+                    raise ServiceError(
+                        f"{len(pending)} fit job(s) failed in the daemon, "
+                        f"e.g. {sub_keys[pending[0]][:16]}…: {first}")
+                degraded.append(ENGINE_DAEMON)
+                metrics.counter("session.engine.failover",
+                                engine=name).inc()
+            else:
+                breaker.record_success()
+            still = []
+            for j, i in enumerate(remaining):
+                art = sub[j]
+                if art is None:
+                    if name == ENGINE_DAEMON:
+                        # Daemon-side failures are retried locally; the
+                        # real reason may be "daemon died", not the job.
+                        still.append(i)
+                    else:
+                        # A local per-job failure is a deterministic
+                        # property of the job — the same crash would
+                        # repeat on every engine, so it never advances
+                        # the chain.
+                        errors[keys[i]] = engine.last_errors.get(
+                            j, "no result")
+                else:
+                    results[i] = art
                     seeds[i] = sub_seeds[j]
                     warm_meta[i] = sub_warm[j]
-                    if sub[j] is not None:
-                        results[i].provenance["source"] = "local-fallback"
-                for j, reason in local.last_errors.items():
-                    errors[sub_keys[j]] = reason
+                    produced_by[i] = name
+                    degraded_at[i] = list(dict.fromkeys(degraded))
+            remaining = still
 
-        metrics = get_metrics()
+        for i in remaining:  # pragma: no cover - defensive
+            errors.setdefault(keys[i], "no engine available")
+
         out: Dict[str, FitArtifact] = {}
         for i, (key, req) in enumerate(zip(keys, reqs)):
             art = results[i]
             if art is None:
                 continue
+            if not art.from_cache:
+                if degraded_at[i]:
+                    art.provenance.setdefault("degraded_from",
+                                              degraded_at[i])
+                if attempted_daemon and produced_by[i] is not None and \
+                        produced_by[i] != ENGINE_DAEMON:
+                    art.provenance["source"] = "local-fallback"
             if warm_meta[i] is not None and not art.from_cache:
                 for field, value in warm_meta[i].items():
                     art.provenance.setdefault(field, value)

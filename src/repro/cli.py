@@ -218,6 +218,23 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         elif fits["executed"]:
             print("  no warm-started fits logged yet")
         return 0
+    if args.action == "verify":
+        report = cache.verify(repair=args.repair)
+        if args.json:
+            print(json.dumps(report, indent=2))
+        else:
+            print(f"fit cache at {report['directory']}")
+            print(f"  checked {report['checked']} entries: "
+                  f"{report['ok']} ok, {report['legacy']} legacy "
+                  f"(pre-checksum), {len(report['corrupt'])} corrupt")
+            for item in report["corrupt"]:
+                print(f"  corrupt: {item['key'][:16]}…  {item['reason']}")
+            if report["quarantined"]:
+                print(f"  quarantined {report['quarantined']} entries "
+                      f"under {cache.quarantine_dir}")
+            elif report["corrupt"]:
+                print("  (re-run with --repair to quarantine them)")
+        return 1 if report["corrupt"] else 0
     if args.action == "stats":
         stats = cache.stats()
         if args.json:
@@ -241,6 +258,52 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                               max_age_s=args.max_age_s)
         print(f"pruned {removed} entries from {cache.directory} "
               f"({len(cache)} remain)")
+    return 0
+
+
+def _cmd_queue(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .service import default_service_dir
+    from .service.queue import JobQueue
+
+    root = Path(args.dir) if args.dir else default_service_dir()
+    queue = JobQueue(root)
+    if args.action == "status":
+        beat = queue.heartbeat()
+        doc = {"root": str(queue.root), "counts": queue.counts(),
+               "daemon_alive": queue.daemon_alive(), "heartbeat": beat}
+        if args.json:
+            print(json.dumps(doc, indent=2))
+            return 0
+        print(f"fit queue at {doc['root']}")
+        print("  " + "  ".join(f"{k}={v}"
+                               for k, v in doc["counts"].items()))
+        if doc["daemon_alive"]:
+            pid = (beat or {}).get("pid", "?")
+            print(f"  daemon alive (pid {pid})")
+        else:
+            print("  no daemon heartbeating"
+                  + ("" if beat is None else " (stale heartbeat)"))
+        return 0
+    # failed / dead: per-job listings with the enriched failure payloads
+    items = queue.list_state(args.action)
+    if args.json:
+        print(json.dumps(items, indent=2))
+        return 0
+    if not items:
+        print(f"no {args.action} jobs in {queue.root}")
+        return 0
+    print(f"{len(items)} {args.action} job(s) in {queue.root}")
+    for item in items:
+        line = f"  {item['key'][:16]}…  age {item['age_s']:.0f}s"
+        if item.get("attempts") is not None:
+            line += f"  attempts={item['attempts']}"
+        line += f"  {item.get('error', '?')}"
+        print(line)
+        tb = item.get("traceback")
+        if tb and args.verbose:
+            print("    " + "\n    ".join(tb.strip().splitlines()))
     return 0
 
 
@@ -770,7 +833,7 @@ def build_parser() -> argparse.ArgumentParser:
         "cache", help="inspect / clear / prune the persistent fit cache, "
                       "or report warm-start telemetry")
     p_cache.add_argument("action", choices=("stats", "clear", "prune",
-                                            "report"))
+                                            "report", "verify"))
     p_cache.add_argument("--cache-dir", default=None,
                          help="fit cache directory (default: "
                               "$REPRO_CACHE_DIR or ~/.cache/repro-flexsfu)")
@@ -779,8 +842,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache.add_argument("--max-age-s", type=float, default=None,
                          help="prune: drop entries older than this age")
     p_cache.add_argument("--json", action="store_true",
-                         help="stats/report: emit machine-readable JSON")
+                         help="stats/report/verify: emit machine-readable "
+                              "JSON")
+    p_cache.add_argument("--repair", action="store_true",
+                         help="verify: quarantine corrupt entries and "
+                              "rebuild the index")
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_queue = sub.add_parser(
+        "queue", help="inspect the fit service queue: counts + heartbeat, "
+                      "or per-job failed/dead listings")
+    p_queue.add_argument("action", nargs="?", default="status",
+                         choices=("status", "failed", "dead"))
+    p_queue.add_argument("--dir", default=None,
+                         help="queue directory (default: the service dir "
+                              "under $REPRO_CACHE_DIR)")
+    p_queue.add_argument("--json", action="store_true",
+                         help="emit machine-readable JSON")
+    p_queue.add_argument("-v", "--verbose", action="store_true",
+                         help="failed/dead: include traceback tails")
+    p_queue.set_defaults(func=_cmd_queue)
 
     p_table = sub.add_parser("table", help="emit hardware tables as JSON")
     p_table.add_argument("function")

@@ -82,8 +82,10 @@ from typing import (TYPE_CHECKING, Callable, Dict, List, Optional, Sequence,
                     Tuple, Union)
 
 from ..deprecation import warn_legacy
-from ..errors import FitError
+from ..errors import CacheIntegrityError, FitError
+from ..faults import get_faults
 from ..functions.base import ActivationFunction
+from ..obs.metrics import get_metrics
 from .fit import FitConfig, FlexSfuFitter, grid_points_for
 from .pwl import PiecewiseLinear
 
@@ -320,6 +322,22 @@ class CachedFit:
                    spec_digest=d.get("spec_digest"))
 
 
+#: Key under which an entry's content checksum is stored on disk.  The
+#: checksum covers the canonical JSON of the document *without* this
+#: key; it is stripped before :meth:`CachedFit.from_dict` ever sees the
+#: document, so the entry schema itself is unchanged (schema v2 readers
+#: without checksum support simply ignore unknown keys, and pre-checksum
+#: entries verify as legacy rather than corrupt).
+_INTEGRITY_KEY = "integrity"
+
+
+def _entry_digest(doc: Dict) -> str:
+    """Content checksum of an entry document (sans integrity key)."""
+    body = {k: v for k, v in doc.items() if k != _INTEGRITY_KEY}
+    blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
 def _entry_meta(doc: Dict) -> Optional[Dict]:
     """Neighbour metadata of one entry document (what ``nearest``
     matches against), or None when the entry cannot participate in
@@ -455,17 +473,107 @@ class FitCache:
                                         + self.INDEX_SUFFIX)
 
     def get(self, key: str) -> Optional[CachedFit]:
-        """Entry for ``key``, or None.  Corrupt files count as misses."""
+        """Entry for ``key``, or None — never a corrupt fit.
+
+        A file that exists but fails to decode (torn write, bit rot,
+        checksum mismatch, foreign schema) is *quarantined* — moved to
+        ``quarantine/`` under the cache directory — and the read
+        reports a miss.  Quarantining instead of silently re-reading
+        keeps a corrupt entry from being parsed on every lookup,
+        preserves the evidence for ``repro cache verify``, and lets the
+        next fit overwrite the slot cleanly.
+        """
         hit = self._mem.get(key)
         if hit is not None:
             return hit
         path = self.path(key)
         try:
-            entry = CachedFit.from_dict(json.loads(path.read_text()))
-        except (OSError, ValueError, KeyError, FitError):
+            text = path.read_text()
+        except OSError:
+            return None  # plain miss: no file (or unreadable slot)
+        text = get_faults().corrupt("cache.read", text)
+        try:
+            entry = self._decode_entry(text)
+        except (ValueError, KeyError, TypeError, FitError,
+                CacheIntegrityError) as exc:
+            self._quarantine(key, path, repr(exc))
             return None
         self._remember(key, entry)
         return entry
+
+    @staticmethod
+    def _decode_entry(text: str) -> CachedFit:
+        """Parse + checksum-verify one on-disk entry document."""
+        doc = json.loads(text)
+        if not isinstance(doc, dict):
+            raise CacheIntegrityError(
+                f"entry document is {type(doc).__name__}, not an object")
+        stored = doc.pop(_INTEGRITY_KEY, None)
+        if stored is not None and stored != _entry_digest(doc):
+            raise CacheIntegrityError(
+                f"checksum mismatch: stored {stored!r}, "
+                f"computed {_entry_digest(doc)!r}")
+        return CachedFit.from_dict(doc)
+
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where corrupt entries are parked (created on first use)."""
+        return self.directory / "quarantine"
+
+    def _quarantine(self, key: str, path: Path, reason: str) -> None:
+        target = self.quarantine_dir / f"{key}.json"
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            return  # someone else moved/overwrote it first
+        self._mem.pop(key, None)
+        self._scan_cache = None
+        get_metrics().counter("cache.quarantined").inc()
+
+    def verify(self, repair: bool = False) -> Dict:
+        """Validate every on-disk entry; optionally quarantine the bad.
+
+        Returns ``{"checked", "ok", "legacy", "corrupt": [...],
+        "quarantined"}`` — ``legacy`` counts entries written before
+        checksums (structurally valid, no integrity key).  With
+        ``repair=True`` corrupt entries are moved to ``quarantine/``
+        and the neighbour index is rebuilt; without it the report is
+        read-only.  ``repro cache verify [--repair]`` is the CLI.
+        """
+        checked = ok = legacy = 0
+        corrupt: List[Dict] = []
+        quarantined = 0
+        if self.directory.is_dir():
+            for path in sorted(self.directory.glob("*.json")):
+                key = path.stem
+                checked += 1
+                try:
+                    text = path.read_text()
+                except OSError as exc:
+                    corrupt.append({"key": key, "reason": repr(exc)})
+                    continue
+                try:
+                    self._decode_entry(text)
+                except (ValueError, KeyError, TypeError, FitError,
+                        CacheIntegrityError) as exc:
+                    corrupt.append({"key": key, "reason": repr(exc)})
+                    if repair:
+                        self._quarantine(key, path, repr(exc))
+                        quarantined += 1
+                    continue
+                ok += 1
+                if _INTEGRITY_KEY not in json.loads(text):
+                    legacy += 1
+        if repair and quarantined:
+            # The index may advertise entries just quarantined; a full
+            # rescan drops them and rewrites it.
+            self._meta.clear()
+            self._index_cache = None
+            self._scan_directory()
+        return {"directory": str(self.directory), "checked": checked,
+                "ok": ok, "legacy": legacy, "corrupt": corrupt,
+                "quarantined": quarantined}
 
     def _remember(self, key: str, entry: CachedFit) -> None:
         while len(self._mem) >= self.MEM_ENTRIES_MAX:
@@ -479,6 +587,7 @@ class FitCache:
         self._remember(key, entry)
         self._scan_cache = None
         doc = entry.to_dict()
+        doc[_INTEGRITY_KEY] = _entry_digest(doc)
         write_json_atomic(self.path(key), doc)
         self._index_append(key, _entry_meta(doc))
 
@@ -944,6 +1053,7 @@ def _run_job(job: FitJob, warm: Optional[Dict] = None,
     reference (see :mod:`repro.service.shm`) — both degrade gracefully
     to a cold, locally-built fit when unusable.
     """
+    get_faults().check("fit.worker")
     t0 = time.perf_counter()
     task = _lane_task(job, warm, grid)
     res = FlexSfuFitter(job.config)._fit(task.fn, warm_start=task.warm_start,
@@ -963,6 +1073,7 @@ def _run_group(tasks: Sequence[Tuple[FitJob, Optional[Dict], Optional[Dict]]]
     """
     from .lanefit import fit_lanes
 
+    get_faults().check("fit.worker")
     t0 = time.perf_counter()
     try:
         lane_tasks = [_lane_task(*task) for task in tasks]

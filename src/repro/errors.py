@@ -27,3 +27,26 @@ class CatalogError(ReproError):
 
 class ServiceError(ReproError):
     """The fit service (daemon, queue, or spec transport) misbehaved."""
+
+
+class TransientError(ReproError):
+    """A failure that is safe to retry (I/O hiccup, injected fault).
+
+    :class:`~repro.service.retry.RetryPolicy` treats subclasses of this
+    marker — alongside ``OSError`` and broken process pools — as
+    retryable; every other error is assumed deterministic and fails
+    fast.
+    """
+
+
+class CacheIntegrityError(ReproError):
+    """A cache entry failed its checksum or structural validation.
+
+    Raised internally by :class:`~repro.core.batchfit.FitCache` reads;
+    callers never see it (the entry is quarantined and the read becomes
+    a miss), but ``repro cache verify`` reports the underlying cause.
+    """
+
+
+class CircuitOpenError(ServiceError):
+    """An engine's circuit breaker is open; the call was not attempted."""

@@ -1,0 +1,155 @@
+"""Fault plans: seeded, declarative schedules of what fails where.
+
+A :class:`FaultPlan` is a list of :class:`FaultRule` s.  Each rule names
+an injection *site* (``"queue.claim"``, ``"cache.read"``, …; a trailing
+``*`` matches a site prefix), a failure *kind*, and a deterministic
+firing schedule: either explicit hit indices (``at=(0, 2)`` fires on
+the first and third time the site is reached) or a per-hit probability
+``p`` drawn from a rule-local seeded RNG.  Two runs of the same plan
+against the same workload inject the same faults — chaos tests are
+reproducible and a failing schedule can be attached to a bug report
+verbatim (``FaultPlan.to_dict`` / ``from_dict`` round-trip as JSON).
+
+Plans are data, not behaviour: the mapping from a fired rule to an
+exception / corruption / stall lives in :mod:`repro.faults.inject`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import ReproError
+
+#: Failure kinds a rule may inject (see ``inject.FaultInjector``).
+KIND_ERROR = "error"          # raise InjectedFault (retryable, typed)
+KIND_OSERROR = "oserror"      # raise InjectedOSError (I/O failure)
+KIND_BROKEN_POOL = "broken_pool"  # raise BrokenProcessPool
+KIND_CRASH = "crash"          # raise InjectedCrash (BaseException)
+KIND_CORRUPT = "corrupt"      # mangle the payload passing through
+KIND_STALL = "stall"          # sleep stall_s before continuing
+KIND_DROP = "drop"            # caller skips the operation entirely
+KIND_CLOCK_JUMP = "clock_jump"  # advance the injected wall-clock offset
+
+FAULT_KINDS = (KIND_ERROR, KIND_OSERROR, KIND_BROKEN_POOL, KIND_CRASH,
+               KIND_CORRUPT, KIND_STALL, KIND_DROP, KIND_CLOCK_JUMP)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One site's failure schedule.
+
+    ``site`` matches exactly, or as a prefix with a trailing ``"*"``
+    (``"queue.*"``).  ``at`` fires on those 0-based hit indices;
+    otherwise ``p`` fires each hit with that probability (seeded,
+    deterministic).  ``times`` caps total fires; ``after`` skips the
+    first N hits before the schedule starts counting.
+    """
+
+    site: str
+    kind: str
+    p: float = 0.0
+    at: Tuple[int, ...] = ()
+    times: Optional[int] = None
+    after: int = 0
+    seed: int = 0
+    #: Kind-specific knobs: stall duration, clock-jump magnitude, and
+    #: the message carried by injected exceptions.
+    stall_s: float = 0.0
+    jump_s: float = 0.0
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.site:
+            raise ReproError("fault rule needs a non-empty site")
+        if self.kind not in FAULT_KINDS:
+            raise ReproError(f"unknown fault kind {self.kind!r}; "
+                             f"expected one of {FAULT_KINDS}")
+        if not (0.0 <= self.p <= 1.0):
+            raise ReproError(f"fault probability must be in [0, 1], "
+                             f"got {self.p}")
+        if self.times is not None and self.times < 0:
+            raise ReproError(f"times must be >= 0, got {self.times}")
+
+    def matches(self, site: str) -> bool:
+        if self.site.endswith("*"):
+            return site.startswith(self.site[:-1])
+        return site == self.site
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "site": self.site, "kind": self.kind, "p": self.p,
+            "at": list(self.at), "times": self.times, "after": self.after,
+            "seed": self.seed, "stall_s": self.stall_s,
+            "jump_s": self.jump_s, "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "FaultRule":
+        known = {"site", "kind", "p", "at", "times", "after", "seed",
+                 "stall_s", "jump_s", "message"}
+        unknown = set(doc) - known
+        if unknown:
+            raise ReproError(f"unknown fault-rule fields: {sorted(unknown)}")
+        kwargs = dict(doc)
+        kwargs["at"] = tuple(int(i) for i in doc.get("at", ()))
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable set of rules plus a plan-level base seed.
+
+    The base seed is mixed into each rule's RNG, so re-seeding one plan
+    (``REPRO_CHAOS_SEED`` sweeps in CI) re-rolls every probabilistic
+    rule at once without editing the rules.
+    """
+
+    rules: Tuple[FaultRule, ...] = ()
+    seed: int = 0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+
+    def rules_for(self, site: str) -> Tuple[FaultRule, ...]:
+        return tuple(r for r in self.rules if r.matches(site))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "seed": self.seed,
+                "rules": [r.to_dict() for r in self.rules]}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "FaultPlan":
+        try:
+            rules = tuple(FaultRule.from_dict(r)
+                          for r in doc.get("rules", []))
+            return cls(rules=rules, seed=int(doc.get("seed", 0)),
+                       name=str(doc.get("name", "")))
+        except (TypeError, ValueError, AttributeError) as exc:
+            raise ReproError(f"malformed fault plan: {exc}") from exc
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """A plan from a ``REPRO_FAULTS`` value: inline JSON (starts
+        with ``{``) or the path of a JSON file."""
+        spec = spec.strip()
+        if spec.startswith("{"):
+            try:
+                doc = json.loads(spec)
+            except ValueError as exc:
+                raise ReproError(
+                    f"REPRO_FAULTS inline JSON is invalid: {exc}") from exc
+        else:
+            path = Path(spec)
+            try:
+                doc = json.loads(path.read_text())
+            except (OSError, ValueError) as exc:
+                raise ReproError(
+                    f"cannot read fault plan {spec!r}: {exc}") from exc
+        return cls.from_dict(doc)

@@ -17,14 +17,29 @@ module instead of calling :mod:`time` directly — ``RPL005`` in
 from __future__ import annotations
 
 import time
+from typing import Callable, Optional
 
 __all__ = ["wall", "tick", "mono"]
+
+#: Injected wall-clock offset provider (``repro.faults`` installs one
+#: when a plan contains ``clock_jump`` rules; ``None`` otherwise).
+#: Faults hook the *seam*, not :mod:`time`, so a simulated jump reaches
+#: exactly the code that reads persisted wall timestamps — heartbeat
+#: staleness, marker pruning — and nothing else in the process.
+_wall_offset: Optional[Callable[[], float]] = None
+
+
+def _install_wall_offset(fn: Optional[Callable[[], float]]) -> None:
+    global _wall_offset
+    _wall_offset = fn
 
 
 def wall() -> float:
     """Wall-clock epoch seconds — only for *persisted* records
     (trace timestamps, heartbeat payloads, provenance lines) that must
     be meaningful across processes and reboots."""
+    if _wall_offset is not None:
+        return time.time() + _wall_offset()
     return time.time()
 
 

@@ -18,6 +18,24 @@ can be cached by hot callers, making an increment one lock + one add.
 The registry is process-wide (:func:`get_metrics`) and always exists;
 recording is cheap enough that metrics, unlike tracing and histogram
 capture, need no enable switch.
+
+The resilience layer (retries, circuit breakers, dead-lettering,
+quarantine) reports through these families:
+
+* ``service.jobs.dead`` — jobs moved to the terminal ``dead/`` state
+  after exhausting their claim budget (poison jobs);
+* ``service.jobs.retries`` / ``service.client.retries`` — daemon-side
+  and client-side ``RetryPolicy`` attempts beyond the first;
+* ``service.loop.io_errors`` — serve-loop cycles skipped on transient
+  queue I/O failures;
+* ``cache.quarantined`` — cache entries moved aside as corrupt
+  (torn write, checksum mismatch, foreign schema);
+* ``session.engine.failover`` — failover-chain steps taken past a
+  failed engine, labelled by the engine that failed;
+* ``session.breaker.opened`` / ``session.breaker.skipped`` /
+  ``session.breaker.state`` — circuit-breaker trips, engines skipped
+  while a breaker was open, and the per-engine state gauge
+  (0=closed, 1=half-open, 2=open).
 """
 
 from __future__ import annotations

@@ -24,7 +24,9 @@ from ..core.batchfit import (BatchFitResult, CachedFit, FitCache, FitJob,
 from ..core.pwl import PiecewiseLinear
 from ..deprecation import warn_legacy
 from ..errors import ReproError, ServiceError
+from ..obs import clock
 from .queue import JobQueue
+from .retry import RetryPolicy
 
 #: Fallback policies when no daemon is serving the queue.
 FALLBACK_LOCAL = "local"
@@ -78,11 +80,18 @@ class ServiceResult:
                    init_used=artifact.init_used, source=source)
 
 
-def submit(job: FitJob, root: Optional[Union[str, Path]] = None) -> str:
-    """Enqueue one job; returns its key (idempotent per key)."""
+def submit(job: FitJob, root: Optional[Union[str, Path]] = None,
+           retry: Optional[RetryPolicy] = None) -> str:
+    """Enqueue one job; returns its key (idempotent per key).
+
+    Transient queue I/O errors are retried under ``retry`` (a default
+    :class:`~repro.service.retry.RetryPolicy` when not given).
+    """
     key = fit_cache_key(job)
-    JobQueue(Path(root) if root is not None else None).submit(
-        key, {"job": job_to_dict(job)})
+    queue = JobQueue(Path(root) if root is not None else None)
+    policy = retry or RetryPolicy()
+    policy.call(lambda: queue.submit(key, {"job": job_to_dict(job)}),
+                label=f"submit {key[:16]}")
     return key
 
 
@@ -103,10 +112,15 @@ def wait(keys: Sequence[str], root: Optional[Union[str, Path]] = None,
     outstanding = set(keys)
     results: Dict[str, CachedFit] = {}
     failures: Dict[str, Dict] = {}
-    deadline = time.monotonic() + timeout_s
+    # Monotonic on purpose: the deadline must not move when the wall
+    # clock jumps (NTP step, suspend/resume) mid-wait.
+    deadline = clock.mono() + timeout_s
     while outstanding:
         for key in sorted(outstanding):
-            got = queue.result(key)
+            try:
+                got = queue.result(key)
+            except OSError:
+                continue  # transient read hiccup: retry next poll
             if got is None:
                 continue
             state, doc = got
@@ -137,7 +151,7 @@ def wait(keys: Sequence[str], root: Optional[Union[str, Path]] = None,
             raise ServiceError(
                 f"no fit daemon is serving {queue.root} "
                 f"({len(outstanding)} jobs outstanding)")
-        if time.monotonic() > deadline:
+        if clock.mono() > deadline:
             raise ServiceError(
                 f"timed out after {timeout_s:g}s waiting for "
                 f"{len(outstanding)} of {len(keys)} fit jobs")

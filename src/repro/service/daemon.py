@@ -31,10 +31,12 @@ from typing import Dict, Optional
 from ..core.batchfit import (BatchFitResult, BatchFitter, FitCache, FitJob,
                              job_from_dict, write_json_atomic)
 from ..errors import ServiceError
+from ..faults import get_faults
 from ..obs import clock
 from ..obs.metrics import get_metrics
 from ..obs.trace import get_tracer
-from .queue import JobQueue
+from .queue import DEFAULT_MAX_ATTEMPTS, JobQueue
+from .retry import RetryPolicy
 from .shm import SharedGridPool
 
 #: Metrics snapshot the daemon exports next to its heartbeat — what a
@@ -57,6 +59,8 @@ class ServiceConfig:
     lane_batch: bool = True                # lane-batch shape-compatible jobs
     requeue_stale_s: float = 600.0         # reclaim age for orphaned claims
     prune_results_s: float = 3600.0        # done/failed marker retention
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS  # claim budget before dead/
+    retry_base_delay_s: float = 0.05       # per-job fallback backoff base
 
 
 class FitService:
@@ -65,7 +69,14 @@ class FitService:
     def __init__(self, config: Optional[ServiceConfig] = None,
                  cache: Optional[FitCache] = None) -> None:
         self.config = config or ServiceConfig()
-        self.queue = JobQueue(self.config.root)
+        self.queue = JobQueue(self.config.root,
+                              max_attempts=self.config.max_attempts)
+        # Transient per-job failures (I/O hiccups, a pool rebuilt under
+        # the job) get a short in-process retry before the failure is
+        # published; deterministic FitErrors fail fast (is_retryable).
+        self.retry = RetryPolicy(
+            max_attempts=self.config.max_attempts,
+            base_delay_s=self.config.retry_base_delay_s)
         self.grids = SharedGridPool()
         self.fitter = BatchFitter(
             cache=cache,
@@ -127,9 +138,11 @@ class FitService:
                     self._drop_pool_if_broken(exc)
                     for key, job in pairs:
                         try:
-                            [res] = self.fitter.run([job])
+                            [res] = self.retry.call(
+                                lambda job=job: self.fitter.run([job]),
+                                on_retry=self._on_job_retry)
                         except Exception as job_exc:
-                            self.queue.fail(key, str(job_exc))
+                            self.queue.fail(key, str(job_exc), exc=job_exc)
                             self.failed += 1
                             self._drop_pool_if_broken(job_exc)
                         else:
@@ -147,24 +160,45 @@ class FitService:
         if isinstance(exc, broken) or isinstance(exc.__cause__, broken):
             self.fitter.close()  # recreated lazily on the next batch
 
+    def _on_job_retry(self, attempt: int, exc: BaseException) -> None:
+        # A broken pool must be dropped *before* the retry, or every
+        # attempt in the budget hits the same dead executor.
+        self._drop_pool_if_broken(exc)
+        get_metrics().counter("service.jobs.retries").inc()
+
     def _publish(self, key: str, res: BatchFitResult) -> None:
         entry = self.fitter.cache.get(res.key)
         if entry is None:  # pragma: no cover - fit_all just stored it
             self.queue.fail(key, "fit finished but cache entry vanished")
             self.failed += 1
             return
-        self.queue.finish(key, {
-            "key": res.key,
-            "entry": entry.to_dict(),
-            "from_cache": res.from_cache,
-            "wall_time_s": res.wall_time_s,
-        })
+        # The crash window every queue consumer must survive: work done
+        # (entry persisted) but the done marker not yet published.  An
+        # InjectedCrash here leaves the claim orphaned, exactly like a
+        # SIGKILL; requeue_stale + the attempt budget bound the damage.
+        get_faults().check("daemon.publish")
+        try:
+            self.retry.call(lambda: self.queue.finish(key, {
+                "key": res.key,
+                "entry": entry.to_dict(),
+                "from_cache": res.from_cache,
+                "wall_time_s": res.wall_time_s,
+            }))
+        except OSError:
+            # Publication keeps failing: leave the claim for
+            # requeue_stale — the refit is a cache hit, so the retry
+            # costs one marker write, not a fit.
+            return
         self.processed += 1
         get_metrics().counter(
             "service.jobs.done",
             from_cache="yes" if res.from_cache else "no").inc()
 
     def _write_heartbeat(self) -> None:
+        # Injectable stall: a dropped refresh ages the on-disk
+        # heartbeat exactly like a wedged daemon would.
+        if get_faults().drop("daemon.heartbeat"):
+            return
         # The heartbeat payload is a persisted cross-process record:
         # wall clock by design (see repro.obs.clock).
         self.queue.write_heartbeat({
@@ -238,7 +272,15 @@ class FitService:
         # pruning only bounds disk growth and can run on its own period.
         requeue_every = max(cfg.requeue_stale_s / 4.0, 1.0)
         while not self._stop:
-            n = self.run_once()
+            try:
+                n = self.run_once()
+            except OSError:
+                # Transient queue I/O (full disk, flaky mount, injected
+                # fault): this cycle claims nothing; claims it may have
+                # taken are re-served by requeue_stale under the
+                # attempt budget.  Only a crash kills the loop.
+                get_metrics().counter("service.loop.io_errors").inc()
+                n = 0
             if n:  # idle refreshes belong to the heartbeat thread
                 self._write_heartbeat()
             now = clock.mono()

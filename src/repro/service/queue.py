@@ -12,6 +12,7 @@ can share it without locks:
       claimed/<key>.json    owned by a daemon (``os.replace`` from pending)
       done/<key>.json       result payload (entry + timing)
       failed/<key>.json     error payload
+      dead/<key>.json       dead letter: attempt budget exhausted
       daemon.json           heartbeat of the serving daemon
 
 ``<key>`` is the job's fit-cache key, which buys queue-level
@@ -22,18 +23,24 @@ exactly one of two racing daemons wins each claim.
 
 Claimed files left behind by a crashed daemon are returned to
 ``pending`` by :meth:`JobQueue.requeue_stale` (age-based), which the
-daemon runs on startup.
+daemon runs on startup.  Each claim stamps an ``attempts`` count into
+the payload, carried through requeues; a job that keeps crashing its
+daemon (claimed, orphaned, requeued, claimed again …) exhausts the
+budget and lands in ``dead/`` — with a companion ``failed`` marker so
+waiting clients terminate — instead of looping forever.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import traceback
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from ..core.batchfit import default_cache_dir, write_json_atomic
 from ..errors import ServiceError
+from ..faults import get_faults
 from ..obs import clock
 from ..obs.metrics import get_metrics
 
@@ -41,10 +48,28 @@ PENDING = "pending"
 CLAIMED = "claimed"
 DONE = "done"
 FAILED = "failed"
+DEAD = "dead"
 
-_STATES = (PENDING, CLAIMED, DONE, FAILED)
+_STATES = (PENDING, CLAIMED, DONE, FAILED, DEAD)
 
 HEARTBEAT_NAME = "daemon.json"
+
+#: Default per-job claim budget before dead-lettering.
+DEFAULT_MAX_ATTEMPTS = 3
+
+#: Cap on the traceback tail carried by a failure payload.
+TRACEBACK_TAIL_CHARS = 2000
+
+
+def traceback_tail(exc: BaseException,
+                   max_chars: int = TRACEBACK_TAIL_CHARS) -> str:
+    """The last ``max_chars`` of ``exc``'s formatted traceback.
+
+    The *tail* is the useful end: the innermost frames and the message.
+    """
+    text = "".join(traceback.format_exception(
+        type(exc), exc, exc.__traceback__))
+    return text[-max_chars:]
 
 
 def default_service_dir() -> Path:
@@ -60,10 +85,19 @@ def _read_json(path: Path) -> Optional[Dict]:
 
 
 class JobQueue:
-    """One shared queue directory; safe for many readers and writers."""
+    """One shared queue directory; safe for many readers and writers.
 
-    def __init__(self, root: Optional[Path] = None) -> None:
+    ``max_attempts`` is the dead-letter budget: the claim that would be
+    attempt ``max_attempts + 1`` for a key goes to ``dead/`` instead.
+    """
+
+    def __init__(self, root: Optional[Path] = None,
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS) -> None:
         self.root = Path(root) if root is not None else default_service_dir()
+        if max_attempts < 1:
+            raise ServiceError(
+                f"max_attempts must be >= 1, got {max_attempts}")
+        self.max_attempts = max_attempts
         # First-observation times (monotonic) of claimed files, so
         # staleness decisions made by a long-lived daemon survive
         # wall-clock jumps; see requeue_stale().
@@ -85,10 +119,11 @@ class JobQueue:
         finished — the submit is then a no-op and the caller just waits
         on the existing lifecycle.
         """
-        for state in (DONE, FAILED, CLAIMED, PENDING):
+        for state in (DONE, FAILED, DEAD, CLAIMED, PENDING):
             if self._path(state, key).exists():
                 get_metrics().counter("service.submit", outcome="dedup").inc()
                 return False
+        get_faults().check("queue.submit")
         write_json_atomic(self._path(PENDING, key), payload)
         get_metrics().counter("service.submit", outcome="accepted").inc()
         return True
@@ -117,6 +152,9 @@ class JobQueue:
 
         Returns the claimed (key, payload) pairs.  Unparseable payloads
         are moved straight to ``failed`` instead of wedging the queue.
+        Each successful claim rewrites the payload with an incremented
+        ``attempts`` count; a claim past ``max_attempts`` dead-letters
+        the job instead of returning it.
         """
         if max_jobs < 1:
             raise ServiceError(f"max_jobs must be >= 1, got {max_jobs}")
@@ -140,39 +178,95 @@ class JobQueue:
             target = self._path(CLAIMED, key)
             target.parent.mkdir(parents=True, exist_ok=True)
             try:
+                get_faults().check("queue.claim")
                 os.replace(path, target)  # atomic: exactly one winner
             except OSError:
                 continue  # another daemon got it first
-            # Stamp the *claim* time: os.replace preserved the submit
-            # mtime, which would make long-queued jobs look instantly
-            # stale to requeue_stale().
-            try:
-                os.utime(target)
-            except OSError:
-                pass
-            doc = _read_json(target)
+            doc = self._read_claimed(target)
             if doc is None:
                 self.fail(key, "unparseable job payload")
                 continue
-            out.append((key, doc))
+            attempts = int(doc.get("attempts", 0)) + 1
+            doc["attempts"] = attempts
+            if attempts > self.max_attempts:
+                self._dead_letter(key, doc)
+                continue
+            # Rewriting stamps the *claim* time (os.replace preserved
+            # the submit mtime, which would make long-queued jobs look
+            # instantly stale to requeue_stale()) and persists the
+            # attempt count so it survives a daemon crash + requeue.
+            try:
+                write_json_atomic(target, doc)
+            except OSError:
+                try:
+                    os.utime(target)
+                except OSError:
+                    pass
+            # ``attempts`` is queue bookkeeping, not part of the
+            # caller's payload contract — it lives on disk only.
+            out.append((key, {k: v for k, v in doc.items()
+                              if k != "attempts"}))
         if out:
             get_metrics().counter("service.jobs.claimed").inc(len(out))
         return out
 
+    def _read_claimed(self, path: Path) -> Optional[Dict]:
+        """A claimed payload, through the corruption injection site."""
+        try:
+            text = path.read_text()
+        except OSError:
+            return None
+        text = get_faults().corrupt("queue.claim.payload", text)
+        try:
+            doc = json.loads(text)
+        except ValueError:
+            return None
+        return doc if isinstance(doc, dict) else None
+
+    def _dead_letter(self, key: str, doc: Dict) -> None:
+        """Move an over-budget claim to ``dead/`` and publish a
+        terminal failure so waiting clients stop immediately."""
+        attempts = int(doc.get("attempts", 0))
+        reason = (f"dead-lettered after {attempts} attempts "
+                  f"(budget {self.max_attempts})")
+        dead_doc = dict(doc)
+        dead_doc.update({"error": reason, "ts": clock.wall()})
+        write_json_atomic(self._path(DEAD, key), dead_doc)
+        get_metrics().counter("service.jobs.dead").inc()
+        self.fail(key, reason, detail={"dead": True},
+                  attempts=attempts)
+
     def finish(self, key: str, result: Dict) -> None:
         """Publish a result and retire the claim."""
+        get_faults().check("queue.publish")
         write_json_atomic(self._path(DONE, key), result)
         try:
             self._path(CLAIMED, key).unlink()
         except OSError:
             pass
 
-    def fail(self, key: str, error: str,
-             detail: Optional[Dict] = None) -> None:
-        """Publish a failure and retire the claim."""
-        doc = {"error": str(error)}
+    def fail(self, key: str, error: str, detail: Optional[Dict] = None,
+             attempts: Optional[int] = None,
+             exc: Optional[BaseException] = None) -> None:
+        """Publish a failure and retire the claim.
+
+        The payload always carries a wall timestamp and the claim's
+        attempt count (read back from the claimed marker when not given
+        explicitly); ``exc`` adds a truncated traceback tail.  ``repro
+        queue failed --json`` surfaces all of it.
+        """
+        if attempts is None:
+            claimed_doc = _read_json(self._path(CLAIMED, key))
+            if claimed_doc is not None:
+                attempts = int(claimed_doc.get("attempts", 0)) or None
+        doc: Dict = {"error": str(error), "ts": clock.wall()}
+        if attempts is not None:
+            doc["attempts"] = attempts
+        if exc is not None:
+            doc["traceback"] = traceback_tail(exc)
         if detail:
             doc.update(detail)
+        get_faults().check("queue.publish")
         write_json_atomic(self._path(FAILED, key), doc)
         try:
             self._path(CLAIMED, key).unlink()
@@ -259,6 +353,38 @@ class JobQueue:
             directory = self._dir(state)
             out[state] = (len(list(directory.glob("*.json")))
                           if directory.is_dir() else 0)
+        return out
+
+    def list_state(self, state: str) -> List[Dict]:
+        """Entries of one state for introspection (``repro queue``).
+
+        Each item: ``{"key", "age_s", ...payload}`` — for ``failed``
+        that includes the enriched error / ts / attempts / traceback
+        fields, for ``dead`` the dead-letter document.  Sorted oldest
+        first; unreadable files surface as ``{"error": "unreadable"}``
+        stubs rather than vanishing from the report.
+        """
+        if state not in _STATES:
+            raise ServiceError(f"unknown queue state {state!r}; "
+                               f"expected one of {_STATES}")
+        directory = self._dir(state)
+        if not directory.is_dir():
+            return []
+        now = clock.wall()
+        stamped: List[Tuple[float, Path]] = []
+        for path in directory.glob("*.json"):
+            try:
+                stamped.append((path.stat().st_mtime, path))
+            except OSError:
+                continue
+        stamped.sort(key=lambda t: t[0])
+        out: List[Dict] = []
+        for mtime, path in stamped:
+            doc = _read_json(path) or {"error": "unreadable"}
+            item: Dict = {"key": path.stem,
+                          "age_s": round(max(now - mtime, 0.0), 3)}
+            item.update(doc)
+            out.append(item)
         return out
 
     @property

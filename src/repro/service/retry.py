@@ -1,0 +1,106 @@
+"""Bounded retries with jittered exponential backoff.
+
+One :class:`RetryPolicy` is the whole package's retry story — the
+daemon engine, the client's ``submit``, and the daemon's per-job
+fallback all call :meth:`RetryPolicy.call` instead of hand-rolling
+loops, so the attempt budget, the backoff curve, and the *typed*
+retryable / permanent split live in exactly one place:
+
+* retryable: ``OSError`` (transient filesystem / queue I/O),
+  :class:`~repro.errors.TransientError` (the explicit marker, which
+  injected faults subclass), and broken process pools (a rebuilt pool
+  may well succeed);
+* permanent: everything else — a deterministic :class:`FitError` will
+  fail identically on every attempt, so retrying it only burns budget.
+
+Backoff delays are drawn from a policy-seeded RNG, so a given call
+site's delay sequence is reproducible run to run; with no failures the
+RNG is never consulted and the call costs one ``fn()``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import BrokenExecutor
+from dataclasses import dataclass
+from random import Random
+from time import sleep as _sleep
+from typing import Any, Callable, Optional, Tuple, Type
+
+from ..errors import ReproError, TransientError
+
+#: Error types retried by default (see module docstring).
+DEFAULT_RETRYABLE: Tuple[Type[BaseException], ...] = (
+    OSError, TransientError, BrokenExecutor)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Attempt budget + backoff curve + retryable-error classification.
+
+    ``max_attempts`` counts total tries (1 = no retry).  The delay
+    before retry *k* (1-based) is ``base_delay_s * multiplier**(k-1)``
+    capped at ``max_delay_s``, then jittered by ``±jitter`` (fraction).
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.25
+    retryable: Tuple[Type[BaseException], ...] = DEFAULT_RETRYABLE
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ReproError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ReproError("retry delays must be >= 0")
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ReproError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    # ------------------------------------------------------------------ #
+    def is_retryable(self, exc: BaseException) -> bool:
+        """Typed classification; checks ``__cause__`` one level deep
+        (``FitError`` wraps the worker's original exception there)."""
+        if isinstance(exc, self.retryable):
+            return True
+        cause = exc.__cause__
+        return cause is not None and isinstance(cause, self.retryable)
+
+    def delay_s(self, attempt: int, rng: Optional[Random] = None) -> float:
+        """Backoff before retry ``attempt`` (1-based), jittered."""
+        base = min(self.base_delay_s * self.multiplier ** (attempt - 1),
+                   self.max_delay_s)
+        if self.jitter == 0.0 or base == 0.0:
+            return base
+        u = (rng or Random(self.seed + attempt)).random()
+        return base * (1.0 + self.jitter * (2.0 * u - 1.0))
+
+    def call(self, fn: Callable[[], Any], *,
+             label: str = "",
+             sleep: Callable[[float], None] = _sleep,
+             on_retry: Optional[Callable[[int, BaseException], None]] = None
+             ) -> Any:
+        """Run ``fn`` under the budget; re-raises the last error.
+
+        ``on_retry(attempt, exc)`` fires before each backoff sleep —
+        the hook callers use to count ``*.retries`` metrics.
+        """
+        rng = Random(self.seed)
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn()
+            except BaseException as exc:
+                if attempt >= self.max_attempts or \
+                        not self.is_retryable(exc):
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                delay = self.delay_s(attempt, rng)
+                if delay > 0.0:
+                    sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+__all__ = ["DEFAULT_RETRYABLE", "RetryPolicy"]

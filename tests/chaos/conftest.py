@@ -1,0 +1,58 @@
+"""Chaos-suite fixtures: seeded fault plans + CI failure artifacts.
+
+Every test in this suite derives its fault schedules from one session
+seed (``REPRO_CHAOS_SEED``, default 0), so a CI matrix can sweep seeds
+while any single failure stays exactly reproducible.  The ``chaos``
+fixture installs plans in-process (via :func:`repro.faults
+.enable_faults`) and dumps every installed plan as JSON under the test
+run's artifact directory — what CI uploads when a seed finds a bug.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.faults import FaultPlan, disable_faults, enable_faults
+
+#: Environment knob the CI seed matrix sweeps.
+CHAOS_SEED_ENV = "REPRO_CHAOS_SEED"
+#: Where installed plans are dumped for CI artifact upload.
+CHAOS_ARTIFACT_ENV = "REPRO_CHAOS_ARTIFACTS"
+
+
+@pytest.fixture(scope="session")
+def chaos_seed() -> int:
+    return int(os.environ.get(CHAOS_SEED_ENV, "0"))
+
+
+@pytest.fixture
+def chaos(request, chaos_seed, tmp_path):
+    """Install seeded fault plans; always restore the null injector.
+
+    Yields an installer: ``chaos(rule, rule, ...)`` builds a
+    :class:`FaultPlan` seeded with the session chaos seed, installs it,
+    writes its JSON schedule to the artifact directory, and returns it.
+    """
+    artifact_dir = Path(os.environ.get(CHAOS_ARTIFACT_ENV,
+                                       str(tmp_path / "chaos-plans")))
+    installed = []
+
+    def install(*rules, seed=None, name=None) -> FaultPlan:
+        plan = FaultPlan(rules=tuple(rules),
+                         seed=chaos_seed if seed is None else seed,
+                         name=name or request.node.name)
+        enable_faults(plan)
+        installed.append(plan)
+        artifact_dir.mkdir(parents=True, exist_ok=True)
+        out = artifact_dir / f"{plan.name}.{len(installed)}.json"
+        out.write_text(json.dumps(plan.to_dict(), indent=2))
+        return plan
+
+    try:
+        yield install
+    finally:
+        disable_faults()

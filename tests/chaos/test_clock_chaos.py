@@ -1,0 +1,66 @@
+"""Wall-clock jumps: deadlines and staleness must not misbehave.
+
+The clock seam (``repro.obs.clock``) is the only place the fault layer
+touches time: a ``clock_jump`` rule offsets ``clock.wall()`` while
+``clock.mono()`` stays honest — exactly the NTP-step / suspend-resume
+asymmetry the service code is designed around.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.faults import FaultRule
+from repro.obs import clock
+from repro.service.client import wait
+from repro.service.queue import CLAIMED, JobQueue
+
+
+class TestWaitDeadline:
+    def test_wait_timeout_is_monotonic_despite_wall_jumps(self, tmp_path,
+                                                          chaos):
+        chaos(FaultRule(site="clock.wall", kind="clock_jump", p=1.0,
+                        jump_s=600.0))
+        # Every wall read now jumps forward 10 minutes...
+        assert clock.wall() - time.time() > 500.0
+        # ...but the wait deadline neither fires early (jump would have
+        # expired a wall-based deadline instantly) nor hangs: the
+        # timeout elapses in real time.
+        start = time.monotonic()
+        with pytest.raises(ServiceError, match="timed out"):
+            wait(["missing-key"], root=tmp_path, timeout_s=0.3,
+                 poll_s=0.02, require_daemon=False)
+        elapsed = time.monotonic() - start
+        assert 0.2 <= elapsed < 5.0
+
+
+class TestRequeueStaleness:
+    def test_observed_claims_survive_forward_wall_jumps(self, tmp_path,
+                                                        chaos):
+        queue = JobQueue(tmp_path)
+        queue.submit("k1", {"job": {}})
+        queue.claim()
+        # First observation registers the claim on the monotonic clock.
+        assert queue.requeue_stale(max_age_s=300.0) == 0
+        # Now the wall clock starts jumping +10min per read.  A
+        # wall-based staleness judgement would mass-requeue the live
+        # claim; the monotonic observation keeps it owned.
+        chaos(FaultRule(site="clock.wall", kind="clock_jump", p=1.0,
+                        jump_s=600.0))
+        assert clock.wall() - time.time() > 500.0
+        assert queue.requeue_stale(max_age_s=300.0) == 0
+        assert (queue.root / CLAIMED / "k1.json").exists()
+
+    def test_heartbeat_staleness_is_wall_based_by_design(self, tmp_path,
+                                                         chaos):
+        # The heartbeat is a cross-process wall-clock fact; a forward
+        # jump legitimately makes it look stale, and the failover chain
+        # then degrades to local engines rather than hanging on a
+        # daemon that may be gone.
+        queue = JobQueue(tmp_path)
+        queue.write_heartbeat({"pid": 1})
+        assert queue.daemon_alive()
+        chaos(FaultRule(site="clock.wall", kind="clock_jump", p=1.0,
+                        jump_s=600.0))
+        assert not queue.daemon_alive()

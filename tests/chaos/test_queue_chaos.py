@@ -1,0 +1,159 @@
+"""Queue invariants under injected I/O failures and corruption.
+
+The invariants a seeded schedule must never break: a submitted job is
+never *lost* (it is always in exactly one of pending / claimed / done /
+failed / dead), never *double-published*, and a poison job exhausts its
+attempt budget into ``dead/`` instead of ping-ponging forever.
+"""
+
+import json
+
+import pytest
+
+from repro.faults import FaultRule, InjectedOSError
+from repro.service.queue import (CLAIMED, DEAD, DONE, FAILED, PENDING,
+                                 JobQueue, traceback_tail)
+
+
+def _states_of(queue, key):
+    return [state for state in (PENDING, CLAIMED, DONE, FAILED, DEAD)
+            if (queue.root / state / f"{key}.json").exists()]
+
+
+class TestClaimFaults:
+    def test_claim_oserror_leaves_the_job_pending(self, tmp_path, chaos):
+        queue = JobQueue(tmp_path)
+        queue.submit("k1", {"job": {"x": 1}})
+        chaos(FaultRule(site="queue.claim", kind="oserror", at=(0,)))
+        assert queue.claim() == []          # injected failure: no claim
+        assert _states_of(queue, "k1") == [PENDING]
+        [(key, payload)] = queue.claim()    # next cycle recovers
+        assert key == "k1" and payload == {"job": {"x": 1}}
+        assert _states_of(queue, "k1") == [CLAIMED]
+
+    def test_corrupt_claim_payload_fails_the_job_not_the_queue(
+            self, tmp_path, chaos):
+        import os
+
+        queue = JobQueue(tmp_path)
+        queue.submit("bad", {"job": {"x": 1}})
+        queue.submit("good", {"job": {"x": 2}})
+        # Pin claim order (mtime-sorted) so the corruption schedule
+        # deterministically lands on "bad".
+        os.utime(queue.root / PENDING / "bad.json", (1.0, 1.0))
+        chaos(FaultRule(site="queue.claim.payload", kind="corrupt",
+                        at=(0,)))
+        claimed = queue.claim()
+        # The torn payload fails cleanly; the healthy job still claims.
+        assert [key for key, _ in claimed] == ["good"]
+        failed = {item["key"]: item for item in queue.list_state(FAILED)}
+        assert set(failed) == {"bad"}
+        assert "unparseable" in failed["bad"]["error"]
+        assert "ts" in failed["bad"]
+
+    def test_probabilistic_claim_faults_never_lose_jobs(
+            self, tmp_path, chaos):
+        queue = JobQueue(tmp_path)
+        keys = [f"k{i}" for i in range(12)]
+        for key in keys:
+            queue.submit(key, {"job": {"i": key}})
+        chaos(FaultRule(site="queue.claim", kind="oserror", p=0.4))
+        claimed = []
+        for _ in range(40):                 # bounded retry loop
+            claimed += [k for k, _ in queue.claim(max_jobs=3)]
+            if len(claimed) == len(keys):
+                break
+        assert sorted(claimed) == sorted(keys)      # no loss
+        assert len(set(claimed)) == len(claimed)    # no double-claim
+        for key in keys:
+            assert _states_of(queue, key) == [CLAIMED]
+
+
+class TestPublishFaults:
+    def test_publish_fault_keeps_the_claim_for_requeue(
+            self, tmp_path, chaos):
+        queue = JobQueue(tmp_path)
+        queue.submit("k1", {"job": {}})
+        queue.claim()
+        chaos(FaultRule(site="queue.publish", kind="oserror", at=(0,)))
+        with pytest.raises(InjectedOSError):
+            queue.finish("k1", {"entry": {"ok": True}})
+        # Not lost: the claim survives, requeue_stale re-serves it.
+        assert _states_of(queue, "k1") == [CLAIMED]
+        assert queue.requeue_stale(max_age_s=0.0) == 1
+        queue.claim()
+        queue.finish("k1", {"entry": {"ok": True}})
+        assert _states_of(queue, "k1") == [DONE]
+
+    def test_done_marker_is_published_exactly_once(self, tmp_path, chaos):
+        queue = JobQueue(tmp_path)
+        queue.submit("k1", {"job": {}})
+        queue.claim()
+        chaos(FaultRule(site="queue.publish", kind="oserror", p=0.5))
+        published = 0
+        for _ in range(20):
+            try:
+                queue.finish("k1", {"entry": {"n": published}})
+                published += 1
+                break
+            except OSError:
+                continue
+        assert published == 1
+        state, doc = queue.result("k1")
+        assert state == DONE and len(_states_of(queue, "k1")) == 1
+
+
+class TestDeadLetter:
+    def test_poison_job_exhausts_its_budget_into_dead(self, tmp_path):
+        queue = JobQueue(tmp_path, max_attempts=3)
+        queue.submit("poison", {"job": {"crashes": True}})
+        for attempt in (1, 2, 3):
+            [(key, _)] = queue.claim()
+            doc = json.loads(
+                (queue.root / CLAIMED / "poison.json").read_text())
+            assert doc["attempts"] == attempt
+            # Simulate the daemon dying mid-fit: claim goes stale.
+            assert queue.requeue_stale(max_age_s=0.0) == 1
+        # Attempt 4 exceeds the budget: dead-lettered, not returned.
+        assert queue.claim() == []
+        assert _states_of(queue, "poison") == [FAILED, DEAD]
+        [dead] = queue.list_state(DEAD)
+        assert dead["key"] == "poison" and dead["attempts"] == 4
+        assert "dead-lettered" in dead["error"]
+        # Waiting clients see a terminal failure immediately.
+        state, doc = queue.result("poison")
+        assert state == FAILED and doc["dead"] is True
+        assert queue.counts()[DEAD] == 1
+
+    def test_attempt_budget_is_validated(self, tmp_path):
+        from repro.errors import ServiceError
+
+        with pytest.raises(ServiceError):
+            JobQueue(tmp_path, max_attempts=0)
+
+
+class TestFailurePayloads:
+    def test_fail_records_timestamp_attempts_and_traceback_tail(
+            self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queue.submit("k1", {"job": {}})
+        queue.claim()
+        try:
+            raise ValueError("worker exploded")
+        except ValueError as exc:
+            queue.fail("k1", "worker exploded", exc=exc)
+        [item] = queue.list_state(FAILED)
+        assert item["error"] == "worker exploded"
+        assert item["attempts"] == 1        # read back from the claim
+        assert item["ts"] > 0
+        assert "ValueError: worker exploded" in item["traceback"]
+        assert item["age_s"] >= 0
+
+    def test_traceback_tail_is_truncated(self):
+        try:
+            raise RuntimeError("x" * 10_000)
+        except RuntimeError as exc:
+            tail = traceback_tail(exc, max_chars=500)
+        assert len(tail) <= 500
+        # The tail end (the message) survives truncation.
+        assert "x" * 100 in tail

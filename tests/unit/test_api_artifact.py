@@ -54,11 +54,13 @@ class TestArtifactRoundtrip:
             FitArtifact.from_dict(doc)
 
     def test_entry_view_matches_cache_document(self, tmp_path):
-        """The embedded entry is exactly what the cache stores on disk."""
+        """The embedded entry is exactly what the cache stores on disk
+        (modulo the cache-internal integrity checksum)."""
         from repro.core.batchfit import FitCache
 
         art = _an_artifact(tmp_path)
         on_disk = json.loads(FitCache(tmp_path).path(art.key).read_text())
+        assert on_disk.pop("integrity")
         assert art.to_dict()["entry"] == on_disk
 
 

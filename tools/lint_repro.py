@@ -78,6 +78,7 @@ CLOCK_SEAM_PATHS = (
     "src/repro/core/lanefit.py",
     "src/repro/service/queue.py",
     "src/repro/service/daemon.py",
+    "src/repro/service/client.py",
 )
 CLOCK_SHIM_PATH = "src/repro/obs/clock.py"
 
