@@ -6,8 +6,9 @@ incompatible result types.  This package replaces them all:
 * :class:`Session` — the façade: cache lookups, warm seeds + quality
   guard, engine resolution, artifact persistence;
 * :class:`Engine` (protocol) with :class:`InlineEngine`,
-  :class:`LaneEngine`, :class:`PoolEngine`, :class:`DaemonEngine` —
-  pluggable execution backends producing numerically identical results;
+  :class:`LaneEngine`, :class:`PoolEngine`, :class:`DaemonEngine`,
+  :class:`HttpEngine` — pluggable execution backends producing
+  numerically identical results;
 * :class:`EngineConfig` — the single policy object subsuming the old
   ``lane_batch`` / ``--no-lane-batch`` / ``REPRO_MAX_WORKERS`` scatter
   (:meth:`EngineConfig.resolve_workers` is the one worker-count rule);
@@ -26,11 +27,11 @@ surface test enforces it.
 """
 
 from .artifact import ARTIFACT_SCHEMA_VERSION, FitArtifact
-from .config import (ENGINE_AUTO, ENGINE_DAEMON, ENGINE_INLINE, ENGINE_LANE,
-                     ENGINE_NAMES, ENGINE_POOL, FALLBACK_ERROR,
+from .config import (ENGINE_AUTO, ENGINE_DAEMON, ENGINE_HTTP, ENGINE_INLINE,
+                     ENGINE_LANE, ENGINE_NAMES, ENGINE_POOL, FALLBACK_ERROR,
                      FALLBACK_LOCAL, EngineConfig)
-from .engines import (DaemonEngine, Engine, InlineEngine, LaneEngine,
-                      PoolEngine, create_engine)
+from .engines import (DaemonEngine, Engine, HttpEngine, InlineEngine,
+                      LaneEngine, PoolEngine, create_engine)
 from .request import FitRequest
 from .session import Session, fit
 from .telemetry import aggregate_provenance
@@ -40,6 +41,7 @@ __all__ = [
     "DaemonEngine",
     "ENGINE_AUTO",
     "ENGINE_DAEMON",
+    "ENGINE_HTTP",
     "ENGINE_INLINE",
     "ENGINE_LANE",
     "ENGINE_NAMES",
@@ -50,6 +52,7 @@ __all__ = [
     "FALLBACK_LOCAL",
     "FitArtifact",
     "FitRequest",
+    "HttpEngine",
     "InlineEngine",
     "LaneEngine",
     "PoolEngine",

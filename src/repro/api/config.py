@@ -23,17 +23,19 @@ from pathlib import Path
 from typing import Optional
 
 from ..errors import FitError
+from ..serving.protocol import ENV_SERVE_ADDR
 
 ENGINE_AUTO = "auto"
 ENGINE_INLINE = "inline"
 ENGINE_LANE = "lane"
 ENGINE_POOL = "pool"
 ENGINE_DAEMON = "daemon"
+ENGINE_HTTP = "http"
 
 #: Engines a Session can be asked for (``auto`` resolves to one of the
-#: concrete four).
+#: concrete five).
 ENGINE_NAMES = (ENGINE_AUTO, ENGINE_INLINE, ENGINE_LANE, ENGINE_POOL,
-                ENGINE_DAEMON)
+                ENGINE_DAEMON, ENGINE_HTTP)
 
 #: Behaviour when the daemon engine is unavailable or loses jobs:
 #: ``"local"`` re-runs them on a local engine, ``"error"`` raises.
@@ -78,9 +80,18 @@ class EngineConfig:
     timeout_s: float = 300.0
     poll_s: float = 0.05
     #: Retry budget for transient queue I/O (daemon engine submits,
-    #: client waits); see :class:`repro.service.retry.RetryPolicy`.
+    #: client waits) and HTTP transport errors; see
+    #: :class:`repro.service.retry.RetryPolicy`.
     retry_max_attempts: int = 3
     retry_base_delay_s: float = 0.05
+    #: HTTP engine: ``host:port`` of a ``repro serve-http`` daemon.
+    #: ``None`` defers to ``REPRO_SERVE_ADDR`` (see
+    #: :meth:`resolve_http_addr`); with neither set, the HTTP engine is
+    #: unconfigured and ``auto`` never selects it.
+    http_addr: Optional[str] = None
+    #: Per-request transport timeout for the HTTP engine (fit batches
+    #: block server-side; this bounds one round-trip, not the session).
+    http_timeout_s: float = 120.0
     #: Per-engine circuit breaker (``auto`` failover chain): the
     #: breaker opens after ``breaker_threshold`` consecutive
     #: engine-level failures and admits one half-open probe after
@@ -107,6 +118,21 @@ class EngineConfig:
         if self.breaker_cooldown_s < 0:
             raise FitError(f"breaker_cooldown_s must be >= 0, "
                            f"got {self.breaker_cooldown_s}")
+        if self.http_timeout_s <= 0:
+            raise FitError(f"http_timeout_s must be > 0, "
+                           f"got {self.http_timeout_s}")
+
+    def resolve_http_addr(self) -> Optional[str]:
+        """The serving address, by fixed precedence.
+
+        1. an explicit ``http_addr`` on this config;
+        2. the ``REPRO_SERVE_ADDR`` environment variable;
+        3. ``None`` — no HTTP tier (the ``auto`` chain skips it).
+        """
+        if self.http_addr:
+            return self.http_addr
+        env = os.environ.get(ENV_SERVE_ADDR)
+        return env if env else None
 
     def resolve_workers(self, n_jobs: Optional[int] = None) -> int:
         """The effective worker count, by fixed precedence.

@@ -3,7 +3,7 @@
 An :class:`Engine` turns canonical :class:`~repro.api.FitRequest` s into
 canonical :class:`~repro.api.FitArtifact` s and knows nothing about
 caching, warm-seed selection, or quality guards — that is the Session's
-job.  Four implementations ship today:
+job.  Five implementations ship today:
 
 =========  ============================================================
 ``inline``  one scalar :class:`~repro.core.fit.FlexSfuFitter` run per
@@ -14,13 +14,14 @@ job.  Four implementations ship today:
             ``ProcessPoolExecutor`` (the old ``BatchFitter`` strategy)
 ``daemon``  requests submitted to the shared ``repro serve`` queue and
             awaited (the old ``fit_many`` strategy)
+``http``    requests posted to a ``repro serve-http`` daemon over the
+            network (:mod:`repro.serving`)
 =========  ============================================================
 
-All four produce **numerically identical artifacts** for the same
+All five produce **numerically identical artifacts** for the same
 requests (the lane kernel is bit-for-bit equal to the scalar fitter by
-contract, and pool/daemon compose those two); the property suite
-asserts it.  A future HTTP front end is just one more implementation of
-the same protocol.
+contract, and pool/daemon/http compose those two); the property suite
+asserts it.
 
 Failure contract: ``fit`` returns ``None`` in a failed request's slot
 and records the reason in :attr:`last_errors`; it raises only when the
@@ -47,8 +48,8 @@ from ..obs.metrics import get_metrics
 from ..obs.trace import get_tracer
 from ..service.retry import RetryPolicy
 from .artifact import FitArtifact
-from .config import ENGINE_DAEMON, ENGINE_INLINE, ENGINE_LANE, ENGINE_POOL, \
-    EngineConfig
+from .config import (ENGINE_DAEMON, ENGINE_HTTP, ENGINE_INLINE, ENGINE_LANE,
+                     ENGINE_POOL, EngineConfig)
 from .request import FitRequest
 
 #: The per-request warm seed type: a ``PiecewiseLinear.to_dict``
@@ -345,6 +346,116 @@ class DaemonEngine:
         pass
 
 
+class HttpEngine:
+    """Requests fitted by a ``repro serve-http`` daemon over HTTP.
+
+    The network sibling of :class:`DaemonEngine`: the server owns the
+    shared cache and warm-seed lookup, so client-side warm seeds are
+    ignored here too.  The address resolves through
+    :meth:`EngineConfig.resolve_http_addr` (explicit config >
+    ``REPRO_SERVE_ADDR``); with neither set the engine is unconfigured
+    and raises :class:`~repro.errors.ServiceError` — which is how the
+    ``auto`` chain knows to skip it.
+
+    Transport-error contract: connection failures and exhausted
+    backpressure retries (429s, retried with jittered backoff by the
+    shared :class:`~repro.service.retry.RetryPolicy`) surface as
+    engine-level failures — ``ServiceError`` / ``TransientError`` —
+    advancing the Session's failover chain; a job the *server* failed
+    comes back as a ``None`` slot with the reason in
+    :attr:`last_errors`, exactly like every other engine.
+    """
+
+    name = ENGINE_HTTP
+
+    def __init__(self, config: Optional[EngineConfig] = None) -> None:
+        self.config = config or EngineConfig()
+        self.last_errors: Dict[int, str] = {}
+        self.retry = RetryPolicy(
+            max_attempts=self.config.retry_max_attempts,
+            base_delay_s=self.config.retry_base_delay_s)
+        self._client: Optional[Any] = None
+        self._client_addr: Optional[str] = None
+
+    # ------------------------------------------------------------------ #
+    def addr(self) -> Optional[str]:
+        """The resolved serving address (``None`` = unconfigured)."""
+        return self.config.resolve_http_addr()
+
+    def configured(self) -> bool:
+        return self.addr() is not None
+
+    def _client_for(self, addr: str) -> Any:
+        from ..serving.client import ServingClient
+        if self._client is None or self._client_addr != addr:
+            if self._client is not None:
+                self._client.close()
+            self._client = ServingClient(
+                addr, timeout_s=self.config.http_timeout_s,
+                retry=self.retry)
+            self._client_addr = addr
+        return self._client
+
+    def alive(self, timeout_s: float = 1.0) -> bool:
+        """One cheap liveness probe against ``/healthz``."""
+        addr = self.addr()
+        if addr is None:
+            return False
+        return self._client_for(addr).alive(timeout_s=timeout_s)
+
+    def fit(self, requests: Sequence[FitRequest],
+            warm: Optional[Sequence[WarmSeed]] = None
+            ) -> List[Optional[FitArtifact]]:
+        self.last_errors = {}
+        if not requests:
+            return []
+        addr = self.addr()
+        if addr is None:
+            raise ServiceError(
+                f"no serving address configured (set http_addr or "
+                f"$REPRO_SERVE_ADDR; {len(requests)} requests unsent)")
+        client = self._client_for(addr)
+        with get_tracer().span("fit.http", addr=addr,
+                               n_requests=len(requests)) as sp:
+            docs = client.fit([req.to_dict() for req in requests])
+            results: List[Optional[FitArtifact]] = []
+            for i, (req, doc) in enumerate(zip(requests, docs)):
+                art = self._decode(req, doc, addr)
+                if art is None:
+                    self.last_errors[i] = str(
+                        doc.get("error", "malformed result document")
+                        if isinstance(doc, dict) else "malformed result")
+                results.append(art)
+            if self.last_errors:
+                sp.set(failed=len(self.last_errors))
+        return results
+
+    def _decode(self, req: FitRequest, doc: Any,
+                addr: str) -> Optional[FitArtifact]:
+        if not isinstance(doc, dict) or "error" in doc or \
+                "entry" not in doc:
+            return None
+        try:
+            entry = CachedFit.from_dict(doc["entry"])
+        except Exception:
+            return None
+        return FitArtifact.from_entry(
+            entry, key=req.key, engine=self.name, from_cache=False,
+            wall_time_s=float(doc.get("wall_time_s", 0.0)),
+            provenance={"source": "http", "addr": addr})
+
+    def capabilities(self) -> Dict[str, Any]:
+        addr = self.addr()
+        return {"engine": self.name, "parallel": True, "remote": True,
+                "addr": addr,
+                "alive": self.alive() if addr is not None else False}
+
+    def close(self) -> None:
+        if self._client is not None:
+            self._client.close()
+            self._client = None
+
+
 #: Concrete engine classes by name (``auto`` is resolved by the
 #: Session before it reaches this table).
 ENGINE_TYPES = {
@@ -352,6 +463,7 @@ ENGINE_TYPES = {
     ENGINE_LANE: LaneEngine,
     ENGINE_POOL: PoolEngine,
     ENGINE_DAEMON: DaemonEngine,
+    ENGINE_HTTP: HttpEngine,
 }
 
 
@@ -369,6 +481,7 @@ __all__ = [
     "DaemonEngine",
     "Engine",
     "ENGINE_TYPES",
+    "HttpEngine",
     "InlineEngine",
     "LaneEngine",
     "PoolEngine",

@@ -49,8 +49,8 @@ from ..obs.trace import get_tracer
 from .artifact import FitArtifact
 from .breaker import OPEN as BREAKER_OPEN
 from .breaker import CircuitBreaker
-from .config import (ENGINE_AUTO, ENGINE_DAEMON, ENGINE_INLINE, ENGINE_LANE,
-                     ENGINE_POOL, FALLBACK_ERROR, FALLBACK_LOCAL,
+from .config import (ENGINE_AUTO, ENGINE_DAEMON, ENGINE_HTTP, ENGINE_INLINE,
+                     ENGINE_LANE, ENGINE_POOL, FALLBACK_ERROR, FALLBACK_LOCAL,
                      EngineConfig)
 from .engines import Engine, create_engine
 from .request import FitRequest
@@ -60,6 +60,13 @@ from .request import FitRequest
 #: engine.  Per-job failures are deterministic properties of the job and
 #: never advance the chain.
 _ENGINE_FAILURES = (ServiceError, TransientError, OSError, BrokenExecutor)
+
+#: Engines whose fits run in another process that owns its own cache
+#: and warm-seed lookup.  They share failover semantics: a pre-flight
+#: liveness check before anything is sent, per-job failures retried
+#: locally (the real reason may be "server died", not the job), and
+#: ``degraded_from`` provenance when the chain moves past them.
+_REMOTE_ENGINES = (ENGINE_HTTP, ENGINE_DAEMON)
 
 #: What :meth:`Session.fit` accepts per element.
 RequestLike = Union[FitRequest, FitJob]
@@ -133,6 +140,11 @@ class Session:
         cfg = self.config
         if cfg.engine != ENGINE_AUTO:
             return cfg.engine
+        http = self.engine(ENGINE_HTTP)
+        if http.configured() and \
+                self._breaker(ENGINE_HTTP).state != BREAKER_OPEN and \
+                http.alive():
+            return ENGINE_HTTP
         daemon = self.engine(ENGINE_DAEMON)
         if daemon.alive() and \
                 self._breaker(ENGINE_DAEMON).state != BREAKER_OPEN:
@@ -165,23 +177,26 @@ class Session:
         """Engines to try, in order, for this batch of misses.
 
         Explicit engines get no failover (the caller asked for exactly
-        that engine); the one legacy exception is ``engine="daemon"``
-        with ``fallback="local"``, which has always fallen back to a
-        local engine.  ``auto`` produces the full health-tracked chain
-        daemon → pool → lane → inline (pool only when the batch and the
-        worker budget both exceed one; lane only with ``lane_batch``).
-        ``fallback="error"`` pins the chain to the daemon alone so
-        failures raise instead of degrading.
+        that engine); the exception is a *remote* engine
+        (``"daemon"`` / ``"http"``) with ``fallback="local"``, which
+        falls back to a local engine.  ``auto`` produces the full
+        health-tracked chain http → daemon → pool → lane → inline
+        (http only when an address is configured; pool only when the
+        batch and the worker budget both exceed one; lane only with
+        ``lane_batch``).  ``fallback="error"`` pins the chain to the
+        remote engines alone so failures raise instead of degrading.
         """
         cfg = self.config
         if cfg.engine != ENGINE_AUTO:
-            if cfg.engine == ENGINE_DAEMON and \
+            if cfg.engine in _REMOTE_ENGINES and \
                     cfg.fallback == FALLBACK_LOCAL:
-                return [ENGINE_DAEMON, self._local_engine_name(n_requests)]
+                return [cfg.engine, self._local_engine_name(n_requests)]
             return [cfg.engine]
+        chain = ([ENGINE_HTTP]
+                 if cfg.resolve_http_addr() is not None else [])
+        chain.append(ENGINE_DAEMON)
         if cfg.fallback == FALLBACK_ERROR:
-            return [ENGINE_DAEMON]
-        chain = [ENGINE_DAEMON]
+            return chain
         if n_requests > 1 and cfg.resolve_workers(n_requests) > 1:
             chain.append(ENGINE_POOL)
         if cfg.lane_batch:
@@ -337,13 +352,20 @@ class Session:
         degraded_at: List[List[str]] = [[] for _ in reqs]
         errors: Dict[str, str] = {}
         degraded: List[str] = []
-        attempted_daemon = False
+        attempted_remote = False
         remaining = list(range(len(reqs)))
 
         for step, name in enumerate(chain):
             if not remaining:
                 break
             last = step == len(chain) - 1
+            if name == ENGINE_HTTP and cfg.engine == ENGINE_AUTO:
+                # Pre-flight: one cheap /healthz probe before posting
+                # anything — a configured-but-dead server degrades the
+                # chain instead of burning the transport retry budget.
+                if not self.engine(ENGINE_HTTP).alive() and not last:
+                    degraded.append(ENGINE_HTTP)
+                    continue
             if name == ENGINE_DAEMON and cfg.engine == ENGINE_AUTO:
                 status = self.engine(ENGINE_DAEMON).heartbeat_status()
                 if status != "alive":
@@ -388,10 +410,10 @@ class Session:
                     break
             sub_keys = [keys[i] for i in remaining]
             sub_reqs = [reqs[i] for i in remaining]
-            # The daemon owns its own warm-seed lookup (it sees the
-            # whole shared cache); local engines get seeds picked here.
-            if name == ENGINE_DAEMON:
-                attempted_daemon = True
+            # A remote engine owns its own warm-seed lookup (it sees
+            # the whole shared cache); local engines get seeds here.
+            if name in _REMOTE_ENGINES:
+                attempted_remote = True
                 sub_seeds: List[Optional[Dict]] = [None] * len(remaining)
                 sub_warm: List[Optional[Dict]] = [None] * len(remaining)
             else:
@@ -401,7 +423,8 @@ class Session:
                 sub = engine.fit(sub_reqs, warm=sub_seeds)
             except _ENGINE_FAILURES:
                 breaker.record_failure()
-                if last or (name == ENGINE_DAEMON and
+                if last or (name in _REMOTE_ENGINES and
+                            cfg.engine != ENGINE_AUTO and
                             cfg.fallback != FALLBACK_LOCAL):
                     raise
                 degraded.append(name)
@@ -409,15 +432,17 @@ class Session:
                                 engine=name).inc()
                 continue
             pending = [j for j, art in enumerate(sub) if art is None]
-            if name == ENGINE_DAEMON and pending:
+            if name in _REMOTE_ENGINES and pending:
                 breaker.record_failure()
-                if cfg.fallback != FALLBACK_LOCAL:
+                if cfg.fallback != FALLBACK_LOCAL and \
+                        (last or cfg.engine != ENGINE_AUTO):
                     first = engine.last_errors.get(pending[0],
-                                                   "daemon unavailable")
+                                                   f"{name} unavailable")
                     raise ServiceError(
-                        f"{len(pending)} fit job(s) failed in the daemon, "
-                        f"e.g. {sub_keys[pending[0]][:16]}…: {first}")
-                degraded.append(ENGINE_DAEMON)
+                        f"{len(pending)} fit job(s) failed in the {name} "
+                        f"engine, e.g. {sub_keys[pending[0]][:16]}…: "
+                        f"{first}")
+                degraded.append(name)
                 metrics.counter("session.engine.failover",
                                 engine=name).inc()
             else:
@@ -426,9 +451,10 @@ class Session:
             for j, i in enumerate(remaining):
                 art = sub[j]
                 if art is None:
-                    if name == ENGINE_DAEMON:
-                        # Daemon-side failures are retried locally; the
-                        # real reason may be "daemon died", not the job.
+                    if name in _REMOTE_ENGINES:
+                        # Remote-side failures are retried on the next
+                        # engine; the real reason may be "server died",
+                        # not the job.
                         still.append(i)
                     else:
                         # A local per-job failure is a deterministic
@@ -457,8 +483,8 @@ class Session:
                 if degraded_at[i]:
                     art.provenance.setdefault("degraded_from",
                                               degraded_at[i])
-                if attempted_daemon and produced_by[i] is not None and \
-                        produced_by[i] != ENGINE_DAEMON:
+                if attempted_remote and produced_by[i] is not None and \
+                        produced_by[i] not in _REMOTE_ENGINES:
                     art.provenance["source"] = "local-fallback"
             if warm_meta[i] is not None and not art.from_cache:
                 for field, value in warm_meta[i].items():

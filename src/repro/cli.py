@@ -5,6 +5,10 @@ Commands
 ``fit``     fit one activation and print the PWL + metrics;
 ``fit-all`` batch-fit many activations through the parallel engine;
 ``serve``   run the long-running fit daemon over the shared job queue;
+``serve-http``  run the fit daemon with an HTTP front-end (the network
+            serving tier: one shared cache + pool for a cluster);
+``serve-infer`` hold compiled zoo Programs hot and serve inference
+            over HTTP with micro-batching (``run_many`` fusion);
 ``cache``   inspect / clear / prune the persistent fit cache and report
             warm-start telemetry (``cache report``);
 ``compile`` compile a zoo model graph (optionally PWL-rewritten through
@@ -29,7 +33,14 @@ Environment
                       no explicit ``--workers`` is given;
 ``REPRO_TRACE``       path of a shared JSONL trace sink; setting it
                       enables tracing in every repro process that
-                      inherits the variable.
+                      inherits the variable;
+``REPRO_SERVE_ADDR``  ``host:port`` of a ``serve-http`` daemon — the
+                      bind address server-side, and the address the
+                      ``http`` engine (and ``engine=auto``) talks to
+                      client-side;
+``REPRO_INFER_ADDR``  ``host:port`` of a ``serve-infer`` daemon;
+``REPRO_INFER_BATCH_MS``  micro-batch collection window of
+                      ``serve-infer`` in milliseconds (default 5).
 """
 
 from __future__ import annotations
@@ -174,6 +185,110 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_http(args: argparse.Namespace) -> int:
+    import os
+    import signal
+    from pathlib import Path
+
+    from .core.batchfit import FitCache
+    from .service import ServiceConfig, default_service_dir
+    from .serving.fit_server import FitHttpServer
+    from .serving.protocol import (DEFAULT_FIT_PORT, ENV_SERVE_ADDR,
+                                   parse_addr)
+
+    host, port = parse_addr(args.addr or os.environ.get(ENV_SERVE_ADDR),
+                            DEFAULT_FIT_PORT)
+    root = Path(args.dir) if args.dir else default_service_dir()
+    cache = FitCache(args.cache_dir) if args.cache_dir else None
+    config = ServiceConfig(root=root, max_workers=args.workers,
+                           lane_batch=not args.no_lane_batch)
+    server = FitHttpServer(config, host=host, port=port,
+                           max_pending=args.max_pending,
+                           drain_queue=not args.no_queue, cache=cache)
+    print(f"repro serve-http: fit service at http://{server.addr}  "
+          f"(queue at {root}"
+          f"{'' if args.no_queue else ', draining'}, "
+          f"workers={args.workers or 'auto'})", flush=True)
+
+    def _terminate(signum, frame):  # pragma: no cover - signal path
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _terminate)
+    try:
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        print(f"repro serve-http: exiting after "
+              f"{server.service.processed} jobs "
+              f"({server.service.failed} failed)", flush=True)
+    finally:
+        server.close()
+        signal.signal(signal.SIGTERM, previous)
+    return 0
+
+
+def _cmd_serve_infer(args: argparse.Namespace) -> int:
+    import os
+    import signal
+
+    from .serving.infer_server import InferServer
+    from .serving.protocol import (DEFAULT_INFER_PORT, ENV_INFER_ADDR,
+                                   parse_addr)
+    from .zoo.builders import BUILDERS
+
+    host, port = parse_addr(args.addr or os.environ.get(ENV_INFER_ADDR),
+                            DEFAULT_INFER_PORT)
+    names = args.model or ["vit"]
+    unknown = [n for n in names if n not in BUILDERS]
+    if unknown:
+        print(f"unknown model(s) {unknown}; known: {sorted(BUILDERS)}",
+              file=sys.stderr)
+        return 2
+    fit_config = None
+    if args.quick:
+        from .core.fit import FitConfig
+        fit_config = FitConfig(max_steps=150, refine_steps=60,
+                               max_refine_rounds=2, polish=False,
+                               grid_points=1024)
+    session = _session_from_args(args)
+    programs = {}
+    with session:
+        for name in names:
+            graph = BUILDERS[name](act=args.act, scale=args.scale,
+                                   seed=args.seed)
+            programs[name] = session.compile(
+                graph, n_breakpoints=args.pwl or None, config=fit_config)
+            print(f"repro serve-infer: compiled {name} "
+                  f"({len(programs[name].nodes)} nodes"
+                  + (f", PWL @{args.pwl}" if args.pwl else "") + ")",
+                  flush=True)
+    server = InferServer(programs, host=host, port=port,
+                         batch_ms=args.batch_ms, batch_cap=args.batch_cap,
+                         max_queue=args.max_queue)
+    print(f"repro serve-infer: serving {sorted(programs)} at "
+          f"http://{server.addr}  (batch window "
+          f"{server.app.runners[names[0]].batch_ms:g}ms, "
+          f"cap {args.batch_cap})", flush=True)
+
+    def _terminate(signum, frame):  # pragma: no cover - signal path
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _terminate)
+    try:
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        served = sum(r.requests for r in server.app.runners.values())
+        print(f"repro serve-infer: exiting after {served} requests",
+              flush=True)
+    finally:
+        server.close()
+        signal.signal(signal.SIGTERM, previous)
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from .core.batchfit import FitCache
 
@@ -281,7 +396,15 @@ def _cmd_queue(args: argparse.Namespace) -> int:
                                for k, v in doc["counts"].items()))
         if doc["daemon_alive"]:
             pid = (beat or {}).get("pid", "?")
-            print(f"  daemon alive (pid {pid})")
+            line = f"  daemon alive (pid {pid}"
+            proto = (beat or {}).get("protocol")
+            if proto is not None:
+                line += f", protocol {proto}"
+            line += ")"
+            print(line)
+            addr = (beat or {}).get("serve_addr")
+            if addr:
+                print(f"  serving http at {addr}")
         else:
             print("  no daemon heartbeating"
                   + ("" if beat is None else " (stale heartbeat)"))
@@ -758,8 +881,15 @@ def _cmd_bound(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
+    from . import __version__
+    from .serving.protocol import PROTOCOL_VERSION
+
     parser = argparse.ArgumentParser(
         prog="repro", description="Flex-SFU reproduction CLI")
+    parser.add_argument(
+        "--version", action="version",
+        version=f"repro {__version__} (serving protocol "
+                f"{PROTOCOL_VERSION})")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_fit = sub.add_parser("fit", help="fit one activation")
@@ -828,6 +958,71 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fit cache directory (default: "
                               "$REPRO_CACHE_DIR or ~/.cache/repro-flexsfu)")
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_serve_http = sub.add_parser(
+        "serve-http", help="run the fit daemon with an HTTP front-end "
+                           "(the network serving tier)")
+    p_serve_http.add_argument("--addr", default=None,
+                              help="bind host:port (default: "
+                                   "$REPRO_SERVE_ADDR or 127.0.0.1:8173; "
+                                   "port 0 picks a free port)")
+    p_serve_http.add_argument("--dir", default=None,
+                              help="queue directory (default: "
+                                   "$REPRO_CACHE_DIR/service)")
+    p_serve_http.add_argument("--workers", type=int, default=None,
+                              help="fit pool size (default: "
+                                   "$REPRO_MAX_WORKERS or CPU count)")
+    p_serve_http.add_argument("--max-pending", type=int, default=8,
+                              help="concurrent HTTP fit requests before "
+                                   "429 backpressure (default: 8)")
+    p_serve_http.add_argument("--no-queue", action="store_true",
+                              help="serve HTTP only; do not drain the "
+                                   "filesystem job queue")
+    p_serve_http.add_argument("--no-lane-batch", action="store_true",
+                              help="fit misses one-by-one (scalar kernel)")
+    p_serve_http.add_argument("--cache-dir", default=None,
+                              help="fit cache directory (default: "
+                                   "$REPRO_CACHE_DIR)")
+    p_serve_http.set_defaults(func=_cmd_serve_http)
+
+    p_serve_infer = sub.add_parser(
+        "serve-infer", help="serve compiled zoo models over HTTP with "
+                            "micro-batched inference")
+    p_serve_infer.add_argument("--model", action="append", default=None,
+                               help="zoo builder to hold hot (repeatable; "
+                                    "default: vit)")
+    p_serve_infer.add_argument("--addr", default=None,
+                               help="bind host:port (default: "
+                                    "$REPRO_INFER_ADDR or 127.0.0.1:8174; "
+                                    "port 0 picks a free port)")
+    p_serve_infer.add_argument("--act", default="gelu",
+                               help="activation the builders use "
+                                    "(default: gelu)")
+    p_serve_infer.add_argument("--scale", type=float, default=0.5,
+                               help="width multiplier (default: 0.5)")
+    p_serve_infer.add_argument("--seed", type=int, default=0)
+    p_serve_infer.add_argument("--pwl", type=int, default=8, metavar="N",
+                               help="rewrite activations to N-breakpoint "
+                                    "PWLs before compiling (0 disables; "
+                                    "default: 8)")
+    p_serve_infer.add_argument("--quick", action="store_true",
+                               help="fit the PWLs with the quick preset "
+                                    "(faster startup, benchmark fidelity)")
+    p_serve_infer.add_argument("--batch-ms", type=float, default=None,
+                               help="micro-batch window in milliseconds "
+                                    "(default: $REPRO_INFER_BATCH_MS or 5)")
+    p_serve_infer.add_argument("--batch-cap", type=int, default=32,
+                               help="max requests fused per batch "
+                                    "(default: 32)")
+    p_serve_infer.add_argument("--max-queue", type=int, default=128,
+                               help="queued requests per model before 429 "
+                                    "backpressure (default: 128)")
+    p_serve_infer.add_argument("--engine", choices=ENGINE_NAMES,
+                               default=None,
+                               help="fit engine for --pwl (default: auto)")
+    p_serve_infer.add_argument("--cache-dir", default=None,
+                               help="fit cache directory for --pwl fits")
+    p_serve_infer.set_defaults(func=_cmd_serve_infer)
 
     p_cache = sub.add_parser(
         "cache", help="inspect / clear / prune the persistent fit cache, "

@@ -36,6 +36,9 @@ Shipped injection sites (prefix-matchable with ``"queue.*"`` etc.):
 ``engine.pool``             broken process pool at dispatch
 ``fit.worker``              per-job faults inside pool workers
 ``clock.wall``              wall-clock jumps through ``obs.clock``
+``serving.accept``          HTTP connection accept (serving tier)
+``serving.read``            request-body read / corruption → 400
+``serving.write``           response write failure / dropped reply
 =========================  ===========================================
 
 This package must stay import-light and dependency-free: it is on the

@@ -10,8 +10,8 @@ labelled::
 
 ``registry.snapshot()`` is the JSON-native view (what the service
 daemon exports next to its heartbeat); ``registry.render_prometheus()``
-is the text exposition format, dots mapped to underscores, so a future
-networked serving tier can serve it on ``/metrics`` unchanged.
+is the text exposition format, dots mapped to underscores — the
+serving tier exposes it verbatim on ``GET /metrics``.
 
 Instruments are memoised by ``(name, labels)`` — an instrument handle
 can be cached by hot callers, making an increment one lock + one add.
@@ -36,6 +36,25 @@ quarantine) reports through these families:
   ``session.breaker.state`` — circuit-breaker trips, engines skipped
   while a breaker was open, and the per-engine state gauge
   (0=closed, 1=half-open, 2=open).
+
+The network serving tier adds:
+
+* ``serving.http.responses`` (``role``, ``status``) /
+  ``serving.http.bad_requests`` / ``serving.http.errors`` /
+  ``serving.http.aborted`` — per-daemon HTTP outcomes;
+* ``serving.fit.requests`` / ``serving.fit.jobs`` /
+  ``serving.fit.jobs_failed`` / ``serving.fit.batch_jobs`` /
+  ``serving.fit.latency_s`` / ``serving.fit.rejected`` — fit batches
+  served by ``serve-http`` and its 429 backpressure rejections;
+* ``serving.infer.requests`` / ``serving.infer.batches`` /
+  ``serving.infer.batch_size`` / ``serving.infer.batch_occupancy`` /
+  ``serving.infer.batch_latency_s`` / ``serving.infer.latency_s`` /
+  ``serving.infer.batch_failures`` / ``serving.infer.rejected``
+  (per ``model``) — micro-batching shape and latency of
+  ``serve-infer``;
+* ``serving.client.requests`` / ``serving.client.retries`` /
+  ``serving.client.latency_s`` (per ``route``) — the client side, as
+  seen by :class:`~repro.serving.client.ServingClient`.
 """
 
 from __future__ import annotations

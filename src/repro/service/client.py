@@ -26,7 +26,7 @@ from ..deprecation import warn_legacy
 from ..errors import ReproError, ServiceError
 from ..obs import clock
 from .queue import JobQueue
-from .retry import RetryPolicy
+from .retry import RetryPolicy, jittered
 
 #: Fallback policies when no daemon is serving the queue.
 FALLBACK_LOCAL = "local"
@@ -155,7 +155,9 @@ def wait(keys: Sequence[str], root: Optional[Union[str, Path]] = None,
             raise ServiceError(
                 f"timed out after {timeout_s:g}s waiting for "
                 f"{len(outstanding)} of {len(keys)} fit jobs")
-        time.sleep(poll_s)
+        # Jittered so a fleet of clients that enqueued together does
+        # not hammer the queue directory in lock-step every cycle.
+        time.sleep(jittered(poll_s))
     return (results, failures) if return_failures else results
 
 

@@ -35,6 +35,7 @@ from ..faults import get_faults
 from ..obs import clock
 from ..obs.metrics import get_metrics
 from ..obs.trace import get_tracer
+from ..serving.protocol import PROTOCOL_VERSION
 from .queue import DEFAULT_MAX_ATTEMPTS, JobQueue
 from .retry import RetryPolicy
 from .shm import SharedGridPool
@@ -89,6 +90,14 @@ class FitService:
         )
         self.processed = 0
         self.failed = 0
+        # When an HTTP front-end (repro serve-http) embeds this
+        # service, its bind address is advertised in the heartbeat so
+        # `repro queue status`-style tooling can discover live servers.
+        self.serve_addr: Optional[str] = None
+        # The queue-drain loop and the HTTP fit endpoint share one
+        # BatchFitter; the lock serializes batches so pool futures and
+        # warm-start state are never raced from two threads.
+        self.fit_lock = threading.RLock()
         self._stop = False
         self._hb_stop = threading.Event()
         self._hb_thread: Optional[threading.Thread] = None
@@ -125,7 +134,9 @@ class FitService:
             if jobs:
                 pairs = list(jobs.items())
                 try:
-                    results = self.fitter.run([job for _, job in pairs])
+                    with self.fit_lock:
+                        results = self.fitter.run(
+                            [job for _, job in pairs])
                     for (key, _), res in zip(pairs, results):
                         self._publish(key, res)
                 except Exception as exc:
@@ -138,9 +149,12 @@ class FitService:
                     self._drop_pool_if_broken(exc)
                     for key, job in pairs:
                         try:
-                            [res] = self.retry.call(
-                                lambda job=job: self.fitter.run([job]),
-                                on_retry=self._on_job_retry)
+                            def one(job: FitJob = job) -> "BatchFitResult":
+                                with self.fit_lock:
+                                    [res] = self.fitter.run([job])
+                                return res
+                            res = self.retry.call(
+                                one, on_retry=self._on_job_retry)
                         except Exception as job_exc:
                             self.queue.fail(key, str(job_exc), exc=job_exc)
                             self.failed += 1
@@ -201,13 +215,17 @@ class FitService:
             return
         # The heartbeat payload is a persisted cross-process record:
         # wall clock by design (see repro.obs.clock).
-        self.queue.write_heartbeat({
+        doc = {
             "pid": os.getpid(),
             "processed": self.processed,
             "failed": self.failed,
             "shared_grids": len(self.grids),
+            "protocol": PROTOCOL_VERSION,
             "time": clock.wall(),
-        })
+        }
+        if self.serve_addr is not None:
+            doc["serve_addr"] = self.serve_addr
+        self.queue.write_heartbeat(doc)
         self._export_metrics()
 
     def _export_metrics(self) -> None:
@@ -223,9 +241,12 @@ class FitService:
             for state, n in self.queue.counts().items():
                 metrics.gauge("service.queue.depth", state=state).set(n)
             metrics.gauge("service.shared_grids").set(len(self.grids))
-            write_json_atomic(self.queue.root / METRICS_NAME,
-                              {"pid": os.getpid(), "time": clock.wall(),
-                               "metrics": metrics.snapshot()})
+            export = {"pid": os.getpid(), "time": clock.wall(),
+                      "protocol": PROTOCOL_VERSION,
+                      "metrics": metrics.snapshot()}
+            if self.serve_addr is not None:
+                export["serve_addr"] = self.serve_addr
+            write_json_atomic(self.queue.root / METRICS_NAME, export)
         except OSError:  # pragma: no cover - transient fs issue
             pass
 

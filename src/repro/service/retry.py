@@ -20,6 +20,7 @@ RNG is never consulted and the call costs one ``fn()``.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass
 from random import Random
@@ -31,6 +32,27 @@ from ..errors import ReproError, TransientError
 #: Error types retried by default (see module docstring).
 DEFAULT_RETRYABLE: Tuple[Type[BaseException], ...] = (
     OSError, TransientError, BrokenExecutor)
+
+#: Process-seeded RNG behind :func:`jittered` — pid-seeded so many
+#: client *processes* polling one server desynchronise from each other,
+#: while one process stays reproducible run to run.
+_POLL_RNG = Random(os.getpid())
+
+
+def jittered(base_s: float, fraction: float = 0.25,
+             rng: Optional[Random] = None) -> float:
+    """``base_s`` spread uniformly over ``±fraction`` of itself.
+
+    Fixed-cadence poll loops (the daemon client's ``wait``, liveness
+    probes) sleep on this instead of the raw constant: clients that
+    started in the same tick — a batch job fanning out, a CI matrix —
+    would otherwise hit the shared queue / server in lock-step forever
+    (the thundering-herd pattern the serving tier's 429s push back on).
+    """
+    if base_s <= 0.0 or fraction <= 0.0:
+        return max(base_s, 0.0)
+    u = (rng or _POLL_RNG).random()
+    return base_s * (1.0 + fraction * (2.0 * u - 1.0))
 
 
 @dataclass(frozen=True)
@@ -103,4 +125,4 @@ class RetryPolicy:
         raise AssertionError("unreachable")  # pragma: no cover
 
 
-__all__ = ["DEFAULT_RETRYABLE", "RetryPolicy"]
+__all__ = ["DEFAULT_RETRYABLE", "RetryPolicy", "jittered"]

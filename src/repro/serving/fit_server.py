@@ -1,0 +1,231 @@
+"""``repro serve-http`` — the fit service over the network.
+
+One :class:`FitHttpServer` puts an HTTP front-end on a
+:class:`~repro.service.daemon.FitService`, so one shared
+:class:`~repro.core.batchfit.FitCache` + ``BatchFitter`` pool serves a
+whole cluster instead of one filesystem.  The embedded service still
+drains the file-backed job queue (same-host clients keep working
+unchanged); HTTP requests fit on the *same* pool under the service's
+``fit_lock``, read through the same cache, and publish into the same
+heartbeat — which now advertises the bind address and protocol version
+so ``repro queue status`` can discover live servers.
+
+Request flow for ``POST /v1/fit``:
+
+1. protocol check → 400 on a version mismatch;
+2. admission → 429 + ``Retry-After`` when ``max_pending`` concurrent
+   fit requests are already in flight (bounded queue, not unbounded
+   thread pileup);
+3. per-job decode → an undecodable job document fails alone
+   (``{"error": ...}`` in its slot), mirroring the daemon's queue path;
+4. one ``BatchFitter.run`` per request under the service ``fit_lock``,
+   with the daemon's batch→per-job isolation fallback;
+5. per-job result documents ``{"key", "entry", "from_cache",
+   "wall_time_s"}`` — byte-compatible with the queue's ``done/``
+   payloads, so :class:`~repro.api.engines.HttpEngine` and
+   ``DaemonEngine`` decode through the same ``CachedFit`` schema.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.batchfit import BatchFitResult, FitCache, FitJob, job_from_dict
+from ..obs import clock
+from ..obs.metrics import get_metrics
+from ..obs.trace import get_tracer
+from ..service.daemon import FitService, ServiceConfig
+from .http import Response, ServerThread, ServingApp, ServingHTTPServer
+from .protocol import (DEFAULT_FIT_PORT, DEFAULT_HOST, ROUTE_FIT,
+                       check_protocol, error_doc)
+
+
+class FitHttpApp(ServingApp):
+    """Routes ``POST /v1/fit`` onto an embedded :class:`FitService`."""
+
+    role = "fit"
+
+    def __init__(self, service: FitService, max_pending: int = 8) -> None:
+        self.service = service
+        self.max_pending = max_pending
+        # Admission control: at most max_pending fit requests fitting /
+        # waiting on the fit_lock; the rest bounce with 429 so a burst
+        # degrades into client backoff instead of a thread pileup.
+        self._slots = threading.BoundedSemaphore(max_pending)
+
+    # ------------------------------------------------------------------ #
+    def handle(self, method: str, path: str,
+               body: Optional[Dict[str, Any]]) -> Response:
+        if method == "POST" and path == ROUTE_FIT:
+            return self._handle_fit(body or {})
+        return super().handle(method, path, body)
+
+    def cache_dir(self) -> Optional[str]:
+        return str(self.service.fitter.cache.directory)
+
+    def capabilities(self) -> Dict[str, Any]:
+        cfg = self.service.config
+        return {"max_pending": self.max_pending,
+                "lane_batch": cfg.lane_batch,
+                "warm_start": cfg.warm_start,
+                "queue_root": str(self.service.queue.root),
+                "processed": self.service.processed,
+                "failed": self.service.failed}
+
+    # ------------------------------------------------------------------ #
+    def _handle_fit(self, body: Dict[str, Any]) -> Response:
+        mismatch = check_protocol(body)
+        if mismatch is not None:
+            return 400, error_doc("protocol", mismatch), None
+        reqs = body.get("requests")
+        if not isinstance(reqs, list):
+            return 400, error_doc(
+                "bad-request", "fit body must carry a 'requests' list"), None
+        if not self._slots.acquire(blocking=False):
+            get_metrics().counter("serving.fit.rejected").inc()
+            return (429,
+                    error_doc("busy", f"{self.max_pending} fit requests "
+                              f"already in flight; retry later"),
+                    {"Retry-After": "0.1"})
+        t0 = clock.mono()
+        try:
+            with get_tracer().span("fit.http", n_jobs=len(reqs)) as sp:
+                results = self._fit_jobs(reqs)
+                failed = sum(1 for r in results if "error" in r)
+                sp.set(failed=failed)
+        finally:
+            self._slots.release()
+        metrics = get_metrics()
+        metrics.counter("serving.fit.requests").inc()
+        metrics.counter("serving.fit.jobs").inc(len(reqs))
+        if failed:
+            metrics.counter("serving.fit.jobs_failed").inc(failed)
+        metrics.histogram("serving.fit.batch_jobs").observe(len(reqs))
+        metrics.histogram("serving.fit.latency_s").observe(
+            clock.mono() - t0)
+        return 200, {"ok": True, "results": results}, None
+
+    def _fit_jobs(self, reqs: List[Any]) -> List[Dict[str, Any]]:
+        """Fit decoded jobs; per-slot result documents, order aligned."""
+        results: List[Dict[str, Any]] = [
+            {"error": "no result produced"} for _ in reqs]
+        jobs: List[Tuple[int, FitJob]] = []
+        for i, doc in enumerate(reqs):
+            try:
+                jobs.append((i, job_from_dict(doc)))
+            except Exception as exc:
+                results[i] = {"error": f"undecodable job: {exc}"}
+        if not jobs:
+            return results
+        service = self.service
+        try:
+            with service.fit_lock:
+                fitted = service.fitter.run([job for _, job in jobs])
+            for (i, _), res in zip(jobs, fitted):
+                results[i] = self._result_doc(res)
+        except Exception as exc:
+            # Batch path poisoned — same isolation contract as the
+            # daemon's run_once: each job retries alone so one divergent
+            # fit (or a dead pool worker) fails alone.
+            service._drop_pool_if_broken(exc)
+            for i, job in jobs:
+                try:
+                    def one(job: FitJob = job) -> BatchFitResult:
+                        with service.fit_lock:
+                            [res] = service.fitter.run([job])
+                        return res
+                    res = service.retry.call(
+                        one, on_retry=service._on_job_retry)
+                except Exception as job_exc:
+                    service._drop_pool_if_broken(job_exc)
+                    results[i] = {"error": str(job_exc)}
+                else:
+                    results[i] = self._result_doc(res)
+        return results
+
+    def _result_doc(self, res: BatchFitResult) -> Dict[str, Any]:
+        entry = self.service.fitter.cache.get(res.key)
+        if entry is None:  # pragma: no cover - fit_all just stored it
+            return {"error": "fit finished but cache entry vanished"}
+        return {"key": res.key, "entry": entry.to_dict(),
+                "from_cache": res.from_cache,
+                "wall_time_s": res.wall_time_s}
+
+
+class FitHttpServer:
+    """The ``serve-http`` daemon: HTTP front-end + queue drain.
+
+    ``drain_queue=True`` (the CLI default) keeps the classic
+    same-filesystem path alive: a background thread runs the embedded
+    service's queue loop while the HTTP server answers network
+    clients.  Tests and benchmarks embed with ``drain_queue=False`` for
+    an HTTP-only server with deterministic teardown.
+    """
+
+    def __init__(self, service_config: Optional[ServiceConfig] = None,
+                 host: str = DEFAULT_HOST, port: int = DEFAULT_FIT_PORT,
+                 max_pending: int = 8, drain_queue: bool = True,
+                 cache: Optional[FitCache] = None) -> None:
+        self.service = FitService(service_config, cache=cache)
+        self.app = FitHttpApp(self.service, max_pending=max_pending)
+        self.server = ServingHTTPServer((host, port), self.app)
+        self.service.serve_addr = self.server.bound_addr
+        self.drain_queue = drain_queue
+        self._runner: Optional[ServerThread] = None
+        self._drain_thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    @property
+    def addr(self) -> str:
+        return self.server.bound_addr
+
+    def _start_drain(self) -> None:
+        if not self.drain_queue:
+            # No queue loop → no heartbeat refresher either; start it
+            # so the heartbeat still advertises the bind address.
+            self.service._write_heartbeat()
+            self.service._start_heartbeat_thread()
+            return
+        self._drain_thread = threading.Thread(
+            target=self.service.serve_forever, daemon=True,
+            name="repro-fit-queue-drain")
+        self._drain_thread.start()
+
+    def start(self) -> str:
+        """Background both loops (tests / embedding); returns addr."""
+        self._start_drain()
+        self._runner = ServerThread(self.server)
+        return self._runner.start()
+
+    def serve_forever(self) -> None:
+        """Blocking serve (the CLI path); exits on :meth:`close` from
+        another thread or an interrupt in this one."""
+        self._start_drain()
+        self.server.serve_forever(poll_interval=0.1)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._runner is not None:
+            self._runner.stop()  # shutdown + join + server_close
+        else:
+            # CLI path: serve_forever already exited (interrupt) —
+            # shutdown() would deadlock on a loop that never ran.
+            self.server.server_close()
+        self.service.stop()
+        if self._drain_thread is not None:
+            self._drain_thread.join(timeout=10.0)
+            self._drain_thread = None
+        self.service.close()
+
+    def __enter__(self) -> "FitHttpServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+__all__ = ["FitHttpApp", "FitHttpServer"]

@@ -1,0 +1,163 @@
+"""The serving tier's wire protocol: one small versioned JSON dialect.
+
+Every HTTP endpoint in :mod:`repro.serving` speaks JSON documents built
+from the helpers here, stamped with :data:`PROTOCOL_VERSION` so clients
+and servers from different checkouts refuse each other loudly instead
+of mis-parsing silently.  The protocol is deliberately tiny:
+
+=======================  ==============================================
+``GET /healthz``          liveness: ``{"ok", "role", "protocol"}``
+``GET /version``          protocol + schema versions, cache dir, and an
+                          engine-capabilities snapshot
+``GET /metrics``          Prometheus exposition of the server process's
+                          :class:`~repro.obs.metrics.MetricsRegistry`
+``POST /v1/fit``          fit a batch of canonical job documents
+                          (:meth:`repro.api.FitRequest.to_dict`) and
+                          return cache-entry result documents
+``POST /v1/infer``        run one inference request through the
+                          micro-batching daemon (``serve-infer``)
+``GET /v1/models``        the models ``serve-infer`` holds hot
+=======================  ==============================================
+
+Array payloads travel as ``{"shape", "dtype", "data"}`` documents
+(flat lists plus an explicit dtype), so a round-trip reconstructs the
+exact ndarray instead of whatever ``np.asarray`` would guess from a
+nested list.
+
+This module is a leaf: stdlib + numpy only, importable from both the
+``repro.api`` client side and the ``repro.service`` daemon side without
+cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+#: Bump when a request/response document changes shape.
+PROTOCOL_VERSION = 1
+
+#: Environment variables the serving tier reads.
+ENV_SERVE_ADDR = "REPRO_SERVE_ADDR"          # fit server host:port
+ENV_INFER_ADDR = "REPRO_INFER_ADDR"          # infer server host:port
+ENV_INFER_BATCH_MS = "REPRO_INFER_BATCH_MS"  # micro-batch window
+
+#: Default bind/connect ports (fit and infer tiers are distinct
+#: daemons and may share a host).
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_FIT_PORT = 8173
+DEFAULT_INFER_PORT = 8174
+
+#: Route table (shared by servers, clients, and the docs).
+ROUTE_HEALTH = "/healthz"
+ROUTE_VERSION = "/version"
+ROUTE_METRICS = "/metrics"
+ROUTE_FIT = "/v1/fit"
+ROUTE_INFER = "/v1/infer"
+ROUTE_MODELS = "/v1/models"
+
+
+def parse_addr(text: Optional[str],
+               default_port: int = DEFAULT_FIT_PORT) -> Tuple[str, int]:
+    """``"host:port"`` / ``"host"`` / ``":port"`` into ``(host, port)``.
+
+    Raises ``ValueError`` on a malformed port so a typo'd
+    ``REPRO_SERVE_ADDR`` fails at startup, not at first request.
+    """
+    if not text:
+        return DEFAULT_HOST, default_port
+    text = text.strip()
+    if ":" in text:
+        host, _, port_text = text.rpartition(":")
+        host = host or DEFAULT_HOST
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ValueError(
+                f"malformed serving address {text!r}: port "
+                f"{port_text!r} is not an integer") from None
+    else:
+        host, port = text, default_port
+    if not (0 <= port <= 65535):
+        raise ValueError(f"malformed serving address {text!r}: "
+                         f"port {port} out of range")
+    return host, port
+
+
+def format_addr(host: str, port: int) -> str:
+    """The canonical ``host:port`` rendering of a bound address."""
+    return f"{host}:{port}"
+
+
+def error_doc(code: str, message: str, **extra: Any) -> Dict[str, Any]:
+    """The error envelope every non-2xx response carries."""
+    doc: Dict[str, Any] = {"ok": False, "error": code, "message": message,
+                           "protocol": PROTOCOL_VERSION}
+    doc.update(extra)
+    return doc
+
+
+def check_protocol(doc: Dict[str, Any]) -> Optional[str]:
+    """``None`` when the document's protocol matches; else the reason.
+
+    A missing field is accepted (same-version clients may omit it on
+    GETs); a *different* version is refused.
+    """
+    got = doc.get("protocol", PROTOCOL_VERSION)
+    if got != PROTOCOL_VERSION:
+        return (f"protocol version {got!r} incompatible with server "
+                f"protocol {PROTOCOL_VERSION}")
+    return None
+
+
+# --------------------------------------------------------------------- #
+# Array documents
+# --------------------------------------------------------------------- #
+def encode_array(arr: np.ndarray) -> Dict[str, Any]:
+    """An ndarray as a JSON-native document (lossless for the dtypes
+    the graph executor produces: floats and integer token ids)."""
+    arr = np.asarray(arr)
+    return {"shape": list(arr.shape), "dtype": str(arr.dtype),
+            "data": arr.reshape(-1).tolist()}
+
+
+def decode_array(doc: Dict[str, Any]) -> np.ndarray:
+    """Inverse of :func:`encode_array`; raises ``ValueError`` on a
+    document whose data does not fill its declared shape."""
+    try:
+        shape = tuple(int(d) for d in doc["shape"])
+        dtype = np.dtype(str(doc["dtype"]))
+        data = doc["data"]
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"malformed array document: {exc!r}") from None
+    arr = np.asarray(data, dtype=dtype)
+    try:
+        return arr.reshape(shape)
+    except ValueError:
+        raise ValueError(
+            f"array document declares shape {shape} but carries "
+            f"{arr.size} elements") from None
+
+
+__all__ = [
+    "DEFAULT_FIT_PORT",
+    "DEFAULT_HOST",
+    "DEFAULT_INFER_PORT",
+    "ENV_INFER_ADDR",
+    "ENV_INFER_BATCH_MS",
+    "ENV_SERVE_ADDR",
+    "PROTOCOL_VERSION",
+    "ROUTE_FIT",
+    "ROUTE_HEALTH",
+    "ROUTE_INFER",
+    "ROUTE_METRICS",
+    "ROUTE_MODELS",
+    "ROUTE_VERSION",
+    "check_protocol",
+    "decode_array",
+    "encode_array",
+    "error_doc",
+    "format_addr",
+    "parse_addr",
+]

@@ -1,12 +1,14 @@
-"""Property: Session artifacts are bitwise-equal across local engines.
+"""Property: Session artifacts are bitwise-equal across all engines.
 
 The engine choice is an operational decision, never a numerical one:
 for any shape-compatible sweep, ``inline`` (sequential scalar fits),
-``lane`` (one lock-step batch), and ``pool`` (lane-batched units on a
-process pool) must produce byte-identical PWLs and identical
-``grid_mse`` / step counts.  This leans on — and end-to-end re-checks —
-the lane kernel's bit-for-bit equivalence contract
-(:mod:`repro.core.lanefit`).
+``lane`` (one lock-step batch), ``pool`` (lane-batched units on a
+process pool), and ``http`` (the same fits behind a ``serve-http``
+daemon and a JSON round-trip) must produce byte-identical PWLs and
+identical ``grid_mse`` / step counts.  This leans on — and end-to-end
+re-checks — the lane kernel's bit-for-bit equivalence contract
+(:mod:`repro.core.lanefit`) plus the wire protocol's lossless array
+documents (:mod:`repro.serving.protocol`).
 """
 
 import numpy as np
@@ -15,8 +17,10 @@ import pytest
 from repro.api import EngineConfig, FitRequest, Session
 from repro.core.batchfit import FitCache
 from repro.core.fit import FitConfig
+from repro.serving.fit_server import FitHttpServer
+from repro.service.daemon import ServiceConfig
 
-_ENGINES = ("inline", "lane", "pool")
+_ENGINES = ("inline", "lane", "pool", "http")
 
 #: Cheap but non-trivial: two budgets (two lane groups), mixed boundary
 #: policies, warm starts off so every engine sees identical cold work.
@@ -38,9 +42,23 @@ def per_engine_artifacts(tmp_path_factory):
     out = {}
     for engine in _ENGINES:
         cache = FitCache(tmp_path_factory.mktemp(f"cache-{engine}"))
-        config = EngineConfig(engine=engine, warm_start=False)
-        with Session(config, cache=cache) as session:
-            out[engine] = session.fit(_sweep())
+        if engine == "http":
+            # An embedded serve-http daemon with its own cold cache: the
+            # fits run server-side and round-trip through JSON.
+            root = tmp_path_factory.mktemp("http-server")
+            with FitHttpServer(
+                    ServiceConfig(root=root / "queue", warm_start=False),
+                    port=0, drain_queue=False,
+                    cache=FitCache(root / "cache")) as server:
+                config = EngineConfig(engine="http",
+                                      http_addr=server.addr,
+                                      warm_start=False)
+                with Session(config, cache=cache) as session:
+                    out[engine] = session.fit(_sweep())
+        else:
+            config = EngineConfig(engine=engine, warm_start=False)
+            with Session(config, cache=cache) as session:
+                out[engine] = session.fit(_sweep())
     return out
 
 

@@ -14,6 +14,7 @@ EXPECTED_ALL = [
     "DaemonEngine",
     "ENGINE_AUTO",
     "ENGINE_DAEMON",
+    "ENGINE_HTTP",
     "ENGINE_INLINE",
     "ENGINE_LANE",
     "ENGINE_NAMES",
@@ -24,6 +25,7 @@ EXPECTED_ALL = [
     "FALLBACK_LOCAL",
     "FitArtifact",
     "FitRequest",
+    "HttpEngine",
     "InlineEngine",
     "LaneEngine",
     "PoolEngine",

@@ -1,0 +1,124 @@
+"""HttpEngine: the network engine behind ``engine="http"``.
+
+Uses an embedded :class:`FitHttpServer` — the same in-process topology
+the property suite uses for the bitwise-equivalence leg — plus
+dead-server scenarios for the failover contract.
+"""
+
+import pytest
+
+from repro.api import (ENGINE_HTTP, EngineConfig, FitRequest, HttpEngine,
+                       Session)
+from repro.core.batchfit import FitCache
+from repro.core.fit import FitConfig
+from repro.errors import ServiceError
+from repro.serving.fit_server import FitHttpServer
+from repro.service.daemon import ServiceConfig
+
+_TINY = FitConfig(n_breakpoints=4, max_steps=40, refine_steps=20,
+                  max_refine_rounds=1, polish_maxiter=60, grid_points=256)
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    root = tmp_path_factory.mktemp("http-engine")
+    with FitHttpServer(
+            ServiceConfig(root=root / "queue", warm_start=False,
+                          max_workers=2),
+            port=0, drain_queue=False,
+            cache=FitCache(root / "cache")) as srv:
+        yield srv
+
+
+class TestConfiguration:
+    def test_unconfigured_engine_refuses_to_fit(self, monkeypatch):
+        from repro.serving.protocol import ENV_SERVE_ADDR
+        monkeypatch.delenv(ENV_SERVE_ADDR, raising=False)
+        engine = HttpEngine(EngineConfig(engine="http"))
+        assert not engine.configured()
+        with pytest.raises(ServiceError, match="no serving address"):
+            engine.fit([FitRequest.create("tanh", 4, config=_TINY)])
+
+    def test_env_var_configures_the_address(self, monkeypatch, server):
+        from repro.serving.protocol import ENV_SERVE_ADDR
+        monkeypatch.setenv(ENV_SERVE_ADDR, server.addr)
+        engine = HttpEngine(EngineConfig(engine="http"))
+        assert engine.configured()
+        assert engine.addr() == server.addr
+        assert engine.alive()
+        engine.close()
+
+    def test_explicit_addr_beats_env(self, monkeypatch, server):
+        from repro.serving.protocol import ENV_SERVE_ADDR
+        monkeypatch.setenv(ENV_SERVE_ADDR, "other-host:9")
+        engine = HttpEngine(EngineConfig(engine="http",
+                                         http_addr=server.addr))
+        assert engine.addr() == server.addr
+        engine.close()
+
+
+class TestFitThroughServer:
+    def test_artifacts_carry_http_provenance(self, server):
+        engine = HttpEngine(EngineConfig(engine="http",
+                                         http_addr=server.addr,
+                                         warm_start=False))
+        reqs = [FitRequest.create("tanh", 4, config=_TINY),
+                FitRequest.create("sigmoid", 4, config=_TINY)]
+        arts = engine.fit(reqs)
+        assert all(a is not None for a in arts)
+        for req, art in zip(reqs, arts):
+            assert art.engine == ENGINE_HTTP
+            assert art.key == req.key
+            assert art.provenance["source"] == "http"
+            assert art.provenance["addr"] == server.addr
+        assert engine.last_errors == {}
+        caps = engine.capabilities()
+        assert caps["remote"] is True
+        assert caps["alive"] is True
+        engine.close()
+
+    def test_session_fit_bitwise_matches_inline(self, server, tmp_path):
+        reqs = [FitRequest.create("silu", 4, config=_TINY)]
+        with Session(EngineConfig(engine="http", http_addr=server.addr,
+                                  warm_start=False),
+                     cache=FitCache(tmp_path / "http")) as s:
+            [via_http] = s.fit(reqs)
+        with Session(EngineConfig(engine="inline", warm_start=False),
+                     cache=FitCache(tmp_path / "inline")) as s:
+            [via_inline] = s.fit(reqs)
+        assert via_http.key == via_inline.key
+        assert via_http.grid_mse == via_inline.grid_mse
+        import numpy as np
+        assert np.array_equal(via_http.pwl.breakpoints,
+                              via_inline.pwl.breakpoints)
+        assert np.array_equal(via_http.pwl.values, via_inline.pwl.values)
+
+
+class TestDeadServer:
+    def test_alive_false_and_fit_raises_transport_error(self):
+        # Nothing listens on this port.
+        engine = HttpEngine(EngineConfig(engine="http",
+                                         http_addr="127.0.0.1:1",
+                                         retry_max_attempts=1))
+        assert not engine.alive(timeout_s=0.2)
+        with pytest.raises(OSError):
+            engine.fit([FitRequest.create("tanh", 4, config=_TINY)])
+        engine.close()
+
+    def test_session_falls_back_locally_with_provenance(self, tmp_path):
+        cfg = EngineConfig(engine="http", http_addr="127.0.0.1:1",
+                           fallback="local", warm_start=False,
+                           retry_max_attempts=1)
+        with Session(cfg, cache=FitCache(tmp_path / "cache")) as s:
+            [art] = s.fit([FitRequest.create("tanh", 4, config=_TINY)])
+        assert art.engine != ENGINE_HTTP
+        assert art.provenance["degraded_from"] == ["http"]
+        assert art.provenance["source"] == "local-fallback"
+
+    def test_session_strict_mode_raises(self, tmp_path):
+        cfg = EngineConfig(engine="http", http_addr="127.0.0.1:1",
+                           fallback="error", warm_start=False,
+                           retry_max_attempts=1)
+        with Session(cfg, cache=FitCache(tmp_path / "cache")) as s:
+            with pytest.raises(OSError):
+                s.fit([FitRequest.create("tanh", 4, config=_TINY)])

@@ -159,6 +159,16 @@ class TestEngineProtocol:
         assert check_engine_protocol(
             ast.parse(path.read_text()), str(path)) == []
 
+    def test_serving_tier_is_scanned_and_clean(self):
+        from tools.lint_repro import ENGINE_SCAN_PATHS
+        assert "src/repro/serving" in ENGINE_SCAN_PATHS
+        serving = REPO_ROOT / "src" / "repro" / "serving"
+        files = sorted(serving.rglob("*.py"))
+        assert files, "serving tier is missing"
+        for path in files:
+            assert check_engine_protocol(
+                ast.parse(path.read_text()), str(path)) == []
+
 
 class TestFrozenConfigs:
     def test_unfrozen_config_flagged(self):

@@ -1,0 +1,168 @@
+"""The ``serve-http`` fit server: endpoints, backpressure, isolation.
+
+One embedded :class:`FitHttpServer` (HTTP-only, ``drain_queue=False``)
+serves the whole module; every test talks to it through the real
+:class:`ServingClient`, so request framing, error mapping and metrics
+are exercised end to end in-process.
+"""
+
+import threading
+
+import pytest
+
+from repro.api import FitRequest
+from repro.core.batchfit import FitCache
+from repro.core.fit import FitConfig
+from repro.serving.client import ServerError, ServingClient
+from repro.serving.fit_server import FitHttpApp, FitHttpServer
+from repro.serving.protocol import PROTOCOL_VERSION, ROUTE_FIT
+from repro.service.daemon import FitService, ServiceConfig
+
+_TINY = FitConfig(n_breakpoints=4, max_steps=40, refine_steps=20,
+                  max_refine_rounds=1, polish_maxiter=60, grid_points=256)
+
+
+def _job_doc(name="tanh", n=4):
+    return FitRequest.create(name, n, config=_TINY).to_dict()
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    root = tmp_path_factory.mktemp("serving-http")
+    with FitHttpServer(
+            ServiceConfig(root=root / "queue", warm_start=False,
+                          max_workers=2),
+            port=0, drain_queue=False,
+            cache=FitCache(root / "cache")) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    with ServingClient(server.addr) as c:
+        yield c
+
+
+class TestPlumbingEndpoints:
+    def test_healthz(self, client):
+        doc = client.healthz()
+        assert doc["ok"] is True
+        assert doc["role"] == "fit"
+        assert doc["protocol"] == PROTOCOL_VERSION
+
+    def test_version_advertises_schemas_and_cache(self, server, client):
+        from repro import __version__
+        from repro.api.artifact import ARTIFACT_SCHEMA_VERSION
+        from repro.core.batchfit import CACHE_SCHEMA_VERSION
+        doc = client.version()
+        assert doc["version"] == __version__
+        assert doc["schemas"] == {"artifact": ARTIFACT_SCHEMA_VERSION,
+                                  "cache": CACHE_SCHEMA_VERSION}
+        assert doc["cache_dir"] == str(server.service.fitter.cache.directory)
+        assert doc["capabilities"]["max_pending"] == server.app.max_pending
+
+    def test_alive_probe(self, server):
+        assert ServingClient(server.addr).alive()
+        # Nothing listens on the port the OS just handed back to us.
+        dead = ServingClient(("127.0.0.1", 1))
+        assert not dead.alive(timeout_s=0.2)
+
+    def test_unknown_route_is_404(self, client):
+        with pytest.raises(ServerError) as err:
+            client.request("GET", "/nope")
+        assert err.value.status == 404
+
+    def test_metrics_exposition(self, client):
+        client.healthz()  # at least one response counted
+        import http.client
+        conn = http.client.HTTPConnection(client.host, client.port,
+                                          timeout=5.0)
+        conn.request("GET", "/metrics")
+        resp = conn.getresponse()
+        text = resp.read().decode("utf-8")
+        conn.close()
+        assert resp.status == 200
+        assert "repro_serving_http_responses" in text
+
+
+class TestFitEndpoint:
+    def test_fit_roundtrip_then_cache_hit(self, client):
+        [doc] = client.fit([_job_doc("tanh", 4)])
+        assert "error" not in doc
+        assert doc["from_cache"] is False
+        assert doc["entry"]["function"] == "tanh"
+        [again] = client.fit([_job_doc("tanh", 4)])
+        assert again["key"] == doc["key"]
+        assert again["from_cache"] is True
+        assert again["entry"] == doc["entry"]
+
+    def test_protocol_mismatch_is_400(self, client):
+        with pytest.raises(ServerError) as err:
+            client.request("POST", ROUTE_FIT,
+                           {"protocol": PROTOCOL_VERSION + 1,
+                            "requests": []})
+        assert err.value.status == 400
+        assert err.value.doc["error"] == "protocol"
+
+    def test_missing_requests_list_is_400(self, client):
+        with pytest.raises(ServerError) as err:
+            client.request("POST", ROUTE_FIT,
+                           {"protocol": PROTOCOL_VERSION,
+                            "requests": "tanh"})
+        assert err.value.status == 400
+
+    def test_undecodable_job_fails_alone(self, client):
+        bad = {"function": "tanh"}  # no n_breakpoints / config
+        good = _job_doc("sigmoid", 4)
+        results = client.fit([bad, good])
+        assert "error" in results[0]
+        assert "undecodable job" in results[0]["error"]
+        assert "error" not in results[1]
+        assert results[1]["entry"]["function"] == "sigmoid"
+
+
+class TestBackpressure:
+    def test_saturated_slots_answer_429_with_retry_after(self, tmp_path):
+        service = FitService(ServiceConfig(root=tmp_path / "q",
+                                           warm_start=False),
+                             cache=FitCache(tmp_path / "c"))
+        try:
+            app = FitHttpApp(service, max_pending=1)
+            assert app._slots.acquire(blocking=False)  # fill the one slot
+            status, doc, headers = app.handle(
+                "POST", ROUTE_FIT,
+                {"protocol": PROTOCOL_VERSION, "requests": []})
+            assert status == 429
+            assert doc["error"] == "busy"
+            assert float(headers["Retry-After"]) > 0
+            app._slots.release()
+            # Slot free again: the same request is admitted.
+            status, doc, _ = app.handle(
+                "POST", ROUTE_FIT,
+                {"protocol": PROTOCOL_VERSION, "requests": []})
+            assert status == 200
+        finally:
+            service.stop()
+            service.close()
+
+    def test_concurrent_requests_all_complete(self, server):
+        # More client threads than admission slots: everyone must get a
+        # real answer (429s are retried by the client's RetryPolicy).
+        results, errors = [], []
+
+        def one(i):
+            try:
+                with ServingClient(server.addr) as c:
+                    results.append(c.fit([_job_doc("silu", 4)])[0])
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=one, args=(i,))
+                   for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors
+        assert len(results) == 6
+        assert len({doc["key"] for doc in results}) == 1

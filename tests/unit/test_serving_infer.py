@@ -1,0 +1,170 @@
+"""The ``serve-infer`` daemon: micro-batching, correctness, 429s."""
+
+import queue as queue_mod
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.program import compile_graph
+from repro.serving.client import ServerError, ServingClient
+from repro.serving.infer_server import (DEFAULT_BATCH_MS, InferApp,
+                                        InferServer, ModelRunner,
+                                        resolve_batch_ms)
+from repro.serving.protocol import (ENV_INFER_BATCH_MS, PROTOCOL_VERSION,
+                                    ROUTE_INFER, encode_array)
+
+
+def _tiny_program():
+    g = GraphBuilder("tiny_mlp", seed=7)
+    x = g.input("x", (0, 16))
+    x = g.linear(x, 16, 8)
+    x = g.activation(x, "gelu")
+    x = g.linear(x, 8, 4)
+    g.graph.outputs = [x]
+    return g.graph, compile_graph(g.graph)
+
+
+class TestResolveBatchMs:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(ENV_INFER_BATCH_MS, "50")
+        assert resolve_batch_ms(2.5) == 2.5
+
+    def test_env_beats_default(self, monkeypatch):
+        monkeypatch.setenv(ENV_INFER_BATCH_MS, "12.5")
+        assert resolve_batch_ms() == 12.5
+
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(ENV_INFER_BATCH_MS, raising=False)
+        assert resolve_batch_ms() == DEFAULT_BATCH_MS
+
+    @pytest.mark.parametrize("bad", ["fast", "-3"])
+    def test_malformed_env_fails_loudly(self, monkeypatch, bad):
+        from repro.errors import ServiceError
+        monkeypatch.setenv(ENV_INFER_BATCH_MS, bad)
+        with pytest.raises(ServiceError, match=ENV_INFER_BATCH_MS):
+            resolve_batch_ms()
+
+
+class TestModelRunnerBatching:
+    def test_burst_fuses_into_one_batch(self, rng):
+        graph, prog = _tiny_program()
+        # A wide window so the whole burst lands in one fused pass.
+        runner = ModelRunner("tiny", prog, batch_ms=500.0, batch_cap=32)
+        try:
+            feeds = [{"x": rng.normal(size=(1, 16))} for _ in range(4)]
+            pending = [runner.submit(f) for f in feeds]
+            for p in pending:
+                assert p.event.wait(30.0), "batcher never answered"
+                assert p.error is None
+            assert runner.requests == 4
+            assert runner.batches == 1
+            # Fused outputs match the per-request outputs to BLAS
+            # rounding (a stacked GEMM may round rows differently than
+            # a batch-of-one pass does).
+            name = graph.outputs[0]
+            for p, f in zip(pending, feeds):
+                assert np.allclose(p.outputs[name], prog.run(f)[name],
+                                   rtol=1e-10, atol=1e-12)
+        finally:
+            runner.stop()
+
+    def test_batch_cap_splits_the_window(self, rng):
+        _, prog = _tiny_program()
+        runner = ModelRunner("tiny", prog, batch_ms=500.0, batch_cap=2)
+        try:
+            pending = [runner.submit({"x": rng.normal(size=(1, 16))})
+                       for _ in range(4)]
+            for p in pending:
+                assert p.event.wait(30.0)
+                assert p.error is None
+            assert runner.batches >= 2  # cap forbids one fused batch of 4
+        finally:
+            runner.stop()
+
+    def test_status_names_io(self):
+        _, prog = _tiny_program()
+        runner = ModelRunner("tiny", prog, batch_ms=1.0)
+        try:
+            status = runner.status()
+            assert status["inputs"] == ["x"]
+            assert len(status["outputs"]) == 1
+            assert status["max_queue"] == 128
+        finally:
+            runner.stop()
+
+    def test_submit_after_stop_raises(self, rng):
+        from repro.errors import ServiceError
+        _, prog = _tiny_program()
+        runner = ModelRunner("tiny", prog, batch_ms=1.0)
+        runner.stop()
+        with pytest.raises(ServiceError, match="shutting down"):
+            runner.submit({"x": rng.normal(size=(1, 16))})
+
+
+class TestInferApp:
+    @pytest.fixture()
+    def app(self):
+        _, prog = _tiny_program()
+        app = InferApp({"tiny": prog}, batch_ms=1.0)
+        yield app
+        app.close()
+
+    def _body(self, rng, model="tiny"):
+        return {"protocol": PROTOCOL_VERSION, "model": model,
+                "feeds": {"x": encode_array(rng.normal(size=(1, 16)))}}
+
+    def test_unknown_model_is_404(self, app, rng):
+        status, doc, _ = app.handle("POST", ROUTE_INFER,
+                                    self._body(rng, model="resnet"))
+        assert status == 404
+        assert "tiny" in doc["message"]
+
+    def test_protocol_mismatch_is_400(self, app, rng):
+        body = self._body(rng)
+        body["protocol"] = PROTOCOL_VERSION + 1
+        status, doc, _ = app.handle("POST", ROUTE_INFER, body)
+        assert status == 400
+
+    def test_bad_feeds_are_400(self, app):
+        for feeds in (None, {}, {"x": {"shape": [1], "data": [1, 2]}}):
+            status, _, _ = app.handle(
+                "POST", ROUTE_INFER,
+                {"protocol": PROTOCOL_VERSION, "model": "tiny",
+                 "feeds": feeds})
+            assert status == 400
+
+    def test_full_queue_is_429_with_retry_after(self, app, rng,
+                                                monkeypatch):
+        runner = app.runners["tiny"]
+
+        def full(feeds):
+            raise queue_mod.Full
+
+        monkeypatch.setattr(runner, "submit", full)
+        status, doc, headers = app.handle("POST", ROUTE_INFER,
+                                          self._body(rng))
+        assert status == 429
+        assert doc["error"] == "busy"
+        assert float(headers["Retry-After"]) >= runner.batch_ms / 1000.0
+
+    def test_shutdown_is_503(self, app, rng):
+        app.runners["tiny"].stop()
+        status, doc, _ = app.handle("POST", ROUTE_INFER, self._body(rng))
+        assert status == 503
+
+
+class TestInferServerEndToEnd:
+    def test_http_roundtrip_matches_direct_run(self, rng):
+        graph, prog = _tiny_program()
+        with InferServer({"tiny": prog}, port=0, batch_ms=2.0) as srv:
+            with ServingClient(srv.addr) as client:
+                feeds = {"x": rng.normal(size=(1, 16))}
+                out = client.infer("tiny", feeds)
+                name = graph.outputs[0]
+                assert np.array_equal(out[name], prog.run(feeds)[name])
+                models = client.models()["models"]
+                assert models["tiny"]["requests"] >= 1
+                with pytest.raises(ServerError) as err:
+                    client.infer("missing", feeds)
+                assert err.value.status == 404

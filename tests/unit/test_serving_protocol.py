@@ -1,0 +1,84 @@
+"""The serving wire protocol: address parsing, version gate, arrays."""
+
+import numpy as np
+import pytest
+
+from repro.serving.protocol import (DEFAULT_FIT_PORT, DEFAULT_HOST,
+                                    PROTOCOL_VERSION, check_protocol,
+                                    decode_array, encode_array, error_doc,
+                                    format_addr, parse_addr)
+
+
+class TestParseAddr:
+    def test_host_and_port(self):
+        assert parse_addr("example.org:9000") == ("example.org", 9000)
+
+    def test_host_only_gets_default_port(self):
+        assert parse_addr("example.org", 4242) == ("example.org", 4242)
+
+    def test_port_only_gets_default_host(self):
+        assert parse_addr(":9000") == (DEFAULT_HOST, 9000)
+
+    def test_none_and_empty_fall_back_entirely(self):
+        assert parse_addr(None) == (DEFAULT_HOST, DEFAULT_FIT_PORT)
+        assert parse_addr("") == (DEFAULT_HOST, DEFAULT_FIT_PORT)
+
+    def test_whitespace_is_stripped(self):
+        assert parse_addr("  10.0.0.1:80 ") == ("10.0.0.1", 80)
+
+    @pytest.mark.parametrize("bad", ["host:http", "host:", "host:70000",
+                                     "host:-1"])
+    def test_malformed_port_raises_at_parse_time(self, bad):
+        with pytest.raises(ValueError, match="malformed serving address"):
+            parse_addr(bad)
+
+    def test_format_addr_roundtrips(self):
+        host, port = parse_addr(format_addr("node7", 8173))
+        assert (host, port) == ("node7", 8173)
+
+
+class TestProtocolGate:
+    def test_matching_version_accepted(self):
+        assert check_protocol({"protocol": PROTOCOL_VERSION}) is None
+
+    def test_missing_field_accepted(self):
+        assert check_protocol({}) is None
+
+    def test_different_version_refused_with_reason(self):
+        reason = check_protocol({"protocol": PROTOCOL_VERSION + 1})
+        assert reason is not None
+        assert str(PROTOCOL_VERSION + 1) in reason
+
+    def test_error_doc_envelope(self):
+        doc = error_doc("busy", "try later", hint=7)
+        assert doc["ok"] is False
+        assert doc["error"] == "busy"
+        assert doc["message"] == "try later"
+        assert doc["protocol"] == PROTOCOL_VERSION
+        assert doc["hint"] == 7
+
+
+class TestArrayDocuments:
+    @pytest.mark.parametrize("dtype", ["float64", "float32", "int64"])
+    def test_roundtrip_is_lossless(self, dtype, rng):
+        arr = rng.normal(size=(3, 4, 2)).astype(dtype)
+        back = decode_array(encode_array(arr))
+        assert back.dtype == arr.dtype
+        assert back.shape == arr.shape
+        assert np.array_equal(back, arr)
+
+    def test_scalar_and_empty_shapes(self):
+        for arr in (np.float64(3.5), np.zeros((0, 4))):
+            back = decode_array(encode_array(arr))
+            assert back.shape == np.asarray(arr).shape
+            assert np.array_equal(back, np.asarray(arr))
+
+    def test_shape_data_mismatch_raises(self):
+        doc = encode_array(np.arange(6.0))
+        doc["shape"] = [7]
+        with pytest.raises(ValueError, match="7"):
+            decode_array(doc)
+
+    def test_missing_field_raises(self):
+        with pytest.raises(ValueError, match="malformed array document"):
+            decode_array({"shape": [1], "data": [0.0]})

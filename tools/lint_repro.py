@@ -9,11 +9,12 @@ to its own architectural promises:
     door must import fast on machines without scipy; every scipy use is
     function-local behind a capability gate.
 ``RPL002``
-    Every concrete ``*Engine`` in ``repro/api/engines.py`` structurally
-    conforms to the ``Engine`` protocol (``fit`` / ``capabilities`` /
-    ``close``, a ``name`` attribute and a ``last_errors`` mapping) —
-    runtime duck typing won't catch a missing method until a user hits
-    it.
+    Every concrete ``*Engine`` in ``repro/api/engines.py`` — and in the
+    network serving tier (``repro/serving/``), should one grow there —
+    structurally conforms to the ``Engine`` protocol (``fit`` /
+    ``capabilities`` / ``close``, a ``name`` attribute and a
+    ``last_errors`` mapping) — runtime duck typing won't catch a
+    missing method until a user hits it.
 ``RPL003``
     ``*Config`` dataclasses are ``frozen=True``.  Configs are hashed
     into cache keys and shared across threads; mutability is a bug
@@ -64,6 +65,13 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 ENGINE_PROTOCOL_METHODS = ("fit", "capabilities", "close")
 ENGINE_PROTOCOL_ATTRS = ("name", "last_errors")
+# RPL002 scan set: the engine registry plus the serving tier (a future
+# remote engine variant landing next to its transport must still
+# satisfy the protocol).  A directory entry covers every module in it.
+ENGINE_SCAN_PATHS = (
+    "src/repro/api/engines.py",
+    "src/repro/serving",
+)
 TOLERANCE_CALLS = ("allclose", "isclose", "approx", "assert_allclose")
 
 # RPL005: direct clock reads banned in instrumented modules; the shim
@@ -79,6 +87,7 @@ CLOCK_SEAM_PATHS = (
     "src/repro/service/queue.py",
     "src/repro/service/daemon.py",
     "src/repro/service/client.py",
+    "src/repro/serving",
 )
 CLOCK_SHIM_PATH = "src/repro/obs/clock.py"
 
@@ -499,11 +508,17 @@ def lint_repo(root: Path = REPO_ROOT) -> List[Violation]:
     modules = collect_modules(root / "src")
     violations += check_lazy_scipy(modules)
 
-    engines = root / "src" / "repro" / "api" / "engines.py"
-    if engines.exists():
+    engine_files: List[Path] = []
+    for rel in ENGINE_SCAN_PATHS:
+        target = root / rel
+        if target.is_dir():
+            engine_files.extend(sorted(target.rglob("*.py")))
+        elif target.exists():
+            engine_files.append(target)
+    for path in engine_files:
         violations += check_engine_protocol(
-            ast.parse(engines.read_text(), filename=str(engines)),
-            str(engines))
+            ast.parse(path.read_text(), filename=str(path)),
+            str(path))
 
     for info in modules.values():
         violations += check_frozen_configs(info.tree, str(info.path))
