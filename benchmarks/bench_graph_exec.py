@@ -202,6 +202,111 @@ def test_graph_exec_throughput(report_writer, json_report_writer,
 
 
 # --------------------------------------------------------------------- #
+# Optimizing pipeline vs the PR-5 compiled baseline
+# --------------------------------------------------------------------- #
+def test_optimized_pipeline_throughput(report_writer, json_report_writer,
+                                       bench_quick):
+    """The optimization passes must earn their keep on stacked serving.
+
+    Baseline is the unoptimized compiled ``Program`` (the PR-5 path:
+    per-node kernels, no fusion, no staging) on a transformer-shaped
+    zoo model; the candidate is the same graph through the default
+    pipeline.  The stacked-serving gate is >= 1.3x (>= 1.2x under
+    ``--bench-quick``); outputs must stay bitwise identical to the
+    baseline for every variant before any timing is trusted.  The JSON
+    artifact records the fusion on/off and workers 1/N dimensions
+    separately so a regression can be localized per pass.
+    """
+    if bench_quick:
+        n_requests, repeats, floor = 16, 3, 1.2
+    else:
+        n_requests, repeats, floor = 48, 5, 1.3
+
+    graph = build_vit(act="gelu", scale=0.5, seed=1, image=16,
+                      patch=4, depth=2, heads=2)
+    approx = make_pwl_approximators(["gelu", "softmax"], 16, config=_FIT_CFG)
+    rewritten, n_rewritten = replace_activations(graph, approx)
+    assert n_rewritten >= 4
+
+    baseline = compile_graph(rewritten)
+    optimized = compile_graph(rewritten, optimize=True)
+    no_fusion = compile_graph(
+        rewritten, optimize=True,
+        passes=["fold-constants", "eliminate-dead-nodes",
+                "schedule-regions"])
+    staged = compile_graph(rewritten, optimize=True, workers=2)
+    assert [r.name for r in optimized.pass_reports] == \
+        ["fold-constants", "eliminate-dead-nodes", "fuse-kernels",
+         "schedule-regions"]
+
+    rng = np.random.default_rng(0)
+    shape = (1,) + tuple(graph.inputs[0][1][1:])
+    requests = [{"x": rng.normal(size=shape)} for _ in range(n_requests)]
+    out_name = graph.outputs[0]
+
+    # Bitwise first, then the stopwatch: every variant must agree with
+    # the PR-5 baseline exactly, per request and stacked.
+    for feed in requests[: 8 if bench_quick else None]:
+        ref = baseline.run(feed)[out_name]
+        for variant in (optimized, no_fusion, staged):
+            assert np.array_equal(variant.run(feed)[out_name], ref)
+    ref_stacked = [o[out_name] for o in baseline.run_many(requests)]
+    for variant in (optimized, no_fusion, staged):
+        got = [o[out_name] for o in variant.run_many(requests)]
+        for g, r in zip(got, ref_stacked):
+            assert np.array_equal(g, r)
+
+    t_base, _ = _best_of(lambda: baseline.run_many(requests), repeats)
+    t_opt, _ = _best_of(lambda: optimized.run_many(requests), repeats)
+    t_nofuse, _ = _best_of(lambda: no_fusion.run_many(requests), repeats)
+    t_staged, _ = _best_of(lambda: staged.run_many(requests), repeats)
+    t_base_single, _ = _best_of(
+        lambda: [baseline.run(feed) for feed in requests], repeats)
+    t_opt_single, _ = _best_of(
+        lambda: [optimized.run(feed) for feed in requests], repeats)
+
+    speedup = t_base / t_opt
+    summary = {
+        "graph": graph.name,
+        "n_requests": n_requests,
+        "nodes_baseline": len(baseline.nodes),
+        "nodes_optimized": len(optimized.nodes),
+        "pass_reports": [r.to_dict() for r in optimized.pass_reports],
+        "baseline_stacked_s": t_base,
+        "optimized_stacked_s": t_opt,
+        "no_fusion_stacked_s": t_nofuse,
+        "workers2_stacked_s": t_staged,
+        "baseline_single_s": t_base_single,
+        "optimized_single_s": t_opt_single,
+        "speedup_stacked": speedup,
+        "speedup_stacked_no_fusion": t_base / t_nofuse,
+        "speedup_stacked_workers2": t_base / t_staged,
+        "speedup_single": t_base_single / t_opt_single,
+        "floor": floor,
+        "quick": bench_quick,
+    }
+
+    rows = [
+        ["baseline (PR-5 Program)", f"{t_base * 1e3:.2f}", fmt_ratio(1.0)],
+        ["optimized, fusion off", f"{t_nofuse * 1e3:.2f}",
+         fmt_ratio(t_base / t_nofuse)],
+        ["optimized (default passes)", f"{t_opt * 1e3:.2f}",
+         fmt_ratio(speedup)],
+        ["optimized, workers=2", f"{t_staged * 1e3:.2f}",
+         fmt_ratio(t_base / t_staged)],
+    ]
+    report_writer("graph_opt_throughput", format_table(
+        ["variant", f"{n_requests} stacked requests ms", "speedup"], rows,
+        title=f"Optimizing pipeline on {graph.name} "
+              f"({len(baseline.nodes)} -> {len(optimized.nodes)} records)"))
+    json_report_writer("BENCH_graph_opt", summary)
+
+    assert speedup >= floor, (
+        f"optimized stacked serving {speedup:.2f}x below the "
+        f"{floor:.1f}x gate vs the PR-5 compiled baseline")
+
+
+# --------------------------------------------------------------------- #
 # Observability overhead gate
 # --------------------------------------------------------------------- #
 def _strip_obs_kernels(program):

@@ -288,48 +288,62 @@ def _domain_clipped(pwl: Any, fn: Any,
 @register_check("activations", "graph",
                 ("RPR120", "RPR121", "RPR122", "RPR130", "RPR131"))
 def check_activations(ctx: AnalysisContext) -> List[Diagnostic]:
-    """Activation nodes: known fn, attached fit, healthy PWL table."""
+    """Activation nodes: known fn, attached fit, healthy PWL table.
+
+    Fused records are inspected too: a ``fused`` node's activation /
+    softmax *steps* (see :class:`repro.graph.opt.passes.KernelFusion`)
+    go through the same RPR120/121/122/130/131 battery as standalone
+    nodes, reported as ``<node>#<step-index>``.
+    """
     from ..core.pwl import PiecewiseLinear
     from ..functions import registry as fn_registry
     from ..functions.softmax import SoftmaxApproximator
 
     g = ctx.graph
     out: List[Diagnostic] = []
+    # (display-name, op_type, attrs) for plain nodes and fused steps.
+    records = []
     for node in g.nodes:
-        if node.op_type not in ("activation", "softmax"):
-            continue
-        impl = node.attrs.get("impl", "exact")
+        if node.op_type in ("activation", "softmax"):
+            records.append((node.name, node.op_type, node.attrs))
+        elif node.op_type == "fused":
+            for i, step in enumerate(node.attrs.get("steps", ())):
+                if step.get("op") in ("activation", "softmax"):
+                    records.append((f"{node.name}#{i}", step["op"],
+                                    step.get("attrs", {})))
+    for name, op_type, attrs in records:
+        impl = attrs.get("impl", "exact")
         if impl not in ("exact", "pwl"):
             out.append(make_diagnostic(
                 "RPR122",
-                f"node {node.name}: unknown {node.op_type} impl {impl!r}",
-                node=node.name, graph=g.name))
+                f"node {name}: unknown {op_type} impl {impl!r}",
+                node=name, graph=g.name))
             continue
         fn = None
-        if node.op_type == "activation":
-            fn_name = str(node.attrs.get("fn", ""))
+        if op_type == "activation":
+            fn_name = str(attrs.get("fn", ""))
             try:
                 fn = fn_registry.get(fn_name)
             except Exception:
                 out.append(make_diagnostic(
                     "RPR121",
-                    f"node {node.name}: unknown activation function "
+                    f"node {name}: unknown activation function "
                     f"{fn_name!r}",
-                    node=node.name, graph=g.name))
+                    node=name, graph=g.name))
         if impl != "pwl":
             continue
-        approx = node.attrs.get("approximator")
+        approx = attrs.get("approximator")
         if approx is None:
             out.append(make_diagnostic(
                 "RPR120",
-                f"pwl {node.op_type} node {node.name} has no "
+                f"pwl {op_type} node {name} has no "
                 f"approximator attached",
-                node=node.name, graph=g.name))
+                node=name, graph=g.name))
             continue
         # Locate the PWL table behind the approximator (softmax wraps
         # an exp PWL in the max-subtract decomposition).
         pwl = approx if isinstance(approx, PiecewiseLinear) else None
-        if node.op_type == "softmax" and \
+        if op_type == "softmax" and \
                 isinstance(approx, SoftmaxApproximator) and \
                 isinstance(approx._exp_fn, PiecewiseLinear):
             pwl = approx._exp_fn
@@ -342,15 +356,15 @@ def check_activations(ctx: AnalysisContext) -> List[Diagnostic]:
         problem = _table_problem(pwl)
         if problem is not None:
             out.append(make_diagnostic(
-                "RPR131", f"node {node.name}: {problem}",
-                node=node.name, graph=g.name))
+                "RPR131", f"node {name}: {problem}",
+                node=name, graph=g.name))
             continue
         if fn is not None:
             clipped = _domain_clipped(pwl, fn, fn.default_interval)
             if clipped is not None:
                 out.append(make_diagnostic(
-                    "RPR130", f"node {node.name}: {clipped}",
-                    node=node.name, graph=g.name))
+                    "RPR130", f"node {name}: {clipped}",
+                    node=name, graph=g.name))
     return out
 
 

@@ -521,27 +521,47 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         return 2
     graph = builder(act=args.act, scale=args.scale, seed=args.seed)
     session = _session_from_args(args)
+    passes = ([p for p in args.passes.split(",") if p]
+              if args.passes is not None else None)
+    optimize = not args.no_opt
     program = session.compile(graph, batch_size=args.batch,
-                              n_breakpoints=args.pwl)
+                              n_breakpoints=args.pwl,
+                              optimize=optimize, passes=passes)
     # Static pricing: no forward pass behind either of these.
     record = program_to_record(program, name=graph.name, family=args.model)
     prof = program.profile
     cfg = AcceleratorConfig()
+    reports = program.pass_reports or []
     if args.json:
-        print(json.dumps({
+        payload = {
             "model": graph.name,
             "nodes": len(program.nodes),
             "arena_slots": program.n_slots,
             "batch_size": program.batch_size,
             "pwl_breakpoints": args.pwl,
+            "optimize": optimize,
+            "passes": [r.name for r in reports],
+            "pass_reports": [r.to_dict() for r in reports],
             "macs": prof.total_macs,
             "vector_ops": prof.total_vector_ops,
             "act_elements": prof.act_elements_by_fn(),
             "flexsfu_speedup": model_speedup(record, cfg),
-        }, indent=2))
+        }
+        if args.dump_plan:
+            payload["plan"] = [{
+                "name": cn.name,
+                "op": cn.op_type,
+                "label": cn.attrs.get("label"),
+                "in_slots": list(cn.in_slots),
+                "out_slots": list(cn.out_slots),
+            } for cn in program.nodes]
+        print(json.dumps(payload, indent=2))
         return 0
     pwl_nodes = sum(1 for cn in program.nodes
                     if cn.attrs.get("impl") == "pwl")
+    pwl_nodes += sum(1 for cn in program.nodes if cn.op_type == "fused"
+                     for step in cn.attrs.get("steps", ())
+                     if step.get("attrs", {}).get("impl") == "pwl")
     print(f"{graph.name}: compiled {len(program.nodes)} nodes into "
           f"{program.n_slots} arena slots (batch {program.batch_size}"
           + (f", {pwl_nodes} PWL kernels at {args.pwl} breakpoints"
@@ -554,6 +574,17 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     print(f"  cost model ({cfg.name}): {base.total:,.0f} baseline cycles, "
           f"{base.act_share * 100:.1f}% in activations, "
           f"flex-sfu speedup {model_speedup(record, cfg):.2f}x")
+    if args.dump_plan:
+        if reports:
+            print("  passes:")
+            for r in reports:
+                print(f"    {r.format()}")
+        print("  plan:")
+        for cn in program.nodes:
+            label = cn.attrs.get("label")
+            tail = f" [{label}]" if label else ""
+            print(f"    {cn.name}: {cn.op_type}"
+                  f" {list(cn.in_slots)}->{list(cn.out_slots)}{tail}")
     return 0
 
 
@@ -651,7 +682,8 @@ def _profile_one(args: argparse.Namespace, model: str):
     graph = BUILDERS[model](act=args.act, scale=args.scale, seed=args.seed)
     session = _session_from_args(args)
     program = session.compile(graph, batch_size=args.batch,
-                              n_breakpoints=args.pwl)
+                              n_breakpoints=args.pwl,
+                              optimize=getattr(args, "opt", False))
     feeds = _profile_feeds(graph, args.batch, args.seed)
     _, runtime = program.run_timed(feeds, repeats=args.repeats)
     comparison = (compare_profiles(program.profile, runtime)
@@ -680,11 +712,14 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     docs = {}
     for model in models:
         graph, program, runtime, comparison = _profile_one(args, model)
+        reports = program.pass_reports or []
         if args.json:
             doc = {"model": graph.name, "nodes": len(program.nodes),
                    "batch_size": args.batch, "repeats": args.repeats,
                    "pwl_breakpoints": args.pwl,
                    "runtime": runtime.to_dict()}
+            if reports:
+                doc["pass_reports"] = [r.to_dict() for r in reports]
             if comparison is not None:
                 doc["comparison"] = comparison.to_dict()
             docs[model] = doc
@@ -693,6 +728,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
               f"{runtime.total_s * 1e3 / args.repeats:.2f} ms/run "
               f"(batch {args.batch}, {args.repeats} repeats"
               + (f", PWL {args.pwl}" if args.pwl else "") + ")")
+        for r in reports:
+            print(f"  pass {r.format()}")
         if comparison is None:
             for op, total in sorted(runtime.by_op_type().items(),
                                     key=lambda kv: -kv[1]):
@@ -1088,6 +1125,16 @@ def build_parser() -> argparse.ArgumentParser:
                            help="fit engine for --pwl (default: auto)")
     p_compile.add_argument("--cache-dir", default=None,
                            help="fit cache directory for --pwl fits")
+    p_compile.add_argument("--no-opt", action="store_true",
+                           help="disable the optimization pipeline "
+                                "(folding, dead-node elimination, fusion, "
+                                "region scheduling run by default)")
+    p_compile.add_argument("--passes", default=None, metavar="A,B,C",
+                           help="comma-separated ordered pass list to run "
+                                "instead of the default pipeline")
+    p_compile.add_argument("--dump-plan", action="store_true",
+                           help="print the compiled plan: one line per "
+                                "record plus per-pass profile deltas")
     p_compile.add_argument("--json", action="store_true",
                            help="emit a machine-readable summary")
     p_compile.set_defaults(func=_cmd_compile)
@@ -1141,6 +1188,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument("--pwl", type=int, default=None, metavar="N",
                            help="rewrite activations to N-breakpoint PWLs "
                                 "(fitted through the session) first")
+    p_profile.add_argument("--opt", action="store_true",
+                           help="run the optimization pipeline before "
+                                "profiling; prints one static-profile "
+                                "delta line per pass")
     p_profile.add_argument("--compare-static", action="store_true",
                            help="align the runtime profile with the "
                                 "static cost model, node for node")

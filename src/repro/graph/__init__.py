@@ -11,8 +11,10 @@ from .executor import Executor, GraphProfile, NodeProfile, interpret
 from .ir import Graph, Node
 from .ops import (CostRecord, OP_REGISTRY, get_op, infer_node_shapes,
                   register_op, register_shape)
-from .program import (CompiledNode, Program, PwlKernel, SoftmaxPwlKernel,
-                      compile_graph)
+from .opt import (DEFAULT_PASSES, PassPipeline, PassReport, Plan,
+                  available_passes, build_pipeline, register_graph_pass)
+from .program import (CompiledNode, FusedKernel, Program, PwlKernel,
+                      SoftmaxPwlKernel, compile_graph)
 from .passes import (
     clear_fit_cache,
     collect_activation_names,
@@ -39,10 +41,18 @@ __all__ = [
     "infer_node_shapes",
     "interpret",
     "CompiledNode",
+    "DEFAULT_PASSES",
+    "FusedKernel",
+    "PassPipeline",
+    "PassReport",
+    "Plan",
     "Program",
     "PwlKernel",
     "SoftmaxPwlKernel",
+    "available_passes",
+    "build_pipeline",
     "compile_graph",
+    "register_graph_pass",
     "replace_activations",
     "restore_exact_activations",
     "collect_activation_names",

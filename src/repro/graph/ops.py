@@ -381,6 +381,81 @@ def _cost_mean_seq(in_shapes, out_shapes, attrs) -> CostRecord:
 
 
 # --------------------------------------------------------------------- #
+# fused (produced by the fuse-kernels optimization pass)
+# --------------------------------------------------------------------- #
+def _fused_steps(attrs: Dict[str, Any]) -> List[Dict[str, Any]]:
+    steps = attrs.get("steps")
+    if not steps:
+        raise GraphError("fused node carries no steps")
+    return steps
+
+
+def _exec_fused(inputs: List[np.ndarray], attrs: Dict[str, Any]) -> List[np.ndarray]:
+    """Replay the absorbed ops through their *registered* execute.
+
+    The fused record is pure plumbing: each step calls the identical
+    numpy semantics the standalone node would have, so outputs are
+    bitwise-unchanged by fusion (the baked
+    :class:`~repro.graph.program.FusedKernel` honours the same
+    contract with prebound constants).
+    """
+    pos = 0
+    cur: Optional[np.ndarray] = None
+    for step in _fused_steps(attrs):
+        n = int(step["n_inputs"])
+        step_inputs = inputs[pos:pos + n]
+        if cur is not None:
+            step_inputs = [cur] + list(step_inputs)
+        pos += n
+        cur = get_op(step["op"]).execute(step_inputs, step["attrs"])[0]
+    return [cur]
+
+
+@register_op("fused")(_exec_fused)
+def _cost_fused(in_shapes: List[Shape], out_shapes: List[Shape],
+                attrs: Dict[str, Any]) -> CostRecord:
+    """Sum of the absorbed steps' costs (shapes re-derived per step).
+
+    Using each step's own cost rule keeps the graph-level totals —
+    MACs, activation elements — invariant under fusion, so zoo pricing
+    and the Fig. 6 cost model see the same workload either way.
+    """
+    total = CostRecord()
+    pos = 0
+    cur: Optional[Shape] = None
+    for step in _fused_steps(attrs):
+        n = int(step["n_inputs"])
+        step_in = list(in_shapes[pos:pos + n])
+        if cur is not None:
+            step_in = [cur] + step_in
+        pos += n
+        op = get_op(step["op"])
+        if op.infer is None:
+            raise GraphError(
+                f"fused step op {step['op']!r} has no static shape rule")
+        outs = op.infer(step_in, step["attrs"])
+        total = total + op.cost(step_in, [tuple(s) for s in outs],
+                                step["attrs"])
+        cur = tuple(int(d) for d in outs[0])
+    return total
+
+
+@register_shape("fused")
+def _shape_fused(in_shapes: List[Shape], attrs: Dict[str, Any]) -> List[Shape]:
+    pos = 0
+    cur: Optional[Shape] = None
+    for step in _fused_steps(attrs):
+        n = int(step["n_inputs"])
+        step_in = list(in_shapes[pos:pos + n])
+        if cur is not None:
+            step_in = [cur] + step_in
+        pos += n
+        cur = tuple(int(d) for d in
+                    infer_node_shapes(step["op"], step_in, step["attrs"])[0])
+    return [cur]
+
+
+# --------------------------------------------------------------------- #
 # Static shape rules — one per op, mirroring the execute semantics.
 # Compile-time counterparts of the numpy behaviour above: they must
 # produce exactly the shape execute() would, or the static profile

@@ -19,6 +19,7 @@ from tools.lint_repro import (  # noqa: E402
     check_engine_protocol,
     check_frozen_configs,
     check_lazy_scipy,
+    check_op_registry,
     collect_modules,
     lint_repo,
     main,
@@ -305,6 +306,99 @@ class TestClockSeam:
         assert "clock.py" not in files
         assert {"trace.py", "program.py", "lanefit.py", "queue.py",
                 "daemon.py"} <= files
+
+
+class TestOpRegistry:
+    COMPLETE = """
+        from repro.graph.ops import register_op, register_shape
+
+        def _exec_half(inputs, attrs):
+            return [inputs[0] * 0.5]
+
+        @register_op("half")(_exec_half)
+        def _cost_half(in_shapes, out_shapes, attrs):
+            return None
+
+        @register_shape("half")
+        def _shape_half(in_shapes, attrs):
+            return [in_shapes[0]]
+        """
+
+    def test_complete_registration_is_clean(self):
+        modules = {"m": mod("m", self.COMPLETE)}
+        assert check_op_registry(modules) == []
+
+    def test_missing_cost_chain_is_flagged(self):
+        src = """
+            from repro.graph.ops import register_op, register_shape
+
+            def _exec_half(inputs, attrs):
+                return [inputs[0] * 0.5]
+
+            register_op("half")(_exec_half)
+            register_shape("half")(lambda in_shapes, attrs: [in_shapes[0]])
+            """
+        violations = check_op_registry({"m": mod("m", src)})
+        assert len(violations) == 1
+        assert violations[0].rule == "RPL006"
+        assert "cost rule" in violations[0].message
+
+    def test_missing_shape_rule_is_flagged(self):
+        src = """
+            from repro.graph.ops import register_op
+
+            def _exec_half(inputs, attrs):
+                return [inputs[0] * 0.5]
+
+            @register_op("half")(_exec_half)
+            def _cost_half(in_shapes, out_shapes, attrs):
+                return None
+            """
+        violations = check_op_registry({"m": mod("m", src)})
+        assert len(violations) == 1
+        assert violations[0].rule == "RPL006"
+        assert "register_shape" in violations[0].message
+
+    def test_expression_chain_counts_as_complete(self):
+        src = """
+            from repro.graph.ops import register_op, register_shape
+
+            def _exec(inputs, attrs):
+                return list(inputs)
+
+            def _cost(in_shapes, out_shapes, attrs):
+                return None
+
+            register_op("ident")(_exec)(_cost)
+            register_shape("ident")(lambda in_shapes, attrs: in_shapes)
+            """
+        assert check_op_registry({"m": mod("m", src)}) == []
+
+    def test_shape_rule_in_another_module_counts(self):
+        op_src = """
+            from repro.graph.ops import register_op
+
+            def _exec(inputs, attrs):
+                return list(inputs)
+
+            @register_op("split_brain")(_exec)
+            def _cost(in_shapes, out_shapes, attrs):
+                return None
+            """
+        shape_src = """
+            from repro.graph.ops import register_shape
+
+            @register_shape("split_brain")
+            def _shape(in_shapes, attrs):
+                return in_shapes
+            """
+        modules = {"a": mod("a", op_src, "a.py"),
+                   "b": mod("b", shape_src, "b.py")}
+        assert check_op_registry(modules) == []
+
+    def test_fused_op_registration_in_repo_is_complete(self):
+        modules = collect_modules(REPO_ROOT / "src")
+        assert check_op_registry(modules) == []
 
 
 def test_violation_format():

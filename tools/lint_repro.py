@@ -30,6 +30,15 @@ to its own architectural promises:
     those modules re-open the wall-vs-monotonic confusion the shim
     exists to close (``time.sleep`` is fine — it is a delay, not a
     measurement).
+``RPL006``
+    Every ``register_op(name)`` carries a complete registration: the
+    curried call chain actually attaches a cost rule
+    (``register_op(n)(execute)`` alone registers *nothing* — the
+    registry write happens in the innermost closure), and a matching
+    ``register_shape(name)`` exists somewhere in the tree.  An op
+    without a shape rule compiles to a program that cannot be
+    scheduled; an op without a cost rule silently vanishes from the
+    registry.  Fused ops count like any other.
 
 Run as ``python -m tools.lint_repro`` (``--json`` for machine output);
 ``tests/unit/test_lint_repro.py`` runs the same rules under pytest.
@@ -57,6 +66,7 @@ __all__ = [
     "check_frozen_configs",
     "check_bitwise_tolerance",
     "check_clock_seam",
+    "check_op_registry",
     "lint_repo",
     "main",
 ]
@@ -485,6 +495,86 @@ def check_clock_seam(tree: ast.Module, path: str) -> List[Violation]:
     return violations
 
 
+# --------------------------------------------------------------------- #
+# RPL006 — op registrations are complete (cost chain + shape rule)
+# --------------------------------------------------------------------- #
+
+def _registry_call(node: ast.expr, helper: str) -> Optional[str]:
+    """The op name if ``node`` is ``<helper>("name")``, else None."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    named = (isinstance(func, ast.Name) and func.id == helper) or \
+        (isinstance(func, ast.Attribute) and func.attr == helper)
+    if not named or not node.args:
+        return None
+    arg = node.args[0]
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        return arg.value
+    return None
+
+
+def check_op_registry(modules: Dict[str, ModuleInfo]) -> List[Violation]:
+    """Every ``register_op`` must pair with ``register_shape`` and a
+    complete cost chain.
+
+    ``register_op(name)`` is curried — only the innermost call
+    (``register_op(name)(execute)(cost)``, or equivalently the
+    decorator form ``@register_op(name)(execute)`` over the cost
+    function) writes the registry.  This rule flags the two silent
+    failure modes: a chain that stops before the cost rule (the op
+    never registers at all), and a registered op with no
+    ``register_shape`` anywhere in the scanned tree (the op cannot be
+    scheduled into a compiled program).  Matching is repo-global, so
+    the shape rule may live in a different module than the op.
+    """
+    # op name -> (path, line) of one register_op site, for reporting.
+    op_sites: Dict[str, Tuple[str, int]] = {}
+    shape_names: Set[str] = set()
+    violations: List[Violation] = []
+    for info in modules.values():
+        complete: Set[int] = set()  # ids of cost-complete base calls
+        base_calls: List[Tuple[str, ast.Call]] = []
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.expr):
+                name = _registry_call(node, "register_shape")
+                if name is not None:
+                    shape_names.add(name)
+            name = _registry_call(node, "register_op")
+            if name is not None:
+                base_calls.append((name, node))
+                continue
+            # Fully applied expression: register_op(n)(execute)(cost).
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Call) and \
+                    _registry_call(node.func.func, "register_op"):
+                complete.add(id(node.func.func))
+            # Decorator form: @register_op(n)(execute) over the cost
+            # function — the decoration itself applies the cost call.
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for dec in node.decorator_list:
+                    if isinstance(dec, ast.Call) and \
+                            _registry_call(dec.func, "register_op"):
+                        complete.add(id(dec.func))
+        for name, call in base_calls:
+            op_sites.setdefault(name, (str(info.path), call.lineno))
+            if id(call) not in complete:
+                violations.append(Violation(
+                    rule="RPL006", path=str(info.path), line=call.lineno,
+                    message=f"register_op({name!r}) never receives a "
+                            f"cost rule — the chain must be "
+                            f"register_op(name)(execute)(cost), so this "
+                            f"op silently fails to register"))
+    for name, (path, line) in sorted(op_sites.items()):
+        if name not in shape_names:
+            violations.append(Violation(
+                rule="RPL006", path=path, line=line,
+                message=f"op {name!r} is registered without a matching "
+                        f"register_shape rule; it cannot be compiled "
+                        f"into a program"))
+    return sorted(violations, key=lambda v: (v.path, v.line))
+
+
 def _clock_seam_files(root: Path) -> List[Path]:
     """Instrumented source files subject to RPL005 (shim excluded)."""
     shim = (root / CLOCK_SHIM_PATH).resolve()
@@ -507,6 +597,7 @@ def lint_repo(root: Path = REPO_ROOT) -> List[Violation]:
 
     modules = collect_modules(root / "src")
     violations += check_lazy_scipy(modules)
+    violations += check_op_registry(modules)
 
     engine_files: List[Path] = []
     for rel in ENGINE_SCAN_PATHS:
